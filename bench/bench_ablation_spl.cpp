@@ -1,0 +1,98 @@
+// Ablations of the safety-policy learner's design choices (DESIGN.md §5):
+//   1. Key mode — the paper's exact P_safe[S, S'] vs our factored-context
+//      keys: detection stays perfect either way, but exact keys flood
+//      fresh benign days with false positives.
+//   2. ANN filter on/off — without the filter, benign anomalies are all
+//      flagged as violations.
+//   3. Thresh_env sweep — higher thresholds shrink the whitelist (safety
+//      coverage trade-off).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jarvis;
+  bench::PrintHeader("Ablation: SPL key mode, ANN filter, Thresh_env",
+                     "design choices of Sections IV-A / V-A-3");
+
+  bench::Harness harness;
+  const auto& home = harness.testbed.home_a();
+  const auto episodes = harness.testbed.HomeALearningEpisodes();
+  const auto labeled = harness.testbed.BuildTrainingSet();
+  const auto violations = harness.testbed.BuildViolations();
+
+  // A fresh benign day, unseen during learning.
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, 909);
+  const auto generator = harness.testbed.home_a_generator();
+  const auto benign_day = resident.SimulateDay(generator.Generate(33),
+                                               resident.OvernightState(),
+                                               21.0);
+  sim::AnomalyGenerator anomalies(home, 909);
+  fsm::StateVector home_context(home.device_count(), 0);
+  home_context[0] = *home.device(0).FindState("unlocked");
+
+  struct Variant {
+    const char* name;
+    spl::SplConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    spl::SplConfig factored;
+    variants.push_back({"factored-context (default)", factored});
+    spl::SplConfig exact;
+    exact.key_mode = spl::KeyMode::kExactState;
+    variants.push_back({"exact-state (paper literal)", exact});
+    spl::SplConfig no_ann;
+    no_ann.use_ann_filter = false;
+    variants.push_back({"factored, ANN filter off", no_ann});
+    spl::SplConfig thresh2;
+    thresh2.count_threshold = 2;
+    variants.push_back({"factored, Thresh_env = 2", thresh2});
+    spl::SplConfig thresh5;
+    thresh5.count_threshold = 5;
+    variants.push_back({"factored, Thresh_env = 5", thresh5});
+  }
+
+  std::printf("\n%-30s %9s %11s %14s %13s\n", "variant", "admitted",
+              "detection", "benign-day FP", "anomaly FP");
+  for (const auto& variant : variants) {
+    spl::SafetyPolicyLearner learner(home, variant.config);
+    learner.Learn(episodes, variant.config.use_ann_filter
+                                ? labeled
+                                : std::vector<sim::LabeledSample>{});
+
+    int detected = 0;
+    for (const auto& violation : violations) {
+      if (learner.Classify(violation.state, violation.action,
+                           violation.minute) == spl::Verdict::kViolation) {
+        ++detected;
+      }
+    }
+
+    const auto audit = learner.AuditEpisode(benign_day.episode);
+
+    int anomaly_fp = 0;
+    const int anomaly_trials = 300;
+    for (int i = 0; i < anomaly_trials; ++i) {
+      const auto instance = anomalies.Generate(home_context);
+      if (learner.Classify(home_context, instance.action, instance.minute) ==
+          spl::Verdict::kViolation) {
+        ++anomaly_fp;
+      }
+    }
+
+    std::printf("%-30s %9zu %7d/%zu %8zu/%-5zu %9.1f%%\n", variant.name,
+                learner.table().admitted_key_count(), detected,
+                violations.size(), audit.violations,
+                audit.transitions_checked,
+                100.0 * anomaly_fp / anomaly_trials);
+  }
+
+  std::printf("\nReading: exact-state keys keep perfect detection but flag "
+              "benign transitions on fresh days (no generalization); "
+              "disabling the ANN flags nearly all benign anomalies "
+              "(paper's 0.8%% FP depends on it); higher Thresh_env shrinks "
+              "the whitelist and begins flagging rarely-seen benign "
+              "behavior.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fig. 6: energy conservation — normal vs Jarvis-optimized kWh per day
+// across the energy-weight sweep.
+#include "bench_sweep_common.h"
+
+int main() {
+  return jarvis::bench::RunFunctionalitySweep(
+      "energy", "kWh", "Fig. 6 (Section VI-D, energy conservation)");
+}

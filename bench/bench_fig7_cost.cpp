@@ -1,0 +1,8 @@
+// Fig. 7: electricity-cost minimization under day-ahead-market prices —
+// normal vs Jarvis-optimized $ per day across the cost-weight sweep.
+#include "bench_sweep_common.h"
+
+int main() {
+  return jarvis::bench::RunFunctionalitySweep(
+      "cost", "$", "Fig. 7 (Section VI-D, energy price minimization)");
+}

@@ -1,0 +1,9 @@
+// Fig. 8: temperature-difference optimization — normal vs Jarvis-optimized
+// comfort error (degC-minutes while occupied) across the temp-weight sweep.
+#include "bench_sweep_common.h"
+
+int main() {
+  return jarvis::bench::RunFunctionalitySweep(
+      "temp", "degC-min",
+      "Fig. 8 (Section VI-D, temperature difference optimization)");
+}

@@ -1,0 +1,58 @@
+// Fig. 9: unconstrained vs constrained exploration benefit space —
+// per-episode cumulative reward and safety violations for both agents on
+// the same day. The paper reports higher raw reward for unconstrained
+// exploration at an average of ~32 safety violations per episode; the
+// constrained agent commits zero.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/benefit_space.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace jarvis;
+  bench::PrintHeader(
+      "Fig. 9: unconstrained vs constrained exploration benefit space",
+      "Fig. 9 (Section VI-F, ~32 violations/episode unconstrained)");
+
+  bench::Harness harness;
+  const sim::DayTrace day = harness.testbed.home_b_data().Day(42);
+
+  core::ExplorationConfig exploration;
+  exploration.episodes = bench::TrainEpisodes();
+  const auto points = core::ExplorationComparison(
+      harness.testbed.home_a(), harness.jarvis->learner(), day,
+      bench::Harness::MakeJarvisConfig(), exploration);
+
+  std::printf("\n%-8s %22s %22s %24s\n", "episode", "constrained reward",
+              "unconstrained reward", "unconstrained violations");
+  // Early episodes are exploration noise; the benefit-space comparison is
+  // about the converged regime, so the headline statistics use the final
+  // quarter of training.
+  const std::size_t tail_start = points.size() - points.size() / 4;
+  util::OnlineStats constrained_reward, unconstrained_reward, violation_stats;
+  for (const auto& point : points) {
+    if (static_cast<std::size_t>(point.episode) >= tail_start) {
+      constrained_reward.Add(point.constrained_reward);
+      unconstrained_reward.Add(point.unconstrained_reward);
+      violation_stats.Add(static_cast<double>(point.unconstrained_violations));
+    }
+    std::printf("%-8d %22.1f %22.1f %24zu\n", point.episode,
+                point.constrained_reward, point.unconstrained_reward,
+                point.unconstrained_violations);
+    if (point.constrained_violations != 0) {
+      std::printf("ERROR: constrained agent committed violations!\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nConverged regime (final quarter of episodes):\n");
+  std::printf("  mean reward: constrained %.1f, unconstrained %.1f "
+              "(unsafe benefit space: %+.1f)\n",
+              constrained_reward.mean(), unconstrained_reward.mean(),
+              unconstrained_reward.mean() - constrained_reward.mean());
+  std::printf("  unconstrained violations/episode: mean %.1f (paper: ~32); "
+              "constrained: 0 in every episode.\n",
+              violation_stats.mean());
+  return 0;
+}

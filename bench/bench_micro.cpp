@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the hot paths: FSM transition
+// application, state encoding, SPL classification, ANN inference, DQN
+// forward/replay, and a full simulated environment step. These quantify
+// the per-minute cost of running Jarvis online in a smart home (the paper
+// assumes sub-minute demand response, Section V-A-2).
+#include <benchmark/benchmark.h>
+
+#include "fsm/device_library.h"
+#include "rl/dqn_agent.h"
+#include "rl/iot_env.h"
+#include "sim/testbed.h"
+#include "spl/learner.h"
+
+namespace {
+
+using namespace jarvis;
+
+const fsm::EnvironmentFsm& Home() {
+  static const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  return home;
+}
+
+struct LearnedFixture {
+  LearnedFixture() : testbed(MakeConfig()), learner(testbed.home_a(), {}) {
+    learner.Learn(testbed.HomeALearningEpisodes(), testbed.BuildTrainingSet());
+  }
+  static sim::TestbedConfig MakeConfig() {
+    sim::TestbedConfig config;
+    config.benign_anomaly_samples = 2000;
+    return config;
+  }
+  sim::Testbed testbed;
+  spl::SafetyPolicyLearner learner;
+};
+
+LearnedFixture& Learned() {
+  static LearnedFixture fixture;
+  return fixture;
+}
+
+void BM_FsmApply(benchmark::State& state) {
+  const auto& home = Home();
+  fsm::StateVector current(home.device_count(), 0);
+  fsm::ActionVector action(home.device_count(), fsm::kNoAction);
+  action[2] = 1;
+  action[3] = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(home.Apply(current, action));
+  }
+}
+BENCHMARK(BM_FsmApply);
+
+void BM_StateEncode(benchmark::State& state) {
+  const auto& codec = Home().codec();
+  fsm::StateVector current(Home().device_count(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(current));
+  }
+}
+BENCHMARK(BM_StateEncode);
+
+void BM_StateOneHot(benchmark::State& state) {
+  const auto& codec = Home().codec();
+  fsm::StateVector current(Home().device_count(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.OneHot(current));
+  }
+}
+BENCHMARK(BM_StateOneHot);
+
+void BM_SplClassifyMini(benchmark::State& state) {
+  auto& fixture = Learned();
+  fsm::StateVector current(fixture.testbed.home_a().device_count(), 0);
+  const fsm::MiniAction mini{2, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.learner.ClassifyMini(current, mini, 600));
+  }
+}
+BENCHMARK(BM_SplClassifyMini);
+
+void BM_AnnBenignScore(benchmark::State& state) {
+  auto& fixture = Learned();
+  fsm::StateVector current(fixture.testbed.home_a().device_count(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.learner.filter().BenignScore(current, {2, 1}, 600));
+  }
+}
+BENCHMARK(BM_AnnBenignScore);
+
+void BM_DqnSelectAction(benchmark::State& state) {
+  const auto& home = Home();
+  rl::DqnConfig config;
+  config.epsilon = 0.0;
+  rl::DqnAgent agent(44, home.codec(), config);
+  const std::vector<double> features(44, 0.3);
+  const std::vector<bool> mask(home.codec().mini_action_count(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.SelectAction(features, mask, true));
+  }
+}
+BENCHMARK(BM_DqnSelectAction);
+
+void BM_DqnReplayBatch(benchmark::State& state) {
+  const auto& home = Home();
+  rl::DqnConfig config;
+  config.batch_size = 32;
+  rl::DqnAgent agent(44, home.codec(), config);
+  for (int i = 0; i < 256; ++i) {
+    rl::Experience experience;
+    experience.features.assign(44, 0.1 * (i % 10));
+    experience.taken_slots = {static_cast<std::size_t>(
+        i % home.codec().mini_action_count())};
+    experience.reward = 0.5;
+    experience.next_features.assign(44, 0.2);
+    experience.next_mask.assign(home.codec().mini_action_count(), true);
+    agent.Remember(std::move(experience));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Replay());
+  }
+}
+BENCHMARK(BM_DqnReplayBatch);
+
+void BM_EnvFullEpisode(benchmark::State& state) {
+  auto& fixture = Learned();
+  const sim::DayTrace day = fixture.testbed.home_b_data().Day(7);
+  rl::IoTEnvConfig config;
+  config.decision_interval_minutes = 15;
+  rl::IoTEnv env(fixture.testbed.home_a(), day, sim::ThermalConfig{},
+                 &fixture.learner, config);
+  const fsm::ActionVector noop(fixture.testbed.home_a().device_count(),
+                               fsm::kNoAction);
+  for (auto _ : state) {
+    env.Reset();
+    while (!env.done()) env.Step(noop);
+    benchmark::DoNotOptimize(env.cumulative_reward());
+  }
+}
+BENCHMARK(BM_EnvFullEpisode)->Unit(benchmark::kMillisecond);
+
+void BM_ResidentSimulateDay(benchmark::State& state) {
+  const auto& home = Home();
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, 5);
+  const sim::ScenarioGenerator generator({}, {}, {}, 5);
+  const auto scenario = generator.Generate(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resident.SimulateDay(scenario, resident.OvernightState(), 21.0));
+  }
+}
+BENCHMARK(BM_ResidentSimulateDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace

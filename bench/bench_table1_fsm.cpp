@@ -1,0 +1,55 @@
+// Table I: the smart-home environment FSM — device states, actions, and
+// physical annotations for the example home, plus the six additional
+// devices of the 11-device evaluation home.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fsm/device_library.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace jarvis;
+  bench::PrintHeader("Table I: Smart Home Environment FSM",
+                     "Table I (Section V-B)");
+
+  auto print_home = [](const std::vector<fsm::Device>& devices,
+                       const char* title) {
+    std::printf("\n%s\n", title);
+    std::printf("%-4s %-14s %-34s %s\n", "Di", "Device", "States (p_i_j)",
+                "Actions (a_i_j)");
+    for (const auto& device : devices) {
+      std::string states, actions;
+      for (fsm::StateIndex s = 0; s < device.state_count(); ++s) {
+        if (s) states += ", ";
+        states += device.state_name(s);
+      }
+      for (fsm::ActionIndex a = 0; a < device.action_count(); ++a) {
+        if (a) actions += ", ";
+        actions += device.action_name(a);
+      }
+      std::printf("D%-3d %-14s %-34s %s\n", device.id(),
+                  device.label().c_str(), states.c_str(), actions.c_str());
+    }
+  };
+
+  print_home(fsm::ExampleHomeDevices(),
+             "Example home (Table I; sensors gain an explicit 'off' state "
+             "so disable attacks are expressible, see DESIGN.md):");
+  print_home(fsm::FullHomeDevices(),
+             "Full 11-device evaluation home (k = 11, Section VI-D):");
+
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  std::printf("\nJoint state space: %llu states; mini-action head: %zu slots "
+              "(vs %llu joint actions)\n",
+              static_cast<unsigned long long>(home.codec().state_space_size()),
+              home.codec().mini_action_count(),
+              static_cast<unsigned long long>([&] {
+                unsigned long long product = 1;
+                for (const auto& device : home.devices()) {
+                  product *= static_cast<unsigned long long>(
+                      device.action_count() + 1);
+                }
+                return product;
+              }()));
+  return 0;
+}

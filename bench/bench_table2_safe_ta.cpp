@@ -1,0 +1,107 @@
+// Table II: normal vs learnt-safe trigger/action behavior for the five
+// IFTTT-style apps. The "normal" columns are the apps' context-free
+// triggers ('X' = any state); the "safe" columns are the contexts in which
+// Algorithm 1 actually observed the behavior during the learning phase —
+// plus a check that context-free (unsafe) instantiations of each app's
+// action are flagged.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+#include "spl/safe_table.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace jarvis;
+  bench::PrintHeader(
+      "Table II: normal vs safe trigger/action behavior for five apps",
+      "Table II (Section V-B-1)");
+
+  bench::Harness harness;
+  const auto& home = harness.testbed.home_a();
+  const auto& learner = harness.jarvis->learner();
+
+  struct AppRow {
+    const char* name;
+    const char* normal_trigger;  // paper's context-free trigger
+    fsm::DeviceId device;        // acted device
+    const char* action;
+    // An unsafe instantiation of the same action (context the app ignores).
+    fsm::StateVector unsafe_state;
+    int unsafe_minute;
+  };
+
+  fsm::StateVector away(home.device_count(), 0);  // locked_outside, sensing
+  fsm::StateVector unauth = away;
+  unauth[1] = *home.device(1).FindState("unauth_user");
+  fsm::StateVector cold_night = away;
+  cold_night[3] = *home.device(3).FindState("heat");
+  cold_night[4] = *home.device(4).FindState("below_optimal");
+
+  const std::vector<AppRow> apps = {
+      {"1 unlock-door-on-auth-user", "(p00,p11,X,X,X) -> unlock", 0, "unlock",
+       unauth, 14 * 60},
+      {"2 maintain-optimal-temperature", "(X,X,X,X,p40/p41) -> inc/dec temp",
+       3, "increase_temp", away, 13 * 60},
+      {"3 lights-on-arrival", "(p00,p11,X,X,X) -> light on", 2, "power_on",
+       away, 3 * 60 + 30},
+      {"4 fire-alarm-open-door-lights", "(X,X,X,X,p43) -> unlock+light", 0,
+       "unlock", away, 2 * 60},
+      {"5 leave-home-shutdown", "(p00,p10,X,X,X) -> light/thermostat off", 3,
+       "power_off", cold_night, 3 * 60},
+  };
+
+  // Collect the learnt safe contexts per (device, action) from the
+  // learning episodes themselves (what Algorithm 1 counted).
+  const auto episodes = harness.testbed.HomeALearningEpisodes();
+  const auto observations = fsm::ExtractTriggerActions(episodes);
+  std::map<std::pair<fsm::DeviceId, fsm::ActionIndex>, std::set<std::string>>
+      safe_contexts;
+  for (const auto& ta : observations) {
+    for (std::size_t d = 0; d < ta.action.size(); ++d) {
+      if (ta.action[d] == fsm::kNoAction) continue;
+      const std::string context = util::Format(
+          "lock=%s door=%s temp=%s %02dh-bucket",
+          home.device(0).state_name(ta.trigger_state[0]).c_str(),
+          home.device(1).state_name(ta.trigger_state[1]).c_str(),
+          home.device(4).state_name(ta.trigger_state[4]).c_str(),
+          ta.minute_of_day / spl::kTimeBucketMinutes * 3);
+      safe_contexts[{static_cast<fsm::DeviceId>(d), ta.action[d]}].insert(
+          context);
+    }
+  }
+
+  int flagged = 0;
+  for (const auto& app : apps) {
+    const auto action_index = home.device(app.device).FindAction(app.action);
+    std::printf("\nApp %s\n", app.name);
+    std::printf("  normal (context-free) T/A: %s\n", app.normal_trigger);
+    const auto it =
+        safe_contexts.find({app.device, action_index.value_or(-2)});
+    std::printf("  learnt safe trigger contexts for action '%s' on %s:\n",
+                app.action, home.device(app.device).label().c_str());
+    if (it == safe_contexts.end() || it->second.empty()) {
+      std::printf("    (none: behavior not observed -> never admitted, as "
+                  "for App 4's fire-alarm path, Section V-B-1)\n");
+    } else {
+      for (const auto& context : it->second) {
+        std::printf("    T: %s -> A: %s\n", context.c_str(), app.action);
+      }
+    }
+    const auto verdict = learner.ClassifyMini(
+        app.unsafe_state, {app.device, *action_index}, app.unsafe_minute);
+    const bool is_flagged = verdict == spl::Verdict::kViolation;
+    flagged += is_flagged ? 1 : 0;
+    std::printf("  context-free instantiation at %02d:%02d in unsafe "
+                "context: %s\n",
+                app.unsafe_minute / 60, app.unsafe_minute % 60,
+                spl::VerdictName(verdict).c_str());
+  }
+
+  std::printf("\nSummary: %d/5 context-free app behaviors flagged when fired "
+              "outside their learnt safe contexts (paper: all unsafe "
+              "instantiations rejected).\n",
+              flagged);
+  return flagged == 5 ? 0 : 1;
+}

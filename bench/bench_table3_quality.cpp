@@ -1,0 +1,126 @@
+// Table III: action quality under unconstrained vs constrained exploration
+// for eight trigger contexts across the three functionalities. For each
+// row we train one unconstrained and one constrained agent under the
+// functionality's weights, then report each agent's chosen action in the
+// trigger context and whether that action violates the learnt policies.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "rl/trainer.h"
+
+int main() {
+  using namespace jarvis;
+  bench::PrintHeader(
+      "Table III: unconstrained vs constrained action quality",
+      "Table III (Section V-B-2)");
+
+  bench::Harness harness;
+  const auto& home = harness.testbed.home_a();
+  const auto& learner = harness.jarvis->learner();
+  const sim::DayTrace day = harness.testbed.home_b_data().Day(42);
+
+  struct Row {
+    const char* functionality;
+    const char* focus;
+    const char* trigger_description;
+    fsm::StateVector state;
+    int minute;
+  };
+
+  fsm::StateVector base(home.device_count(), 0);
+  auto with = [&](std::initializer_list<std::pair<int, const char*>> over) {
+    fsm::StateVector state = base;
+    for (const auto& [device, name] : over) {
+      state[static_cast<std::size_t>(device)] =
+          *home.device(device).FindState(name);
+    }
+    return state;
+  };
+
+  const std::vector<Row> rows = {
+      {"Energy Conservation", "energy",
+       "user leaves the house and locks the door",
+       with({{2, "on"}, {3, "heat"}, {7, "on"}}), 8 * 60 + 5},
+      {"Energy Conservation", "energy", "optimal temperature is reached",
+       with({{0, "unlocked"}, {3, "heat"}, {4, "optimal"}}), 20 * 60},
+      {"Electricity Cost Minimization", "cost",
+       "temperature drops below optimum, user at home",
+       with({{0, "unlocked"}, {4, "below_optimal"}}), 18 * 60},
+      {"Electricity Cost Minimization", "cost",
+       "temperature goes above optimum, user at home",
+       with({{0, "unlocked"}, {4, "above_optimal"}, {3, "heat"}}), 18 * 60},
+      {"Electricity Cost Minimization", "cost",
+       "optimal temperature is reached",
+       with({{0, "unlocked"}, {3, "cool"}, {4, "optimal"}}), 19 * 60},
+      {"Temperature Optimization", "temp",
+       "temperature drops below optimum",
+       with({{0, "unlocked"}, {4, "below_optimal"}}), 19 * 60},
+      {"Temperature Optimization", "temp",
+       "temperature goes above optimum",
+       with({{0, "unlocked"}, {4, "above_optimal"}}), 13 * 60},
+      {"Temperature Optimization", "temp", "optimal temperature is reached",
+       with({{0, "unlocked"}, {3, "heat"}, {4, "optimal"}}), 21 * 60},
+  };
+
+  std::printf("\n%-30s %-44s %-28s %-28s %s\n", "Function", "Trigger",
+              "High-quality action", "High-quality safe action",
+              "Unconstrained violates?");
+
+  int unconstrained_violations = 0;
+  std::string last_focus;
+  std::unique_ptr<rl::IoTEnv> free_env, safe_env;
+  std::unique_ptr<rl::DqnAgent> free_agent, safe_agent;
+
+  for (const auto& row : rows) {
+    if (row.focus != last_focus) {
+      last_focus = row.focus;
+      rl::IoTEnvConfig env_config;
+      env_config.weights = rl::RewardWeights::Sweep(row.focus, 0.8);
+      env_config.constrained = false;
+      free_env = std::make_unique<rl::IoTEnv>(home, day, sim::ThermalConfig{},
+                                              &learner, env_config);
+      env_config.constrained = true;
+      safe_env = std::make_unique<rl::IoTEnv>(home, day, sim::ThermalConfig{},
+                                              &learner, env_config);
+      rl::DqnConfig dqn;
+      dqn.seed = 3;
+      free_agent = std::make_unique<rl::DqnAgent>(free_env->feature_width(),
+                                                  home.codec(), dqn);
+      safe_agent = std::make_unique<rl::DqnAgent>(safe_env->feature_width(),
+                                                  home.codec(), dqn);
+      rl::TrainerConfig trainer;
+      trainer.episodes = bench::TrainEpisodes();
+      rl::Train(*free_env, *free_agent, trainer);
+      rl::Train(*safe_env, *safe_agent, trainer);
+    }
+
+    const auto features = free_env->FeaturesFor(row.state, row.minute);
+    const auto free_mask = free_env->SafeSlotMaskFor(row.state, row.minute);
+    const auto safe_mask = safe_env->SafeSlotMaskFor(row.state, row.minute);
+    const auto free_action =
+        free_agent->SelectAction(features, free_mask, /*greedy=*/true);
+    const auto safe_action =
+        safe_agent->SelectAction(features, safe_mask, /*greedy=*/true);
+
+    const auto free_verdict =
+        learner.Classify(row.state, free_action, row.minute);
+    if (free_verdict == spl::Verdict::kViolation) ++unconstrained_violations;
+
+    std::printf("%-30s %-44s %-28s %-28s %s\n", row.functionality,
+                row.trigger_description,
+                home.codec().ActionToString(home.devices(), free_action)
+                    .substr(0, 27)
+                    .c_str(),
+                home.codec().ActionToString(home.devices(), safe_action)
+                    .substr(0, 27)
+                    .c_str(),
+                free_verdict == spl::Verdict::kViolation ? "yes" : "no");
+  }
+
+  std::printf("\nConstrained actions are whitelisted by construction; the "
+              "unconstrained optimizer picked flagged actions in %d/8 "
+              "contexts (paper: unconstrained optimization leads to unsafe "
+              "situations).\n",
+              unconstrained_violations);
+  return 0;
+}

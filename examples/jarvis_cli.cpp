@@ -1,0 +1,222 @@
+// jarvis_cli: a file-based command-line driver for the full pipeline — the
+// workflow a deployment would actually script.
+//
+//   jarvis_cli simulate --days 14 --out events.log
+//       Simulate natural resident behavior and write the event log.
+//   jarvis_cli learn --log events.log --out policies.json
+//       Run the learning phase (parse log -> Algorithm 1) and save the
+//       learnt policies.
+//   jarvis_cli audit --log suspect.log --policies policies.json
+//       Replay a log through the detector and report flags.
+//   jarvis_cli optimize --policies policies.json --day 42 --focus energy --f 0.8
+//       Train the constrained DQN for a day and compare against normal.
+//   jarvis_cli suggest --policies policies.json --minute 480
+//       Print the best safe action for the overnight state at a minute.
+//
+// All subcommands run on the standard 11-device home.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/jarvis.h"
+#include "sim/testbed.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace jarvis;
+
+int Usage() {
+  std::printf(
+      "usage: jarvis_cli <simulate|learn|audit|optimize|suggest> [flags]\n"
+      "  simulate --days N --out FILE [--seed S]\n"
+      "  learn    --log FILE --out FILE [--seed S]\n"
+      "  audit    --log FILE --policies FILE\n"
+      "  optimize --policies FILE [--day N] [--focus energy|cost|temp] "
+      "[--f W] [--episodes N]\n"
+      "  suggest  --policies FILE [--day N] [--minute M]\n");
+  return 2;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  file << content;
+}
+
+sim::Testbed MakeTestbed(std::uint64_t seed) {
+  sim::TestbedConfig config;
+  config.seed = seed;
+  config.benign_anomaly_samples = 6000;
+  return sim::Testbed(config);
+}
+
+int Simulate(const util::Flags& flags) {
+  const int days = flags.GetInt("days", 14);
+  const std::string out = flags.GetString("out", "events.log");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, seed);
+  const sim::ScenarioGenerator generator({}, {}, {}, seed);
+  const auto traces = resident.SimulateDays(generator, 0, days);
+
+  std::string log;
+  std::size_t events = 0;
+  for (const auto& trace : traces) {
+    for (const auto& event : trace.events) {
+      log += event.ToLogLine();
+      log.push_back('\n');
+      ++events;
+    }
+  }
+  WriteFile(out, log);
+  std::printf("simulated %d days -> %zu events -> %s\n", days, events,
+              out.c_str());
+  return 0;
+}
+
+int Learn(const util::Flags& flags) {
+  const std::string log_path = flags.GetString("log", "events.log");
+  const std::string out = flags.GetString("out", "policies.json");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  sim::Testbed testbed = MakeTestbed(seed);
+  core::Jarvis jarvis(testbed.home_a(), core::JarvisConfig{});
+
+  std::size_t dropped = 0;
+  const auto events = events::LoggerApp::ReadLogFile(log_path, &dropped);
+  sim::ResidentSimulator resident(testbed.home_a(), sim::ThermalConfig{},
+                                  seed);
+  const std::size_t episodes = jarvis.LearnFromEvents(
+      events, resident.OvernightState(), util::SimTime(0),
+      testbed.BuildTrainingSet());
+  WriteFile(out, jarvis.learner().ToJsonString());
+  std::printf("parsed %zu events (%zu dropped) -> %zu learning episodes -> "
+              "%zu safe patterns -> %s\n",
+              events.size(), dropped, episodes,
+              jarvis.learner().table().admitted_key_count(), out.c_str());
+  return 0;
+}
+
+spl::SafetyPolicyLearner LoadPolicies(const fsm::EnvironmentFsm& home,
+                                      const std::string& path) {
+  spl::SafetyPolicyLearner learner(home, spl::SplConfig{});
+  learner.LoadJsonString(ReadFile(path));
+  return learner;
+}
+
+int Audit(const util::Flags& flags) {
+  const std::string log_path = flags.GetString("log", "events.log");
+  const std::string policies = flags.GetString("policies", "policies.json");
+
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  const auto learner = LoadPolicies(home, policies);
+
+  std::size_t dropped = 0;
+  const auto events = events::LoggerApp::ReadLogFile(log_path, &dropped);
+  events::LogParser parser(home, {util::kMinutesPerDay, 1});
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, 1);
+  const auto episodes = parser.Parse(events, resident.OvernightState(),
+                                     events.empty() ? util::SimTime(0)
+                                                    : events.front().date,
+                                     /*keep_partial=*/true);
+
+  std::size_t checked = 0, violations = 0, benign = 0;
+  for (const auto& episode : episodes) {
+    const auto audit = learner.AuditEpisode(episode);
+    checked += audit.transitions_checked;
+    violations += audit.violations;
+    benign += audit.benign_anomalies;
+    for (const auto& flag : audit.flags) {
+      if (flag.verdict != spl::Verdict::kViolation) continue;
+      const auto& step =
+          episode.steps()[static_cast<std::size_t>(flag.step_index)];
+      std::printf("VIOLATION %s %s %s\n", step.time.ToString().c_str(),
+                  home.device(flag.mini.device).label().c_str(),
+                  home.device(flag.mini.device)
+                      .action_name(flag.mini.action)
+                      .c_str());
+    }
+  }
+  std::printf("audited %zu episodes: %zu transitions, %zu violations, %zu "
+              "benign anomalies\n",
+              episodes.size(), checked, violations, benign);
+  return violations == 0 ? 0 : 1;
+}
+
+int Optimize(const util::Flags& flags) {
+  const std::string policies = flags.GetString("policies", "policies.json");
+  const int day = flags.GetInt("day", 42);
+  const std::string focus = flags.GetString("focus", "energy");
+  const double f = flags.GetDouble("f", 0.6);
+
+  sim::Testbed testbed = MakeTestbed(42);
+  core::JarvisConfig config;
+  config.trainer.episodes = flags.GetInt("episodes", 32);
+  core::Jarvis jarvis(testbed.home_a(), config);
+  jarvis.LoadPolicies(ReadFile(policies));  // skip the learning phase
+
+  const sim::DayTrace natural = testbed.home_b_data().Day(day);
+  const auto plan =
+      jarvis.OptimizeDay(natural, rl::RewardWeights::Sweep(focus, f));
+  std::printf("day %d, focus %s f=%.2f\n", day, focus.c_str(), f);
+  std::printf("  normal : %.2f kWh  $%.2f  %.0f degC-min\n",
+              plan.normal_metrics.energy_kwh, plan.normal_metrics.cost_usd,
+              plan.normal_metrics.comfort_error_c_min);
+  std::printf("  jarvis : %.2f kWh  $%.2f  %.0f degC-min  (%zu violations)\n",
+              plan.optimized_metrics.energy_kwh,
+              plan.optimized_metrics.cost_usd,
+              plan.optimized_metrics.comfort_error_c_min, plan.violations);
+  return 0;
+}
+
+int Suggest(const util::Flags& flags) {
+  const std::string policies = flags.GetString("policies", "policies.json");
+  const int day = flags.GetInt("day", 42);
+  const int minute = flags.GetInt("minute", 8 * 60);
+
+  sim::Testbed testbed = MakeTestbed(42);
+  core::JarvisConfig config;
+  config.trainer.episodes = flags.GetInt("episodes", 24);
+  core::Jarvis jarvis(testbed.home_a(), config);
+  jarvis.LoadPolicies(ReadFile(policies));  // skip the learning phase
+
+  const sim::DayTrace natural = testbed.home_b_data().Day(day);
+  jarvis.OptimizeDay(natural, rl::RewardWeights{});
+  sim::ResidentSimulator resident(testbed.home_a(), sim::ThermalConfig{}, 1);
+  const auto action = jarvis.SuggestAction(resident.OvernightState(), minute);
+  std::printf("suggested action at %02d:%02d: %s\n", minute / 60, minute % 60,
+              testbed.home_a()
+                  .codec()
+                  .ActionToString(testbed.home_a().devices(), action)
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.positional().empty()) return Usage();
+    const std::string command = flags.positional()[0];
+    if (command == "simulate") return Simulate(flags);
+    if (command == "learn") return Learn(flags);
+    if (command == "audit") return Audit(flags);
+    if (command == "optimize") return Optimize(flags);
+    if (command == "suggest") return Suggest(flags);
+    return Usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

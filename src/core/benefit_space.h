@@ -1,0 +1,66 @@
+// Benefit-space analyses behind the paper's evaluation figures:
+//
+//   * FunctionalitySweep — Figs. 6/7/8: for each weight f_j in [0.1, 0.9],
+//     compare normal user behavior against the Jarvis-optimized policy on
+//     sampled days, per functionality (energy kWh, cost $, temperature
+//     error). The span between the two curves is the safe benefit space.
+//   * ExplorationComparison — Fig. 9: constrained vs unconstrained
+//     exploration — episode rewards and safety violations per episode; the
+//     violation-bearing surplus is the unsafe benefit space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/jarvis.h"
+#include "sim/smartstar.h"
+
+namespace jarvis::core {
+
+struct SweepPoint {
+  double f_value = 0.0;       // the focused functionality weight
+  double normal_mean = 0.0;   // metric under normal behavior (mean over days)
+  double jarvis_mean = 0.0;   // metric under Jarvis (mean over days)
+  double normal_stddev = 0.0;
+  double jarvis_stddev = 0.0;
+  std::size_t violations = 0; // total across days (0 expected: constrained)
+};
+
+struct SweepConfig {
+  std::string focus = "energy";       // "energy" | "cost" | "temp"
+  std::vector<double> f_values = {0.1, 0.3, 0.5, 0.7, 0.9};
+  int days = 5;                        // days sampled per point
+  std::uint64_t day_sample_seed = 77;
+};
+
+// Runs the sweep on days drawn from the Smart*-style dataset. `jarvis`
+// must already have completed its learning phase.
+std::vector<SweepPoint> FunctionalitySweep(Jarvis& jarvis,
+                                           const sim::SmartStarDataset& data,
+                                           const SweepConfig& config);
+
+// Extracts the compared metric for a day by focus name.
+double MetricFor(const std::string& focus, const sim::DayMetrics& metrics);
+
+struct ExplorationPoint {
+  int episode = 0;
+  double constrained_reward = 0.0;
+  double unconstrained_reward = 0.0;
+  std::size_t unconstrained_violations = 0;
+  std::size_t constrained_violations = 0;  // 0 by construction
+};
+
+struct ExplorationConfig {
+  int episodes = 12;
+  rl::RewardWeights weights;
+  std::uint64_t seed = 5150;
+};
+
+// Trains one constrained and one unconstrained agent on the same day and
+// reports per-episode rewards and violations (Fig. 9's two regions).
+std::vector<ExplorationPoint> ExplorationComparison(
+    const fsm::EnvironmentFsm& fsm, const spl::SafetyPolicyLearner& learner,
+    const sim::DayTrace& natural, const JarvisConfig& config,
+    const ExplorationConfig& exploration);
+
+}  // namespace jarvis::core

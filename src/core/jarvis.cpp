@@ -1,0 +1,78 @@
+#include "core/jarvis.h"
+
+#include <stdexcept>
+
+namespace jarvis::core {
+
+Jarvis::Jarvis(const fsm::EnvironmentFsm& fsm, JarvisConfig config)
+    : fsm_(fsm), config_(config), learner_(fsm, config.spl) {}
+
+void Jarvis::LearnPolicies(const std::vector<fsm::Episode>& learning_episodes,
+                           const std::vector<sim::LabeledSample>& labeled) {
+  learner_.Learn(learning_episodes, labeled);
+}
+
+std::size_t Jarvis::LearnFromEvents(
+    const std::vector<events::Event>& events,
+    const fsm::StateVector& initial_state, util::SimTime start,
+    const std::vector<sim::LabeledSample>& labeled) {
+  events::LogParser parser(fsm_, config_.episode);
+  const auto episodes = parser.Parse(events, initial_state, start);
+  if (episodes.empty()) {
+    throw std::invalid_argument(
+        "Jarvis::LearnFromEvents: no complete learning episodes in log");
+  }
+  LearnPolicies(episodes, labeled);
+  return episodes.size();
+}
+
+DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
+                            rl::RewardWeights weights) {
+  if (!learner_.learned()) {
+    throw std::logic_error("Jarvis::OptimizeDay: learning phase not done");
+  }
+  rl::IoTEnvConfig env_config = config_.env;
+  env_config.weights = weights;
+  env_config.constrained = true;
+
+  last_env_ = std::make_unique<rl::IoTEnv>(fsm_, natural, config_.thermal,
+                                           &learner_, env_config);
+
+  DayPlan plan;
+  const int restarts = std::max(1, config_.restarts);
+  for (int restart = 0; restart < restarts; ++restart) {
+    rl::DqnConfig dqn = config_.dqn;
+    dqn.seed = config_.dqn.seed +
+               static_cast<std::uint64_t>(restart) * 0x9e3779b97f4a7c15ULL;
+    auto agent = std::make_unique<rl::DqnAgent>(last_env_->feature_width(),
+                                                fsm_.codec(), dqn);
+    rl::TrainResult result = rl::Train(*last_env_, *agent, config_.trainer);
+    if (restart == 0 || result.greedy_reward > plan.train.greedy_reward) {
+      plan.train = std::move(result);
+      agent_ = std::move(agent);
+    }
+  }
+  plan.normal_metrics = natural.metrics;
+  plan.optimized_metrics = plan.train.greedy_metrics;
+  plan.violations = plan.train.greedy_violations;
+  return plan;
+}
+
+fsm::ActionVector Jarvis::SuggestAction(const fsm::StateVector& state,
+                                        int minute) {
+  if (!agent_ || !last_env_) {
+    throw std::logic_error("Jarvis::SuggestAction: no trained policy");
+  }
+  const auto features = last_env_->FeaturesFor(state, minute);
+  const auto mask = last_env_->SafeSlotMaskFor(state, minute);
+  return agent_->SelectAction(features, mask, /*greedy=*/true);
+}
+
+spl::AuditResult Jarvis::Audit(const fsm::Episode& episode) const {
+  if (!learner_.learned()) {
+    throw std::logic_error("Jarvis::Audit: learning phase not done");
+  }
+  return learner_.AuditEpisode(episode);
+}
+
+}  // namespace jarvis::core

@@ -1,0 +1,116 @@
+// The Jarvis facade: the library's primary public API, wiring the paper's
+// pipeline together (Fig. 3):
+//
+//   1. Logging — device events flow through the pub/sub bus into the
+//      logger app (events::).
+//   2. Parsing — logs normalize into the FSM state model and cut into
+//      learning episodes (events::LogParser).
+//   3. Security policy learning — Algorithm 1 builds P_safe with the ANN
+//      benign-anomaly filter (spl::SafetyPolicyLearner).
+//   4. Optimization — Algorithm 2 trains a constrained DQN per upcoming
+//      episode against R_smart (rl::).
+//
+// Typical use:
+//
+//   jarvis::core::Jarvis jarvis(home, config);
+//   jarvis.LearnFromEvents(log_events, initial_state, start_time, labeled);
+//   auto plan = jarvis.OptimizeDay(todays_natural_trace, weights);
+//   auto action = jarvis.SuggestAction();   // best safe action now
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "events/logger_app.h"
+#include "events/parser.h"
+#include "rl/trainer.h"
+#include "sim/resident.h"
+#include "spl/learner.h"
+
+namespace jarvis::core {
+
+struct JarvisConfig {
+  spl::SplConfig spl;
+  rl::IoTEnvConfig env;
+  rl::DqnConfig dqn;
+  rl::TrainerConfig trainer;
+  sim::ThermalConfig thermal;
+  fsm::EpisodeConfig episode;  // {T = 1 day, I = 1 min} by default
+  // Independent training restarts per OptimizeDay; the best greedy policy
+  // wins. Sustained-control tasks (deep-winter heating) have a do-nothing
+  // local optimum that a single epsilon-greedy run falls into on some
+  // seeds; restarts make the day plan robust at 2x training cost.
+  int restarts = 2;
+  std::uint64_t seed = 1;
+};
+
+// Result of optimizing one day: the trained policy's evaluation episode
+// plus the normal-behavior yardstick.
+struct DayPlan {
+  rl::TrainResult train;
+  sim::DayMetrics normal_metrics;
+  sim::DayMetrics optimized_metrics;
+  std::size_t violations = 0;  // committed by the optimized policy
+};
+
+class Jarvis {
+ public:
+  // `fsm` must outlive the Jarvis instance.
+  Jarvis(const fsm::EnvironmentFsm& fsm, JarvisConfig config);
+
+  // --- Learning phase -----------------------------------------------------
+
+  // Learns safety policies directly from parsed learning episodes plus the
+  // user-labeled benign anomalies (training set TD).
+  void LearnPolicies(const std::vector<fsm::Episode>& learning_episodes,
+                     const std::vector<sim::LabeledSample>& labeled);
+
+  // Full pipeline variant: normalized events -> parser -> episodes ->
+  // Algorithm 1. Returns the number of learning episodes parsed.
+  std::size_t LearnFromEvents(const std::vector<events::Event>& events,
+                              const fsm::StateVector& initial_state,
+                              util::SimTime start,
+                              const std::vector<sim::LabeledSample>& labeled);
+
+  // Restores previously learnt policies (spl::SafetyPolicyLearner JSON),
+  // skipping the learning phase entirely.
+  void LoadPolicies(const std::string& json) {
+    learner_.LoadJsonString(json);
+  }
+
+  bool learned() const { return learner_.learned(); }
+  const spl::SafetyPolicyLearner& learner() const { return learner_; }
+  // Mutable access for manual policies / active learning.
+  spl::SafetyPolicyLearner& mutable_learner() { return learner_; }
+
+  // --- Optimization phase ---------------------------------------------—--
+
+  // Trains a constrained DQN for the day of `natural` under the given
+  // functionality weights and evaluates it against normal behavior. The
+  // trained agent is retained for SuggestAction().
+  DayPlan OptimizeDay(const sim::DayTrace& natural,
+                      rl::RewardWeights weights);
+
+  // Best safe joint action for an arbitrary observation, from the most
+  // recently trained policy. Requires a prior OptimizeDay on a scenario
+  // with the same home. The paper's deployment mode: the user may take
+  // some actions manually and rely on Jarvis for the rest; Jarvis suggests
+  // from whatever state the environment reached.
+  fsm::ActionVector SuggestAction(const fsm::StateVector& state, int minute);
+
+  // Audits any episode against the learnt policies (detection pipeline).
+  spl::AuditResult Audit(const fsm::Episode& episode) const;
+
+  const JarvisConfig& config() const { return config_; }
+  const fsm::EnvironmentFsm& fsm() const { return fsm_; }
+
+ private:
+  const fsm::EnvironmentFsm& fsm_;
+  JarvisConfig config_;
+  spl::SafetyPolicyLearner learner_;
+  std::unique_ptr<rl::DqnAgent> agent_;
+  std::unique_ptr<rl::IoTEnv> last_env_;  // featurizer for SuggestAction
+};
+
+}  // namespace jarvis::core

@@ -1,0 +1,85 @@
+#include "core/online_monitor.h"
+
+#include <stdexcept>
+
+namespace jarvis::core {
+
+OnlineMonitor::OnlineMonitor(const fsm::EnvironmentFsm& fsm,
+                             const spl::SafetyPolicyLearner& learner,
+                             fsm::StateVector initial_state)
+    : fsm_(fsm), learner_(learner), state_(std::move(initial_state)) {
+  fsm_.ValidateState(state_);
+  if (!learner_.learned()) {
+    throw std::invalid_argument("OnlineMonitor: learner not learned");
+  }
+}
+
+std::optional<spl::Verdict> OnlineMonitor::Consume(const events::Event& event) {
+  ++events_consumed_;
+
+  const fsm::Device* device = nullptr;
+  std::size_t device_index = 0;
+  for (std::size_t i = 0; i < fsm_.device_count(); ++i) {
+    if (fsm_.devices()[i].label() == event.device_label) {
+      device = &fsm_.devices()[i];
+      device_index = i;
+      break;
+    }
+  }
+  if (device == nullptr) {
+    ++unknown_events_;
+    return std::nullopt;
+  }
+
+  if (event.command.empty()) {
+    // Sensor reading: update the tracked state.
+    const auto new_state = device->FindState(event.attribute_value);
+    if (!new_state) {
+      ++unknown_events_;
+      return std::nullopt;
+    }
+    state_[device_index] = *new_state;
+    return std::nullopt;
+  }
+
+  const auto action = device->FindAction(event.command);
+  if (!action) {
+    ++unknown_events_;
+    return std::nullopt;
+  }
+
+  const fsm::MiniAction mini{static_cast<fsm::DeviceId>(device_index),
+                             *action};
+  const spl::Verdict verdict =
+      learner_.ClassifyMini(state_, mini, event.date.minute_of_day());
+  ++commands_classified_;
+  if (verdict != spl::Verdict::kSafe && callback_) {
+    callback_({event.date, mini, verdict, device->label(),
+               device->action_name(*action)});
+  }
+  switch (verdict) {
+    case spl::Verdict::kViolation:
+      ++violations_;
+      break;
+    case spl::Verdict::kBenignAnomaly:
+      ++benign_anomalies_;
+      break;
+    case spl::Verdict::kSafe:
+      break;
+  }
+
+  // Track the state transition the command causes (whether or not it was
+  // flagged: the monitor observes, enforcement is the RL environment's
+  // job).
+  state_[device_index] = device->Transition(state_[device_index], *action);
+  return verdict;
+}
+
+events::SubscriptionId OnlineMonitor::Attach(events::EventBus& bus,
+                                             AlertCallback callback) {
+  callback_ = std::move(callback);
+  return bus.Subscribe("", "",
+                       [this](const events::Event& event) { Consume(event); });
+}
+
+}  // namespace jarvis::core

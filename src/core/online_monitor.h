@@ -1,0 +1,67 @@
+// Streaming detection: the deployment-facing counterpart of the batch
+// Audit. The monitor consumes normalized events one at a time (e.g.
+// subscribed to the live event bus), maintains the composite FSM state,
+// and classifies every command event the moment it arrives — the paper's
+// "intelligent monitoring system with a global view" (Section I) running
+// online rather than over recorded episodes.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "events/bus.h"
+#include "events/event.h"
+#include "spl/learner.h"
+
+namespace jarvis::core {
+
+// One streaming detection result.
+struct MonitorAlert {
+  util::SimTime time;
+  fsm::MiniAction mini;
+  spl::Verdict verdict;  // kBenignAnomaly or kViolation only
+  std::string device_label;
+  std::string action_name;
+};
+
+class OnlineMonitor {
+ public:
+  using AlertCallback = std::function<void(const MonitorAlert&)>;
+
+  // `learner` must be past its learning phase. The monitor starts from
+  // `initial_state` and tracks every event it consumes.
+  OnlineMonitor(const fsm::EnvironmentFsm& fsm,
+                const spl::SafetyPolicyLearner& learner,
+                fsm::StateVector initial_state);
+
+  // Consumes one event: sensor (command-less) events update the tracked
+  // state; command events are classified against it. Returns the verdict
+  // for command events, nullopt otherwise. Unknown devices/vocabulary are
+  // counted and skipped.
+  std::optional<spl::Verdict> Consume(const events::Event& event);
+
+  // Subscribes the monitor to everything on a bus; alerts (benign
+  // anomalies and violations) flow to the callback. Returns the
+  // subscription id (the caller owns unsubscription).
+  events::SubscriptionId Attach(events::EventBus& bus, AlertCallback callback);
+
+  const fsm::StateVector& state() const { return state_; }
+  std::size_t events_consumed() const { return events_consumed_; }
+  std::size_t commands_classified() const { return commands_classified_; }
+  std::size_t violations() const { return violations_; }
+  std::size_t benign_anomalies() const { return benign_anomalies_; }
+  std::size_t unknown_events() const { return unknown_events_; }
+
+ private:
+  const fsm::EnvironmentFsm& fsm_;
+  const spl::SafetyPolicyLearner& learner_;
+  fsm::StateVector state_;
+  AlertCallback callback_;
+  std::size_t events_consumed_ = 0;
+  std::size_t commands_classified_ = 0;
+  std::size_t violations_ = 0;
+  std::size_t benign_anomalies_ = 0;
+  std::size_t unknown_events_ = 0;
+};
+
+}  // namespace jarvis::core

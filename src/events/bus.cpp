@@ -1,0 +1,49 @@
+#include "events/bus.h"
+
+#include <algorithm>
+
+namespace jarvis::events {
+
+SubscriptionId EventBus::Subscribe(const std::string& device_label,
+                                   const std::string& capability,
+                                   EventCallback callback) {
+  const SubscriptionId id = next_id_++;
+  subscriptions_.push_back(
+      {id, device_label, capability, std::move(callback), true});
+  return id;
+}
+
+void EventBus::Unsubscribe(SubscriptionId id) {
+  for (auto& sub : subscriptions_) {
+    if (sub.id == id) {
+      sub.active = false;
+      return;
+    }
+  }
+}
+
+void EventBus::Publish(const Event& event) {
+  ++published_count_;
+  // Index-based loop: callbacks may add subscriptions while we iterate;
+  // those only take effect for later publications of this same event set.
+  const std::size_t live_at_publish = subscriptions_.size();
+  for (std::size_t i = 0; i < live_at_publish; ++i) {
+    const auto& sub = subscriptions_[i];
+    if (!sub.active) continue;
+    if (!sub.device_label.empty() && sub.device_label != event.device_label) {
+      continue;
+    }
+    if (!sub.capability.empty() && sub.capability != event.capability) {
+      continue;
+    }
+    sub.callback(event);
+  }
+}
+
+std::size_t EventBus::subscription_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(subscriptions_.begin(), subscriptions_.end(),
+                    [](const Subscription& s) { return s.active; }));
+}
+
+}  // namespace jarvis::events

@@ -1,0 +1,48 @@
+// Publish-subscribe event bus (Section II-A). Apps subscribe to device
+// capabilities; every publication of a matching event is delivered to all
+// subscribers in subscription order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "events/event.h"
+
+namespace jarvis::events {
+
+using EventCallback = std::function<void(const Event&)>;
+using SubscriptionId = std::size_t;
+
+class EventBus {
+ public:
+  // Subscribes to events from a specific (device, capability) pair. Empty
+  // strings act as wildcards; Subscribe("", "") sees everything (this is
+  // how the logger app subscribes to all capabilities, Section V-A-1).
+  SubscriptionId Subscribe(const std::string& device_label,
+                           const std::string& capability,
+                           EventCallback callback);
+
+  void Unsubscribe(SubscriptionId id);
+
+  // Delivers the event to every matching live subscription, in order.
+  void Publish(const Event& event);
+
+  std::size_t subscription_count() const;
+  std::size_t published_count() const { return published_count_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    std::string device_label;  // "" = any device
+    std::string capability;    // "" = any capability
+    EventCallback callback;
+    bool active = true;
+  };
+
+  std::vector<Subscription> subscriptions_;
+  SubscriptionId next_id_ = 0;
+  std::size_t published_count_ = 0;
+};
+
+}  // namespace jarvis::events

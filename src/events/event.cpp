@@ -1,0 +1,47 @@
+#include "events/event.h"
+
+namespace jarvis::events {
+
+using util::JsonObject;
+using util::JsonValue;
+
+JsonValue Event::ToJson() const {
+  JsonObject obj;
+  obj["event_date"] = JsonValue(date.ToTimestamp());
+  obj["event_minute"] = JsonValue(static_cast<std::int64_t>(date.minutes()));
+  obj["event_data"] = JsonValue(data);
+  obj["user_info"] = JsonValue(user_info);
+  obj["app_info"] = JsonValue(app_info);
+  obj["group_info"] = JsonValue(group_info);
+  obj["location_info"] = JsonValue(location_info);
+  obj["device_label"] = JsonValue(device_label);
+  obj["capability_name"] = JsonValue(capability);
+  obj["attribute_name"] = JsonValue(attribute);
+  obj["attribute_value"] = JsonValue(attribute_value);
+  obj["capability_command"] = JsonValue(command);
+  return JsonValue(std::move(obj));
+}
+
+Event Event::FromJson(const JsonValue& doc) {
+  Event event;
+  event.date = util::SimTime(doc.At("event_minute").AsInt());
+  event.data = doc.GetString("event_data", "");
+  event.user_info = doc.GetString("user_info", "");
+  event.app_info = doc.GetString("app_info", "");
+  event.group_info = doc.GetString("group_info", "");
+  event.location_info = doc.GetString("location_info", "");
+  event.device_label = doc.GetString("device_label", "");
+  event.capability = doc.GetString("capability_name", "");
+  event.attribute = doc.GetString("attribute_name", "");
+  event.attribute_value = doc.GetString("attribute_value", "");
+  event.command = doc.GetString("capability_command", "");
+  return event;
+}
+
+std::string Event::ToLogLine() const { return ToJson().Dump(); }
+
+Event Event::FromLogLine(const std::string& line) {
+  return FromJson(JsonValue::Parse(line));
+}
+
+}  // namespace jarvis::events

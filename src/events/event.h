@@ -1,0 +1,40 @@
+// Normalized IoT events in the 11-field log schema of Section V-A-1:
+//   (Event.date, Event.data, User.info, App.info, Group.info,
+//    Location.info, Device.label, Capability.name, Attribute.name,
+//    Attribute.value, Capability.command)
+//
+// Devices publish attribute changes; apps subscribed to the capability see
+// the publication (Section II-A's publish-subscribe architecture).
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+#include "util/timeofday.h"
+
+namespace jarvis::events {
+
+struct Event {
+  util::SimTime date;          // Event.date
+  std::string data;            // Event.data: free-form payload
+  std::string user_info;       // User.info: acting user, "" if none
+  std::string app_info;        // App.info: acting app ("manual" for app 0)
+  std::string group_info;      // Group.info
+  std::string location_info;   // Location.info
+  std::string device_label;    // Device.label
+  std::string capability;      // Capability.name, e.g. "switch", "lock"
+  std::string attribute;       // Attribute.name, e.g. "power", "lockState"
+  std::string attribute_value; // Attribute.value: the new (raw) value
+  std::string command;         // Capability.command that caused the change
+
+  util::JsonValue ToJson() const;
+  static Event FromJson(const util::JsonValue& doc);
+
+  // One JSON object per line, the on-disk log format.
+  std::string ToLogLine() const;
+  static Event FromLogLine(const std::string& line);
+
+  bool operator==(const Event&) const = default;
+};
+
+}  // namespace jarvis::events

@@ -1,0 +1,106 @@
+#include "events/parser.h"
+
+#include <algorithm>
+
+namespace jarvis::events {
+
+LogParser::LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config)
+    : fsm_(fsm), config_(config) {}
+
+std::vector<fsm::Episode> LogParser::Parse(
+    const std::vector<Event>& events, const fsm::StateVector& initial_state,
+    util::SimTime start, bool keep_partial) {
+  fsm_.ValidateState(initial_state);
+  stats_ = {};
+
+  std::vector<fsm::Episode> episodes;
+  if (events.empty()) return episodes;
+
+  // The parsing horizon runs from `start` to the last event, rounded up to
+  // a whole episode.
+  util::SimTime last_event_time = start;
+  for (const auto& event : events) {
+    if (event.date < last_event_time) {
+      ++stats_.out_of_order;
+    } else {
+      last_event_time = event.date;
+    }
+  }
+
+  fsm::StateVector state = initial_state;
+  std::size_t cursor = 0;
+  util::SimTime t = start;
+
+  while (cursor < events.size() || (t - start) == 0) {
+    fsm::Episode episode(config_, t, state);
+    const int steps = config_.StepsPerEpisode();
+    for (int step = 0; step < steps; ++step) {
+      const util::SimTime interval_end = t + config_.interval_minutes;
+
+      fsm::ActionVector action(fsm_.device_count(), fsm::kNoAction);
+      std::vector<bool> acted(fsm_.device_count(), false);
+      // Exogenous state overrides observed this interval (device -> state).
+      std::vector<std::pair<std::size_t, fsm::StateIndex>> overrides;
+
+      while (cursor < events.size() && events[cursor].date < interval_end) {
+        const Event& event = events[cursor];
+        ++cursor;
+        if (event.date < t) continue;  // out-of-order stragglers: skip
+        ++stats_.events_consumed;
+
+        const fsm::Device* device = nullptr;
+        std::size_t device_index = 0;
+        for (std::size_t i = 0; i < fsm_.device_count(); ++i) {
+          if (fsm_.devices()[i].label() == event.device_label) {
+            device = &fsm_.devices()[i];
+            device_index = i;
+            break;
+          }
+        }
+        if (device == nullptr) {
+          ++stats_.unknown_device;
+          continue;
+        }
+
+        if (!event.command.empty()) {
+          const auto action_index = device->FindAction(event.command);
+          if (!action_index) {
+            ++stats_.unknown_command;
+            continue;
+          }
+          if (acted[device_index]) {
+            ++stats_.conflicting_commands;  // first command wins
+            continue;
+          }
+          acted[device_index] = true;
+          action[device_index] = *action_index;
+        } else {
+          // Exogenous attribute change (sensor flips, user arrives, ...).
+          const auto state_index = device->FindState(event.attribute_value);
+          if (!state_index) {
+            ++stats_.unknown_state;
+            continue;
+          }
+          overrides.emplace_back(device_index, *state_index);
+        }
+      }
+
+      // Command-less events describe the state *at* their timestamp
+      // (sensors report readings, they do not cause them), so overrides
+      // apply before the step is recorded; commands then act on the
+      // updated state.
+      for (const auto& [device_index, new_state] : overrides) {
+        state[device_index] = new_state;
+      }
+      episode.Record(t, state, action);
+      state = fsm_.Apply(state, action);
+      t = interval_end;
+    }
+    const bool complete = episode.IsComplete();
+    if (complete || keep_partial) episodes.push_back(std::move(episode));
+    if (cursor >= events.size()) break;
+  }
+  return episodes;
+}
+
+}  // namespace jarvis::events

@@ -1,0 +1,48 @@
+// Log parsing (Section V-A-2): folds a normalized event stream into the
+// FSM state model and cuts it into learning episodes of {T, I} shape.
+//
+// Each event carries the device's new state (Attribute.value) and the
+// command that caused it (Capability.command). The parser tracks the
+// composite state minute by minute; commands become the joint action of
+// the interval in which they arrive (constraint: the first command per
+// device per interval wins, later ones are dropped and counted).
+#pragma once
+
+#include <vector>
+
+#include "events/event.h"
+#include "fsm/environment.h"
+#include "fsm/episode.h"
+
+namespace jarvis::events {
+
+struct ParseStats {
+  std::size_t events_consumed = 0;
+  std::size_t unknown_device = 0;
+  std::size_t unknown_state = 0;
+  std::size_t unknown_command = 0;
+  std::size_t conflicting_commands = 0;  // dropped by first-come-first-served
+  std::size_t out_of_order = 0;          // timestamps going backwards
+};
+
+class LogParser {
+ public:
+  LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config);
+
+  // Parses a time-sorted event stream starting from `initial_state` at
+  // `start`. Produces one episode per period T until the events run out;
+  // the final partial episode is included only if `keep_partial`.
+  std::vector<fsm::Episode> Parse(const std::vector<Event>& events,
+                                  const fsm::StateVector& initial_state,
+                                  util::SimTime start,
+                                  bool keep_partial = false);
+
+  const ParseStats& stats() const { return stats_; }
+
+ private:
+  const fsm::EnvironmentFsm& fsm_;
+  fsm::EpisodeConfig config_;
+  ParseStats stats_;
+};
+
+}  // namespace jarvis::events

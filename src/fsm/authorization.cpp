@@ -1,0 +1,90 @@
+#include "fsm/authorization.h"
+
+#include <stdexcept>
+
+namespace jarvis::fsm {
+
+UserId AuthorizationModel::AddUser(const std::string& name) {
+  const UserId id = static_cast<UserId>(users_.size());
+  users_.push_back({id, name});
+  return id;
+}
+
+AppId AuthorizationModel::AddApp(const std::string& name,
+                                 const std::string& description) {
+  const AppId id = static_cast<AppId>(apps_.size());
+  apps_.push_back({id, name, description});
+  return id;
+}
+
+LocationId AuthorizationModel::AddLocation(const std::string& name) {
+  const LocationId id = static_cast<LocationId>(locations_.size());
+  locations_.push_back({id, name});
+  return id;
+}
+
+GroupId AuthorizationModel::AddGroup(const std::string& name,
+                                     LocationId location) {
+  if (location < 0 || static_cast<std::size_t>(location) >= locations_.size()) {
+    throw std::out_of_range("AddGroup: unknown location");
+  }
+  const GroupId id = static_cast<GroupId>(groups_.size());
+  groups_.push_back({id, name, location});
+  return id;
+}
+
+void AuthorizationModel::PlaceDevice(DeviceId device, LocationId location,
+                                     GroupId group) {
+  if (location < 0 || static_cast<std::size_t>(location) >= locations_.size()) {
+    throw std::out_of_range("PlaceDevice: unknown location");
+  }
+  if (group < 0 || static_cast<std::size_t>(group) >= groups_.size()) {
+    throw std::out_of_range("PlaceDevice: unknown group");
+  }
+  if (groups_[static_cast<std::size_t>(group)].location != location) {
+    throw std::invalid_argument("PlaceDevice: group not in location");
+  }
+  placements_[device] = {location, group};
+}
+
+void AuthorizationModel::GrantUserApp(UserId user, AppId app) {
+  user_app_.emplace(user, app);
+}
+
+void AuthorizationModel::GrantAppDevice(AppId app, DeviceId device) {
+  app_device_.emplace(app, device);
+}
+
+void AuthorizationModel::GrantUserLocation(UserId user, LocationId location) {
+  user_location_.emplace(user, location);
+}
+
+bool AuthorizationModel::UserMayUseApp(UserId user, AppId app) const {
+  return user_app_.count({user, app}) > 0;
+}
+
+bool AuthorizationModel::AppMayActOnDevice(AppId app, DeviceId device) const {
+  return app_device_.count({app, device}) > 0;
+}
+
+bool AuthorizationModel::UserMayAccessDevice(UserId user,
+                                             DeviceId device) const {
+  auto it = placements_.find(device);
+  if (it == placements_.end()) return false;
+  return user_location_.count({user, it->second.location}) > 0;
+}
+
+bool AuthorizationModel::Authorize(UserId user, AppId app,
+                                   DeviceId device) const {
+  return UserMayUseApp(user, app) && AppMayActOnDevice(app, device) &&
+         UserMayAccessDevice(user, device);
+}
+
+std::optional<DevicePlacement> AuthorizationModel::PlacementOf(
+    DeviceId device) const {
+  auto it = placements_.find(device);
+  if (it == placements_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace jarvis::fsm

@@ -1,0 +1,97 @@
+// Users, apps, and the container hierarchy of Section III-A: devices live
+// in locations and groups, users hold permissions per container, and apps
+// act on devices only through device-subscription policies while users
+// reach apps through app-subscription policies (state-transition
+// constraints 2 and 3 of Section III-B).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fsm/device.h"
+
+namespace jarvis::fsm {
+
+using UserId = int;
+using AppId = int;
+using LocationId = int;
+using GroupId = int;
+
+// By the paper's convention, manual (human) operation is the pseudo-app 0.
+inline constexpr AppId kManualApp = 0;
+
+struct User {
+  UserId id = -1;
+  std::string name;
+};
+
+struct App {
+  AppId id = -1;
+  std::string name;
+  std::string description;
+};
+
+struct Location {
+  LocationId id = -1;
+  std::string name;
+};
+
+struct Group {
+  GroupId id = -1;
+  std::string name;
+  LocationId location = -1;
+};
+
+// Placement of a device inside the container hierarchy.
+struct DevicePlacement {
+  LocationId location = -1;
+  GroupId group = -1;
+};
+
+// Registry of principals plus the two subscription-policy tables.
+class AuthorizationModel {
+ public:
+  UserId AddUser(const std::string& name);
+  AppId AddApp(const std::string& name, const std::string& description = "");
+  LocationId AddLocation(const std::string& name);
+  GroupId AddGroup(const std::string& name, LocationId location);
+
+  void PlaceDevice(DeviceId device, LocationId location, GroupId group);
+
+  // App-subscription policy: user may invoke app.
+  void GrantUserApp(UserId user, AppId app);
+  // Device-subscription policy: app may act on device.
+  void GrantAppDevice(AppId app, DeviceId device);
+  // Container-level grant: user may access every device in the location.
+  void GrantUserLocation(UserId user, LocationId location);
+
+  bool UserMayUseApp(UserId user, AppId app) const;
+  bool AppMayActOnDevice(AppId app, DeviceId device) const;
+  // User may access the device through its containers (Section III-A: the
+  // authorized-user set u_i depends on location and group).
+  bool UserMayAccessDevice(UserId user, DeviceId device) const;
+
+  // Full check for one mini-action: user -> app -> device.
+  bool Authorize(UserId user, AppId app, DeviceId device) const;
+
+  const std::vector<User>& users() const { return users_; }
+  const std::vector<App>& apps() const { return apps_; }
+  const std::vector<Location>& locations() const { return locations_; }
+  const std::vector<Group>& groups() const { return groups_; }
+  std::optional<DevicePlacement> PlacementOf(DeviceId device) const;
+
+ private:
+  std::vector<User> users_;
+  std::vector<App> apps_;
+  std::vector<Location> locations_;
+  std::vector<Group> groups_;
+  std::map<DeviceId, DevicePlacement> placements_;
+  std::set<std::pair<UserId, AppId>> user_app_;
+  std::set<std::pair<AppId, DeviceId>> app_device_;
+  std::set<std::pair<UserId, LocationId>> user_location_;
+};
+
+}  // namespace jarvis::fsm

@@ -1,0 +1,204 @@
+#include "fsm/device.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace jarvis::fsm {
+
+std::string DeviceClassName(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kSecurity:
+      return "security";
+    case DeviceClass::kSensor:
+      return "sensor";
+    case DeviceClass::kLighting:
+      return "lighting";
+    case DeviceClass::kHvac:
+      return "hvac";
+    case DeviceClass::kAppliance:
+      return "appliance";
+    case DeviceClass::kEntertainment:
+      return "entertainment";
+  }
+  throw std::logic_error("unknown device class");
+}
+
+const std::string& Device::state_name(StateIndex s) const {
+  if (s < 0 || s >= state_count()) {
+    throw std::out_of_range("Device::state_name: " + label_ + " state " +
+                            std::to_string(s));
+  }
+  return state_names_[static_cast<std::size_t>(s)];
+}
+
+const std::string& Device::action_name(ActionIndex a) const {
+  if (a < 0 || a >= action_count()) {
+    throw std::out_of_range("Device::action_name: " + label_ + " action " +
+                            std::to_string(a));
+  }
+  return action_names_[static_cast<std::size_t>(a)];
+}
+
+std::optional<StateIndex> Device::FindState(const std::string& name) const {
+  for (std::size_t i = 0; i < state_names_.size(); ++i) {
+    if (state_names_[i] == name) return static_cast<StateIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ActionIndex> Device::FindAction(const std::string& name) const {
+  for (std::size_t i = 0; i < action_names_.size(); ++i) {
+    if (action_names_[i] == name) return static_cast<ActionIndex>(i);
+  }
+  return std::nullopt;
+}
+
+StateIndex Device::Transition(StateIndex state, ActionIndex action) const {
+  if (state < 0 || state >= state_count()) {
+    throw std::out_of_range("Device::Transition: bad state");
+  }
+  if (action == kNoAction) return state;
+  if (action < 0 || action >= action_count()) {
+    throw std::out_of_range("Device::Transition: bad action");
+  }
+  return transition_[static_cast<std::size_t>(state) *
+                         static_cast<std::size_t>(action_count()) +
+                     static_cast<std::size_t>(action)];
+}
+
+double Device::DisUtility(StateIndex state, ActionIndex action) const {
+  if (state < 0 || state >= state_count()) {
+    throw std::out_of_range("Device::DisUtility: bad state");
+  }
+  if (action == kNoAction) return 0.0;
+  if (action < 0 || action >= action_count()) {
+    throw std::out_of_range("Device::DisUtility: bad action");
+  }
+  return dis_utility_[static_cast<std::size_t>(state) *
+                          static_cast<std::size_t>(action_count()) +
+                      static_cast<std::size_t>(action)];
+}
+
+double Device::PowerDraw(StateIndex state) const {
+  if (state < 0 || state >= state_count()) {
+    throw std::out_of_range("Device::PowerDraw: bad state");
+  }
+  return power_draw_watts_[static_cast<std::size_t>(state)];
+}
+
+bool Device::ActionHasEffect(StateIndex state, ActionIndex action) const {
+  return Transition(state, action) != state;
+}
+
+std::string Device::DebugString() const {
+  std::string out = util::Format("Device %d '%s' (%s)\n", id_, label_.c_str(),
+                                 DeviceClassName(device_class_).c_str());
+  out += "  states:";
+  for (const auto& s : state_names_) out += " " + s;
+  out += "\n  actions:";
+  for (const auto& a : action_names_) out += " " + a;
+  out += "\n";
+  return out;
+}
+
+Device::Builder::Builder(DeviceId id, std::string label, DeviceClass cls) {
+  device_.id_ = id;
+  device_.label_ = std::move(label);
+  device_.device_class_ = cls;
+}
+
+Device::Builder& Device::Builder::AddState(const std::string& name,
+                                           double power_watts) {
+  if (device_.FindState(name).has_value()) {
+    throw std::invalid_argument("duplicate state name: " + name);
+  }
+  device_.state_names_.push_back(name);
+  device_.power_draw_watts_.push_back(power_watts);
+  return *this;
+}
+
+Device::Builder& Device::Builder::AddAction(const std::string& name) {
+  if (device_.FindAction(name).has_value()) {
+    throw std::invalid_argument("duplicate action name: " + name);
+  }
+  device_.action_names_.push_back(name);
+  return *this;
+}
+
+Device::Builder& Device::Builder::SetTransition(const std::string& state,
+                                                const std::string& action,
+                                                const std::string& next_state) {
+  pending_transitions_.push_back({state, action, next_state});
+  return *this;
+}
+
+Device::Builder& Device::Builder::SetDefaultDisUtility(double omega) {
+  if (omega < 0.0 || omega > 1.0) {
+    throw std::invalid_argument("dis-utility must be in [0,1]");
+  }
+  device_.default_dis_utility_ = omega;
+  return *this;
+}
+
+Device::Builder& Device::Builder::SetDisUtility(const std::string& state,
+                                                const std::string& action,
+                                                double omega) {
+  if (omega < 0.0 || omega > 1.0) {
+    throw std::invalid_argument("dis-utility must be in [0,1]");
+  }
+  pending_dis_utility_.push_back({state, action, omega});
+  return *this;
+}
+
+StateIndex Device::Builder::RequireState(const std::string& name) const {
+  auto found = device_.FindState(name);
+  if (!found) {
+    throw std::invalid_argument("unknown state '" + name + "' on device " +
+                                device_.label_);
+  }
+  return *found;
+}
+
+ActionIndex Device::Builder::RequireAction(const std::string& name) const {
+  auto found = device_.FindAction(name);
+  if (!found) {
+    throw std::invalid_argument("unknown action '" + name + "' on device " +
+                                device_.label_);
+  }
+  return *found;
+}
+
+Device Device::Builder::Build() {
+  if (device_.state_names_.empty()) {
+    throw std::invalid_argument("device needs at least one state");
+  }
+  if (device_.action_names_.empty()) {
+    throw std::invalid_argument("device needs at least one action");
+  }
+  const auto states = static_cast<std::size_t>(device_.state_count());
+  const auto actions = static_cast<std::size_t>(device_.action_count());
+
+  // Default: actions have no effect unless declared.
+  device_.transition_.resize(states * actions);
+  for (std::size_t s = 0; s < states; ++s) {
+    for (std::size_t a = 0; a < actions; ++a) {
+      device_.transition_[s * actions + a] = static_cast<StateIndex>(s);
+    }
+  }
+  for (const auto& t : pending_transitions_) {
+    const auto s = static_cast<std::size_t>(RequireState(t.state));
+    const auto a = static_cast<std::size_t>(RequireAction(t.action));
+    device_.transition_[s * actions + a] = RequireState(t.next);
+  }
+
+  device_.dis_utility_.assign(states * actions, device_.default_dis_utility_);
+  for (const auto& d : pending_dis_utility_) {
+    const auto s = static_cast<std::size_t>(RequireState(d.state));
+    const auto a = static_cast<std::size_t>(RequireAction(d.action));
+    device_.dis_utility_[s * actions + a] = d.omega;
+  }
+  return std::move(device_);
+}
+
+}  // namespace jarvis::fsm

@@ -1,0 +1,153 @@
+#include "fsm/environment.h"
+
+#include <stdexcept>
+
+namespace jarvis::fsm {
+
+std::string RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kAccepted:
+      return "accepted";
+    case RejectReason::kUnauthorizedUserApp:
+      return "user-not-subscribed-to-app";
+    case RejectReason::kUnauthorizedAppDevice:
+      return "app-not-subscribed-to-device";
+    case RejectReason::kUnauthorizedUserDevice:
+      return "user-lacks-container-access";
+    case RejectReason::kDeviceBusy:
+      return "device-already-acted-on";
+    case RejectReason::kUnknownDevice:
+      return "unknown-device";
+    case RejectReason::kInvalidAction:
+      return "invalid-action";
+  }
+  throw std::logic_error("unknown reject reason");
+}
+
+EnvironmentFsm::EnvironmentFsm(std::vector<Device> devices,
+                               AuthorizationModel auth)
+    : devices_(std::move(devices)), auth_(std::move(auth)), codec_(devices_) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("EnvironmentFsm: no devices");
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].id() != static_cast<DeviceId>(i)) {
+      throw std::invalid_argument(
+          "EnvironmentFsm: device ids must be dense and ordered");
+    }
+  }
+}
+
+const Device& EnvironmentFsm::device(DeviceId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= devices_.size()) {
+    throw std::out_of_range("EnvironmentFsm::device: bad id");
+  }
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+const Device& EnvironmentFsm::DeviceByLabel(const std::string& label) const {
+  for (const auto& d : devices_) {
+    if (d.label() == label) return d;
+  }
+  throw std::invalid_argument("unknown device label: " + label);
+}
+
+DeviceId EnvironmentFsm::DeviceIdByLabel(const std::string& label) const {
+  return DeviceByLabel(label).id();
+}
+
+void EnvironmentFsm::ValidateState(const StateVector& state) const {
+  if (state.size() != devices_.size()) {
+    throw std::invalid_argument("state width mismatch");
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (state[i] < 0 || state[i] >= devices_[i].state_count()) {
+      throw std::invalid_argument("state index out of range for device " +
+                                  devices_[i].label());
+    }
+  }
+}
+
+void EnvironmentFsm::ValidateAction(const ActionVector& action) const {
+  if (action.size() != devices_.size()) {
+    throw std::invalid_argument("action width mismatch");
+  }
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    if (action[i] == kNoAction) continue;
+    if (action[i] < 0 || action[i] >= devices_[i].action_count()) {
+      throw std::invalid_argument("action index out of range for device " +
+                                  devices_[i].label());
+    }
+  }
+}
+
+StateVector EnvironmentFsm::Apply(const StateVector& state,
+                                  const ActionVector& action) const {
+  ValidateState(state);
+  ValidateAction(action);
+  StateVector next(state.size());
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    next[i] = devices_[i].Transition(state[i], action[i]);
+  }
+  return next;
+}
+
+ActionVector EnvironmentFsm::ResolveRequests(
+    const std::vector<ActionRequest>& requests,
+    std::vector<RequestOutcome>* outcomes) const {
+  ActionVector action(devices_.size(), kNoAction);
+  std::vector<bool> device_taken(devices_.size(), false);
+
+  for (const auto& request : requests) {
+    RejectReason reason = RejectReason::kAccepted;
+    if (request.device < 0 ||
+        static_cast<std::size_t>(request.device) >= devices_.size()) {
+      reason = RejectReason::kUnknownDevice;
+    } else if (request.action != kNoAction &&
+               (request.action < 0 ||
+                request.action >=
+                    devices_[static_cast<std::size_t>(request.device)]
+                        .action_count())) {
+      reason = RejectReason::kInvalidAction;
+    } else if (!auth_.UserMayUseApp(request.user, request.app)) {
+      reason = RejectReason::kUnauthorizedUserApp;
+    } else if (!auth_.AppMayActOnDevice(request.app, request.device)) {
+      reason = RejectReason::kUnauthorizedAppDevice;
+    } else if (!auth_.UserMayAccessDevice(request.user, request.device)) {
+      reason = RejectReason::kUnauthorizedUserDevice;
+    } else if (device_taken[static_cast<std::size_t>(request.device)]) {
+      // Constraint 4: one app per device per interval, first come first
+      // served.
+      reason = RejectReason::kDeviceBusy;
+    } else if (request.action != kNoAction) {
+      device_taken[static_cast<std::size_t>(request.device)] = true;
+      action[static_cast<std::size_t>(request.device)] = request.action;
+    }
+    if (outcomes != nullptr) outcomes->push_back({request, reason});
+  }
+  return action;
+}
+
+std::vector<ActionVector> EnvironmentFsm::SingleDeviceActions(
+    const StateVector& state) const {
+  ValidateState(state);
+  std::vector<ActionVector> actions;
+  actions.emplace_back(devices_.size(), kNoAction);  // all-no-op
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    for (ActionIndex a = 0; a < devices_[i].action_count(); ++a) {
+      ActionVector action(devices_.size(), kNoAction);
+      action[i] = a;
+      actions.push_back(std::move(action));
+    }
+  }
+  return actions;
+}
+
+std::string EnvironmentFsm::DebugString() const {
+  std::string out = "EnvironmentFsm with " + std::to_string(devices_.size()) +
+                    " devices\n";
+  for (const auto& d : devices_) out += d.DebugString();
+  return out;
+}
+
+}  // namespace jarvis::fsm

@@ -1,0 +1,64 @@
+#include "fsm/episode.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jarvis::fsm {
+
+Episode::Episode(EpisodeConfig config, util::SimTime start,
+                 StateVector initial_state)
+    : config_(config), start_(start), initial_state_(std::move(initial_state)) {
+  if (config_.period_minutes <= 0 || config_.interval_minutes <= 0) {
+    throw std::invalid_argument("Episode: T and I must be positive");
+  }
+  if (config_.interval_minutes > config_.period_minutes) {
+    throw std::invalid_argument("Episode: I > T");
+  }
+}
+
+void Episode::Record(util::SimTime time, StateVector state,
+                     ActionVector action) {
+  if (IsComplete()) {
+    throw std::logic_error("Episode::Record: episode already complete");
+  }
+  steps_.push_back({time, std::move(state), std::move(action)});
+}
+
+StateVector Episode::FinalState(const EnvironmentFsm& fsm) const {
+  if (steps_.empty()) return initial_state_;
+  return fsm.Apply(steps_.back().state, steps_.back().action);
+}
+
+std::string Episode::DebugString(const EnvironmentFsm& fsm) const {
+  std::string out =
+      "Episode start=" + start_.ToString() + " steps=" +
+      std::to_string(steps_.size()) + "\n";
+  for (const auto& step : steps_) {
+    // Only show steps where something happened, to keep output readable.
+    const bool any_action =
+        std::any_of(step.action.begin(), step.action.end(),
+                    [](ActionIndex a) { return a != kNoAction; });
+    if (!any_action) continue;
+    out += "  " + step.time.ToString() + "  " +
+           fsm.codec().StateToString(fsm.devices(), step.state) + " -> " +
+           fsm.codec().ActionToString(fsm.devices(), step.action) + "\n";
+  }
+  return out;
+}
+
+std::vector<TriggerAction> ExtractTriggerActions(
+    const std::vector<Episode>& episodes) {
+  std::vector<TriggerAction> result;
+  for (const auto& episode : episodes) {
+    for (const auto& step : episode.steps()) {
+      const bool any_action =
+          std::any_of(step.action.begin(), step.action.end(),
+                      [](ActionIndex a) { return a != kNoAction; });
+      if (!any_action) continue;
+      result.push_back({step.state, step.action, step.time.minute_of_day()});
+    }
+  }
+  return result;
+}
+
+}  // namespace jarvis::fsm

@@ -1,0 +1,77 @@
+#include "neural/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jarvis::neural {
+
+std::string ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  throw std::logic_error("unknown activation");
+}
+
+Activation ActivationFromName(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  throw std::invalid_argument("unknown activation name: " + name);
+}
+
+Tensor Apply(Activation act, const Tensor& pre_activation) {
+  switch (act) {
+    case Activation::kIdentity:
+      return pre_activation;
+    case Activation::kRelu:
+      return pre_activation.Map([](double x) { return x > 0.0 ? x : 0.0; });
+    case Activation::kSigmoid:
+      return pre_activation.Map(
+          [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+    case Activation::kTanh:
+      return pre_activation.Map([](double x) { return std::tanh(x); });
+  }
+  throw std::logic_error("unknown activation");
+}
+
+Tensor DerivativeFromOutput(Activation act, const Tensor& activated) {
+  switch (act) {
+    case Activation::kIdentity:
+      return Tensor(activated.rows(), activated.cols(), 1.0);
+    case Activation::kRelu:
+      return activated.Map([](double y) { return y > 0.0 ? 1.0 : 0.0; });
+    case Activation::kSigmoid:
+      return activated.Map([](double y) { return y * (1.0 - y); });
+    case Activation::kTanh:
+      return activated.Map([](double y) { return 1.0 - y * y; });
+  }
+  throw std::logic_error("unknown activation");
+}
+
+Tensor Softmax(const Tensor& logits) {
+  Tensor out = logits;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    double row_max = logits.At(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      row_max = std::max(row_max, logits.At(r, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double e = std::exp(logits.At(r, c) - row_max);
+      out.At(r, c) = e;
+      denom += e;
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out.At(r, c) /= denom;
+  }
+  return out;
+}
+
+}  // namespace jarvis::neural

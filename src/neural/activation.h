@@ -1,0 +1,32 @@
+// Activation functions and their derivatives for the ANN filter and DQN.
+#pragma once
+
+#include <string>
+
+#include "neural/tensor.h"
+
+namespace jarvis::neural {
+
+enum class Activation {
+  kIdentity,  // linear output head (Q-values are unbounded)
+  kRelu,      // hidden layers of the DQN
+  kSigmoid,   // binary output of the anomaly-filter ANN
+  kTanh,
+};
+
+std::string ActivationName(Activation act);
+Activation ActivationFromName(const std::string& name);
+
+// Applies the activation elementwise.
+Tensor Apply(Activation act, const Tensor& pre_activation);
+
+// Derivative with respect to the pre-activation, expressed in terms of the
+// *activated* output (all four supported activations admit this form, which
+// avoids recomputing the forward pass during backprop).
+Tensor DerivativeFromOutput(Activation act, const Tensor& activated);
+
+// Row-wise softmax (used by tests and by policy summaries; not part of the
+// Q-value head itself).
+Tensor Softmax(const Tensor& logits);
+
+}  // namespace jarvis::neural

@@ -1,0 +1,57 @@
+#include "neural/layer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jarvis::neural {
+
+DenseLayer::DenseLayer(std::size_t in_features, std::size_t out_features,
+                       Activation activation, jarvis::util::Rng& rng)
+    : activation_(activation),
+      weights_(in_features, out_features),
+      biases_(1, out_features),
+      grad_weights_(in_features, out_features),
+      grad_biases_(1, out_features) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("DenseLayer: zero-sized layer");
+  }
+  const double fan_in = static_cast<double>(in_features);
+  const double limit = activation == Activation::kRelu
+                           ? std::sqrt(6.0 / fan_in)  // He-uniform
+                           : std::sqrt(6.0 / (fan_in + static_cast<double>(
+                                                           out_features)));
+  for (double& w : weights_.mutable_data()) {
+    w = rng.NextUniform(-limit, limit);
+  }
+}
+
+Tensor DenseLayer::Forward(const Tensor& input) {
+  cached_input_ = input;
+  cached_output_ =
+      Apply(activation_, input.MatMul(weights_).AddRowBroadcast(biases_));
+  has_cache_ = true;
+  return cached_output_;
+}
+
+Tensor DenseLayer::Infer(const Tensor& input) const {
+  return Apply(activation_, input.MatMul(weights_).AddRowBroadcast(biases_));
+}
+
+Tensor DenseLayer::Backward(const Tensor& grad_output) {
+  if (!has_cache_) {
+    throw std::logic_error("DenseLayer::Backward without Forward");
+  }
+  // dL/dz = dL/dy * act'(z), expressed via the cached activated output.
+  const Tensor grad_pre =
+      grad_output.Hadamard(DerivativeFromOutput(activation_, cached_output_));
+  grad_weights_ += cached_input_.Transposed().MatMul(grad_pre);
+  grad_biases_ += grad_pre.SumRows();
+  return grad_pre.MatMul(weights_.Transposed());
+}
+
+void DenseLayer::ZeroGradients() {
+  grad_weights_.Fill(0.0);
+  grad_biases_.Fill(0.0);
+}
+
+}  // namespace jarvis::neural

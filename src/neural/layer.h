@@ -1,0 +1,61 @@
+// Fully-connected layer with activation. Holds weights, biases, and the
+// gradients produced by the most recent backward pass; the optimizer applies
+// them to the parameters.
+#pragma once
+
+#include "neural/activation.h"
+#include "neural/tensor.h"
+#include "util/rng.h"
+
+namespace jarvis::neural {
+
+class DenseLayer {
+ public:
+  // Weights are initialized He-uniform for ReLU and Xavier-uniform for
+  // saturating activations; biases start at zero.
+  DenseLayer(std::size_t in_features, std::size_t out_features,
+             Activation activation, jarvis::util::Rng& rng);
+
+  // Forward pass over a batch (rows are samples). Caches the input and
+  // output for the subsequent backward pass.
+  Tensor Forward(const Tensor& input);
+
+  // Forward pass without caching (inference only; safe to call concurrently
+  // with no pending backward).
+  Tensor Infer(const Tensor& input) const;
+
+  // Consumes dLoss/dOutput, accumulates parameter gradients, and returns
+  // dLoss/dInput for the upstream layer. Must follow a Forward call.
+  Tensor Backward(const Tensor& grad_output);
+
+  void ZeroGradients();
+
+  std::size_t in_features() const { return weights_.rows(); }
+  std::size_t out_features() const { return weights_.cols(); }
+  Activation activation() const { return activation_; }
+
+  Tensor& weights() { return weights_; }
+  Tensor& biases() { return biases_; }
+  const Tensor& weights() const { return weights_; }
+  const Tensor& biases() const { return biases_; }
+  const Tensor& weight_gradients() const { return grad_weights_; }
+  const Tensor& bias_gradients() const { return grad_biases_; }
+  Tensor& mutable_weight_gradients() { return grad_weights_; }
+  Tensor& mutable_bias_gradients() { return grad_biases_; }
+
+  std::size_t parameter_count() const {
+    return weights_.size() + biases_.size();
+  }
+
+ private:
+  Activation activation_;
+  Tensor weights_;       // in x out
+  Tensor biases_;        // 1 x out
+  Tensor grad_weights_;  // in x out
+  Tensor grad_biases_;   // 1 x out
+  Tensor cached_input_;  // batch x in
+  Tensor cached_output_; // batch x out (post-activation)
+  bool has_cache_ = false;
+};
+
+}  // namespace jarvis::neural

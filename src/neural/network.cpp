@@ -1,0 +1,134 @@
+#include "neural/network.h"
+
+#include <stdexcept>
+
+namespace jarvis::neural {
+
+Network::Network(std::size_t input_features,
+                 const std::vector<LayerSpec>& layers, Loss loss,
+                 std::unique_ptr<Optimizer> optimizer, jarvis::util::Rng rng)
+    : input_features_(input_features),
+      loss_(loss),
+      optimizer_(std::move(optimizer)),
+      rng_(rng) {
+  if (layers.empty()) throw std::invalid_argument("Network: no layers");
+  if (!optimizer_) throw std::invalid_argument("Network: null optimizer");
+  std::size_t width = input_features;
+  for (const auto& spec : layers) {
+    layers_.emplace_back(width, spec.units, spec.activation, rng_);
+    width = spec.units;
+  }
+}
+
+Tensor Network::Predict(const Tensor& input) const {
+  Tensor activation = input;
+  for (const auto& layer : layers_) activation = layer.Infer(activation);
+  return activation;
+}
+
+std::vector<double> Network::PredictOne(const std::vector<double>& input) const {
+  return Predict(Tensor::Row(input)).RowVector(0);
+}
+
+Tensor Network::ForwardCached(const Tensor& input) {
+  Tensor activation = input;
+  for (auto& layer : layers_) activation = layer.Forward(activation);
+  return activation;
+}
+
+void Network::BackwardAndStep(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = it->Backward(grad);
+  }
+  optimizer_->Step(layers_);
+}
+
+double Network::TrainBatch(const Tensor& input, const Tensor& target) {
+  const Tensor prediction = ForwardCached(input);
+  const double batch_loss = ComputeLoss(loss_, prediction, target);
+  BackwardAndStep(LossGradient(loss_, prediction, target));
+  return batch_loss;
+}
+
+double Network::TrainBatchMasked(const Tensor& input, const Tensor& target,
+                                 const Tensor& mask) {
+  if (loss_ != Loss::kMeanSquaredError) {
+    throw std::logic_error("TrainBatchMasked requires MSE loss");
+  }
+  const Tensor prediction = ForwardCached(input);
+  const double batch_loss = MaskedMseLoss(prediction, target, mask);
+  BackwardAndStep(MaskedMseGradient(prediction, target, mask));
+  return batch_loss;
+}
+
+double Network::TrainEpoch(const Tensor& inputs, const Tensor& targets,
+                           std::size_t batch_size) {
+  if (inputs.rows() != targets.rows()) {
+    throw std::invalid_argument("TrainEpoch: sample count mismatch");
+  }
+  if (batch_size == 0) throw std::invalid_argument("TrainEpoch: batch 0");
+  std::vector<std::size_t> order(inputs.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.Shuffle(order);
+
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < order.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, order.size());
+    Tensor batch_in(end - start, inputs.cols());
+    Tensor batch_target(end - start, targets.cols());
+    for (std::size_t i = start; i < end; ++i) {
+      batch_in.SetRow(i - start, inputs.RowVector(order[i]));
+      batch_target.SetRow(i - start, targets.RowVector(order[i]));
+    }
+    total_loss += TrainBatch(batch_in, batch_target);
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+std::size_t Network::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+std::vector<std::pair<Tensor, Tensor>> Network::ExportParameters() const {
+  std::vector<std::pair<Tensor, Tensor>> params;
+  params.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    params.emplace_back(layer.weights(), layer.biases());
+  }
+  return params;
+}
+
+void Network::ImportParameters(
+    const std::vector<std::pair<Tensor, Tensor>>& params) {
+  if (params.size() != layers_.size()) {
+    throw std::invalid_argument("ImportParameters: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!params[i].first.SameShape(layers_[i].weights()) ||
+        !params[i].second.SameShape(layers_[i].biases())) {
+      throw std::invalid_argument("ImportParameters: shape mismatch");
+    }
+    layers_[i].weights() = params[i].first;
+    layers_[i].biases() = params[i].second;
+  }
+}
+
+void Network::CopyParametersFrom(const Network& other) {
+  if (other.layers_.size() != layers_.size()) {
+    throw std::invalid_argument("CopyParametersFrom: topology mismatch");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!layers_[i].weights().SameShape(other.layers_[i].weights())) {
+      throw std::invalid_argument("CopyParametersFrom: layer shape mismatch");
+    }
+    layers_[i].weights() = other.layers_[i].weights();
+    layers_[i].biases() = other.layers_[i].biases();
+  }
+}
+
+}  // namespace jarvis::neural

@@ -1,0 +1,77 @@
+// A feed-forward multilayer perceptron assembled from DenseLayers, with
+// training by back-propagation. This single class covers both networks in
+// the paper: the one-hidden-layer ANN anomaly filter (sigmoid output + BCE)
+// and the two-hidden-layer DQN Q-function approximator (linear output + MSE,
+// optionally masked to the taken mini-action).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "neural/loss.h"
+#include "neural/optimizer.h"
+#include "util/rng.h"
+
+namespace jarvis::neural {
+
+// Describes one layer of the network to build.
+struct LayerSpec {
+  std::size_t units;
+  Activation activation;
+};
+
+class Network {
+ public:
+  // `input_features` is the width of the input; `layers` lists hidden and
+  // output layers in order. The optimizer is owned by the network.
+  Network(std::size_t input_features, const std::vector<LayerSpec>& layers,
+          Loss loss, std::unique_ptr<Optimizer> optimizer,
+          jarvis::util::Rng rng);
+
+  // Forward pass for inference (no caches mutated beyond layer scratch).
+  Tensor Predict(const Tensor& input) const;
+  // Convenience: single-sample prediction.
+  std::vector<double> PredictOne(const std::vector<double>& input) const;
+
+  // One optimization step on a batch; returns the batch loss before the
+  // update.
+  double TrainBatch(const Tensor& input, const Tensor& target);
+
+  // Masked variant (MSE only): elements with mask==0 receive no gradient.
+  double TrainBatchMasked(const Tensor& input, const Tensor& target,
+                          const Tensor& mask);
+
+  // Repeats TrainBatch over the whole dataset in shuffled mini-batches for
+  // one epoch; returns the mean batch loss.
+  double TrainEpoch(const Tensor& inputs, const Tensor& targets,
+                    std::size_t batch_size);
+
+  std::size_t input_features() const { return input_features_; }
+  std::size_t output_features() const { return layers_.back().out_features(); }
+  std::size_t parameter_count() const;
+  Loss loss() const { return loss_; }
+
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  std::vector<DenseLayer>& mutable_layers() { return layers_; }
+
+  // Copies weights/biases from another network with identical topology
+  // (used for DQN target-network style ablations).
+  void CopyParametersFrom(const Network& other);
+
+  // Raw parameter snapshot/restore (weights, biases) per layer — cheap
+  // checkpointing for best-policy tracking during RL training.
+  std::vector<std::pair<Tensor, Tensor>> ExportParameters() const;
+  void ImportParameters(const std::vector<std::pair<Tensor, Tensor>>& params);
+
+ private:
+  Tensor ForwardCached(const Tensor& input);
+  void BackwardAndStep(const Tensor& grad_output);
+
+  std::size_t input_features_;
+  Loss loss_;
+  std::vector<DenseLayer> layers_;
+  std::unique_ptr<Optimizer> optimizer_;
+  mutable jarvis::util::Rng rng_;
+};
+
+}  // namespace jarvis::neural

@@ -1,0 +1,93 @@
+#include "neural/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jarvis::neural {
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {
+  if (learning_rate <= 0.0) throw std::invalid_argument("Sgd: lr <= 0");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("Sgd: momentum out of [0,1)");
+  }
+}
+
+void Sgd::Step(std::vector<DenseLayer>& layers) {
+  if (weight_velocity_.size() != layers.size()) {
+    weight_velocity_.clear();
+    bias_velocity_.clear();
+    for (const auto& layer : layers) {
+      weight_velocity_.emplace_back(layer.weights().rows(),
+                                    layer.weights().cols());
+      bias_velocity_.emplace_back(1, layer.biases().cols());
+    }
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    auto& layer = layers[i];
+    if (momentum_ > 0.0) {
+      weight_velocity_[i] *= momentum_;
+      weight_velocity_[i] += layer.weight_gradients() * learning_rate_;
+      bias_velocity_[i] *= momentum_;
+      bias_velocity_[i] += layer.bias_gradients() * learning_rate_;
+      layer.weights() -= weight_velocity_[i];
+      layer.biases() -= bias_velocity_[i];
+    } else {
+      layer.weights() -= layer.weight_gradients() * learning_rate_;
+      layer.biases() -= layer.bias_gradients() * learning_rate_;
+    }
+    layer.ZeroGradients();
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  if (learning_rate <= 0.0) throw std::invalid_argument("Adam: lr <= 0");
+}
+
+void Adam::Step(std::vector<DenseLayer>& layers) {
+  if (m_weights_.size() != layers.size()) {
+    m_weights_.clear();
+    v_weights_.clear();
+    m_biases_.clear();
+    v_biases_.clear();
+    for (const auto& layer : layers) {
+      m_weights_.emplace_back(layer.weights().rows(), layer.weights().cols());
+      v_weights_.emplace_back(layer.weights().rows(), layer.weights().cols());
+      m_biases_.emplace_back(1, layer.biases().cols());
+      v_biases_.emplace_back(1, layer.biases().cols());
+    }
+  }
+  ++step_count_;
+  const double bias_correction1 =
+      1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias_correction2 =
+      1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+
+  auto apply = [&](Tensor& param, const Tensor& grad, Tensor& m, Tensor& v) {
+    auto& m_data = m.mutable_data();
+    auto& v_data = v.mutable_data();
+    auto& p_data = param.mutable_data();
+    const auto& g_data = grad.data();
+    for (std::size_t i = 0; i < p_data.size(); ++i) {
+      m_data[i] = beta1_ * m_data[i] + (1.0 - beta1_) * g_data[i];
+      v_data[i] = beta2_ * v_data[i] + (1.0 - beta2_) * g_data[i] * g_data[i];
+      const double m_hat = m_data[i] / bias_correction1;
+      const double v_hat = v_data[i] / bias_correction2;
+      p_data[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  };
+
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    auto& layer = layers[i];
+    apply(layer.weights(), layer.weight_gradients(), m_weights_[i],
+          v_weights_[i]);
+    apply(layer.biases(), layer.bias_gradients(), m_biases_[i], v_biases_[i]);
+    layer.ZeroGradients();
+  }
+}
+
+}  // namespace jarvis::neural

@@ -1,0 +1,54 @@
+// First-order gradient optimizers. The paper trains its DQN with
+// "first-order gradient-based optimization" and learning rate 0.001
+// (Section V-A-6); Adam with lr=0.001 is the canonical instantiation. Plain
+// SGD (with optional momentum) is provided for the ANN filter and ablations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "neural/layer.h"
+
+namespace jarvis::neural {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies the accumulated gradients of every layer and zeroes them.
+  virtual void Step(std::vector<DenseLayer>& layers) = 0;
+
+  virtual double learning_rate() const = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0);
+  void Step(std::vector<DenseLayer>& layers) override;
+  double learning_rate() const override { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  // One velocity tensor pair per layer, lazily sized on first step.
+  std::vector<Tensor> weight_velocity_;
+  std::vector<Tensor> bias_velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate = 0.001, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8);
+  void Step(std::vector<DenseLayer>& layers) override;
+  double learning_rate() const override { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_weights_, v_weights_, m_biases_, v_biases_;
+};
+
+}  // namespace jarvis::neural

@@ -1,0 +1,86 @@
+#include "neural/serialize.h"
+
+namespace jarvis::neural {
+
+using jarvis::util::JsonArray;
+using jarvis::util::JsonObject;
+using jarvis::util::JsonValue;
+
+namespace {
+
+JsonValue TensorToJson(const Tensor& t) {
+  JsonObject obj;
+  obj["rows"] = JsonValue(static_cast<std::int64_t>(t.rows()));
+  obj["cols"] = JsonValue(static_cast<std::int64_t>(t.cols()));
+  JsonArray data;
+  data.reserve(t.size());
+  for (double v : t.data()) data.emplace_back(v);
+  obj["data"] = JsonValue(std::move(data));
+  return JsonValue(std::move(obj));
+}
+
+Tensor TensorFromJson(const JsonValue& doc) {
+  const auto rows = static_cast<std::size_t>(doc.At("rows").AsInt());
+  const auto cols = static_cast<std::size_t>(doc.At("cols").AsInt());
+  const auto& data = doc.At("data").AsArray();
+  if (data.size() != rows * cols) {
+    throw jarvis::util::JsonError("tensor data size mismatch");
+  }
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    t.mutable_data()[i] = data[i].AsNumber();
+  }
+  return t;
+}
+
+}  // namespace
+
+JsonValue ToJson(const Network& network) {
+  JsonObject obj;
+  obj["input_features"] =
+      JsonValue(static_cast<std::int64_t>(network.input_features()));
+  JsonArray layers;
+  for (const auto& layer : network.layers()) {
+    JsonObject layer_obj;
+    layer_obj["activation"] = JsonValue(ActivationName(layer.activation()));
+    layer_obj["weights"] = TensorToJson(layer.weights());
+    layer_obj["biases"] = TensorToJson(layer.biases());
+    layers.push_back(JsonValue(std::move(layer_obj)));
+  }
+  obj["layers"] = JsonValue(std::move(layers));
+  return JsonValue(std::move(obj));
+}
+
+std::string ToJsonString(const Network& network) {
+  return ToJson(network).Dump();
+}
+
+Network FromJson(const JsonValue& doc, Loss loss,
+                 std::unique_ptr<Optimizer> optimizer, jarvis::util::Rng rng) {
+  const auto input_features =
+      static_cast<std::size_t>(doc.At("input_features").AsInt());
+  const auto& layer_docs = doc.At("layers").AsArray();
+  std::vector<LayerSpec> specs;
+  specs.reserve(layer_docs.size());
+  for (const auto& layer_doc : layer_docs) {
+    specs.push_back(
+        {static_cast<std::size_t>(layer_doc.At("weights").At("cols").AsInt()),
+         ActivationFromName(layer_doc.At("activation").AsString())});
+  }
+  Network network(input_features, specs, loss, std::move(optimizer), rng);
+  for (std::size_t i = 0; i < layer_docs.size(); ++i) {
+    network.mutable_layers()[i].weights() =
+        TensorFromJson(layer_docs[i].At("weights"));
+    network.mutable_layers()[i].biases() =
+        TensorFromJson(layer_docs[i].At("biases"));
+  }
+  return network;
+}
+
+Network FromJsonString(const std::string& text, Loss loss,
+                       std::unique_ptr<Optimizer> optimizer,
+                       jarvis::util::Rng rng) {
+  return FromJson(JsonValue::Parse(text), loss, std::move(optimizer), rng);
+}
+
+}  // namespace jarvis::neural

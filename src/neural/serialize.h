@@ -1,0 +1,26 @@
+// JSON (de)serialization of network parameters, so a trained SPL filter or
+// Q-network can be saved after the learning phase and reloaded at
+// deployment, as the paper's offline-learning workflow implies.
+#pragma once
+
+#include <string>
+
+#include "neural/network.h"
+#include "util/json.h"
+
+namespace jarvis::neural {
+
+// Serializes topology + parameters. The optimizer state is not saved; a
+// reloaded network resumes with a fresh optimizer.
+jarvis::util::JsonValue ToJson(const Network& network);
+std::string ToJsonString(const Network& network);
+
+// Rebuilds a network from ToJson output with the given loss/optimizer.
+Network FromJson(const jarvis::util::JsonValue& doc, Loss loss,
+                 std::unique_ptr<Optimizer> optimizer,
+                 jarvis::util::Rng rng);
+Network FromJsonString(const std::string& text, Loss loss,
+                       std::unique_ptr<Optimizer> optimizer,
+                       jarvis::util::Rng rng);
+
+}  // namespace jarvis::neural

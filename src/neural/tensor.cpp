@@ -1,0 +1,199 @@
+#include "neural/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jarvis::neural {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor::Tensor(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Tensor: ragged initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Tensor Tensor::Row(const std::vector<double>& values) {
+  Tensor t(1, values.size());
+  t.data_ = values;
+  return t;
+}
+
+Tensor Tensor::Generate(std::size_t rows, std::size_t cols,
+                        const std::function<double()>& gen) {
+  Tensor t(rows, cols);
+  for (double& x : t.data_) x = gen();
+  return t;
+}
+
+double& Tensor::At(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Tensor::At");
+  return data_[r * cols_ + c];
+}
+
+double Tensor::At(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Tensor::At");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Tensor::RowVector(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Tensor::RowVector");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+void Tensor::SetRow(std::size_t r, const std::vector<double>& values) {
+  if (r >= rows_) throw std::out_of_range("Tensor::SetRow");
+  if (values.size() != cols_) {
+    throw std::invalid_argument("Tensor::SetRow: width mismatch");
+  }
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void Tensor::CheckShape(const Tensor& other, const char* op) const {
+  if (!SameShape(other)) {
+    throw std::invalid_argument(std::string("Tensor shape mismatch in ") + op +
+                                ": " + ShapeString() + " vs " +
+                                other.ShapeString());
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  CheckShape(other, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  CheckShape(other, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out = *this;
+  out += other;
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  Tensor out = *this;
+  out -= other;
+  return out;
+}
+
+Tensor Tensor::operator*(double scalar) const {
+  Tensor out = *this;
+  out *= scalar;
+  return out;
+}
+
+Tensor Tensor::Hadamard(const Tensor& other) const {
+  CheckShape(other, "Hadamard");
+  Tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::MatMul(const Tensor& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Tensor::MatMul: inner dims " + ShapeString() +
+                                " vs " + other.ShapeString());
+  }
+  Tensor out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double lhs = data_[i * cols_ + k];
+      if (lhs == 0.0) continue;
+      const double* rhs_row = &other.data_[k * other.cols_];
+      double* out_row = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += lhs * rhs_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Map(const std::function<double(double)>& f) const {
+  Tensor out = *this;
+  out.MapInPlace(f);
+  return out;
+}
+
+void Tensor::MapInPlace(const std::function<double(double)>& f) {
+  for (double& x : data_) x = f(x);
+}
+
+Tensor Tensor::AddRowBroadcast(const Tensor& row) const {
+  if (row.rows_ != 1 || row.cols_ != cols_) {
+    throw std::invalid_argument("Tensor::AddRowBroadcast: shape mismatch");
+  }
+  Tensor out = *this;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.data_[r * cols_ + c] += row.data_[c];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::SumRows() const {
+  Tensor out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.data_[c] += data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+double Tensor::SumAll() const {
+  double total = 0.0;
+  for (double x : data_) total += x;
+  return total;
+}
+
+double Tensor::MaxAll() const {
+  if (data_.empty()) throw std::logic_error("Tensor::MaxAll on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::ArgMaxRow(std::size_t r) const {
+  if (r >= rows_ || cols_ == 0) throw std::out_of_range("Tensor::ArgMaxRow");
+  const auto begin = data_.begin() + static_cast<std::ptrdiff_t>(r * cols_);
+  return static_cast<std::size_t>(
+      std::max_element(begin, begin + static_cast<std::ptrdiff_t>(cols_)) -
+      begin);
+}
+
+void Tensor::Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+std::string Tensor::ShapeString() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+}  // namespace jarvis::neural

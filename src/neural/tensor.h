@@ -1,0 +1,91 @@
+// A dense row-major 2-D tensor (matrix) with the operations needed by the
+// paper's networks: the single-hidden-layer ANN filter (Section IV-A) and
+// the two-hidden-layer DQN (Section V-A-6). Vectors are 1xN or Nx1 matrices.
+//
+// The networks here are tiny (tens of units), so the implementation favors
+// clarity and correctness over blocking/vectorization tricks; the simple
+// loops still saturate these sizes easily.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jarvis::neural {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Tensor(std::initializer_list<std::initializer_list<double>> rows);
+
+  // A 1xN row vector from values.
+  static Tensor Row(const std::vector<double>& values);
+  // An NxM matrix with every element drawn from the callback.
+  static Tensor Generate(std::size_t rows, std::size_t cols,
+                         const std::function<double()>& gen);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) { return At(r, c); }
+  double operator()(std::size_t r, std::size_t c) const { return At(r, c); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  // Extracts row r as a flat vector.
+  std::vector<double> RowVector(std::size_t r) const;
+  void SetRow(std::size_t r, const std::vector<double>& values);
+
+  // Elementwise operations (shapes must match).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(double scalar);
+  Tensor operator+(const Tensor& other) const;
+  Tensor operator-(const Tensor& other) const;
+  Tensor operator*(double scalar) const;
+  // Hadamard (elementwise) product.
+  Tensor Hadamard(const Tensor& other) const;
+
+  // Matrix multiplication: (this->rows x other.cols).
+  Tensor MatMul(const Tensor& other) const;
+  Tensor Transposed() const;
+
+  // Applies f elementwise, returning a new tensor.
+  Tensor Map(const std::function<double(double)>& f) const;
+  void MapInPlace(const std::function<double(double)>& f);
+
+  // Adds a 1xC row vector to every row (bias broadcast).
+  Tensor AddRowBroadcast(const Tensor& row) const;
+  // Column-wise sum producing a 1xC row vector (bias gradient reduce).
+  Tensor SumRows() const;
+
+  double SumAll() const;
+  double MaxAll() const;
+  // Index of the maximum element in a 1-row tensor.
+  std::size_t ArgMaxRow(std::size_t r) const;
+
+  void Fill(double value);
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ShapeString() const;
+
+ private:
+  void CheckShape(const Tensor& other, const char* op) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace jarvis::neural

@@ -1,0 +1,208 @@
+#include "rl/dqn_agent.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace jarvis::rl {
+
+namespace {
+
+neural::Network BuildNetwork(std::size_t inputs, std::size_t outputs,
+                             const DqnConfig& config) {
+  std::vector<neural::LayerSpec> layers;
+  for (std::size_t units : config.hidden_units) {
+    layers.push_back({units, neural::Activation::kRelu});
+  }
+  layers.push_back({outputs, neural::Activation::kIdentity});
+  return neural::Network(inputs, layers, neural::Loss::kMeanSquaredError,
+                         std::make_unique<neural::Adam>(config.learning_rate),
+                         util::Rng(config.seed ^ 0x5eedULL));
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(std::size_t feature_width, const fsm::StateCodec& codec,
+                   DqnConfig config)
+    : codec_(codec),
+      config_(config),
+      network_(BuildNetwork(feature_width, codec.mini_action_count(), config)),
+      buffer_(config.replay_capacity),
+      rng_(config.seed) {}
+
+std::vector<double> DqnAgent::QValues(
+    const std::vector<double>& features) const {
+  return network_.PredictOne(features);
+}
+
+std::size_t DqnAgent::BestSlotForDevice(const std::vector<double>& q,
+                                        const std::vector<bool>& mask,
+                                        std::size_t device) const {
+  const std::size_t noop = codec_.NoOpSlot(static_cast<fsm::DeviceId>(device));
+  // Ties (including an untrained network's uniform output) resolve to the
+  // no-op: acting needs positive evidence.
+  std::size_t best = noop;
+  double best_q = q[noop];
+  // A device's slots are contiguous with the no-op last; walk back from the
+  // no-op while the slot still maps to this device.
+  std::size_t range_begin = noop;
+  while (range_begin > 0 &&
+         codec_.SlotToMiniAction(range_begin - 1).device ==
+             static_cast<fsm::DeviceId>(device)) {
+    --range_begin;
+  }
+  for (std::size_t slot = range_begin; slot < noop; ++slot) {
+    if (!mask[slot]) continue;
+    if (q[slot] > best_q) {
+      best_q = q[slot];
+      best = slot;
+    }
+  }
+  return best;
+}
+
+fsm::ActionVector DqnAgent::SelectAction(const std::vector<double>& features,
+                                         const std::vector<bool>& mask,
+                                         bool greedy) {
+  if (mask.size() != codec_.mini_action_count()) {
+    throw std::invalid_argument("DqnAgent::SelectAction: mask width");
+  }
+  std::vector<std::size_t> slots;
+  // Per-device exploration: each device independently explores with
+  // probability epsilon while the rest follow the greedy policy. This
+  // keeps the joint reward attributable — a single deviating device at a
+  // time once epsilon anneals — which the factored mini-action Q-head
+  // needs for credit assignment.
+  const std::vector<double> q = QValues(features);
+
+  if (last_explore_slot_.size() != codec_.device_count()) {
+    last_explore_slot_.assign(codec_.device_count(),
+                              codec_.mini_action_count());  // sentinel
+  }
+  for (std::size_t device = 0; device < codec_.device_count(); ++device) {
+    const bool explore = !greedy && rng_.NextBool(config_.epsilon);
+    const std::size_t noop =
+        codec_.NoOpSlot(static_cast<fsm::DeviceId>(device));
+    if (explore) {
+      // Sticky exploration: repeat the previous exploratory choice when
+      // still available, else draw uniform among the available slots.
+      const std::size_t previous = last_explore_slot_[device];
+      if (previous < mask.size() && mask[previous] &&
+          rng_.NextBool(config_.explore_repeat_prob)) {
+        slots.push_back(previous);
+        continue;
+      }
+      std::vector<std::size_t> available;
+      std::size_t range_begin = noop;
+      while (range_begin > 0 &&
+             codec_.SlotToMiniAction(range_begin - 1).device ==
+                 static_cast<fsm::DeviceId>(device)) {
+        --range_begin;
+      }
+      for (std::size_t slot = range_begin; slot <= noop; ++slot) {
+        if (mask[slot]) available.push_back(slot);
+      }
+      const std::size_t chosen =
+          available.empty() ? noop
+                            : available[rng_.NextIndex(available.size())];
+      last_explore_slot_[device] = chosen;
+      slots.push_back(chosen);
+    } else {
+      slots.push_back(BestSlotForDevice(q, mask, device));
+    }
+  }
+  return codec_.SlotsToAction(slots);
+}
+
+void DqnAgent::DecayEpsilonOnce() {
+  config_.epsilon =
+      std::max(config_.epsilon_min, config_.epsilon * config_.epsilon_decay);
+}
+
+void DqnAgent::SaveSnapshot() { snapshot_ = network_.ExportParameters(); }
+
+void DqnAgent::RestoreSnapshot() {
+  if (snapshot_.empty()) {
+    throw std::logic_error("DqnAgent::RestoreSnapshot: no snapshot");
+  }
+  network_.ImportParameters(snapshot_);
+}
+
+void DqnAgent::Remember(Experience experience) {
+  buffer_.Add(std::move(experience));
+}
+
+double DqnAgent::Replay() {
+  if (!buffer_.CanSample(config_.batch_size)) return 0.0;
+  const auto batch = buffer_.Sample(config_.batch_size, rng_);
+
+  // Target-network bookkeeping: sync the frozen copy every N replays and
+  // evaluate bootstrap Q-values through it.
+  const bool use_target = config_.target_sync_interval > 0;
+  if (use_target) {
+    if (target_network_ == nullptr) {
+      target_network_ = std::make_unique<neural::Network>(
+          BuildNetwork(network_.input_features(), codec_.mini_action_count(),
+                       config_));
+      target_network_->CopyParametersFrom(network_);
+      replays_since_sync_ = 0;
+    } else if (replays_since_sync_ >= config_.target_sync_interval) {
+      target_network_->CopyParametersFrom(network_);
+      replays_since_sync_ = 0;
+    }
+    ++replays_since_sync_;
+  }
+  const neural::Network& bootstrap_net =
+      use_target ? *target_network_ : network_;
+
+  const std::size_t outputs = codec_.mini_action_count();
+  neural::Tensor inputs(batch.size(), batch[0]->features.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    inputs.SetRow(i, batch[i]->features);
+  }
+  // Current predictions seed the target tensor so non-taken slots carry no
+  // gradient (mask) and taken slots move toward r + gamma * max Q(s', .).
+  neural::Tensor targets = network_.Predict(inputs);
+  neural::Tensor mask(batch.size(), outputs, 0.0);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Experience& exp = *batch[i];
+    std::vector<double> next_q;
+    if (!exp.done) next_q = bootstrap_net.PredictOne(exp.next_features);
+    for (std::size_t slot : exp.taken_slots) {
+      // Each device head is its own sub-MDP: the bootstrap maximizes over
+      // that device's *own* next choices, not over every device's slots —
+      // a global max would inflate every target by the best slot anywhere
+      // and erase per-device action rankings.
+      double future = 0.0;
+      if (!exp.done) {
+        const auto device = codec_.SlotToMiniAction(slot).device;
+        const std::size_t noop = codec_.NoOpSlot(device);
+        std::size_t range_begin = noop;
+        while (range_begin > 0 &&
+               codec_.SlotToMiniAction(range_begin - 1).device == device) {
+          --range_begin;
+        }
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t s = range_begin; s <= noop; ++s) {
+          if (exp.next_mask[s] && next_q[s] > best) best = next_q[s];
+        }
+        if (best > -std::numeric_limits<double>::infinity()) future = best;
+      }
+      targets.At(i, slot) = exp.reward + config_.gamma * future;
+      mask.At(i, slot) = 1.0;
+    }
+  }
+
+  last_loss_ = network_.TrainBatchMasked(inputs, targets, mask);
+
+  // Algorithm 2's guard: decay exploration only once the network fits its
+  // replay targets to the preferable loss.
+  if (config_.epsilon > config_.epsilon_min &&
+      last_loss_ <= config_.preferable_loss) {
+    config_.epsilon =
+        std::max(config_.epsilon_min, config_.epsilon * config_.epsilon_decay);
+  }
+  return last_loss_;
+}
+
+}  // namespace jarvis::rl

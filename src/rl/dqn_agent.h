@@ -1,0 +1,110 @@
+// The Deep-Q agent of Algorithm 2 with the mini-action factorization of
+// Section V-A-7: the network maps an observation to one Q-value per
+// mini-action slot (each device's actions plus its no-op), so the output
+// width grows linearly in devices rather than exponentially in joint
+// actions. Joint actions are assembled by choosing, per device, the best
+// available slot; epsilon-greedy exploration samples per-device among the
+// slots the availability mask admits (P_safe-constrained exploration when
+// the environment is constrained).
+//
+// Epsilon decays only while the replay loss is at or below the preferable
+// loss L_p, exactly as Algorithm 2's final guard prescribes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fsm/state.h"
+#include "neural/network.h"
+#include "rl/replay.h"
+#include "util/rng.h"
+
+namespace jarvis::rl {
+
+struct DqnConfig {
+  std::vector<std::size_t> hidden_units = {64, 64};  // two hidden layers
+  double learning_rate = 0.001;                      // Section V-A-6
+  double gamma = 0.97;                               // discount rate
+  double epsilon = 1.0;
+  double epsilon_min = 0.05;
+  double epsilon_decay = 0.97;
+  // Temporally-extended exploration: an exploring device repeats its
+  // previous exploratory choice with this probability instead of drawing
+  // fresh. Sustained-control behaviors (heating a cold house for an hour)
+  // are unreachable by per-step uniform dithering; sticky exploration
+  // produces the multi-step streaks they need.
+  double explore_repeat_prob = 0.6;
+  double preferable_loss = 1.0;  // L_p (rewards are per-minute, O(1))
+  std::size_t batch_size = 32;    // BSize
+  std::size_t replay_capacity = 20000;
+  // Replay passes between target-network syncs; 0 disables the target
+  // network and bootstraps from the online network (the paper's setup).
+  // A frozen target decouples the bootstrap from the parameters being
+  // updated — the standard DQN stabilizer (ablated in bench_ablation_rl).
+  int target_sync_interval = 0;
+  std::uint64_t seed = 99;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(std::size_t feature_width, const fsm::StateCodec& codec,
+           DqnConfig config);
+
+  // Chooses a joint action for the observation. `mask` flags available
+  // mini-action slots. When `greedy`, exploration is disabled (policy
+  // evaluation mode).
+  fsm::ActionVector SelectAction(const std::vector<double>& features,
+                                 const std::vector<bool>& mask, bool greedy);
+
+  // Q-values for all slots (diagnostics and Table III reporting).
+  std::vector<double> QValues(const std::vector<double>& features) const;
+
+  void Remember(Experience experience);
+
+  // One replay mini-batch training pass (no-op until the buffer can fill a
+  // batch). Returns the masked MSE loss, and applies the L_p-gated epsilon
+  // decay.
+  double Replay();
+
+  // Applies one unconditional epsilon decay step (e.g. per episode), in
+  // addition to Algorithm 2's loss-gated per-replay decay. Used by
+  // comparisons that need both agents on a common annealing schedule.
+  void DecayEpsilonOnce();
+
+  // Best-policy checkpointing: snapshot the current parameters, restore
+  // them later (used by the trainer to keep the best greedy policy seen,
+  // since epsilon-greedy training is noisy).
+  void SaveSnapshot();
+  void RestoreSnapshot();
+  bool has_snapshot() const { return !snapshot_.empty(); }
+
+  double epsilon() const { return config_.epsilon; }
+  double last_loss() const { return last_loss_; }
+  const DqnConfig& config() const { return config_; }
+  const neural::Network& network() const { return network_; }
+  std::size_t replay_size() const { return buffer_.size(); }
+
+ private:
+  // Per-device best available slot by Q-value; `q` is the network output
+  // row for the observation.
+  std::size_t BestSlotForDevice(const std::vector<double>& q,
+                                const std::vector<bool>& mask,
+                                std::size_t device) const;
+
+  const fsm::StateCodec& codec_;
+  DqnConfig config_;
+  neural::Network network_;
+  // Frozen copy of the online network for bootstrap targets; null when
+  // target_sync_interval == 0.
+  std::unique_ptr<neural::Network> target_network_;
+  int replays_since_sync_ = 0;
+  ReplayBuffer buffer_;
+  util::Rng rng_;
+  double last_loss_ = 0.0;
+  std::vector<std::pair<neural::Tensor, neural::Tensor>> snapshot_;
+  // Last exploratory slot per device (sticky exploration); empty until the
+  // first SelectAction.
+  std::vector<std::size_t> last_explore_slot_;
+};
+
+}  // namespace jarvis::rl

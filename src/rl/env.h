@@ -1,0 +1,44 @@
+// Gym-like environment contract (the paper builds its simulated RF
+// environment on OpenAI Gym, Section V-A-5). Concrete environments —
+// IoTEnv for the smart home — implement this interface so agents and
+// trainers can be written against the abstraction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fsm/state.h"
+
+namespace jarvis::rl {
+
+struct StepResult {
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  // Restarts the episode.
+  virtual void Reset() = 0;
+
+  // Applies the agent's joint action at the current decision instant and
+  // advances to the next one.
+  virtual StepResult Step(const fsm::ActionVector& action) = 0;
+
+  virtual bool done() const = 0;
+  virtual int steps_per_episode() const = 0;
+
+  // Featurized observation of the current state.
+  virtual std::vector<double> Features() const = 0;
+  virtual std::size_t feature_width() const = 0;
+
+  // Availability mask over mini-action slots at the current observation.
+  virtual std::vector<bool> SafeSlotMask() const = 0;
+
+  // Cumulative (un-normalized) episode reward so far.
+  virtual double cumulative_reward() const = 0;
+};
+
+}  // namespace jarvis::rl

@@ -1,0 +1,39 @@
+#include "rl/replay.h"
+
+#include <stdexcept>
+
+namespace jarvis::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("ReplayBuffer: capacity 0");
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::Add(Experience experience) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(experience));
+  } else {
+    buffer_[next_] = std::move(experience);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Experience*> ReplayBuffer::Sample(std::size_t batch,
+                                                    util::Rng& rng) const {
+  if (!CanSample(batch)) {
+    throw std::logic_error("ReplayBuffer::Sample: not enough experiences");
+  }
+  std::vector<const Experience*> sample;
+  sample.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    sample.push_back(&buffer_[rng.NextIndex(buffer_.size())]);
+  }
+  return sample;
+}
+
+void ReplayBuffer::Clear() {
+  buffer_.clear();
+  next_ = 0;
+}
+
+}  // namespace jarvis::rl

@@ -1,0 +1,50 @@
+// Experience replay (Section V-A-6): the agent remembers transitions from
+// prior episodes and replays random mini-batches to learn cumulative
+// rewards, so the DQN retains experience across episodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jarvis::rl {
+
+// One remembered decision instant. Targets are recomputed at replay time
+// from the current network, so the experience stores the raw observation,
+// the mini-action slots taken, the reward, and the next observation with
+// its availability mask.
+struct Experience {
+  std::vector<double> features;
+  std::vector<std::size_t> taken_slots;
+  double reward = 0.0;
+  std::vector<double> next_features;
+  std::vector<bool> next_mask;
+  bool done = false;
+};
+
+// Fixed-capacity ring buffer with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void Add(Experience experience);
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool CanSample(std::size_t batch) const { return buffer_.size() >= batch; }
+
+  // Samples `batch` experiences uniformly with replacement (Algorithm 2's
+  // Sample(Mem, BSize)).
+  std::vector<const Experience*> Sample(std::size_t batch,
+                                        util::Rng& rng) const;
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Experience> buffer_;
+};
+
+}  // namespace jarvis::rl

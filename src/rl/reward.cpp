@@ -1,0 +1,75 @@
+#include "rl/reward.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jarvis::rl {
+
+RewardWeights RewardWeights::Sweep(const std::string& focus, double value) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument("RewardWeights::Sweep: value out of [0,1]");
+  }
+  const double rest = (1.0 - value) / 2.0;
+  RewardWeights weights;
+  if (focus == "energy") {
+    weights.f_energy = value;
+    weights.f_cost = rest;
+    weights.f_temp = rest;
+  } else if (focus == "cost") {
+    weights.f_cost = value;
+    weights.f_energy = rest;
+    weights.f_temp = rest;
+  } else if (focus == "temp") {
+    weights.f_temp = value;
+    weights.f_energy = rest;
+    weights.f_cost = rest;
+  } else {
+    throw std::invalid_argument("RewardWeights::Sweep: unknown focus " + focus);
+  }
+  return weights;
+}
+
+SmartReward::SmartReward(RewardWeights weights) : weights_(weights) {
+  if (weights_.chi <= 0.0) {
+    throw std::invalid_argument("SmartReward: chi must be positive");
+  }
+}
+
+double SmartReward::EnergyReward(const StepPhysical& physical) const {
+  if (physical.max_watts <= 0.0) return 0.0;
+  return std::clamp(1.0 - physical.interval_watts / physical.max_watts, 0.0,
+                    1.0);
+}
+
+double SmartReward::CostReward(const StepPhysical& physical) const {
+  const double denom = physical.max_watts * physical.max_price_usd_per_kwh;
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(
+      1.0 - physical.interval_watts * physical.price_usd_per_kwh / denom, 0.0,
+      1.0);
+}
+
+double SmartReward::TempReward(const StepPhysical& physical) const {
+  // 5degC of comfort error saturates the penalty. Comfort only counts while
+  // the house is occupied (an empty house has no one to be uncomfortable);
+  // unoccupied intervals return full reward so F_temp never pushes the
+  // agent to heat an empty home.
+  if (!physical.occupied) return 1.0;
+  return std::clamp(1.0 - physical.comfort_error_c / 5.0, 0.0, 1.0);
+}
+
+double SmartReward::Utility(const StepPhysical& physical) const {
+  return weights_.f_energy * EnergyReward(physical) +
+         weights_.f_cost * CostReward(physical) +
+         weights_.f_temp * TempReward(physical);
+}
+
+double SmartReward::DisUtility(const StepPhysical& physical) const {
+  return physical.pending_disutility / weights_.chi;
+}
+
+double SmartReward::Compute(const StepPhysical& physical) const {
+  return Utility(physical) - DisUtility(physical);
+}
+
+}  // namespace jarvis::rl

@@ -1,0 +1,73 @@
+// The estimated smart reward function R_smart of Section IV-B:
+//
+//   R_smart(S, A, t) = sum_j f_j * F_j(s, a, t)
+//                      - (I / kT) * sum_i omega_i(s_i, a) * (t - t')
+//
+// The utility part combines the normalized functionality rewards the
+// evaluation uses (Section VI-D): F_0 energy usage, F_1 electricity cost
+// under day-ahead prices, F_3 temperature difference. The dis-utility part
+// charges each device for delay relative to the user's habitual time t'.
+// The utility-disutility ratio chi balances the two sides; the evaluation
+// uses chi = 1 so "optimized actions never cause more dis-utility than
+// functionality".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace jarvis::rl {
+
+// Functionality weights f_j. The evaluation sweeps each in [0.1, 0.9] with
+// the others sharing the remainder (f_1 + f_2 + f_3 = 1).
+struct RewardWeights {
+  double f_energy = 1.0 / 3.0;
+  double f_cost = 1.0 / 3.0;
+  double f_temp = 1.0 / 3.0;
+  // Utility/dis-utility balance chi (Section IV-B). 1.0 = balanced.
+  double chi = 1.0;
+
+  double Sum() const { return f_energy + f_cost + f_temp; }
+
+  // Sets one functionality's weight to `value` and splits the remainder
+  // evenly across the other two (the sweep parameterization of Figs. 6-8).
+  static RewardWeights Sweep(const std::string& focus, double value);
+};
+
+// Physical quantities of one environment step, gathered by the env.
+struct StepPhysical {
+  double interval_watts = 0.0;     // mean draw over the interval
+  double max_watts = 1.0;          // home-wide maximum draw (normalizer)
+  double price_usd_per_kwh = 0.0;  // current DAM price
+  double max_price_usd_per_kwh = 1.0;
+  double comfort_error_c = 0.0;    // |indoor - comfort band|
+  bool occupied = false;
+  // Sum over devices of omega_i * normalized pending delay (computed by
+  // the env's habit tracker): the (I/kT) * sum omega_i (t - t') term.
+  double pending_disutility = 0.0;
+};
+
+class SmartReward {
+ public:
+  explicit SmartReward(RewardWeights weights);
+
+  // Normalized functionality rewards, each in [0, 1].
+  double EnergyReward(const StepPhysical& physical) const;
+  double CostReward(const StepPhysical& physical) const;
+  double TempReward(const StepPhysical& physical) const;
+
+  // sum_j f_j F_j, in [0, Sum()].
+  double Utility(const StepPhysical& physical) const;
+
+  // The dis-utility term, scaled by 1/chi so that chi > 1 favors utility.
+  double DisUtility(const StepPhysical& physical) const;
+
+  // R_smart = Utility - DisUtility.
+  double Compute(const StepPhysical& physical) const;
+
+  const RewardWeights& weights() const { return weights_; }
+
+ private:
+  RewardWeights weights_;
+};
+
+}  // namespace jarvis::rl

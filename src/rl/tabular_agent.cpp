@@ -1,0 +1,147 @@
+#include "rl/tabular_agent.h"
+
+#include <limits>
+
+namespace jarvis::rl {
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+TabularQAgent::TabularQAgent(const fsm::EnvironmentFsm& fsm,
+                             TabularConfig config)
+    : fsm_(fsm), config_(config), rng_(config.seed) {
+  for (const char* label : {"lock", "door_sensor", "temp_sensor"}) {
+    for (const auto& device : fsm_.devices()) {
+      if (device.label() == label) {
+        context_devices_.push_back(device.id());
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t TabularQAgent::Key(const fsm::StateVector& state, int minute,
+                                 std::size_t slot) const {
+  const fsm::MiniAction mini = fsm_.codec().SlotToMiniAction(slot);
+  std::uint64_t key = 0x7abULL;
+  key = Mix(key, slot);
+  key = Mix(key, static_cast<std::uint64_t>(
+                     state[static_cast<std::size_t>(mini.device)]));
+  for (const fsm::DeviceId context : context_devices_) {
+    key = Mix(key, static_cast<std::uint64_t>(
+                       state[static_cast<std::size_t>(context)]));
+  }
+  key = Mix(key, static_cast<std::uint64_t>(minute / 60));
+  return key;
+}
+
+double TabularQAgent::BestAvailableQ(const fsm::StateVector& state, int minute,
+                                     const std::vector<bool>& mask,
+                                     std::size_t device) const {
+  const std::size_t noop =
+      fsm_.codec().NoOpSlot(static_cast<fsm::DeviceId>(device));
+  std::size_t range_begin = noop;
+  while (range_begin > 0 &&
+         fsm_.codec().SlotToMiniAction(range_begin - 1).device ==
+             static_cast<fsm::DeviceId>(device)) {
+    --range_begin;
+  }
+  double best = 0.0;
+  bool any = false;
+  for (std::size_t slot = range_begin; slot <= noop; ++slot) {
+    if (!mask[slot]) continue;
+    auto it = q_.find(Key(state, minute, slot));
+    const double value = it == q_.end() ? 0.0 : it->second;
+    if (!any || value > best) {
+      best = value;
+      any = true;
+    }
+  }
+  return any ? best : 0.0;
+}
+
+std::size_t TabularQAgent::BestAvailableSlot(const fsm::StateVector& state,
+                                             int minute,
+                                             const std::vector<bool>& mask,
+                                             std::size_t device,
+                                             util::Rng& rng, bool explore) {
+  const std::size_t noop =
+      fsm_.codec().NoOpSlot(static_cast<fsm::DeviceId>(device));
+  std::size_t range_begin = noop;
+  while (range_begin > 0 &&
+         fsm_.codec().SlotToMiniAction(range_begin - 1).device ==
+             static_cast<fsm::DeviceId>(device)) {
+    --range_begin;
+  }
+  if (explore) {
+    std::vector<std::size_t> available;
+    for (std::size_t slot = range_begin; slot <= noop; ++slot) {
+      if (mask[slot]) available.push_back(slot);
+    }
+    return available.empty() ? noop
+                             : available[rng.NextIndex(available.size())];
+  }
+  // Ties resolve to the no-op: acting needs positive evidence.
+  std::size_t best = noop;
+  auto noop_it = q_.find(Key(state, minute, noop));
+  double best_q = noop_it == q_.end() ? 0.0 : noop_it->second;
+  for (std::size_t slot = range_begin; slot < noop; ++slot) {
+    if (!mask[slot]) continue;
+    auto it = q_.find(Key(state, minute, slot));
+    const double value = it == q_.end() ? 0.0 : it->second;
+    if (value > best_q) {
+      best_q = value;
+      best = slot;
+    }
+  }
+  return best;
+}
+
+fsm::ActionVector TabularQAgent::SelectAction(const fsm::StateVector& state,
+                                              int minute,
+                                              const std::vector<bool>& mask,
+                                              bool greedy) {
+  const bool explore = !greedy && rng_.NextBool(config_.epsilon);
+  std::vector<std::size_t> slots;
+  for (std::size_t device = 0; device < fsm_.device_count(); ++device) {
+    slots.push_back(
+        BestAvailableSlot(state, minute, mask, device, rng_, explore));
+  }
+  return fsm_.codec().SlotsToAction(slots);
+}
+
+void TabularQAgent::Update(const fsm::StateVector& state, int minute,
+                           const fsm::ActionVector& action, double reward,
+                           const fsm::StateVector& next_state, int next_minute,
+                           const std::vector<bool>& next_mask, bool done) {
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    if (action[i] == fsm::kNoAction) continue;
+    const std::size_t slot = fsm_.codec().MiniActionSlot(
+        {static_cast<fsm::DeviceId>(i), action[i]});
+    const double future =
+        done ? 0.0 : BestAvailableQ(next_state, next_minute, next_mask, i);
+    const double target = reward + config_.gamma * future;
+    double& value = q_[Key(state, minute, slot)];
+    value += config_.learning_rate * (target - value);
+  }
+}
+
+void TabularQAgent::DecayEpsilon() {
+  config_.epsilon =
+      std::max(config_.epsilon_min, config_.epsilon * config_.epsilon_decay);
+}
+
+double TabularQAgent::QValue(const fsm::StateVector& state, int minute,
+                             const fsm::MiniAction& mini) const {
+  auto it = q_.find(Key(state, minute, fsm_.codec().MiniActionSlot(mini)));
+  return it == q_.end() ? 0.0 : it->second;
+}
+
+}  // namespace jarvis::rl

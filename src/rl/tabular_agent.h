@@ -1,0 +1,65 @@
+// Tabular Q-learning baseline. Keys Q-values on a factored context (the
+// acted device's state, the security context, and the hour of day) instead
+// of a neural approximation. Converges deterministically on small problems,
+// which makes it the reference implementation the agent tests check the
+// DQN against.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fsm/environment.h"
+#include "util/rng.h"
+
+namespace jarvis::rl {
+
+struct TabularConfig {
+  double learning_rate = 0.2;
+  double gamma = 0.95;
+  double epsilon = 1.0;
+  double epsilon_min = 0.05;
+  double epsilon_decay = 0.995;
+  std::uint64_t seed = 123;
+};
+
+class TabularQAgent {
+ public:
+  TabularQAgent(const fsm::EnvironmentFsm& fsm, TabularConfig config);
+
+  // Chooses a joint action (per-device best/random available slot).
+  fsm::ActionVector SelectAction(const fsm::StateVector& state, int minute,
+                                 const std::vector<bool>& mask, bool greedy);
+
+  // One-step Q update for every mini-action taken.
+  void Update(const fsm::StateVector& state, int minute,
+              const fsm::ActionVector& action, double reward,
+              const fsm::StateVector& next_state, int next_minute,
+              const std::vector<bool>& next_mask, bool done);
+
+  void DecayEpsilon();
+  double epsilon() const { return config_.epsilon; }
+  std::size_t table_size() const { return q_.size(); }
+
+  double QValue(const fsm::StateVector& state, int minute,
+                const fsm::MiniAction& mini) const;
+
+ private:
+  std::uint64_t Key(const fsm::StateVector& state, int minute,
+                    std::size_t slot) const;
+  double BestAvailableQ(const fsm::StateVector& state, int minute,
+                        const std::vector<bool>& mask,
+                        std::size_t device) const;
+  std::size_t BestAvailableSlot(const fsm::StateVector& state, int minute,
+                                const std::vector<bool>& mask,
+                                std::size_t device, util::Rng& rng,
+                                bool explore);
+
+  const fsm::EnvironmentFsm& fsm_;
+  TabularConfig config_;
+  std::vector<fsm::DeviceId> context_devices_;
+  std::unordered_map<std::uint64_t, double> q_;
+  util::Rng rng_;
+};
+
+}  // namespace jarvis::rl

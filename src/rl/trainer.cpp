@@ -1,0 +1,81 @@
+#include "rl/trainer.h"
+#include <limits>
+
+namespace jarvis::rl {
+
+namespace {
+
+std::vector<std::size_t> TakenSlots(const fsm::StateCodec& codec,
+                                    const fsm::ActionVector& action) {
+  // Every device contributes a slot (no-op included) so the network also
+  // learns the value of leaving devices alone.
+  return codec.ActionToSlots(action);
+}
+
+}  // namespace
+
+double RunGreedyEpisode(IoTEnv& env, DqnAgent& agent) {
+  env.Reset();
+  while (!env.done()) {
+    const auto features = env.Features();
+    const auto mask = env.SafeSlotMask();
+    env.Step(agent.SelectAction(features, mask, /*greedy=*/true));
+  }
+  return env.cumulative_reward();
+}
+
+TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
+  TrainResult result;
+  const auto& codec = env.fsm().codec();
+  double best_greedy = -std::numeric_limits<double>::infinity();
+
+  for (int ep = 0; ep < config.episodes; ++ep) {
+    const bool demonstrate = ep < config.demonstration_episodes;
+    env.Reset();
+    while (!env.done()) {
+      const auto features = env.Features();
+      const auto mask = env.SafeSlotMask();
+      const auto action = demonstrate
+                              ? env.DemonstrationAction()
+                              : agent.SelectAction(features, mask, false);
+      const StepResult step = env.Step(action);
+
+      Experience experience;
+      experience.features = features;
+      experience.taken_slots = TakenSlots(codec, action);
+      experience.reward = step.reward;
+      experience.done = step.done;
+      if (!step.done) {
+        experience.next_features = env.Features();
+        experience.next_mask = env.SafeSlotMask();
+      } else {
+        experience.next_features.assign(features.size(), 0.0);
+        experience.next_mask.assign(codec.mini_action_count(), false);
+      }
+      agent.Remember(std::move(experience));
+      for (int r = 0; r < config.replays_per_step; ++r) {
+        result.final_loss = agent.Replay();
+      }
+    }
+    result.episode_rewards.push_back(env.cumulative_reward());
+    result.training_violations += env.violations();
+
+    // Track the best greedy policy seen: epsilon-greedy training is noisy
+    // and the final network is not always the best one.
+    const double greedy = RunGreedyEpisode(env, agent);
+    if (greedy > best_greedy) {
+      best_greedy = greedy;
+      agent.SaveSnapshot();
+    }
+  }
+  result.final_epsilon = agent.epsilon();
+  if (agent.has_snapshot()) agent.RestoreSnapshot();
+
+  result.greedy_reward = RunGreedyEpisode(env, agent);
+  result.greedy_violations = env.violations();
+  result.greedy_metrics = env.Metrics();
+  result.greedy_episode = env.episode();
+  return result;
+}
+
+}  // namespace jarvis::rl

@@ -1,0 +1,106 @@
+// Resident behavior simulator: the OpenSHS [17] / Smart* [18] stand-in.
+// Given a DayScenario it produces the home's *natural* behavior — the
+// trigger-action patterns occurring "without machine intervention"
+// (Section IV-A): locking up when leaving, lights tracking occupancy and
+// darkness, comfort-driven thermostat use, and the day's appliance demands
+// at their habitual times.
+//
+// The output doubles as (a) learning episodes for the security policy
+// learner and (b) the "normal user behavior" baseline the paper compares
+// Jarvis against in Figs. 6-8.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "events/event.h"
+#include "fsm/device_library.h"
+#include "fsm/environment.h"
+#include "fsm/episode.h"
+#include "sim/scenario.h"
+#include "sim/thermal.h"
+
+namespace jarvis::sim {
+
+// Energy / cost / comfort totals for one simulated day.
+struct DayMetrics {
+  double energy_kwh = 0.0;
+  double cost_usd = 0.0;
+  // Sum over occupied minutes of |indoor - comfort band| in degC-minutes.
+  double comfort_error_c_min = 0.0;
+  // Sum over all minutes (used by diagnostics).
+  double comfort_error_all_c_min = 0.0;
+};
+
+// Everything produced by simulating one day.
+struct DayTrace {
+  DayScenario scenario;
+  fsm::Episode episode;
+  std::vector<events::Event> events;
+  std::vector<double> indoor_c;  // per minute
+  DayMetrics metrics;
+};
+
+// Resolved device ids for the labels the simulator manipulates; devices
+// absent from the home are nullopt and simply not driven.
+struct HomeRefs {
+  explicit HomeRefs(const fsm::EnvironmentFsm& fsm);
+
+  std::optional<fsm::DeviceId> lock, door_sensor, light, thermostat,
+      temp_sensor, fridge, oven, tv, washer, dishwasher, coffee_maker;
+};
+
+// Human imperfection knobs. The paper's baseline is *real user behavior*
+// (OpenSHS / Smart* traces), and the functionality advantage of Jarvis in
+// Figs. 6-8 exists precisely because people forget devices and react to
+// temperature drift slowly. Setting both knobs to zero yields an idealized
+// resident (useful in tests).
+struct BehaviorConfig {
+  // Probability (per departure) of forgetting a running device when
+  // leaving home: lights stay on, thermostat keeps running.
+  double forget_on_departure = 0.45;
+  // The user notices an uncomfortable temperature only every N minutes.
+  int thermostat_reaction_minutes = 15;
+};
+
+class ResidentSimulator {
+ public:
+  ResidentSimulator(const fsm::EnvironmentFsm& fsm, ThermalConfig thermal,
+                    std::uint64_t seed, BehaviorConfig behavior = {});
+
+  // Simulates one day from the given initial state and indoor temperature.
+  DayTrace SimulateDay(const DayScenario& scenario,
+                       const fsm::StateVector& initial_state,
+                       double initial_indoor_c);
+
+  // Simulates consecutive days, carrying device states and indoor
+  // temperature across midnights. Starts from the home's natural overnight
+  // state (everything off/locked, sensors on).
+  std::vector<DayTrace> SimulateDays(const ScenarioGenerator& generator,
+                                     int start_day, int day_count);
+
+  // The natural overnight initial state: locked, lights off, thermostat
+  // off, sensors sensing/optimal, appliances off/closed.
+  fsm::StateVector OvernightState() const;
+
+  const fsm::EnvironmentFsm& fsm() const { return fsm_; }
+  const ThermalConfig& thermal_config() const { return thermal_config_; }
+
+ private:
+  const fsm::EnvironmentFsm& fsm_;
+  HomeRefs refs_;
+  ThermalConfig thermal_config_;
+  BehaviorConfig behavior_;
+  util::Rng rng_;
+};
+
+// Computes DayMetrics for an arbitrary per-minute state trace (used to
+// score Jarvis-optimized behavior with the same yardstick as natural
+// behavior). `indoor_c` may be empty when no thermal data applies.
+DayMetrics ComputeMetrics(const fsm::EnvironmentFsm& fsm,
+                          const fsm::Episode& episode,
+                          const DayScenario& scenario,
+                          const std::vector<double>& indoor_c,
+                          const ThermalConfig& thermal);
+
+}  // namespace jarvis::sim

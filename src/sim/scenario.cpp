@@ -1,0 +1,108 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+namespace jarvis::sim {
+
+namespace {
+
+int ClampMinute(int minute) {
+  return std::clamp(minute, 0, util::kMinutesPerDay - 1);
+}
+
+}  // namespace
+
+ScenarioGenerator::ScenarioGenerator(ScheduleConfig schedule,
+                                     WeatherConfig weather, PriceConfig prices,
+                                     std::uint64_t seed)
+    : schedule_(schedule),
+      weather_(weather, seed ^ 0xabcd1234ULL),
+      prices_(prices, seed ^ 0x5678ef90ULL),
+      seed_(seed) {}
+
+DayScenario ScenarioGenerator::Generate(int day) const {
+  util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) * 0x9e3779b97f4a7c15ULL));
+  DayScenario scenario;
+  scenario.day = day;
+  scenario.weekend = util::SimTime::FromDayAndMinute(day, 0).is_weekend();
+
+  auto jitter = [&](int mean) {
+    return ClampMinute(static_cast<int>(
+        rng.NextGaussian(mean, schedule_.jitter_stddev)));
+  };
+
+  // Wake never before 06:00: keeps the small-hours day-parts free of
+  // natural lock/light activity, which the safety semantics rely on.
+  scenario.wake_minute =
+      std::max(6 * 60, jitter(scenario.weekend ? schedule_.weekend_wake_mean
+                                               : schedule_.weekday_wake_mean));
+  scenario.sleep_minute = jitter(schedule_.sleep_mean);
+  if (scenario.sleep_minute <= scenario.wake_minute + 8 * 60) {
+    scenario.sleep_minute = ClampMinute(scenario.wake_minute + 14 * 60);
+  }
+
+  if (!scenario.weekend) {
+    const int leave = std::max(scenario.wake_minute + 30,
+                               jitter(schedule_.weekday_leave_mean));
+    const int arrive =
+        std::max(leave + 4 * 60, jitter(schedule_.weekday_return_mean));
+    scenario.departure_minutes.push_back(ClampMinute(leave));
+    scenario.arrival_minutes.push_back(ClampMinute(arrive));
+  } else if (rng.NextBool(schedule_.weekend_errand_probability)) {
+    const int leave = jitter(11 * 60);
+    const int arrive = std::max(leave + 45, jitter(13 * 60 + 30));
+    scenario.departure_minutes.push_back(ClampMinute(std::max(
+        leave, scenario.wake_minute + 45)));
+    scenario.arrival_minutes.push_back(ClampMinute(arrive));
+  }
+
+  // Build the occupancy / awake series from the anchors.
+  scenario.occupied.assign(util::kMinutesPerDay, true);
+  scenario.someone_awake.assign(util::kMinutesPerDay, false);
+  for (std::size_t i = 0; i < scenario.departure_minutes.size(); ++i) {
+    const int leave = scenario.departure_minutes[i];
+    const int arrive = i < scenario.arrival_minutes.size()
+                           ? scenario.arrival_minutes[i]
+                           : util::kMinutesPerDay - 1;
+    for (int m = leave; m < arrive; ++m) {
+      scenario.occupied[static_cast<std::size_t>(m)] = false;
+    }
+  }
+  for (int m = scenario.wake_minute; m < scenario.sleep_minute; ++m) {
+    scenario.someone_awake[static_cast<std::size_t>(m)] = true;
+  }
+
+  // Weather and price series, minute resolution.
+  scenario.outdoor_c.resize(util::kMinutesPerDay);
+  scenario.forecast_c.resize(util::kMinutesPerDay);
+  scenario.price_usd_per_kwh.resize(util::kMinutesPerDay);
+  for (int m = 0; m < util::kMinutesPerDay; ++m) {
+    const util::SimTime t = util::SimTime::FromDayAndMinute(day, m);
+    scenario.outdoor_c[static_cast<std::size_t>(m)] = weather_.OutdoorTempC(t);
+    scenario.forecast_c[static_cast<std::size_t>(m)] = weather_.ForecastTempC(t);
+    scenario.price_usd_per_kwh[static_cast<std::size_t>(m)] =
+        prices_.PriceAt(t);
+  }
+
+  // The day's appliance demands: the resident's habits, lightly jittered.
+  scenario.demands.push_back({"coffee_maker", "brew",
+                              ClampMinute(scenario.wake_minute + 10), 8});
+  const int dinner = jitter(18 * 60 + 30);
+  scenario.demands.push_back({"oven", "start_preheat", dinner, 55});
+  scenario.demands.push_back(
+      {"dishwasher", "start_cycle", ClampMinute(dinner + 90), 75});
+  if (scenario.weekend || rng.NextBool(0.25)) {
+    scenario.demands.push_back(
+        {"washer", "start_cycle", jitter(10 * 60 + 30), 65});
+  }
+  scenario.demands.push_back(
+      {"tv", "power_on", ClampMinute(dinner + 45),
+       std::max(30, scenario.sleep_minute - dinner - 60)});
+  std::sort(scenario.demands.begin(), scenario.demands.end(),
+            [](const ApplianceDemand& a, const ApplianceDemand& b) {
+              return a.preferred_minute < b.preferred_minute;
+            });
+  return scenario;
+}
+
+}  // namespace jarvis::sim

@@ -1,0 +1,78 @@
+// Per-day exogenous context: occupancy schedule, weather, day-ahead prices,
+// and the resident's intended device uses ("demands"). The resident
+// simulator turns a scenario into natural behavior (what the home does
+// without machine intervention); the RL environment replays the same
+// scenario while the agent chooses controllable actions, so that paper
+// comparisons (normal vs Jarvis, Figs. 6-8) share identical conditions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/prices.h"
+#include "sim/weather.h"
+#include "util/rng.h"
+#include "util/timeofday.h"
+
+namespace jarvis::sim {
+
+// One intended device use, e.g. "run the dishwasher around 20:15".
+struct ApplianceDemand {
+  std::string device_label;
+  std::string action_name;     // the action satisfying the demand
+  int preferred_minute = 0;    // the user's habitual minute-of-day
+  int duration_minutes = 0;    // how long the resulting activity runs
+};
+
+struct DayScenario {
+  int day = 0;
+  bool weekend = false;
+  int wake_minute = 0;
+  int sleep_minute = 0;
+  std::vector<int> departure_minutes;  // leaves home, sorted
+  std::vector<int> arrival_minutes;    // returns home, sorted
+
+  // Minute-resolution series, all sized kMinutesPerDay.
+  std::vector<bool> occupied;
+  std::vector<bool> someone_awake;
+  std::vector<double> outdoor_c;
+  std::vector<double> forecast_c;
+  std::vector<double> price_usd_per_kwh;
+
+  std::vector<ApplianceDemand> demands;
+
+  bool OccupiedAt(int minute) const {
+    return occupied[static_cast<std::size_t>(minute)];
+  }
+};
+
+struct ScheduleConfig {
+  int weekday_wake_mean = 6 * 60 + 30;
+  int weekday_leave_mean = 8 * 60;
+  int weekday_return_mean = 17 * 60 + 30;
+  int sleep_mean = 22 * 60 + 45;
+  int weekend_wake_mean = 8 * 60 + 15;
+  int jitter_stddev = 25;  // minutes, applies to all anchors
+  double weekend_errand_probability = 0.6;
+};
+
+// Generates deterministic scenarios given a seed: scenario (seed, day) is a
+// pure function, so "30 random days" are reproducible.
+class ScenarioGenerator {
+ public:
+  ScenarioGenerator(ScheduleConfig schedule, WeatherConfig weather,
+                    PriceConfig prices, std::uint64_t seed);
+
+  DayScenario Generate(int day) const;
+
+  const WeatherModel& weather() const { return weather_; }
+  const DamPriceModel& prices() const { return prices_; }
+
+ private:
+  ScheduleConfig schedule_;
+  WeatherModel weather_;
+  DamPriceModel prices_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jarvis::sim

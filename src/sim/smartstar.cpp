@@ -1,0 +1,66 @@
+#include "sim/smartstar.h"
+
+namespace jarvis::sim {
+
+namespace {
+
+ScheduleConfig SmartStarSchedule() {
+  ScheduleConfig schedule;
+  // Real-user anchors wander more than the synthetic Home A.
+  schedule.jitter_stddev = 45;
+  schedule.weekday_wake_mean = 6 * 60 + 50;
+  schedule.weekday_return_mean = 17 * 60 + 50;
+  schedule.weekend_errand_probability = 0.75;
+  return schedule;
+}
+
+WeatherConfig SmartStarWeather() {
+  WeatherConfig weather;
+  // Western Massachusetts: cold winters, warm summers.
+  weather.annual_mean_c = 9.0;
+  weather.seasonal_amplitude_c = 16.0;
+  weather.diurnal_amplitude_c = 7.0;
+  weather.noise_stddev_c = 2.5;
+  return weather;
+}
+
+PriceConfig SmartStarPrices() {
+  PriceConfig prices;
+  // ISO-NE-like day-ahead structure.
+  prices.off_peak_usd_per_kwh = 0.07;
+  prices.shoulder_usd_per_kwh = 0.13;
+  prices.peak_usd_per_kwh = 0.31;
+  prices.volatility = 0.2;
+  return prices;
+}
+
+}  // namespace
+
+SmartStarDataset::SmartStarDataset(const fsm::EnvironmentFsm& fsm,
+                                   std::uint64_t seed)
+    : fsm_(fsm),
+      generator_(SmartStarSchedule(), SmartStarWeather(), SmartStarPrices(),
+                 seed),
+      thermal_(),
+      seed_(seed) {
+  // A slightly leakier envelope than default (an older real home).
+  thermal_.envelope_coefficient = 0.0045;
+}
+
+DayTrace SmartStarDataset::Day(int day_index) const {
+  ResidentSimulator simulator(
+      fsm_, thermal_,
+      seed_ ^ (static_cast<std::uint64_t>(day_index) * 0xff51afd7ed558ccdULL));
+  const DayScenario scenario = generator_.Generate(day_index);
+  return simulator.SimulateDay(scenario, simulator.OvernightState(),
+                               thermal_.initial_indoor_c);
+}
+
+std::vector<int> SmartStarDataset::SampleDays(int count,
+                                              std::uint64_t sample_seed) const {
+  util::Rng rng(seed_ ^ sample_seed);
+  const auto indices = rng.SampleIndices(365, static_cast<std::size_t>(count));
+  return std::vector<int>(indices.begin(), indices.end());
+}
+
+}  // namespace jarvis::sim

@@ -1,0 +1,62 @@
+#include "sim/thermal.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jarvis::sim {
+
+ThermalModel::ThermalModel(ThermalConfig config)
+    : config_(config), indoor_c_(config.initial_indoor_c) {
+  if (config_.optimal_low_c >= config_.optimal_high_c) {
+    throw std::invalid_argument("ThermalModel: empty comfort band");
+  }
+}
+
+double ThermalModel::Step(HvacMode mode, double outdoor_c) {
+  // Envelope exchange pulls indoor toward outdoor.
+  indoor_c_ += config_.envelope_coefficient * (outdoor_c - indoor_c_);
+  switch (mode) {
+    case HvacMode::kHeat:
+      indoor_c_ += config_.heat_rate_c_per_min;
+      break;
+    case HvacMode::kCool:
+      indoor_c_ -= config_.cool_rate_c_per_min;
+      break;
+    case HvacMode::kOff:
+      break;
+  }
+  return indoor_c_;
+}
+
+fsm::StateIndex ThermalModel::SensorState() const {
+  // Device-library temp sensor states: 0=above_optimal, 1=below_optimal,
+  // 2=optimal.
+  if (indoor_c_ > config_.optimal_high_c) return 0;
+  if (indoor_c_ < config_.optimal_low_c) return 1;
+  return 2;
+}
+
+double ThermalModel::ComfortErrorC() const {
+  if (indoor_c_ > config_.optimal_high_c) {
+    return indoor_c_ - config_.optimal_high_c;
+  }
+  if (indoor_c_ < config_.optimal_low_c) {
+    return config_.optimal_low_c - indoor_c_;
+  }
+  return 0.0;
+}
+
+HvacMode HvacModeFromThermostatState(fsm::StateIndex thermostat_state) {
+  switch (thermostat_state) {
+    case 0:
+      return HvacMode::kHeat;
+    case 1:
+      return HvacMode::kCool;
+    case 2:
+      return HvacMode::kOff;
+    default:
+      throw std::out_of_range("HvacModeFromThermostatState: bad state");
+  }
+}
+
+}  // namespace jarvis::sim

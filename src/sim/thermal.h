@@ -1,0 +1,60 @@
+// First-order lumped thermal model of the house: indoor temperature relaxes
+// toward outdoor temperature through the envelope, and the HVAC injects or
+// removes heat while the thermostat is in heat/cool. Minute-resolution
+// stepping matches the episode interval I = 1 min.
+//
+// The model supplies the HVAC readings behind the temperature-optimization
+// functionality F_3 and drives the temperature sensor's discrete state
+// (above/below/optimal).
+#pragma once
+
+#include "fsm/device.h"
+#include "util/timeofday.h"
+
+namespace jarvis::sim {
+
+struct ThermalConfig {
+  double envelope_coefficient = 0.0035;  // per minute; leakier = larger
+  double heat_rate_c_per_min = 0.15;     // HVAC heating effect
+  double cool_rate_c_per_min = 0.12;     // HVAC cooling effect
+  double optimal_low_c = 20.0;           // comfort band lower edge
+  double optimal_high_c = 23.0;          // comfort band upper edge
+  double initial_indoor_c = 21.0;
+};
+
+// Thermostat mode as the thermal model sees it, mapped from the thermostat
+// device state (heat/cool/off).
+enum class HvacMode { kOff, kHeat, kCool };
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config);
+
+  double indoor_temp_c() const { return indoor_c_; }
+  void set_indoor_temp_c(double temp) { indoor_c_ = temp; }
+
+  // Advances one minute under the given HVAC mode and outdoor temperature;
+  // returns the new indoor temperature.
+  double Step(HvacMode mode, double outdoor_c);
+
+  // Discrete temperature-sensor state for the current indoor temperature:
+  // above_optimal / below_optimal / optimal relative to the comfort band.
+  // (fire_alarm and off are never produced by the thermal model.)
+  fsm::StateIndex SensorState() const;
+
+  // Absolute distance from the comfort band (0 inside the band); the
+  // per-minute temperature error integrated by the F_3 evaluation.
+  double ComfortErrorC() const;
+
+  const ThermalConfig& config() const { return config_; }
+
+ private:
+  ThermalConfig config_;
+  double indoor_c_;
+};
+
+// Maps a thermostat device state index (heat=0, cool=1, off=2 in the device
+// library) to an HvacMode.
+HvacMode HvacModeFromThermostatState(fsm::StateIndex thermostat_state);
+
+}  // namespace jarvis::sim

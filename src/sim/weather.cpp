@@ -1,0 +1,43 @@
+#include "sim/weather.h"
+
+#include <cmath>
+
+namespace jarvis::sim {
+
+WeatherModel::WeatherModel(WeatherConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+double WeatherModel::SmoothComponent(util::SimTime t) const {
+  const double day_of_year = static_cast<double>(t.day() % 365);
+  const double season_phase =
+      2.0 * M_PI * (day_of_year - config_.coldest_day_of_year) / 365.0;
+  const double seasonal =
+      -config_.seasonal_amplitude_c * std::cos(season_phase);
+
+  const double minute = static_cast<double>(t.minute_of_day());
+  const double diurnal_phase =
+      2.0 * M_PI * (minute - config_.warmest_minute_of_day) /
+      static_cast<double>(util::kMinutesPerDay);
+  const double diurnal = config_.diurnal_amplitude_c * std::cos(diurnal_phase);
+
+  return config_.annual_mean_c + seasonal + diurnal;
+}
+
+double WeatherModel::DayNoise(int day, std::uint64_t stream) const {
+  // A fresh generator per (seed, day, stream) keeps lookups stateless and
+  // order-independent, so OutdoorTempC is a pure function of time.
+  util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) * 0x517cc1b727220a95ULL) ^
+                stream);
+  return rng.NextGaussian(0.0, config_.noise_stddev_c);
+}
+
+double WeatherModel::OutdoorTempC(util::SimTime t) const {
+  return SmoothComponent(t) + DayNoise(t.day(), 0);
+}
+
+double WeatherModel::ForecastTempC(util::SimTime t) const {
+  // Forecasts miss the actual day's noise but carry their own small error.
+  return SmoothComponent(t) + 0.3 * DayNoise(t.day(), 1);
+}
+
+}  // namespace jarvis::sim

@@ -1,0 +1,44 @@
+// Outdoor temperature model standing in for the weather behind the Smart*
+// dataset [18]: a seasonal trend plus a diurnal sinusoid (coldest ~05:00,
+// warmest ~15:00) plus day-to-day weather noise. Also provides the
+// "day-ahead forecast" used by the temperature-optimization functionality
+// F_3 (Section VI-D).
+#pragma once
+
+#include "util/rng.h"
+#include "util/timeofday.h"
+
+namespace jarvis::sim {
+
+struct WeatherConfig {
+  double annual_mean_c = 12.0;       // yearly average outdoor temperature
+  double seasonal_amplitude_c = 14.0; // summer-winter swing (half-range)
+  double diurnal_amplitude_c = 6.0;  // day-night swing (half-range)
+  double noise_stddev_c = 1.5;       // per-day weather offset
+  int coldest_day_of_year = 20;      // late January
+  int warmest_minute_of_day = 15 * 60;
+};
+
+class WeatherModel {
+ public:
+  WeatherModel(WeatherConfig config, std::uint64_t seed);
+
+  // Actual outdoor temperature at a time instance (deterministic per seed).
+  double OutdoorTempC(util::SimTime t) const;
+
+  // Day-ahead forecast: the model's smooth component without the weather
+  // noise of the actual day, plus a small forecast error.
+  double ForecastTempC(util::SimTime t) const;
+
+  const WeatherConfig& config() const { return config_; }
+
+ private:
+  double SmoothComponent(util::SimTime t) const;
+  // Deterministic per-day noise derived from the seed and day index.
+  double DayNoise(int day, std::uint64_t stream) const;
+
+  WeatherConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jarvis::sim

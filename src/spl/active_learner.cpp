@@ -1,0 +1,83 @@
+#include "spl/active_learner.h"
+
+namespace jarvis::spl {
+
+ActiveLearner::ActiveLearner(SafetyPolicyLearner& learner,
+                             ActiveLearningConfig config)
+    : learner_(learner), config_(config) {}
+
+ActiveLearner::MemoryKey ActiveLearner::KeyFor(const fsm::StateVector& state,
+                                               const fsm::MiniAction& mini,
+                                               int minute_of_day) const {
+  // Memory deliberately uses the same time granularity as the factored
+  // P_safe keys, so one judgment covers the whole day-part.
+  const auto& codec = learner_.fsm().codec();
+  return {codec.Encode(state), codec.MiniActionSlot(mini),
+          minute_of_day / kTimeBucketMinutes};
+}
+
+Verdict ActiveLearner::ReviewTransition(const fsm::StateVector& state,
+                                        const fsm::MiniAction& mini,
+                                        int minute_of_day,
+                                        const UserOracle& oracle) {
+  const Verdict current = learner_.ClassifyMini(state, mini, minute_of_day);
+  if (current != Verdict::kViolation) return current;
+
+  const MemoryKey key = KeyFor(state, mini, minute_of_day);
+  if (approved_.count(key) > 0) {
+    // Approved earlier but table not updated (should not happen; defensive).
+    learner_.mutable_table().ForceAdmit(state, mini, minute_of_day);
+    return Verdict::kSafe;
+  }
+  if (rejected_.count(key) > 0) return Verdict::kViolation;
+
+  ++total_queries_;
+  if (oracle(state, mini, minute_of_day) == UserJudgment::kApprove) {
+    approved_.insert(key);
+    learner_.mutable_table().ForceAdmit(state, mini, minute_of_day);
+    return Verdict::kSafe;
+  }
+  rejected_.insert(key);
+  return Verdict::kViolation;
+}
+
+bool ActiveLearner::IsConfirmedMalicious(const fsm::StateVector& state,
+                                         const fsm::MiniAction& mini,
+                                         int minute_of_day) const {
+  return rejected_.count(KeyFor(state, mini, minute_of_day)) > 0;
+}
+
+ActiveLearningReport ActiveLearner::ReviewEpisode(const fsm::Episode& episode,
+                                                  const UserOracle& oracle) {
+  ActiveLearningReport report;
+  const AuditResult audit = learner_.AuditEpisode(episode);
+  for (const Flag& flag : audit.flags) {
+    if (flag.verdict != Verdict::kViolation) continue;
+    ++report.flags_seen;
+    const auto& step =
+        episode.steps()[static_cast<std::size_t>(flag.step_index)];
+    const int minute = step.time.minute_of_day();
+    const MemoryKey key = KeyFor(step.state, flag.mini, minute);
+    if (approved_.count(key) > 0 || rejected_.count(key) > 0) {
+      ++report.remembered;
+      continue;
+    }
+    if (report.queried >= config_.max_queries_per_session) {
+      ++report.skipped_budget;
+      continue;
+    }
+    ++report.queried;
+    ++total_queries_;
+    if (oracle(step.state, flag.mini, minute) == UserJudgment::kApprove) {
+      approved_.insert(key);
+      learner_.mutable_table().ForceAdmit(step.state, flag.mini, minute);
+      ++report.approved;
+    } else {
+      rejected_.insert(key);
+      ++report.rejected;
+    }
+  }
+  return report;
+}
+
+}  // namespace jarvis::spl

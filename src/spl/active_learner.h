@@ -1,0 +1,80 @@
+// Active learning over the benefit spaces (Section VI-F): the SPL is
+// deliberately biased toward safety, so some flagged behaviors are false
+// positives or unsafe-but-acceptable actions with real functionality
+// benefits. This component routes such flags to the user (an oracle
+// callback), remembers every judgment, and feeds approvals back into
+// P_safe — also covering the Section V-B-1 case of manually adding
+// policies for rare-but-critical behavior (fire-alarm reactions) that the
+// learning phase cannot observe.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include "spl/learner.h"
+
+namespace jarvis::spl {
+
+enum class UserJudgment { kApprove, kReject };
+
+// The user's judgment of one flagged mini-action in context.
+using UserOracle = std::function<UserJudgment(
+    const fsm::StateVector& state, const fsm::MiniAction& mini,
+    int minute_of_day)>;
+
+struct ActiveLearningConfig {
+  // Query budget per review session; flags beyond it are left as-is
+  // (still blocked) rather than spamming the user.
+  std::size_t max_queries_per_session = 20;
+};
+
+struct ActiveLearningReport {
+  std::size_t flags_seen = 0;
+  std::size_t queried = 0;
+  std::size_t approved = 0;        // admitted into P_safe
+  std::size_t rejected = 0;        // confirmed malicious
+  std::size_t remembered = 0;      // previously judged, not re-asked
+  std::size_t skipped_budget = 0;  // query budget exhausted
+};
+
+class ActiveLearner {
+ public:
+  ActiveLearner(SafetyPolicyLearner& learner, ActiveLearningConfig config);
+
+  // Audits the episode and routes every kViolation flag through the
+  // oracle. Approvals take effect immediately (the same behavior will
+  // classify kSafe afterwards).
+  ActiveLearningReport ReviewEpisode(const fsm::Episode& episode,
+                                     const UserOracle& oracle);
+
+  // Single-transition query path. Returns the resulting verdict after any
+  // feedback is applied. Previously judged transitions are answered from
+  // memory without consulting the oracle.
+  Verdict ReviewTransition(const fsm::StateVector& state,
+                           const fsm::MiniAction& mini, int minute_of_day,
+                           const UserOracle& oracle);
+
+  // Whether this exact (context, action, day-part) was already rejected by
+  // the user in a previous session.
+  bool IsConfirmedMalicious(const fsm::StateVector& state,
+                            const fsm::MiniAction& mini,
+                            int minute_of_day) const;
+
+  std::size_t total_queries() const { return total_queries_; }
+  std::size_t confirmed_malicious_count() const { return rejected_.size(); }
+
+ private:
+  // Judgment memory key: full context + slot + time bucket.
+  using MemoryKey = std::tuple<std::uint64_t, std::size_t, int>;
+  MemoryKey KeyFor(const fsm::StateVector& state, const fsm::MiniAction& mini,
+                   int minute_of_day) const;
+
+  SafetyPolicyLearner& learner_;
+  ActiveLearningConfig config_;
+  std::set<MemoryKey> approved_;
+  std::set<MemoryKey> rejected_;
+  std::size_t total_queries_ = 0;
+};
+
+}  // namespace jarvis::spl

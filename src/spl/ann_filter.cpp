@@ -1,0 +1,134 @@
+#include "spl/ann_filter.h"
+
+#include <algorithm>
+
+namespace jarvis::spl {
+
+namespace {
+
+neural::Network BuildNetwork(std::size_t inputs, const AnnFilterConfig& config,
+                             std::uint64_t seed) {
+  // Single hidden layer + sigmoid output, trained with BCE by plain SGD
+  // back-propagation — the paper's one-hidden-layer MLP.
+  return neural::Network(
+      inputs,
+      {{config.hidden_units, neural::Activation::kRelu},
+       {1, neural::Activation::kSigmoid}},
+      neural::Loss::kBinaryCrossEntropy,
+      std::make_unique<neural::Sgd>(config.learning_rate, 0.9),
+      util::Rng(seed));
+}
+
+}  // namespace
+
+AnnFilter::AnnFilter(const fsm::EnvironmentFsm& fsm, AnnFilterConfig config,
+                     std::uint64_t seed)
+    : fsm_(fsm),
+      encoder_(fsm),
+      config_(config),
+      network_(BuildNetwork(encoder_.feature_width(), config, seed)) {}
+
+double AnnFilter::Train(const std::vector<sim::LabeledSample>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("AnnFilter::Train: empty training set");
+  }
+  // Expand joint actions into one row per mini-action.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> labels;
+  for (const auto& sample : samples) {
+    for (const auto& mini : FeatureEncoder::SplitAction(sample.ta.action)) {
+      rows.push_back(encoder_.Encode(sample.ta.trigger_state, mini,
+                                     sample.ta.minute_of_day));
+      labels.push_back(sample.benign_anomaly ? 1.0 : 0.0);
+    }
+  }
+  if (rows.empty()) {
+    throw std::invalid_argument("AnnFilter::Train: no mini-actions");
+  }
+
+  // Class balance: anomaly datasets are heavily skewed (55k anomalies vs a
+  // week of habitual transitions, or vice versa). Oversample the minority
+  // class so the sigmoid output is not dominated by the prior.
+  {
+    std::vector<std::size_t> positive_rows, negative_rows;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      (labels[i] > 0.5 ? positive_rows : negative_rows).push_back(i);
+    }
+    if (!positive_rows.empty() && !negative_rows.empty()) {
+      util::Rng balance_rng(0xba1a9ceULL);
+      const auto& minority = positive_rows.size() < negative_rows.size()
+                                 ? positive_rows
+                                 : negative_rows;
+      const std::size_t deficit =
+          std::max(positive_rows.size(), negative_rows.size()) -
+          minority.size();
+      for (std::size_t i = 0; i < deficit; ++i) {
+        const std::size_t source = minority[balance_rng.NextIndex(minority.size())];
+        rows.push_back(rows[source]);
+        labels.push_back(labels[source]);
+      }
+    }
+  }
+  neural::Tensor inputs(rows.size(), encoder_.feature_width());
+  neural::Tensor targets(rows.size(), 1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    inputs.SetRow(i, rows[i]);
+    targets.At(i, 0) = labels[i];
+  }
+  double loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    loss = network_.TrainEpoch(inputs, targets, config_.batch_size);
+  }
+  trained_ = true;
+  return loss;
+}
+
+double AnnFilter::BenignScore(const fsm::StateVector& trigger_state,
+                              const fsm::MiniAction& mini,
+                              int minute_of_day) const {
+  return network_.PredictOne(
+      encoder_.Encode(trigger_state, mini, minute_of_day))[0];
+}
+
+double AnnFilter::BenignScore(const fsm::TriggerAction& ta) const {
+  const auto minis = FeatureEncoder::SplitAction(ta.action);
+  if (minis.empty()) return 0.0;
+  double score = 1.0;
+  for (const auto& mini : minis) {
+    score = std::min(score,
+                     BenignScore(ta.trigger_state, mini, ta.minute_of_day));
+  }
+  return score;
+}
+
+util::JsonValue AnnFilter::ToJson() const {
+  util::JsonObject obj;
+  obj["trained"] = util::JsonValue(trained_);
+  obj["network"] = neural::ToJson(network_);
+  return util::JsonValue(std::move(obj));
+}
+
+void AnnFilter::LoadJson(const util::JsonValue& doc) {
+  neural::Network restored = neural::FromJson(
+      doc.At("network"), neural::Loss::kBinaryCrossEntropy,
+      std::make_unique<neural::Sgd>(config_.learning_rate, 0.9),
+      util::Rng(1));
+  if (restored.input_features() != encoder_.feature_width()) {
+    throw std::invalid_argument("AnnFilter::LoadJson: feature width mismatch");
+  }
+  network_ = std::move(restored);
+  trained_ = doc.At("trained").AsBool();
+}
+
+double AnnFilter::Evaluate(
+    const std::vector<sim::LabeledSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& sample : samples) {
+    const bool predicted = IsBenign(sample.ta);
+    if (predicted == sample.benign_anomaly) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace jarvis::spl

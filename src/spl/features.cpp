@@ -1,0 +1,38 @@
+#include "spl/features.h"
+
+#include <cmath>
+
+namespace jarvis::spl {
+
+FeatureEncoder::FeatureEncoder(const fsm::EnvironmentFsm& fsm)
+    : fsm_(fsm),
+      width_(fsm.codec().one_hot_width() + fsm.codec().mini_action_count() +
+             2) {}
+
+std::vector<double> FeatureEncoder::Encode(const fsm::StateVector& trigger_state,
+                                           const fsm::MiniAction& mini,
+                                           int minute_of_day) const {
+  std::vector<double> features = fsm_.codec().OneHot(trigger_state);
+  features.resize(width_, 0.0);
+
+  const std::size_t action_offset = fsm_.codec().one_hot_width();
+  features[action_offset + fsm_.codec().MiniActionSlot(mini)] = 1.0;
+
+  const double phase = 2.0 * M_PI * static_cast<double>(minute_of_day) /
+                       static_cast<double>(util::kMinutesPerDay);
+  features[width_ - 2] = std::sin(phase);
+  features[width_ - 1] = std::cos(phase);
+  return features;
+}
+
+std::vector<fsm::MiniAction> FeatureEncoder::SplitAction(
+    const fsm::ActionVector& action) {
+  std::vector<fsm::MiniAction> minis;
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    if (action[i] == fsm::kNoAction) continue;
+    minis.push_back({static_cast<fsm::DeviceId>(i), action[i]});
+  }
+  return minis;
+}
+
+}  // namespace jarvis::spl

@@ -1,0 +1,35 @@
+// Featurization of trigger-action observations for the SPL's ANN filter:
+// full composite-state one-hot, mini-action one-hot, and cyclic
+// time-of-day features. One feature vector per mini-action, so joint
+// actions touching several devices yield several classification instances.
+#pragma once
+
+#include <vector>
+
+#include "fsm/environment.h"
+#include "fsm/episode.h"
+
+namespace jarvis::spl {
+
+class FeatureEncoder {
+ public:
+  explicit FeatureEncoder(const fsm::EnvironmentFsm& fsm);
+
+  std::size_t feature_width() const { return width_; }
+
+  // Features for one mini-action in a trigger context at a minute of day.
+  std::vector<double> Encode(const fsm::StateVector& trigger_state,
+                             const fsm::MiniAction& mini,
+                             int minute_of_day) const;
+
+  // Splits a joint action into its constituent mini-actions (no-ops are
+  // skipped: there is nothing to classify about leaving a device alone).
+  static std::vector<fsm::MiniAction> SplitAction(
+      const fsm::ActionVector& action);
+
+ private:
+  const fsm::EnvironmentFsm& fsm_;
+  std::size_t width_;
+};
+
+}  // namespace jarvis::spl

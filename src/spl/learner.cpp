@@ -1,0 +1,124 @@
+#include "spl/learner.h"
+
+#include <stdexcept>
+
+namespace jarvis::spl {
+
+std::string VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSafe:
+      return "safe";
+    case Verdict::kBenignAnomaly:
+      return "benign-anomaly";
+    case Verdict::kViolation:
+      return "violation";
+  }
+  throw std::logic_error("unknown verdict");
+}
+
+SafetyPolicyLearner::SafetyPolicyLearner(const fsm::EnvironmentFsm& fsm,
+                                         SplConfig config)
+    : fsm_(fsm),
+      config_(config),
+      table_(fsm, config.key_mode, config.count_threshold),
+      filter_(fsm, config.ann, config.seed) {}
+
+void SafetyPolicyLearner::Learn(
+    const std::vector<fsm::Episode>& episodes,
+    const std::vector<sim::LabeledSample>& labeled) {
+  if (episodes.empty()) {
+    throw std::invalid_argument("SafetyPolicyLearner::Learn: no episodes");
+  }
+  if (config_.use_ann_filter) {
+    if (labeled.empty()) {
+      throw std::invalid_argument(
+          "SafetyPolicyLearner::Learn: ANN filter enabled but no labeled "
+          "training data");
+    }
+    filter_.Train(labeled);
+  }
+
+  // Mem <- Filter_ANN(TD): drop transitions the filter regards as benign
+  // anomalies so malfunctions observed during the learning week are not
+  // whitelisted as habitual behavior.
+  const auto observations = fsm::ExtractTriggerActions(episodes);
+  for (const auto& ta : observations) {
+    if (config_.use_ann_filter && filter_.IsBenign(ta)) continue;
+    table_.Observe(ta.trigger_state, ta.action, ta.minute_of_day);
+  }
+  table_.Finalize();
+  learned_ = true;
+}
+
+Verdict SafetyPolicyLearner::ClassifyMini(const fsm::StateVector& state,
+                                          const fsm::MiniAction& mini,
+                                          int minute_of_day) const {
+  if (!learned_) {
+    throw std::logic_error("SafetyPolicyLearner: not learned yet");
+  }
+  if (table_.IsMiniActionSafe(state, mini, minute_of_day)) {
+    return Verdict::kSafe;
+  }
+  if (config_.use_ann_filter &&
+      filter_.BenignScore(state, mini, minute_of_day) >=
+          config_.ann.benign_threshold) {
+    return Verdict::kBenignAnomaly;
+  }
+  return Verdict::kViolation;
+}
+
+Verdict SafetyPolicyLearner::Classify(const fsm::StateVector& state,
+                                      const fsm::ActionVector& action,
+                                      int minute_of_day) const {
+  Verdict worst = Verdict::kSafe;
+  for (const auto& mini : FeatureEncoder::SplitAction(action)) {
+    const Verdict verdict = ClassifyMini(state, mini, minute_of_day);
+    if (verdict == Verdict::kViolation) return Verdict::kViolation;
+    if (verdict == Verdict::kBenignAnomaly) worst = Verdict::kBenignAnomaly;
+  }
+  return worst;
+}
+
+util::JsonValue SafetyPolicyLearner::ToJson() const {
+  util::JsonObject obj;
+  obj["learned"] = util::JsonValue(learned_);
+  obj["table"] = table_.ToJson();
+  obj["filter"] = filter_.ToJson();
+  return util::JsonValue(std::move(obj));
+}
+
+void SafetyPolicyLearner::LoadJson(const util::JsonValue& doc) {
+  table_.LoadJson(doc.At("table"));
+  filter_.LoadJson(doc.At("filter"));
+  learned_ = doc.At("learned").AsBool();
+}
+
+AuditResult SafetyPolicyLearner::AuditEpisode(
+    const fsm::Episode& episode) const {
+  AuditResult result;
+  int step_index = 0;
+  for (const auto& step : episode.steps()) {
+    for (const auto& mini : FeatureEncoder::SplitAction(step.action)) {
+      ++result.transitions_checked;
+      const Verdict verdict =
+          ClassifyMini(step.state, mini, step.time.minute_of_day());
+      switch (verdict) {
+        case Verdict::kSafe:
+          ++result.safe;
+          break;
+        case Verdict::kBenignAnomaly:
+          ++result.benign_anomalies;
+          result.flags.push_back({step_index, mini, verdict});
+          break;
+        case Verdict::kViolation:
+          ++result.violations;
+          result.flags.push_back({step_index, mini, verdict});
+          break;
+      }
+    }
+    ++step_index;
+  }
+  return result;
+}
+
+}  // namespace jarvis::spl

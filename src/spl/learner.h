@@ -1,0 +1,109 @@
+// The Security Policy Learner (SPL) component: Algorithm 1 end to end.
+//
+// Learning phase: train the ANN filter on user-labeled benign anomalies,
+// pass the learning episodes' trigger-action behavior through the filter
+// (Mem <- Filter_ANN(TD)), count surviving transitions, and admit those
+// with Count > Thresh_env into P_safe.
+//
+// Deployment: every attempted transition is classified —
+//   kSafe          in P_safe (natural, whitelisted behavior),
+//   kBenignAnomaly off-whitelist but the ANN recognizes it as a benign
+//                  malfunction / human error (filtered, not reported),
+//   kViolation     off-whitelist and not benign: flagged as a safety or
+//                  security violation and blocked in the RL environment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/anomaly.h"
+#include "spl/ann_filter.h"
+#include "spl/safe_table.h"
+
+namespace jarvis::spl {
+
+enum class Verdict { kSafe, kBenignAnomaly, kViolation };
+
+std::string VerdictName(Verdict verdict);
+
+struct SplConfig {
+  KeyMode key_mode = KeyMode::kFactoredContext;
+  int count_threshold = 0;  // Thresh_env; 0 = any observation admits
+  AnnFilterConfig ann;
+  bool use_ann_filter = true;  // ablation hook
+  std::uint64_t seed = 7;
+};
+
+// One flagged mini-action when auditing an episode.
+struct Flag {
+  int step_index;
+  fsm::MiniAction mini;
+  Verdict verdict;
+};
+
+struct AuditResult {
+  std::size_t transitions_checked = 0;
+  std::size_t safe = 0;
+  std::size_t benign_anomalies = 0;
+  std::size_t violations = 0;
+  std::vector<Flag> flags;  // benign anomalies and violations only
+};
+
+class SafetyPolicyLearner {
+ public:
+  SafetyPolicyLearner(const fsm::EnvironmentFsm& fsm, SplConfig config);
+
+  // Runs the learning phase. `labeled` is the training dataset TD
+  // (learning-phase behavior labeled normal plus user-labeled benign
+  // anomalies); `episodes` are the learning episodes whose surviving
+  // transitions populate P_safe.
+  void Learn(const std::vector<fsm::Episode>& episodes,
+             const std::vector<sim::LabeledSample>& labeled);
+
+  bool learned() const { return learned_; }
+
+  // Classifies one joint transition attempt.
+  Verdict Classify(const fsm::StateVector& state,
+                   const fsm::ActionVector& action, int minute_of_day) const;
+  // Classifies one mini-action.
+  Verdict ClassifyMini(const fsm::StateVector& state,
+                       const fsm::MiniAction& mini, int minute_of_day) const;
+
+  // Replays an episode through the classifier.
+  AuditResult AuditEpisode(const fsm::Episode& episode) const;
+
+  // Raw benign-anomaly score for ROC construction (Fig. 5).
+  double BenignScore(const fsm::TriggerAction& ta) const {
+    return filter_.BenignScore(ta);
+  }
+
+  const SafeTransitionTable& table() const { return table_; }
+  const AnnFilter& filter() const { return filter_; }
+  const SplConfig& config() const { return config_; }
+  const fsm::EnvironmentFsm& fsm() const { return fsm_; }
+
+  // Manual-policy / active-learning write access (Sections V-B-1, VI-F):
+  // admit a user-approved behavior that the learning phase could not
+  // observe (e.g. fire-alarm reactions) or that user feedback reclassified
+  // from the unsafe benefit space.
+  SafeTransitionTable& mutable_table() { return table_; }
+
+  // Persistence: the learnt policies (whitelist + ANN parameters), so a
+  // deployment reloads them without repeating the learning phase.
+  util::JsonValue ToJson() const;
+  std::string ToJsonString() const { return ToJson().Dump(); }
+  // Restores into a learner configured identically for the same home.
+  void LoadJson(const util::JsonValue& doc);
+  void LoadJsonString(const std::string& text) {
+    LoadJson(util::JsonValue::Parse(text));
+  }
+
+ private:
+  const fsm::EnvironmentFsm& fsm_;
+  SplConfig config_;
+  SafeTransitionTable table_;
+  AnnFilter filter_;
+  bool learned_ = false;
+};
+
+}  // namespace jarvis::spl

@@ -1,0 +1,188 @@
+#include "spl/safe_table.h"
+
+#include <stdexcept>
+
+namespace jarvis::spl {
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+SafeTransitionTable::SafeTransitionTable(const fsm::EnvironmentFsm& fsm,
+                                         KeyMode mode, int count_threshold)
+    : fsm_(fsm), mode_(mode), threshold_(count_threshold) {
+  if (count_threshold < 0) {
+    throw std::invalid_argument("SafeTransitionTable: negative threshold");
+  }
+  // The safety context: security-critical devices, when present. The
+  // temperature sensor participates only in thermal-device keys (see
+  // MakeKey): its state is safety-relevant for the thermostat ("heater cut
+  // while cold") but merely fragments keys for lights and appliances.
+  for (const char* label : {"lock", "door_sensor"}) {
+    for (const auto& device : fsm_.devices()) {
+      if (device.label() == label) {
+        context_devices_.push_back(device.id());
+        break;
+      }
+    }
+  }
+  for (const auto& device : fsm_.devices()) {
+    if (device.label() == "temp_sensor") {
+      temp_sensor_ = device.id();
+      if (const auto fire = device.FindState("fire_alarm")) {
+        fire_state_ = *fire;
+      }
+    }
+    if (device.label() == "thermostat") {
+      thermostat_ = device.id();
+    }
+  }
+}
+
+std::uint64_t SafeTransitionTable::MakeKey(const fsm::StateVector& state,
+                                           const fsm::MiniAction& mini,
+                                           int minute_of_day) const {
+  std::uint64_t key = 0x51a3d70a5ULL;
+  if (mode_ == KeyMode::kExactState) {
+    key = Mix(key, fsm_.codec().Encode(state));
+    key = Mix(key, fsm_.codec().MiniActionSlot(mini));
+    return key;
+  }
+  key = Mix(key, static_cast<std::uint64_t>(mini.device));
+  key = Mix(key, static_cast<std::uint64_t>(mini.action + 1));
+  key = Mix(key, static_cast<std::uint64_t>(
+                     state[static_cast<std::size_t>(mini.device)]));
+  for (const fsm::DeviceId context : context_devices_) {
+    key = Mix(key, static_cast<std::uint64_t>(
+                       state[static_cast<std::size_t>(context)]));
+  }
+  // Temperature context only for thermal devices...
+  if (temp_sensor_ >= 0 &&
+      (mini.device == thermostat_ || mini.device == temp_sensor_)) {
+    key = Mix(key, static_cast<std::uint64_t>(
+                       state[static_cast<std::size_t>(temp_sensor_)]) +
+                       0x1000);
+  }
+  // ...except for the emergency flag, which keys *every* device: behavior
+  // appropriate during a fire alarm (unlock the doors, Section V-B-1's
+  // manual policies) must never generalize to ordinary contexts or vice
+  // versa.
+  if (temp_sensor_ >= 0 && fire_state_ >= 0) {
+    const bool emergency =
+        state[static_cast<std::size_t>(temp_sensor_)] == fire_state_;
+    key = Mix(key, emergency ? 0x2001 : 0x2000);
+  }
+  key = Mix(key, static_cast<std::uint64_t>(minute_of_day /
+                                            kTimeBucketMinutes));
+  return key;
+}
+
+void SafeTransitionTable::Observe(const fsm::StateVector& state,
+                                  const fsm::ActionVector& action,
+                                  int minute_of_day) {
+  fsm_.ValidateState(state);
+  fsm_.ValidateAction(action);
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    if (action[i] == fsm::kNoAction) continue;
+    const fsm::MiniAction mini{static_cast<fsm::DeviceId>(i), action[i]};
+    ++counts_[MakeKey(state, mini, minute_of_day)];
+  }
+}
+
+void SafeTransitionTable::Finalize() {
+  admitted_.clear();
+  for (const auto& [key, count] : counts_) {
+    if (count > threshold_) admitted_.emplace(key, true);
+  }
+  for (const std::uint64_t key : forced_) admitted_.emplace(key, true);
+  finalized_ = true;
+}
+
+void SafeTransitionTable::ForceAdmit(const fsm::StateVector& state,
+                                     const fsm::MiniAction& mini,
+                                     int minute_of_day) {
+  fsm_.ValidateState(state);
+  const std::uint64_t key = MakeKey(state, mini, minute_of_day);
+  forced_.push_back(key);
+  admitted_.emplace(key, true);
+  finalized_ = true;  // a manual policy alone is a valid (tiny) whitelist
+}
+
+util::JsonValue SafeTransitionTable::ToJson() const {
+  util::JsonObject obj;
+  obj["mode"] = util::JsonValue(mode_ == KeyMode::kExactState
+                                    ? std::string("exact")
+                                    : std::string("factored"));
+  obj["threshold"] = util::JsonValue(threshold_);
+  util::JsonArray counts;
+  for (const auto& [key, count] : counts_) {
+    util::JsonArray entry;
+    // uint64 keys exceed double precision; store as decimal strings.
+    entry.emplace_back(std::to_string(key));
+    entry.emplace_back(count);
+    counts.push_back(util::JsonValue(std::move(entry)));
+  }
+  obj["counts"] = util::JsonValue(std::move(counts));
+  util::JsonArray forced;
+  for (const std::uint64_t key : forced_) {
+    forced.emplace_back(std::to_string(key));
+  }
+  obj["forced"] = util::JsonValue(std::move(forced));
+  return util::JsonValue(std::move(obj));
+}
+
+void SafeTransitionTable::LoadJson(const util::JsonValue& doc) {
+  const std::string mode = doc.At("mode").AsString();
+  if ((mode == "exact") != (mode_ == KeyMode::kExactState)) {
+    throw std::invalid_argument("SafeTransitionTable::LoadJson: mode mismatch");
+  }
+  if (doc.At("threshold").AsInt() != threshold_) {
+    throw std::invalid_argument(
+        "SafeTransitionTable::LoadJson: threshold mismatch");
+  }
+  counts_.clear();
+  forced_.clear();
+  for (const auto& entry : doc.At("counts").AsArray()) {
+    const auto& pair = entry.AsArray();
+    counts_[std::stoull(pair.at(0).AsString())] =
+        static_cast<int>(pair.at(1).AsInt());
+  }
+  for (const auto& key : doc.At("forced").AsArray()) {
+    forced_.push_back(std::stoull(key.AsString()));
+  }
+  Finalize();
+}
+
+bool SafeTransitionTable::IsMiniActionSafe(const fsm::StateVector& state,
+                                           const fsm::MiniAction& mini,
+                                           int minute_of_day) const {
+  if (!finalized_) return false;
+  if (mini.action == fsm::kNoAction) return true;
+  return admitted_.count(MakeKey(state, mini, minute_of_day)) > 0;
+}
+
+bool SafeTransitionTable::IsSafe(const fsm::StateVector& state,
+                                 const fsm::ActionVector& action,
+                                 int minute_of_day) const {
+  return UnsafeMiniActions(state, action, minute_of_day).empty();
+}
+
+std::vector<fsm::MiniAction> SafeTransitionTable::UnsafeMiniActions(
+    const fsm::StateVector& state, const fsm::ActionVector& action,
+    int minute_of_day) const {
+  std::vector<fsm::MiniAction> unsafe;
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    if (action[i] == fsm::kNoAction) continue;
+    const fsm::MiniAction mini{static_cast<fsm::DeviceId>(i), action[i]};
+    if (!IsMiniActionSafe(state, mini, minute_of_day)) unsafe.push_back(mini);
+  }
+  return unsafe;
+}
+
+}  // namespace jarvis::spl

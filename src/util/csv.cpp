@@ -1,0 +1,136 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jarvis::util {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter::AddRow: column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields.emplace_back(buf);
+  }
+  AddRow(std::move(fields));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out.push_back(',');
+    out += QuoteField(header_[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      out += QuoteField(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("CsvWriter: cannot open " + path);
+  file << ToString();
+}
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+    }
+  }
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("ReadCsvFile: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace jarvis::util

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the example tools:
+// `--name=value`, `--name value`, and boolean `--name` forms, with typed
+// accessors and leftover positional arguments.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jarvis::util {
+
+class Flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed flags
+  // (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Typed access with fallback; throws std::invalid_argument when the
+  // value exists but does not parse as the requested type.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  // Arguments that are not flags, in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // "" for bare booleans
+  std::vector<std::string> positional_;
+};
+
+}  // namespace jarvis::util

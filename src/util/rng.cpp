@@ -1,0 +1,152 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace jarvis::util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::NextInt: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(NextU64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % span);
+  std::uint64_t draw;
+  do {
+    draw = NextU64();
+  } while (draw >= limit && limit != 0);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+std::size_t Rng::NextIndex(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::NextIndex: n == 0");
+  return static_cast<std::size_t>(NextInt(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_gaussian_ = mag * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(angle);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::NextWeighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::NextWeighted: no positive weight");
+  }
+  double target = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: fall back to the last entry
+}
+
+int Rng::NextPoisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 64.0) {
+    const double draw = NextGaussian(lambda, std::sqrt(lambda));
+    return draw < 0.0 ? 0 : static_cast<int>(std::lround(draw));
+  }
+  const double limit = std::exp(-lambda);
+  int count = 0;
+  double product = NextDouble();
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+double Rng::NextExponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::NextExponential: rate <= 0");
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> Rng::SampleIndices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::SampleIndices: k > n");
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: shuffle only the first k slots.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + NextIndex(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace jarvis::util

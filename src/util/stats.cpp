@@ -1,0 +1,156 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace jarvis::util {
+
+double Sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Mean: empty input");
+  return Sum(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Variance: empty input");
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Min: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Max: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("Percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("Percentile: bad p");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
+                               const std::vector<bool>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("RocCurve: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (bool b : labels) positives += b ? 1 : 0;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("RocCurve: needs both classes");
+  }
+
+  // Sort by score descending; sweep the threshold down through the scores.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) ++tp;
+    else ++fp;
+    // Emit a point only when the next score differs (ties share a point).
+    if (i + 1 < order.size() && scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    curve.push_back({scores[order[i]],
+                     static_cast<double>(fp) / static_cast<double>(negatives),
+                     static_cast<double>(tp) / static_cast<double>(positives)});
+  }
+  return curve;
+}
+
+double RocAuc(const std::vector<RocPoint>& curve) {
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double y = 0.5 * (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+    auc += dx * y;
+  }
+  return auc;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(lo < hi)) {
+    throw std::invalid_argument("Histogram: bad range or zero bins");
+  }
+}
+
+void Histogram::Add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+std::string Histogram::ToString() const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[48];
+    std::snprintf(label, sizeof label, "%10.3g | ", BinCenter(i));
+    out += label;
+    const std::size_t width = counts_[i] * 50 / peak;
+    out.append(width, '#');
+    out += " " + std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace jarvis::util

@@ -1,0 +1,76 @@
+// Descriptive statistics used across the evaluation harness: per-episode
+// reward aggregation, ROC curves for the SPL filter (Fig. 5), and summary
+// rows for the functionality sweeps (Figs. 6-8).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jarvis::util {
+
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);  // population variance
+double StdDev(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+double Sum(const std::vector<double>& xs);
+
+// Linear-interpolated percentile; p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> xs, double p);
+
+// Numerically stable single-pass accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// One (false-positive-rate, true-positive-rate) point of a ROC curve.
+struct RocPoint {
+  double threshold;
+  double false_positive_rate;
+  double true_positive_rate;
+};
+
+// Builds a ROC curve from classifier scores. `scores` are "probability of
+// positive"; `labels` true class. Thresholds sweep the unique score values.
+std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
+                               const std::vector<bool>& labels);
+
+// Area under a ROC curve by trapezoid rule over the sorted points.
+double RocAuc(const std::vector<RocPoint>& curve);
+
+// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+// samples clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void Add(double x);
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t total() const { return total_; }
+  double BinCenter(std::size_t i) const;
+  std::string ToString() const;  // ASCII rendering for bench output
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace jarvis::util

@@ -1,0 +1,139 @@
+#include "core/online_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "events/handler.h"
+#include "sim/testbed.h"
+
+namespace jarvis::core {
+namespace {
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::TestbedConfig config;
+    config.benign_anomaly_samples = 2000;
+    testbed_ = new sim::Testbed(config);
+    learner_ = new spl::SafetyPolicyLearner(testbed_->home_a(),
+                                            spl::SplConfig{});
+    learner_->Learn(testbed_->HomeALearningEpisodes(),
+                    testbed_->BuildTrainingSet());
+  }
+  static void TearDownTestSuite() {
+    delete learner_;
+    delete testbed_;
+    learner_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  static events::Event CommandEvent(int minute, const std::string& device,
+                                    const std::string& value,
+                                    const std::string& command) {
+    events::Event event;
+    event.date = util::SimTime(minute);
+    event.device_label = device;
+    event.attribute = "state";
+    event.attribute_value = value;
+    event.command = command;
+    return event;
+  }
+
+  static events::Event SensorEvent(int minute, const std::string& device,
+                                   const std::string& value) {
+    return CommandEvent(minute, device, value, "");
+  }
+
+  static sim::Testbed* testbed_;
+  static spl::SafetyPolicyLearner* learner_;
+};
+
+sim::Testbed* MonitorFixture::testbed_ = nullptr;
+spl::SafetyPolicyLearner* MonitorFixture::learner_ = nullptr;
+
+TEST_F(MonitorFixture, RequiresLearnedLearner) {
+  spl::SafetyPolicyLearner fresh(testbed_->home_a(), spl::SplConfig{});
+  EXPECT_THROW(OnlineMonitor(testbed_->home_a(), fresh,
+                             fsm::StateVector(11, 0)),
+               std::invalid_argument);
+}
+
+TEST_F(MonitorFixture, FlagsNightUnlockAsItArrives) {
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  const auto verdict =
+      monitor.Consume(CommandEvent(2 * 60, "lock", "unlocked", "unlock"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, spl::Verdict::kViolation);
+  EXPECT_EQ(monitor.violations(), 1u);
+  // The tracked state followed the transition.
+  EXPECT_EQ(monitor.state()[0],
+            *testbed_->home_a().device(0).FindState("unlocked"));
+}
+
+TEST_F(MonitorFixture, SensorEventsUpdateContextForClassification) {
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  // An unlock right after the door sensor verifies a user at an arrival
+  // hour is the whitelisted App-1 behavior.
+  EXPECT_FALSE(monitor.Consume(
+      SensorEvent(17 * 60 + 40, "door_sensor", "auth_user")).has_value());
+  const auto verdict = monitor.Consume(
+      CommandEvent(17 * 60 + 40, "lock", "unlocked", "unlock"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, spl::Verdict::kSafe);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST_F(MonitorFixture, UnknownVocabularyCountedNotFatal) {
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  EXPECT_FALSE(monitor.Consume(CommandEvent(60, "toaster", "on", "pop"))
+                   .has_value());
+  EXPECT_FALSE(monitor.Consume(SensorEvent(61, "temp_sensor", "plasma"))
+                   .has_value());
+  EXPECT_FALSE(monitor.Consume(CommandEvent(62, "lock", "unlocked", "warp"))
+                   .has_value());
+  EXPECT_EQ(monitor.unknown_events(), 3u);
+  EXPECT_EQ(monitor.events_consumed(), 3u);
+  EXPECT_EQ(monitor.commands_classified(), 0u);
+}
+
+TEST_F(MonitorFixture, AttachedToBusStreamsAlerts) {
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  events::EventBus bus;
+  std::vector<MonitorAlert> alerts;
+  monitor.Attach(bus,
+                 [&](const MonitorAlert& alert) { alerts.push_back(alert); });
+
+  // A normal sensor reading, a violation, then a safe arrival unlock.
+  bus.Publish(SensorEvent(2 * 60, "temp_sensor", "optimal"));
+  bus.Publish(CommandEvent(2 * 60 + 1, "temp_sensor", "off", "power_off"));
+  bus.Publish(SensorEvent(17 * 60, "door_sensor", "auth_user"));
+
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].device_label, "temp_sensor");
+  EXPECT_EQ(alerts[0].action_name, "power_off");
+  EXPECT_EQ(alerts[0].verdict, spl::Verdict::kViolation);
+}
+
+TEST_F(MonitorFixture, StreamingMatchesBatchAuditOnNaturalDay) {
+  // The streaming monitor over a day's event stream must agree with the
+  // batch audit of the same day's episode on the violation count.
+  sim::ResidentSimulator resident(testbed_->home_a(), sim::ThermalConfig{},
+                                  404);
+  const auto generator = testbed_->home_a_generator();
+  const auto trace = resident.SimulateDay(generator.Generate(90),
+                                          resident.OvernightState(), 21.0);
+
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        trace.episode.initial_state());
+  for (const auto& event : trace.events) monitor.Consume(event);
+
+  const auto audit = learner_->AuditEpisode(trace.episode);
+  EXPECT_EQ(monitor.violations(), audit.violations);
+  EXPECT_EQ(monitor.commands_classified(), audit.transitions_checked);
+}
+
+}  // namespace
+}  // namespace jarvis::core

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "events/bus.h"
+#include "events/event.h"
+#include "events/handler.h"
+#include "events/logger_app.h"
+#include "events/parser.h"
+#include "fsm/device_library.h"
+#include "sim/resident.h"
+#include "sim/scenario.h"
+
+namespace jarvis::events {
+namespace {
+
+Event MakeEvent(const std::string& device, const std::string& capability,
+                int minute = 0) {
+  Event event;
+  event.date = util::SimTime(minute);
+  event.device_label = device;
+  event.capability = capability;
+  event.attribute = "state";
+  event.attribute_value = "on";
+  event.data = "state-change";
+  return event;
+}
+
+TEST(Event, JsonRoundTripPreservesAllElevenFields) {
+  Event event;
+  event.date = util::SimTime::FromHms(2, 13, 5);
+  event.data = "state-change";
+  event.user_info = "user0";
+  event.app_info = "lights-on-arrival";
+  event.group_info = "main";
+  event.location_info = "home";
+  event.device_label = "light";
+  event.capability = "lighting";
+  event.attribute = "state";
+  event.attribute_value = "on";
+  event.command = "power_on";
+  EXPECT_EQ(Event::FromLogLine(event.ToLogLine()), event);
+}
+
+TEST(Event, TimestampFieldRendered) {
+  const Event event = MakeEvent("light", "lighting", 61);
+  const auto doc = util::JsonValue::Parse(event.ToLogLine());
+  EXPECT_EQ(doc.At("event_minute").AsInt(), 61);
+  EXPECT_FALSE(doc.At("event_date").AsString().empty());
+}
+
+TEST(EventBus, WildcardSubscriptionSeesEverything) {
+  EventBus bus;
+  int count = 0;
+  bus.Subscribe("", "", [&](const Event&) { ++count; });
+  bus.Publish(MakeEvent("light", "lighting"));
+  bus.Publish(MakeEvent("lock", "security"));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(EventBus, FiltersByDeviceAndCapability) {
+  EventBus bus;
+  int light_events = 0, security_events = 0;
+  bus.Subscribe("light", "", [&](const Event&) { ++light_events; });
+  bus.Subscribe("", "security", [&](const Event&) { ++security_events; });
+  bus.Publish(MakeEvent("light", "lighting"));
+  bus.Publish(MakeEvent("lock", "security"));
+  bus.Publish(MakeEvent("light", "lighting"));
+  EXPECT_EQ(light_events, 2);
+  EXPECT_EQ(security_events, 1);
+}
+
+TEST(EventBus, DeliveryInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.Subscribe("", "", [&](const Event&) { order.push_back(1); });
+  bus.Subscribe("", "", [&](const Event&) { order.push_back(2); });
+  bus.Publish(MakeEvent("x", "y"));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int count = 0;
+  const auto id = bus.Subscribe("", "", [&](const Event&) { ++count; });
+  bus.Publish(MakeEvent("a", "b"));
+  bus.Unsubscribe(id);
+  bus.Publish(MakeEvent("a", "b"));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscription_count(), 0u);
+}
+
+TEST(EventBus, SubscribingDuringPublishDoesNotSeeCurrentEvent) {
+  EventBus bus;
+  int late_count = 0;
+  bus.Subscribe("", "", [&](const Event&) {
+    bus.Subscribe("", "", [&](const Event&) { ++late_count; });
+  });
+  bus.Publish(MakeEvent("a", "b"));
+  EXPECT_EQ(late_count, 0);
+  bus.Publish(MakeEvent("a", "b"));
+  EXPECT_GT(late_count, 0);
+}
+
+TEST(DeviceHandler, NormalizesIdentityAndSynonyms) {
+  const auto devices = fsm::ExampleHomeDevices();
+  auto handlers = MakeStandardHandlers(devices);
+  auto& light = handlers.at("light");
+  EXPECT_EQ(light.NormalizeValue("on"), devices[2].FindState("on"));
+  EXPECT_EQ(light.NormalizeValue("ON"), devices[2].FindState("on"));
+  EXPECT_EQ(light.NormalizeValue("pwr:1"), devices[2].FindState("on"));
+  EXPECT_EQ(light.NormalizeValue(" pwr:0 "), devices[2].FindState("off"));
+  EXPECT_EQ(light.NormalizeCommand("turnOn"), devices[2].FindAction("power_on"));
+  EXPECT_FALSE(light.NormalizeValue("garbage").has_value());
+  EXPECT_FALSE(light.NormalizeCommand("garbage").has_value());
+}
+
+TEST(DeviceHandler, SynonymForUnknownTargetThrows) {
+  const auto devices = fsm::ExampleHomeDevices();
+  DeviceHandler handler(devices[2]);
+  EXPECT_THROW(handler.AddValueSynonym("X", "no-such-state"),
+               std::invalid_argument);
+  EXPECT_THROW(handler.AddCommandSynonym("X", "no-such-action"),
+               std::invalid_argument);
+}
+
+TEST(DeviceHandler, NormalizeFullMessage) {
+  const auto devices = fsm::ExampleHomeDevices();
+  auto handlers = MakeStandardHandlers(devices);
+  RawDeviceMessage message;
+  message.time = util::SimTime(100);
+  message.device_label = "light";
+  message.raw_attribute = "switch";
+  message.raw_value = "ON";
+  message.raw_command = "turnOn";
+  const auto event = handlers.at("light").Normalize(message, "user0", "app",
+                                                    "home", "main");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->attribute_value, "on");
+  EXPECT_EQ(event->command, "power_on");
+  EXPECT_EQ(event->device_label, "light");
+
+  message.raw_value = "UNPARSEABLE";
+  EXPECT_FALSE(handlers.at("light")
+                   .Normalize(message, "u", "a", "l", "g")
+                   .has_value());
+}
+
+TEST(LoggerApp, CapturesAllPublications) {
+  EventBus bus;
+  LoggerApp logger(bus);
+  bus.Publish(MakeEvent("light", "lighting", 5));
+  bus.Publish(MakeEvent("lock", "security", 6));
+  EXPECT_EQ(logger.size(), 2u);
+  const std::string dump = logger.DumpLog();
+  std::size_t dropped = 99;
+  const auto parsed = LoggerApp::ParseLog(dump, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], logger.events()[0]);
+}
+
+TEST(LoggerApp, MalformedLinesDroppedAndCounted) {
+  const std::string log =
+      MakeEvent("a", "b").ToLogLine() + "\nnot json at all\n\n" +
+      MakeEvent("c", "d").ToLogLine() + "\n";
+  std::size_t dropped = 0;
+  const auto events = LoggerApp::ParseLog(log, &dropped);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(dropped, 1u);
+}
+
+class ParserFixture : public ::testing::Test {
+ protected:
+  ParserFixture() : fsm_(fsm::BuildExampleHome()) {}
+
+  Event CommandEvent(int minute, const std::string& device,
+                     const std::string& new_state,
+                     const std::string& command) {
+    Event event = MakeEvent(device, "x", minute);
+    event.attribute_value = new_state;
+    event.command = command;
+    return event;
+  }
+
+  Event SensorEvent(int minute, const std::string& device,
+                    const std::string& new_state) {
+    Event event = MakeEvent(device, "x", minute);
+    event.attribute_value = new_state;
+    event.command = "";
+    return event;
+  }
+
+  fsm::EnvironmentFsm fsm_;
+  fsm::StateVector initial_ = {0, 0, 0, 2, 2};
+};
+
+TEST_F(ParserFixture, CommandsBecomeActions) {
+  LogParser parser(fsm_, {10, 1});
+  const std::vector<Event> events = {
+      CommandEvent(3, "light", "on", "power_on"),
+  };
+  const auto episodes =
+      parser.Parse(events, initial_, util::SimTime(0), /*keep_partial=*/false);
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& steps = episodes[0].steps();
+  ASSERT_EQ(steps.size(), 10u);
+  EXPECT_EQ(steps[3].action[2], *fsm_.device(2).FindAction("power_on"));
+  // State reflects the change from minute 4 onward.
+  EXPECT_EQ(steps[4].state[2], *fsm_.device(2).FindState("on"));
+  EXPECT_EQ(parser.stats().events_consumed, 1u);
+}
+
+TEST_F(ParserFixture, SensorEventsOverrideStateWithoutActions) {
+  LogParser parser(fsm_, {10, 1});
+  const std::vector<Event> events = {
+      SensorEvent(2, "temp_sensor", "below_optimal"),
+  };
+  const auto episodes =
+      parser.Parse(events, initial_, util::SimTime(0), false);
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& steps = episodes[0].steps();
+  EXPECT_EQ(steps[2].action[4], fsm::kNoAction);
+  // A command-less event describes the state at its own timestamp.
+  EXPECT_EQ(steps[1].state[4], *fsm_.device(4).FindState("optimal"));
+  EXPECT_EQ(steps[2].state[4],
+            *fsm_.device(4).FindState("below_optimal"));
+  EXPECT_EQ(steps[3].state[4],
+            *fsm_.device(4).FindState("below_optimal"));
+}
+
+TEST_F(ParserFixture, FirstCommandPerDevicePerIntervalWins) {
+  LogParser parser(fsm_, {10, 5});  // 5-minute intervals
+  const std::vector<Event> events = {
+      CommandEvent(1, "light", "on", "power_on"),
+      CommandEvent(2, "light", "off", "power_off"),  // same interval: dropped
+  };
+  const auto episodes = parser.Parse(events, initial_, util::SimTime(0), false);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].steps()[0].action[2],
+            *fsm_.device(2).FindAction("power_on"));
+  EXPECT_EQ(parser.stats().conflicting_commands, 1u);
+}
+
+TEST_F(ParserFixture, UnknownVocabularyCounted) {
+  LogParser parser(fsm_, {5, 1});
+  const std::vector<Event> events = {
+      CommandEvent(0, "toaster", "on", "power_on"),   // unknown device
+      CommandEvent(1, "light", "on", "explode"),      // unknown command
+      SensorEvent(2, "temp_sensor", "plasma"),        // unknown state
+  };
+  parser.Parse(events, initial_, util::SimTime(0), false);
+  EXPECT_EQ(parser.stats().unknown_device, 1u);
+  EXPECT_EQ(parser.stats().unknown_command, 1u);
+  EXPECT_EQ(parser.stats().unknown_state, 1u);
+}
+
+TEST_F(ParserFixture, MultipleEpisodesCutAtPeriodBoundaries) {
+  LogParser parser(fsm_, {10, 1});
+  const std::vector<Event> events = {
+      CommandEvent(3, "light", "on", "power_on"),
+      CommandEvent(15, "light", "off", "power_off"),
+  };
+  const auto episodes = parser.Parse(events, initial_, util::SimTime(0), false);
+  ASSERT_EQ(episodes.size(), 2u);
+  // The light state carries over the episode boundary.
+  EXPECT_EQ(episodes[1].initial_state()[2], *fsm_.device(2).FindState("on"));
+  EXPECT_EQ(episodes[1].steps()[5].action[2],
+            *fsm_.device(2).FindAction("power_off"));
+}
+
+TEST_F(ParserFixture, EmptyLogYieldsNothing) {
+  LogParser parser(fsm_, {10, 1});
+  EXPECT_TRUE(parser.Parse({}, initial_, util::SimTime(0), false).empty());
+}
+
+TEST_F(ParserFixture, RoundTripWithResidentSimulatorEvents) {
+  // Full-pipeline property: parsing the resident simulator's event stream
+  // reproduces the same trigger-action behavior as its recorded episode.
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, 9,
+                                  sim::BehaviorConfig{0.0, 1});
+  sim::ScenarioGenerator generator({}, {}, {}, 12);
+  const auto trace = resident.SimulateDay(generator.Generate(1),
+                                          resident.OvernightState(), 21.0);
+
+  LogParser parser(home, {util::kMinutesPerDay, 1});
+  const auto episodes = parser.Parse(trace.events,
+                                     trace.episode.initial_state(),
+                                     util::SimTime::FromDayAndMinute(1, 0),
+                                     /*keep_partial=*/true);
+  ASSERT_GE(episodes.size(), 1u);
+  const auto original = fsm::ExtractTriggerActions({trace.episode});
+  const auto parsed = fsm::ExtractTriggerActions(episodes);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].action, original[i].action) << "index " << i;
+    EXPECT_EQ(parsed[i].minute_of_day, original[i].minute_of_day);
+  }
+  EXPECT_EQ(parser.stats().unknown_device, 0u);
+  EXPECT_EQ(parser.stats().unknown_command, 0u);
+}
+
+}  // namespace
+}  // namespace jarvis::events

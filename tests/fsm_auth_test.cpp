@@ -1,0 +1,93 @@
+#include "fsm/authorization.h"
+
+#include <gtest/gtest.h>
+
+namespace jarvis::fsm {
+namespace {
+
+class AuthFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    home_ = auth_.AddLocation("home");
+    office_ = auth_.AddLocation("office");
+    kitchen_ = auth_.AddGroup("kitchen", home_);
+    desk_ = auth_.AddGroup("desk", office_);
+    manual_ = auth_.AddApp("manual");
+    lights_app_ = auth_.AddApp("lights");
+    alice_ = auth_.AddUser("alice");
+    bob_ = auth_.AddUser("bob");
+    auth_.PlaceDevice(/*device=*/0, home_, kitchen_);
+    auth_.PlaceDevice(/*device=*/1, office_, desk_);
+  }
+
+  AuthorizationModel auth_;
+  LocationId home_, office_;
+  GroupId kitchen_, desk_;
+  AppId manual_, lights_app_;
+  UserId alice_, bob_;
+};
+
+TEST_F(AuthFixture, ManualAppIsAppZero) { EXPECT_EQ(manual_, kManualApp); }
+
+TEST_F(AuthFixture, DefaultDeny) {
+  EXPECT_FALSE(auth_.UserMayUseApp(alice_, lights_app_));
+  EXPECT_FALSE(auth_.AppMayActOnDevice(lights_app_, 0));
+  EXPECT_FALSE(auth_.UserMayAccessDevice(alice_, 0));
+  EXPECT_FALSE(auth_.Authorize(alice_, lights_app_, 0));
+}
+
+TEST_F(AuthFixture, FullChainGrantsAuthorize) {
+  auth_.GrantUserApp(alice_, lights_app_);
+  auth_.GrantAppDevice(lights_app_, 0);
+  auth_.GrantUserLocation(alice_, home_);
+  EXPECT_TRUE(auth_.Authorize(alice_, lights_app_, 0));
+  // Bob got nothing.
+  EXPECT_FALSE(auth_.Authorize(bob_, lights_app_, 0));
+}
+
+TEST_F(AuthFixture, PartialChainsDeny) {
+  // Missing app-device subscription.
+  auth_.GrantUserApp(alice_, lights_app_);
+  auth_.GrantUserLocation(alice_, home_);
+  EXPECT_FALSE(auth_.Authorize(alice_, lights_app_, 0));
+  // Missing container access: device 1 is in the office.
+  auth_.GrantAppDevice(lights_app_, 1);
+  EXPECT_FALSE(auth_.Authorize(alice_, lights_app_, 1));
+  auth_.GrantUserLocation(alice_, office_);
+  auth_.GrantUserApp(alice_, lights_app_);
+  EXPECT_TRUE(auth_.Authorize(alice_, lights_app_, 1));
+}
+
+TEST_F(AuthFixture, UnplacedDeviceInaccessible) {
+  auth_.GrantUserLocation(alice_, home_);
+  EXPECT_FALSE(auth_.UserMayAccessDevice(alice_, 99));
+  EXPECT_FALSE(auth_.PlacementOf(99).has_value());
+  const auto placement = auth_.PlacementOf(0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->location, home_);
+  EXPECT_EQ(placement->group, kitchen_);
+}
+
+TEST_F(AuthFixture, GroupMustBelongToLocation) {
+  EXPECT_THROW(auth_.AddGroup("bad", 99), std::out_of_range);
+  EXPECT_THROW(auth_.PlaceDevice(2, home_, desk_), std::invalid_argument);
+  EXPECT_THROW(auth_.PlaceDevice(2, 99, kitchen_), std::out_of_range);
+}
+
+TEST_F(AuthFixture, RegistriesEnumerate) {
+  EXPECT_EQ(auth_.users().size(), 2u);
+  EXPECT_EQ(auth_.apps().size(), 2u);
+  EXPECT_EQ(auth_.locations().size(), 2u);
+  EXPECT_EQ(auth_.groups().size(), 2u);
+  EXPECT_EQ(auth_.users()[0].name, "alice");
+  EXPECT_EQ(auth_.groups()[1].location, office_);
+}
+
+TEST_F(AuthFixture, GrantIsIdempotent) {
+  auth_.GrantUserApp(alice_, lights_app_);
+  auth_.GrantUserApp(alice_, lights_app_);
+  EXPECT_TRUE(auth_.UserMayUseApp(alice_, lights_app_));
+}
+
+}  // namespace
+}  // namespace jarvis::fsm

@@ -1,0 +1,159 @@
+#include "fsm/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "fsm/device_library.h"
+
+namespace jarvis::fsm {
+namespace {
+
+TEST(EnvironmentFsm, ApplyUsesPerDeviceTransitions) {
+  const EnvironmentFsm fsm = BuildExampleHome();
+  StateVector state = {0, 0, 0, 2, 2};  // locked, sensing, light off,
+                                        // thermostat off, temp optimal
+  ActionVector action(5, kNoAction);
+  action[2] = *fsm.device(2).FindAction("power_on");
+  const StateVector next = fsm.Apply(state, action);
+  EXPECT_EQ(next[2], *fsm.device(2).FindState("on"));
+  // Everything else untouched.
+  EXPECT_EQ(next[0], state[0]);
+  EXPECT_EQ(next[3], state[3]);
+}
+
+TEST(EnvironmentFsm, ConstraintFiveAtMostOneChangePerDevice) {
+  // Apply executes each device's transition exactly once per interval, so
+  // a device changes state at most once even if its action would chain.
+  const EnvironmentFsm fsm = BuildExampleHome();
+  StateVector state = {1, 0, 0, 2, 2};  // lock unlocked
+  ActionVector action(5, kNoAction);
+  action[0] = *fsm.device(0).FindAction("lock");
+  const StateVector next = fsm.Apply(state, action);
+  EXPECT_EQ(next[0], *fsm.device(0).FindState("locked_outside"));
+}
+
+TEST(EnvironmentFsm, ValidationRejectsBadShapes) {
+  const EnvironmentFsm fsm = BuildExampleHome();
+  EXPECT_THROW(fsm.ValidateState({0, 0}), std::invalid_argument);
+  EXPECT_THROW(fsm.ValidateState({9, 0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(fsm.ValidateAction({0}), std::invalid_argument);
+  ActionVector bad(5, kNoAction);
+  bad[1] = 7;
+  EXPECT_THROW(fsm.ValidateAction(bad), std::invalid_argument);
+  EXPECT_THROW(fsm.Apply({0, 0, 0, 0, 0}, bad), std::invalid_argument);
+}
+
+TEST(EnvironmentFsm, DeviceLookupByLabel) {
+  const EnvironmentFsm fsm = BuildExampleHome();
+  EXPECT_EQ(fsm.DeviceIdByLabel("thermostat"), 3);
+  EXPECT_EQ(fsm.DeviceByLabel("light").label(), "light");
+  EXPECT_THROW(fsm.DeviceByLabel("toaster"), std::invalid_argument);
+  EXPECT_THROW(fsm.device(99), std::out_of_range);
+}
+
+TEST(EnvironmentFsm, SingleDeviceActionsEnumerate) {
+  const EnvironmentFsm fsm = BuildExampleHome();
+  const StateVector state = {0, 0, 0, 2, 2};
+  const auto actions = fsm.SingleDeviceActions(state);
+  // 1 all-no-op + sum of action counts (4+2+2+4+2 = 14).
+  EXPECT_EQ(actions.size(), 15u);
+  // First is all-no-op.
+  for (ActionIndex a : actions[0]) EXPECT_EQ(a, kNoAction);
+  // Each subsequent action touches exactly one device.
+  for (std::size_t i = 1; i < actions.size(); ++i) {
+    int touched = 0;
+    for (ActionIndex a : actions[i]) touched += (a != kNoAction) ? 1 : 0;
+    EXPECT_EQ(touched, 1);
+  }
+}
+
+class ResolveRequestsFixture : public ::testing::Test {
+ protected:
+  ResolveRequestsFixture() : fsm_(BuildExampleHome(/*user_count=*/2)) {}
+  EnvironmentFsm fsm_;
+};
+
+TEST_F(ResolveRequestsFixture, AuthorizedManualRequestAccepted) {
+  std::vector<RequestOutcome> outcomes;
+  const auto action = fsm_.ResolveRequests(
+      {{/*user=*/0, kManualApp, /*device=*/2,
+        *fsm_.device(2).FindAction("power_on")}},
+      &outcomes);
+  EXPECT_EQ(action[2], *fsm_.device(2).FindAction("power_on"));
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].reason, RejectReason::kAccepted);
+}
+
+TEST_F(ResolveRequestsFixture, ConstraintFourFirstComeFirstServed) {
+  // Two apps fight over the light in one interval; the first wins.
+  std::vector<RequestOutcome> outcomes;
+  const ActionIndex on = *fsm_.device(2).FindAction("power_on");
+  const ActionIndex off = *fsm_.device(2).FindAction("power_off");
+  const auto action = fsm_.ResolveRequests(
+      {{0, kManualApp, 2, on}, {1, kManualApp, 2, off}}, &outcomes);
+  EXPECT_EQ(action[2], on);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].reason, RejectReason::kAccepted);
+  EXPECT_EQ(outcomes[1].reason, RejectReason::kDeviceBusy);
+}
+
+TEST_F(ResolveRequestsFixture, ConstraintTwoUserAppSubscription) {
+  // App id 1 ("unlock-door-on-auth-user") exists; user 0 is subscribed in
+  // BuildHome, so fabricate an unsubscribed user id.
+  std::vector<RequestOutcome> outcomes;
+  const auto action = fsm_.ResolveRequests(
+      {{/*user=*/7, /*app=*/1, /*device=*/0,
+        *fsm_.device(0).FindAction("unlock")}},
+      &outcomes);
+  EXPECT_EQ(action[0], kNoAction);
+  EXPECT_EQ(outcomes[0].reason, RejectReason::kUnauthorizedUserApp);
+}
+
+TEST_F(ResolveRequestsFixture, ConstraintThreeAppDeviceSubscription) {
+  // App 2 (maintain-optimal-temperature) may not act on the lock.
+  std::vector<RequestOutcome> outcomes;
+  const auto action = fsm_.ResolveRequests(
+      {{0, /*app=*/2, /*device=*/0, *fsm_.device(0).FindAction("unlock")}},
+      &outcomes);
+  EXPECT_EQ(action[0], kNoAction);
+  EXPECT_EQ(outcomes[0].reason, RejectReason::kUnauthorizedAppDevice);
+}
+
+TEST_F(ResolveRequestsFixture, UnknownDeviceAndInvalidAction) {
+  std::vector<RequestOutcome> outcomes;
+  fsm_.ResolveRequests({{0, kManualApp, 42, 0}, {0, kManualApp, 2, 9}},
+                       &outcomes);
+  EXPECT_EQ(outcomes[0].reason, RejectReason::kUnknownDevice);
+  EXPECT_EQ(outcomes[1].reason, RejectReason::kInvalidAction);
+}
+
+TEST_F(ResolveRequestsFixture, NoActionRequestsAccepted) {
+  std::vector<RequestOutcome> outcomes;
+  const auto action =
+      fsm_.ResolveRequests({{0, kManualApp, 2, kNoAction}}, &outcomes);
+  EXPECT_EQ(action[2], kNoAction);
+  EXPECT_EQ(outcomes[0].reason, RejectReason::kAccepted);
+  // A no-action request does not make the device busy.
+  const auto action2 = fsm_.ResolveRequests(
+      {{0, kManualApp, 2, kNoAction},
+       {0, kManualApp, 2, *fsm_.device(2).FindAction("power_on")}},
+      nullptr);
+  EXPECT_NE(action2[2], kNoAction);
+}
+
+TEST(EnvironmentFsmConstruction, RejectsEmptyAndMisnumbered) {
+  EXPECT_THROW(EnvironmentFsm({}, AuthorizationModel{}),
+               std::invalid_argument);
+  std::vector<Device> devices;
+  devices.push_back(MakeSmartLight(3));  // id 3 but index 0
+  EXPECT_THROW(EnvironmentFsm(std::move(devices), AuthorizationModel{}),
+               std::invalid_argument);
+}
+
+TEST(EnvironmentFsm, RejectReasonNamesAreStable) {
+  EXPECT_EQ(RejectReasonName(RejectReason::kAccepted), "accepted");
+  EXPECT_EQ(RejectReasonName(RejectReason::kDeviceBusy),
+            "device-already-acted-on");
+}
+
+}  // namespace
+}  // namespace jarvis::fsm

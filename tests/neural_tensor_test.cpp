@@ -1,0 +1,131 @@
+#include "neural/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace jarvis::neural {
+namespace {
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3, 1.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t(1, 2), 1.5);
+  t(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 7.0);
+  EXPECT_THROW(t.At(2, 0), std::out_of_range);
+  EXPECT_THROW(t.At(0, 3), std::out_of_range);
+}
+
+TEST(Tensor, InitializerListAndRaggedRejected) {
+  Tensor t{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(t(1, 0), 3.0);
+  EXPECT_THROW((Tensor{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Tensor, RowConstructorAndAccessors) {
+  const Tensor r = Tensor::Row({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  EXPECT_EQ(r.RowVector(0), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_THROW(r.RowVector(1), std::out_of_range);
+}
+
+TEST(Tensor, SetRowValidatesWidth) {
+  Tensor t(2, 2);
+  t.SetRow(1, {5.0, 6.0});
+  EXPECT_DOUBLE_EQ(t(1, 1), 6.0);
+  EXPECT_THROW(t.SetRow(0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(t.SetRow(2, {1.0, 2.0}), std::out_of_range);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  const Tensor a{{1.0, 2.0}, {3.0, 4.0}};
+  const Tensor b{{10.0, 20.0}, {30.0, 40.0}};
+  const Tensor sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const Tensor diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  const Tensor scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Tensor had = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(had(0, 1), 40.0);
+  EXPECT_THROW(a + Tensor(1, 2), std::invalid_argument);
+  EXPECT_THROW(a.Hadamard(Tensor(2, 3)), std::invalid_argument);
+}
+
+TEST(Tensor, MatMul) {
+  const Tensor a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};   // 2x3
+  const Tensor b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};  // 3x2
+  const Tensor c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+  EXPECT_THROW(a.MatMul(a), std::invalid_argument);
+}
+
+TEST(Tensor, MatMulIdentity) {
+  const Tensor m{{1.0, 2.0}, {3.0, 4.0}};
+  const Tensor identity{{1.0, 0.0}, {0.0, 1.0}};
+  const Tensor product = m.MatMul(identity);
+  EXPECT_DOUBLE_EQ(product(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(product(1, 1), 4.0);
+}
+
+TEST(Tensor, TransposeInvolution) {
+  const Tensor a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Tensor at = a.Transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  const Tensor back = at.Transposed();
+  EXPECT_TRUE(back.SameShape(a));
+  EXPECT_EQ(back.data(), a.data());
+}
+
+TEST(Tensor, MapAndFill) {
+  Tensor t{{1.0, -2.0}};
+  const Tensor mapped = t.Map([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(mapped(0, 1), 4.0);
+  t.MapInPlace([](double x) { return x + 1.0; });
+  EXPECT_DOUBLE_EQ(t(0, 1), -1.0);
+  t.Fill(9.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 9.0);
+}
+
+TEST(Tensor, BroadcastAndReduce) {
+  const Tensor batch{{1.0, 2.0}, {3.0, 4.0}};
+  const Tensor bias = Tensor::Row({10.0, 20.0});
+  const Tensor shifted = batch.AddRowBroadcast(bias);
+  EXPECT_DOUBLE_EQ(shifted(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(shifted(1, 1), 24.0);
+  EXPECT_THROW(batch.AddRowBroadcast(Tensor(1, 3)), std::invalid_argument);
+
+  const Tensor colsum = batch.SumRows();
+  EXPECT_EQ(colsum.rows(), 1u);
+  EXPECT_DOUBLE_EQ(colsum(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(colsum(0, 1), 6.0);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t{{1.0, 5.0}, {-2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(t.SumAll(), 7.0);
+  EXPECT_DOUBLE_EQ(t.MaxAll(), 5.0);
+  EXPECT_EQ(t.ArgMaxRow(0), 1u);
+  EXPECT_EQ(t.ArgMaxRow(1), 1u);
+  EXPECT_THROW(t.ArgMaxRow(2), std::out_of_range);
+  EXPECT_THROW(Tensor().MaxAll(), std::logic_error);
+}
+
+TEST(Tensor, GenerateUsesCallback) {
+  int counter = 0;
+  const Tensor t = Tensor::Generate(2, 2, [&] { return ++counter; });
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace jarvis::neural

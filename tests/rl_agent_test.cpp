@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "fsm/device_library.h"
+#include "rl/dqn_agent.h"
+#include "rl/tabular_agent.h"
+#include "rl/trainer.h"
+#include "sim/testbed.h"
+
+namespace jarvis::rl {
+namespace {
+
+class AgentFixture : public ::testing::Test {
+ protected:
+  AgentFixture() : home_(fsm::BuildExampleHome()), codec_(home_.codec()) {}
+
+  std::vector<bool> AllOn() const {
+    return std::vector<bool>(codec_.mini_action_count(), true);
+  }
+  std::vector<bool> NoOpsOnly() const {
+    std::vector<bool> mask(codec_.mini_action_count(), false);
+    for (std::size_t d = 0; d < codec_.device_count(); ++d) {
+      mask[codec_.NoOpSlot(static_cast<fsm::DeviceId>(d))] = true;
+    }
+    return mask;
+  }
+
+  fsm::EnvironmentFsm home_;
+  const fsm::StateCodec& codec_;
+};
+
+TEST_F(AgentFixture, SelectActionRespectsMask) {
+  DqnConfig config;
+  config.epsilon = 1.0;  // fully random: stress the mask
+  DqnAgent agent(4, codec_, config);
+  const std::vector<double> features = {0.1, 0.2, 0.3, 0.4};
+  std::vector<bool> mask = NoOpsOnly();
+  // Allow exactly one real action: light power_on.
+  const std::size_t light_on = codec_.MiniActionSlot({2, 1});
+  mask[light_on] = true;
+  for (int i = 0; i < 100; ++i) {
+    const auto action = agent.SelectAction(features, mask, false);
+    for (std::size_t d = 0; d < action.size(); ++d) {
+      if (action[d] == fsm::kNoAction) continue;
+      EXPECT_EQ(d, 2u);
+      EXPECT_EQ(action[d], 1);
+    }
+  }
+}
+
+TEST_F(AgentFixture, GreedyModeIsDeterministic) {
+  DqnAgent agent(4, codec_, DqnConfig{});
+  const std::vector<double> features = {0.5, -0.5, 0.2, 0.0};
+  const auto mask = AllOn();
+  const auto first = agent.SelectAction(features, mask, true);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(agent.SelectAction(features, mask, true), first);
+  }
+}
+
+TEST_F(AgentFixture, MaskWidthValidated) {
+  DqnAgent agent(4, codec_, DqnConfig{});
+  EXPECT_THROW(agent.SelectAction({0, 0, 0, 0}, {true, false}, true),
+               std::invalid_argument);
+}
+
+TEST_F(AgentFixture, ReplayNoOpUntilBatchAvailable) {
+  DqnConfig config;
+  config.batch_size = 8;
+  DqnAgent agent(2, codec_, config);
+  EXPECT_DOUBLE_EQ(agent.Replay(), 0.0);
+  for (int i = 0; i < 7; ++i) {
+    Experience experience;
+    experience.features = {0.0, 1.0};
+    experience.taken_slots = {codec_.NoOpSlot(0)};
+    experience.reward = 1.0;
+    experience.done = true;
+    agent.Remember(std::move(experience));
+  }
+  EXPECT_DOUBLE_EQ(agent.Replay(), 0.0);
+  EXPECT_EQ(agent.replay_size(), 7u);
+}
+
+TEST_F(AgentFixture, QLearningPropagatesRewardToTakenSlot) {
+  DqnConfig config;
+  config.batch_size = 4;
+  config.gamma = 0.0;  // pure immediate reward
+  config.epsilon = 0.0;
+  DqnAgent agent(2, codec_, config);
+  const std::vector<double> features = {1.0, 0.0};
+  const std::size_t good_slot = codec_.MiniActionSlot({2, 1});
+  const std::size_t bad_slot = codec_.MiniActionSlot({2, 0});
+  for (int i = 0; i < 200; ++i) {
+    Experience good;
+    good.features = features;
+    good.taken_slots = {good_slot};
+    good.reward = 1.0;
+    good.done = true;
+    agent.Remember(std::move(good));
+    Experience bad;
+    bad.features = features;
+    bad.taken_slots = {bad_slot};
+    bad.reward = -1.0;
+    bad.done = true;
+    agent.Remember(std::move(bad));
+  }
+  for (int i = 0; i < 600; ++i) agent.Replay();
+  const auto q = agent.QValues(features);
+  EXPECT_GT(q[good_slot], 0.5);
+  EXPECT_LT(q[bad_slot], -0.5);
+}
+
+TEST_F(AgentFixture, EpsilonDecaysOnlyBelowPreferableLoss) {
+  DqnConfig config;
+  config.batch_size = 2;
+  config.preferable_loss = 1e-12;  // unreachable: epsilon must not decay
+  DqnAgent agent(2, codec_, config);
+  for (int i = 0; i < 10; ++i) {
+    Experience experience;
+    experience.features = {0.1, 0.2};
+    experience.taken_slots = {0};
+    experience.reward = 5.0;
+    experience.done = true;
+    agent.Remember(std::move(experience));
+  }
+  for (int i = 0; i < 20; ++i) agent.Replay();
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0);
+}
+
+TEST_F(AgentFixture, SnapshotRestoreRoundTrip) {
+  DqnAgent agent(2, codec_, DqnConfig{});
+  const std::vector<double> features = {0.3, 0.6};
+  EXPECT_FALSE(agent.has_snapshot());
+  EXPECT_THROW(agent.RestoreSnapshot(), std::logic_error);
+  const auto before = agent.QValues(features);
+  agent.SaveSnapshot();
+  // Perturb via training.
+  for (int i = 0; i < 50; ++i) {
+    Experience experience;
+    experience.features = features;
+    experience.taken_slots = {0};
+    experience.reward = 10.0;
+    experience.done = true;
+    agent.Remember(std::move(experience));
+  }
+  for (int i = 0; i < 50; ++i) agent.Replay();
+  EXPECT_NE(agent.QValues(features)[0], before[0]);
+  agent.RestoreSnapshot();
+  EXPECT_DOUBLE_EQ(agent.QValues(features)[0], before[0]);
+}
+
+TEST_F(AgentFixture, TabularAgentLearnsContextualBandits) {
+  TabularConfig config;
+  config.epsilon = 0.0;
+  TabularQAgent agent(home_, config);
+  const fsm::StateVector state = {0, 0, 0, 2, 2};
+  fsm::ActionVector good(home_.device_count(), fsm::kNoAction);
+  good[2] = 1;
+  fsm::ActionVector bad(home_.device_count(), fsm::kNoAction);
+  bad[2] = 0;
+  const auto mask = AllOn();
+  for (int i = 0; i < 100; ++i) {
+    agent.Update(state, 600, good, 1.0, state, 601, mask, true);
+    agent.Update(state, 600, bad, -1.0, state, 601, mask, true);
+  }
+  EXPECT_GT(agent.QValue(state, 600, {2, 1}), 0.9);
+  EXPECT_LT(agent.QValue(state, 600, {2, 0}), -0.9);
+  const auto action = agent.SelectAction(state, 600, mask, true);
+  EXPECT_EQ(action[2], 1);
+  EXPECT_GT(agent.table_size(), 0u);
+}
+
+TEST_F(AgentFixture, TabularEpsilonDecay) {
+  TabularConfig config;
+  config.epsilon = 1.0;
+  config.epsilon_decay = 0.5;
+  config.epsilon_min = 0.3;
+  TabularQAgent agent(home_, config);
+  agent.DecayEpsilon();
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.5);
+  agent.DecayEpsilon();
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.3);
+  agent.DecayEpsilon();
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.3);
+}
+
+TEST(TrainerIntegration, ImprovesOverRandomPolicyAndKeepsBestSnapshot) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.benign_anomaly_samples = 1500;
+  sim::Testbed testbed(testbed_config);
+  spl::SafetyPolicyLearner learner(testbed.home_a(), spl::SplConfig{});
+  learner.Learn(testbed.HomeALearningEpisodes(), testbed.BuildTrainingSet());
+  const sim::DayTrace natural = testbed.home_b_data().Day(10);
+
+  IoTEnvConfig env_config;
+  env_config.decision_interval_minutes = 15;
+  IoTEnv env(testbed.home_a(), natural, sim::ThermalConfig{}, &learner,
+             env_config);
+  DqnConfig dqn_config;
+  dqn_config.seed = 11;
+  DqnAgent agent(env.feature_width(), testbed.home_a().codec(), dqn_config);
+
+  TrainerConfig trainer_config;
+  trainer_config.episodes = 10;
+  const TrainResult result = Train(env, agent, trainer_config);
+  ASSERT_EQ(result.episode_rewards.size(), 10u);
+  // Constrained training must commit zero violations.
+  EXPECT_EQ(result.training_violations, 0u);
+  EXPECT_EQ(result.greedy_violations, 0u);
+  // The restored best policy is at least as good as the mean training
+  // episode (it was selected greedily).
+  double mean = 0.0;
+  for (double r : result.episode_rewards) mean += r;
+  mean /= static_cast<double>(result.episode_rewards.size());
+  EXPECT_GE(result.greedy_reward, mean - 50.0);
+  EXPECT_TRUE(result.greedy_episode.IsComplete());
+}
+
+}  // namespace
+}  // namespace jarvis::rl

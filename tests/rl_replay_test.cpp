@@ -1,0 +1,101 @@
+#include "rl/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jarvis::rl {
+namespace {
+
+Experience MakeExperience(double reward) {
+  Experience experience;
+  experience.features = {reward};
+  experience.reward = reward;
+  experience.next_features = {reward + 1.0};
+  experience.next_mask = {true};
+  return experience;
+}
+
+TEST(ReplayBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, FillsThenWrapsAsRing) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 3; ++i) buffer.Add(MakeExperience(i));
+  EXPECT_EQ(buffer.size(), 3u);
+  // Adding two more evicts the oldest two.
+  buffer.Add(MakeExperience(3));
+  buffer.Add(MakeExperience(4));
+  EXPECT_EQ(buffer.size(), 3u);
+
+  util::Rng rng(1);
+  std::set<double> rewards;
+  for (int i = 0; i < 200; ++i) {
+    for (const Experience* exp : buffer.Sample(3, rng)) {
+      rewards.insert(exp->reward);
+    }
+  }
+  EXPECT_EQ(rewards.count(0.0), 0u) << "evicted entry sampled";
+  EXPECT_EQ(rewards.count(1.0), 0u);
+  EXPECT_TRUE(rewards.count(2.0));
+  EXPECT_TRUE(rewards.count(3.0));
+  EXPECT_TRUE(rewards.count(4.0));
+}
+
+TEST(ReplayBuffer, CanSampleGate) {
+  ReplayBuffer buffer(10);
+  EXPECT_FALSE(buffer.CanSample(1));
+  util::Rng rng(2);
+  EXPECT_THROW(buffer.Sample(1, rng), std::logic_error);
+  buffer.Add(MakeExperience(0));
+  EXPECT_TRUE(buffer.CanSample(1));
+  EXPECT_FALSE(buffer.CanSample(2));
+}
+
+TEST(ReplayBuffer, SampleIsUniformish) {
+  ReplayBuffer buffer(4);
+  for (int i = 0; i < 4; ++i) buffer.Add(MakeExperience(i));
+  util::Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws / 4; ++i) {
+    for (const Experience* exp : buffer.Sample(4, rng)) {
+      ++counts[static_cast<int>(exp->reward)];
+    }
+  }
+  for (int count : counts) EXPECT_NEAR(count, draws / 4, draws / 4 * 0.1);
+}
+
+TEST(ReplayBuffer, ClearEmpties) {
+  ReplayBuffer buffer(4);
+  buffer.Add(MakeExperience(1));
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.CanSample(1));
+  // Refill works after clear.
+  buffer.Add(MakeExperience(2));
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(ReplayBuffer, StoresFullExperienceFields) {
+  ReplayBuffer buffer(2);
+  Experience experience;
+  experience.features = {1.0, 2.0};
+  experience.taken_slots = {3, 5};
+  experience.reward = 0.7;
+  experience.next_features = {4.0};
+  experience.next_mask = {true, false};
+  experience.done = true;
+  buffer.Add(experience);
+  util::Rng rng(4);
+  const Experience* stored = buffer.Sample(1, rng)[0];
+  EXPECT_EQ(stored->features, experience.features);
+  EXPECT_EQ(stored->taken_slots, experience.taken_slots);
+  EXPECT_DOUBLE_EQ(stored->reward, 0.7);
+  EXPECT_EQ(stored->next_mask, experience.next_mask);
+  EXPECT_TRUE(stored->done);
+}
+
+}  // namespace
+}  // namespace jarvis::rl

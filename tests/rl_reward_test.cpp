@@ -1,0 +1,132 @@
+#include "rl/reward.h"
+
+#include <gtest/gtest.h>
+
+namespace jarvis::rl {
+namespace {
+
+StepPhysical BasePhysical() {
+  StepPhysical physical;
+  physical.interval_watts = 2000.0;
+  physical.max_watts = 10000.0;
+  physical.price_usd_per_kwh = 0.10;
+  physical.max_price_usd_per_kwh = 0.40;
+  physical.comfort_error_c = 1.0;
+  physical.occupied = true;
+  physical.pending_disutility = 0.1;
+  return physical;
+}
+
+TEST(RewardWeights, SweepFocusesOneFunctionality) {
+  const auto energy = RewardWeights::Sweep("energy", 0.8);
+  EXPECT_DOUBLE_EQ(energy.f_energy, 0.8);
+  EXPECT_DOUBLE_EQ(energy.f_cost, 0.1);
+  EXPECT_DOUBLE_EQ(energy.f_temp, 0.1);
+  EXPECT_NEAR(energy.Sum(), 1.0, 1e-12);
+
+  const auto cost = RewardWeights::Sweep("cost", 0.5);
+  EXPECT_DOUBLE_EQ(cost.f_cost, 0.5);
+  const auto temp = RewardWeights::Sweep("temp", 0.1);
+  EXPECT_DOUBLE_EQ(temp.f_temp, 0.1);
+  EXPECT_DOUBLE_EQ(temp.f_energy, 0.45);
+
+  EXPECT_THROW(RewardWeights::Sweep("bogus", 0.5), std::invalid_argument);
+  EXPECT_THROW(RewardWeights::Sweep("energy", 1.5), std::invalid_argument);
+}
+
+TEST(SmartReward, EnergyRewardDecreasesWithConsumption) {
+  const SmartReward reward(RewardWeights{});
+  StepPhysical low = BasePhysical();
+  low.interval_watts = 100.0;
+  StepPhysical high = BasePhysical();
+  high.interval_watts = 9000.0;
+  EXPECT_GT(reward.EnergyReward(low), reward.EnergyReward(high));
+  EXPECT_NEAR(reward.EnergyReward(low), 0.99, 1e-9);
+  // Zero consumption = full reward; over-max clamps at 0.
+  StepPhysical zero = BasePhysical();
+  zero.interval_watts = 0.0;
+  EXPECT_DOUBLE_EQ(reward.EnergyReward(zero), 1.0);
+  StepPhysical over = BasePhysical();
+  over.interval_watts = 20000.0;
+  EXPECT_DOUBLE_EQ(reward.EnergyReward(over), 0.0);
+}
+
+TEST(SmartReward, CostRewardScalesWithPrice) {
+  const SmartReward reward(RewardWeights{});
+  StepPhysical cheap = BasePhysical();
+  cheap.price_usd_per_kwh = 0.05;
+  StepPhysical expensive = BasePhysical();
+  expensive.price_usd_per_kwh = 0.40;
+  EXPECT_GT(reward.CostReward(cheap), reward.CostReward(expensive));
+}
+
+TEST(SmartReward, TempRewardOnlyCountsOccupied) {
+  const SmartReward reward(RewardWeights{});
+  StepPhysical away = BasePhysical();
+  away.occupied = false;
+  away.comfort_error_c = 10.0;
+  EXPECT_DOUBLE_EQ(reward.TempReward(away), 1.0);
+
+  StepPhysical home = BasePhysical();
+  home.comfort_error_c = 2.5;
+  EXPECT_DOUBLE_EQ(reward.TempReward(home), 0.5);
+  home.comfort_error_c = 99.0;
+  EXPECT_DOUBLE_EQ(reward.TempReward(home), 0.0);
+  home.comfort_error_c = 0.0;
+  EXPECT_DOUBLE_EQ(reward.TempReward(home), 1.0);
+}
+
+TEST(SmartReward, UtilityIsWeightedSum) {
+  const RewardWeights weights = RewardWeights::Sweep("energy", 0.6);
+  const SmartReward reward(weights);
+  const StepPhysical physical = BasePhysical();
+  const double expected = weights.f_energy * reward.EnergyReward(physical) +
+                          weights.f_cost * reward.CostReward(physical) +
+                          weights.f_temp * reward.TempReward(physical);
+  EXPECT_DOUBLE_EQ(reward.Utility(physical), expected);
+}
+
+TEST(SmartReward, ChiScalesDisUtility) {
+  RewardWeights weights;
+  weights.chi = 2.0;
+  const SmartReward relaxed(weights);
+  const SmartReward balanced(RewardWeights{});
+  const StepPhysical physical = BasePhysical();
+  EXPECT_DOUBLE_EQ(relaxed.DisUtility(physical),
+                   balanced.DisUtility(physical) / 2.0);
+  EXPECT_DOUBLE_EQ(balanced.Compute(physical),
+                   balanced.Utility(physical) - physical.pending_disutility);
+  RewardWeights bad;
+  bad.chi = 0.0;
+  EXPECT_THROW(SmartReward{bad}, std::invalid_argument);
+}
+
+TEST(SmartReward, DegenerateNormalizersYieldZero) {
+  const SmartReward reward(RewardWeights{});
+  StepPhysical physical = BasePhysical();
+  physical.max_watts = 0.0;
+  EXPECT_DOUBLE_EQ(reward.EnergyReward(physical), 0.0);
+  EXPECT_DOUBLE_EQ(reward.CostReward(physical), 0.0);
+}
+
+// Property sweep: R_smart is monotone non-increasing in consumption for
+// every focus weighting.
+class RewardMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(RewardMonotonicity, MoreWattsNeverIncreasesReward) {
+  const SmartReward reward(RewardWeights::Sweep("energy", GetParam()));
+  double previous = 1e18;
+  for (double watts = 0.0; watts <= 10000.0; watts += 500.0) {
+    StepPhysical physical = BasePhysical();
+    physical.interval_watts = watts;
+    const double value = reward.Compute(physical);
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FocusWeights, RewardMonotonicity,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace jarvis::rl

@@ -1,0 +1,236 @@
+// Tests for the SPL extensions: persistence of learnt policies, manual
+// policy admission (Section V-B-1), and active learning over the benefit
+// spaces (Section VI-F).
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+#include "spl/active_learner.h"
+#include "spl/learner.h"
+
+namespace jarvis::spl {
+namespace {
+
+class ActiveFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::TestbedConfig config;
+    config.benign_anomaly_samples = 2000;
+    testbed_ = new sim::Testbed(config);
+    learner_ = new SafetyPolicyLearner(testbed_->home_a(), SplConfig{});
+    learner_->Learn(testbed_->HomeALearningEpisodes(),
+                    testbed_->BuildTrainingSet());
+  }
+  static void TearDownTestSuite() {
+    delete learner_;
+    delete testbed_;
+    learner_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  // A violation context: door unlock in the dead of night.
+  static fsm::StateVector NightState() {
+    return fsm::StateVector(testbed_->home_a().device_count(), 0);
+  }
+  static fsm::MiniAction NightUnlock() {
+    return {0, *testbed_->home_a().device(0).FindAction("unlock")};
+  }
+
+  static sim::Testbed* testbed_;
+  static SafetyPolicyLearner* learner_;
+};
+
+sim::Testbed* ActiveFixture::testbed_ = nullptr;
+SafetyPolicyLearner* ActiveFixture::learner_ = nullptr;
+
+TEST_F(ActiveFixture, PersistenceRoundTripPreservesClassification) {
+  const std::string saved = learner_->ToJsonString();
+
+  SafetyPolicyLearner restored(testbed_->home_a(), SplConfig{});
+  EXPECT_FALSE(restored.learned());
+  restored.LoadJsonString(saved);
+  EXPECT_TRUE(restored.learned());
+  EXPECT_EQ(restored.table().admitted_key_count(),
+            learner_->table().admitted_key_count());
+
+  // Classifications agree on attacks, benign anomalies, and natural
+  // behavior samples.
+  const auto violations = testbed_->BuildViolations();
+  for (std::size_t v = 0; v < violations.size(); v += 17) {
+    EXPECT_EQ(restored.Classify(violations[v].state, violations[v].action,
+                                violations[v].minute),
+              learner_->Classify(violations[v].state, violations[v].action,
+                                 violations[v].minute));
+  }
+  const auto episode = testbed_->HomeALearningEpisodes().front();
+  const auto original_audit = learner_->AuditEpisode(episode);
+  const auto restored_audit = restored.AuditEpisode(episode);
+  EXPECT_EQ(restored_audit.violations, original_audit.violations);
+  EXPECT_EQ(restored_audit.safe, original_audit.safe);
+}
+
+TEST_F(ActiveFixture, PersistenceRejectsConfigMismatch) {
+  const auto doc = learner_->ToJson();
+  SplConfig other;
+  other.count_threshold = 3;
+  SafetyPolicyLearner mismatched(testbed_->home_a(), other);
+  EXPECT_THROW(mismatched.LoadJson(doc), std::invalid_argument);
+}
+
+TEST_F(ActiveFixture, ForceAdmitCreatesManualPolicy) {
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+
+  // Fire-alarm reaction: unlock the door when the temperature sensor
+  // raises fire_alarm — never observed naturally (Section V-B-1).
+  fsm::StateVector fire = NightState();
+  fire[4] = *testbed_->home_a().device(4).FindState("fire_alarm");
+  const fsm::MiniAction unlock = NightUnlock();
+  EXPECT_EQ(local.ClassifyMini(fire, unlock, 2 * 60), Verdict::kViolation);
+  local.mutable_table().ForceAdmit(fire, unlock, 2 * 60);
+  EXPECT_EQ(local.ClassifyMini(fire, unlock, 2 * 60), Verdict::kSafe);
+  // The admission is context-specific: without the alarm it stays flagged.
+  EXPECT_EQ(local.ClassifyMini(NightState(), unlock, 2 * 60),
+            Verdict::kViolation);
+}
+
+TEST_F(ActiveFixture, ForceAdmitSurvivesPersistence) {
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+  fsm::StateVector fire = NightState();
+  fire[4] = *testbed_->home_a().device(4).FindState("fire_alarm");
+  local.mutable_table().ForceAdmit(fire, NightUnlock(), 2 * 60);
+
+  SafetyPolicyLearner restored(testbed_->home_a(), SplConfig{});
+  restored.LoadJsonString(local.ToJsonString());
+  EXPECT_EQ(restored.ClassifyMini(fire, NightUnlock(), 2 * 60),
+            Verdict::kSafe);
+}
+
+TEST_F(ActiveFixture, ReviewTransitionApprovalAdmits) {
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+  ActiveLearner active(local, ActiveLearningConfig{});
+
+  int queries = 0;
+  const UserOracle approve = [&](const fsm::StateVector&,
+                                 const fsm::MiniAction&, int) {
+    ++queries;
+    return UserJudgment::kApprove;
+  };
+  const auto verdict =
+      active.ReviewTransition(NightState(), NightUnlock(), 2 * 60, approve);
+  EXPECT_EQ(verdict, Verdict::kSafe);
+  EXPECT_EQ(queries, 1);
+  // Now admitted: the next review answers without querying.
+  EXPECT_EQ(active.ReviewTransition(NightState(), NightUnlock(), 2 * 60,
+                                    approve),
+            Verdict::kSafe);
+  EXPECT_EQ(queries, 1);
+}
+
+TEST_F(ActiveFixture, ReviewTransitionRejectionIsRemembered) {
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+  ActiveLearner active(local, ActiveLearningConfig{});
+
+  int queries = 0;
+  const UserOracle reject = [&](const fsm::StateVector&,
+                                const fsm::MiniAction&, int) {
+    ++queries;
+    return UserJudgment::kReject;
+  };
+  EXPECT_EQ(active.ReviewTransition(NightState(), NightUnlock(), 2 * 60,
+                                    reject),
+            Verdict::kViolation);
+  EXPECT_EQ(active.ReviewTransition(NightState(), NightUnlock(), 2 * 60,
+                                    reject),
+            Verdict::kViolation);
+  EXPECT_EQ(queries, 1) << "rejections are remembered, not re-asked";
+  EXPECT_TRUE(active.IsConfirmedMalicious(NightState(), NightUnlock(), 2 * 60));
+  EXPECT_FALSE(
+      active.IsConfirmedMalicious(NightState(), NightUnlock(), 13 * 60))
+      << "memory is day-part specific";
+  EXPECT_EQ(active.confirmed_malicious_count(), 1u);
+}
+
+TEST_F(ActiveFixture, SafeTransitionsAreNotQueried) {
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+  ActiveLearner active(local, ActiveLearningConfig{});
+  const UserOracle panic = [](const fsm::StateVector&, const fsm::MiniAction&,
+                              int) -> UserJudgment {
+    ADD_FAILURE() << "oracle must not be consulted for safe behavior";
+    return UserJudgment::kReject;
+  };
+  // Pick a whitelisted transition: any natural observation.
+  const auto observations =
+      fsm::ExtractTriggerActions(testbed_->HomeALearningEpisodes());
+  ASSERT_FALSE(observations.empty());
+  const auto& ta = observations.front();
+  for (std::size_t d = 0; d < ta.action.size(); ++d) {
+    if (ta.action[d] == fsm::kNoAction) continue;
+    active.ReviewTransition(ta.trigger_state,
+                            {static_cast<fsm::DeviceId>(d), ta.action[d]},
+                            ta.minute_of_day, panic);
+  }
+}
+
+TEST_F(ActiveFixture, ReviewEpisodeRespectsBudgetAndMemory) {
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+  ActiveLearningConfig config;
+  config.max_queries_per_session = 2;
+  ActiveLearner active(local, config);
+
+  // Build an episode with several injected violations.
+  const auto violations = testbed_->BuildViolations();
+  fsm::Episode episode = testbed_->HomeALearningEpisodes().front();
+  for (std::size_t v : {0u, 30u, 60u, 90u}) {
+    episode = sim::AttackGenerator::InjectIntoEpisode(testbed_->home_a(),
+                                                      episode, violations[v]);
+  }
+
+  const UserOracle reject = [](const fsm::StateVector&, const fsm::MiniAction&,
+                               int) { return UserJudgment::kReject; };
+  const auto report = active.ReviewEpisode(episode, reject);
+  EXPECT_GE(report.flags_seen, 4u);
+  EXPECT_EQ(report.queried, 2u);
+  EXPECT_GE(report.skipped_budget, 2u);
+  EXPECT_EQ(report.rejected, 2u);
+
+  // Second pass: the two judged flags answer from memory; the budget then
+  // covers the remaining ones.
+  const auto second = active.ReviewEpisode(episode, reject);
+  EXPECT_EQ(second.remembered, 2u);
+  EXPECT_GE(second.queried, 1u);
+}
+
+TEST_F(ActiveFixture, ApprovalMovesUnsafeBenefitIntoSafeSpace) {
+  // The paper's Fig. 9 narrative: an unsafe-benefit-space action the user
+  // approves becomes exploitable by the constrained agent.
+  SafetyPolicyLearner local(testbed_->home_a(), SplConfig{});
+  local.Learn(testbed_->HomeALearningEpisodes(), testbed_->BuildTrainingSet());
+  ActiveLearner active(local, ActiveLearningConfig{});
+
+  // "Run the dishwasher at 04:00 off-peak" — off-whitelist (wrong
+  // day-part) but cost-beneficial.
+  const auto dishwasher = testbed_->home_a().DeviceIdByLabel("dishwasher");
+  fsm::StateVector state(testbed_->home_a().device_count(), 0);
+  state[static_cast<std::size_t>(dishwasher)] =
+      *testbed_->home_a().device(dishwasher).FindState("idle");
+  const fsm::MiniAction start{
+      dishwasher,
+      *testbed_->home_a().device(dishwasher).FindAction("start_cycle")};
+  ASSERT_EQ(local.ClassifyMini(state, start, 4 * 60), Verdict::kViolation);
+
+  const UserOracle approve = [](const fsm::StateVector&,
+                                const fsm::MiniAction&, int) {
+    return UserJudgment::kApprove;
+  };
+  active.ReviewTransition(state, start, 4 * 60, approve);
+  EXPECT_EQ(local.ClassifyMini(state, start, 4 * 60), Verdict::kSafe);
+  EXPECT_TRUE(local.table().IsMiniActionSafe(state, start, 4 * 60));
+}
+
+}  // namespace
+}  // namespace jarvis::spl

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "fsm/device_library.h"
+#include "sim/testbed.h"
+#include "spl/ann_filter.h"
+#include "spl/features.h"
+#include "spl/learner.h"
+#include "spl/safe_table.h"
+
+namespace jarvis::spl {
+namespace {
+
+TEST(FeatureEncoder, WidthAndLayout) {
+  const fsm::EnvironmentFsm home = fsm::BuildExampleHome();
+  const FeatureEncoder encoder(home);
+  EXPECT_EQ(encoder.feature_width(),
+            home.codec().one_hot_width() + home.codec().mini_action_count() + 2);
+  const fsm::StateVector state = {0, 0, 0, 2, 2};
+  const fsm::MiniAction mini{2, 1};
+  const auto features = encoder.Encode(state, mini, 720);
+  EXPECT_EQ(features.size(), encoder.feature_width());
+  // Exactly one action bit set.
+  double action_bits = 0.0;
+  for (std::size_t i = home.codec().one_hot_width();
+       i < features.size() - 2; ++i) {
+    action_bits += features[i];
+  }
+  EXPECT_DOUBLE_EQ(action_bits, 1.0);
+  // Time features at noon: sin ~ 0, cos ~ -1.
+  EXPECT_NEAR(features[features.size() - 2], 0.0, 1e-9);
+  EXPECT_NEAR(features[features.size() - 1], -1.0, 1e-9);
+}
+
+TEST(FeatureEncoder, SplitActionSkipsNoOps) {
+  fsm::ActionVector action = {fsm::kNoAction, 1, fsm::kNoAction, 0, fsm::kNoAction};
+  const auto minis = FeatureEncoder::SplitAction(action);
+  ASSERT_EQ(minis.size(), 2u);
+  EXPECT_EQ(minis[0].device, 1);
+  EXPECT_EQ(minis[0].action, 1);
+  EXPECT_EQ(minis[1].device, 3);
+  EXPECT_EQ(minis[1].action, 0);
+  EXPECT_TRUE(FeatureEncoder::SplitAction(
+                  fsm::ActionVector(5, fsm::kNoAction))
+                  .empty());
+}
+
+class SafeTableFixture : public ::testing::Test {
+ protected:
+  SafeTableFixture() : home_(fsm::BuildExampleHome()) {}
+
+  fsm::ActionVector LightOn() const {
+    fsm::ActionVector action(home_.device_count(), fsm::kNoAction);
+    action[2] = *home_.device(2).FindAction("power_on");
+    return action;
+  }
+
+  fsm::EnvironmentFsm home_;
+  fsm::StateVector state_ = {0, 0, 0, 2, 2};
+};
+
+TEST_F(SafeTableFixture, NothingAdmittedBeforeFinalize) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+  table.Observe(state_, LightOn(), 400);
+  EXPECT_FALSE(table.IsSafe(state_, LightOn(), 400));
+  table.Finalize();
+  EXPECT_TRUE(table.IsSafe(state_, LightOn(), 400));
+}
+
+TEST_F(SafeTableFixture, NoOpAlwaysSafeAfterFinalize) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+  table.Finalize();
+  EXPECT_TRUE(table.IsSafe(state_, fsm::ActionVector(5, fsm::kNoAction), 0));
+  EXPECT_TRUE(table.IsMiniActionSafe(state_, {0, fsm::kNoAction}, 0));
+}
+
+TEST_F(SafeTableFixture, ThresholdGatesAdmission) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 2);
+  table.Observe(state_, LightOn(), 400);
+  table.Observe(state_, LightOn(), 401);
+  table.Finalize();
+  // Count 2 is not > 2.
+  EXPECT_FALSE(table.IsSafe(state_, LightOn(), 400));
+  table.Observe(state_, LightOn(), 402);
+  table.Finalize();
+  EXPECT_TRUE(table.IsSafe(state_, LightOn(), 400));
+  EXPECT_THROW(SafeTransitionTable(home_, KeyMode::kFactoredContext, -1),
+               std::invalid_argument);
+}
+
+TEST_F(SafeTableFixture, TimeBucketsSeparateDayParts) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+  table.Observe(state_, LightOn(), 7 * 60);  // bucket [6,9)
+  table.Finalize();
+  EXPECT_TRUE(table.IsSafe(state_, LightOn(), 8 * 60));   // same bucket
+  EXPECT_FALSE(table.IsSafe(state_, LightOn(), 3 * 60));  // night bucket
+  EXPECT_FALSE(table.IsSafe(state_, LightOn(), 12 * 60));
+}
+
+TEST_F(SafeTableFixture, SecurityContextSeparatesStates) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+  // Unlock observed with door sensor reporting an authorized user.
+  fsm::StateVector arrival_state = state_;
+  arrival_state[1] = *home_.device(1).FindState("auth_user");
+  fsm::ActionVector unlock(home_.device_count(), fsm::kNoAction);
+  unlock[0] = *home_.device(0).FindAction("unlock");
+  table.Observe(arrival_state, unlock, 17 * 60);
+  table.Finalize();
+  EXPECT_TRUE(table.IsSafe(arrival_state, unlock, 17 * 60));
+  // Same action, door sensing (nobody verified): different context key.
+  EXPECT_FALSE(table.IsSafe(state_, unlock, 17 * 60));
+  // Unauthorized user at the door: also different.
+  fsm::StateVector unauth_state = state_;
+  unauth_state[1] = *home_.device(1).FindState("unauth_user");
+  EXPECT_FALSE(table.IsSafe(unauth_state, unlock, 17 * 60));
+}
+
+TEST_F(SafeTableFixture, FactoredModeGeneralizesOverIrrelevantDevices) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+  table.Observe(state_, LightOn(), 400);
+  table.Finalize();
+  // The thermostat state is not part of the light's safety context.
+  fsm::StateVector different = state_;
+  different[3] = *home_.device(3).FindState("heat");
+  EXPECT_TRUE(table.IsSafe(different, LightOn(), 400));
+}
+
+TEST_F(SafeTableFixture, ExactModeDoesNotGeneralize) {
+  SafeTransitionTable table(home_, KeyMode::kExactState, 0);
+  table.Observe(state_, LightOn(), 400);
+  table.Finalize();
+  EXPECT_TRUE(table.IsSafe(state_, LightOn(), 400));
+  fsm::StateVector different = state_;
+  different[3] = *home_.device(3).FindState("heat");
+  EXPECT_FALSE(table.IsSafe(different, LightOn(), 400))
+      << "exact mode must key on the full composite state";
+}
+
+TEST_F(SafeTableFixture, UnsafeMiniActionsPinpointOffenders) {
+  SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+  table.Observe(state_, LightOn(), 400);
+  table.Finalize();
+  fsm::ActionVector mixed = LightOn();
+  mixed[4] = *home_.device(4).FindAction("power_off");  // never observed
+  const auto unsafe = table.UnsafeMiniActions(state_, mixed, 400);
+  ASSERT_EQ(unsafe.size(), 1u);
+  EXPECT_EQ(unsafe[0].device, 4);
+}
+
+// --- ANN filter ---------------------------------------------------------
+
+class AnnFixture : public ::testing::Test {
+ protected:
+  AnnFixture() : home_(fsm::BuildFullHome()) {}
+
+  // A small but separable labeled set: daytime light use is normal,
+  // small-hours TV is a benign anomaly.
+  std::vector<sim::LabeledSample> MakeSeparableSet() const {
+    std::vector<sim::LabeledSample> samples;
+    fsm::StateVector state(home_.device_count(), 0);
+    util::Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+      fsm::ActionVector normal(home_.device_count(), fsm::kNoAction);
+      normal[2] = 1;  // light power_on
+      samples.push_back(
+          {{state, normal,
+            static_cast<int>(rng.NextInt(17 * 60, 22 * 60))},
+           false,
+           sim::AnomalyKind::kOutOfScheduleLight});
+      fsm::ActionVector anomaly(home_.device_count(), fsm::kNoAction);
+      anomaly[7] = 0;  // tv power_on
+      samples.push_back({{state, anomaly,
+                          static_cast<int>(rng.NextInt(2 * 60, 4 * 60))},
+                         true,
+                         sim::AnomalyKind::kTvLeftOnShort});
+    }
+    return samples;
+  }
+
+  fsm::EnvironmentFsm home_;
+};
+
+TEST_F(AnnFixture, LearnsSeparableBenignPattern) {
+  AnnFilter filter(home_, AnnFilterConfig{}, 3);
+  EXPECT_FALSE(filter.trained());
+  const auto samples = MakeSeparableSet();
+  filter.Train(samples);
+  EXPECT_TRUE(filter.trained());
+  EXPECT_GT(filter.Evaluate(samples), 0.97);
+
+  fsm::StateVector state(home_.device_count(), 0);
+  EXPECT_GT(filter.BenignScore(state, {7, 0}, 3 * 60), 0.5);
+  EXPECT_LT(filter.BenignScore(state, {2, 1}, 19 * 60), 0.5);
+}
+
+TEST_F(AnnFixture, JointActionScoreIsMinOverComponents) {
+  AnnFilter filter(home_, AnnFilterConfig{}, 3);
+  filter.Train(MakeSeparableSet());
+  fsm::StateVector state(home_.device_count(), 0);
+  fsm::ActionVector joint(home_.device_count(), fsm::kNoAction);
+  joint[7] = 0;  // benign-looking
+  joint[2] = 1;  // normal-looking (low benign score)
+  fsm::TriggerAction ta{state, joint, 3 * 60};
+  const double joint_score = filter.BenignScore(ta);
+  const double tv_score = filter.BenignScore(state, {7, 0}, 3 * 60);
+  const double light_score = filter.BenignScore(state, {2, 1}, 3 * 60);
+  EXPECT_DOUBLE_EQ(joint_score, std::min(tv_score, light_score));
+  // Empty action scores 0.
+  fsm::TriggerAction empty{state,
+                           fsm::ActionVector(home_.device_count(),
+                                             fsm::kNoAction),
+                           0};
+  EXPECT_DOUBLE_EQ(filter.BenignScore(empty), 0.0);
+}
+
+TEST_F(AnnFixture, TrainRejectsEmpty) {
+  AnnFilter filter(home_, AnnFilterConfig{}, 3);
+  EXPECT_THROW(filter.Train({}), std::invalid_argument);
+}
+
+// --- Full SPL integration -------------------------------------------—---
+
+class SplIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::TestbedConfig config;
+    config.benign_anomaly_samples = 3000;
+    testbed_ = new sim::Testbed(config);
+    learner_ = new SafetyPolicyLearner(testbed_->home_a(), SplConfig{});
+    learner_->Learn(testbed_->HomeALearningEpisodes(),
+                    testbed_->BuildTrainingSet());
+  }
+  static void TearDownTestSuite() {
+    delete learner_;
+    delete testbed_;
+    learner_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  static sim::Testbed* testbed_;
+  static SafetyPolicyLearner* learner_;
+};
+
+sim::Testbed* SplIntegration::testbed_ = nullptr;
+SafetyPolicyLearner* SplIntegration::learner_ = nullptr;
+
+TEST_F(SplIntegration, LearningPopulatesTable) {
+  EXPECT_TRUE(learner_->learned());
+  EXPECT_GT(learner_->table().admitted_key_count(), 20u);
+}
+
+TEST_F(SplIntegration, NaturalBehaviorAuditsClean) {
+  // A fresh (non-learning) day of natural behavior should raise no
+  // violations — at most a handful of benign-anomaly flags.
+  sim::ResidentSimulator resident(testbed_->home_a(), sim::ThermalConfig{},
+                                  777);
+  const auto generator = testbed_->home_a_generator();
+  // Day 30: not in the learning set (learning days are multiples of 52).
+  const auto trace = resident.SimulateDay(generator.Generate(30),
+                                          resident.OvernightState(), 21.0);
+  const auto audit = learner_->AuditEpisode(trace.episode);
+  EXPECT_GT(audit.transitions_checked, 10u);
+  EXPECT_LE(audit.violations, audit.transitions_checked / 10)
+      << "false-positive violations on benign behavior";
+}
+
+TEST_F(SplIntegration, AllViolationTypesDetected) {
+  const auto violations = testbed_->BuildViolations();
+  std::size_t detected = 0;
+  for (const auto& violation : violations) {
+    const auto verdict = learner_->Classify(violation.state, violation.action,
+                                            violation.minute);
+    if (verdict == Verdict::kViolation) ++detected;
+  }
+  // Paper: 100% of the 214 violations flagged.
+  EXPECT_EQ(detected, violations.size());
+}
+
+TEST_F(SplIntegration, BenignAnomaliesFiltered) {
+  sim::AnomalyGenerator generator(testbed_->home_a(), 31337);
+  // Benign anomalies are human errors: evaluate them in a someone-is-home
+  // context (lock unlocked), matching how they are labeled.
+  fsm::StateVector state(testbed_->home_a().device_count(), 0);
+  state[0] = *testbed_->home_a().device(0).FindState("unlocked");
+  int benign = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto instance = generator.Generate(state);
+    const auto verdict =
+        learner_->Classify(state, instance.action, instance.minute);
+    ++total;
+    if (verdict != Verdict::kViolation) ++benign;
+  }
+  // Paper: 99.2% of benign anomalies filtered; we require > 90% here to
+  // keep the unit test robust to seeds.
+  EXPECT_GT(static_cast<double>(benign) / total, 0.9);
+}
+
+TEST_F(SplIntegration, ClassifyBeforeLearnThrows) {
+  SafetyPolicyLearner fresh(testbed_->home_a(), SplConfig{});
+  fsm::StateVector state(testbed_->home_a().device_count(), 0);
+  EXPECT_THROW(fresh.ClassifyMini(state, {0, 0}, 0), std::logic_error);
+}
+
+TEST_F(SplIntegration, LearnValidatesInputs) {
+  SafetyPolicyLearner fresh(testbed_->home_a(), SplConfig{});
+  EXPECT_THROW(fresh.Learn({}, testbed_->BuildTrainingSet()),
+               std::invalid_argument);
+  EXPECT_THROW(fresh.Learn(testbed_->HomeALearningEpisodes(), {}),
+               std::invalid_argument);
+}
+
+TEST_F(SplIntegration, AnnDisabledModeTreatsAnomaliesAsViolations) {
+  SplConfig config;
+  config.use_ann_filter = false;
+  SafetyPolicyLearner strict(testbed_->home_a(), config);
+  strict.Learn(testbed_->HomeALearningEpisodes(), {});
+  sim::AnomalyGenerator generator(testbed_->home_a(), 123);
+  fsm::StateVector state(testbed_->home_a().device_count(), 0);
+  int violations = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto instance = generator.Generate(state);
+    if (strict.Classify(state, instance.action, instance.minute) ==
+        Verdict::kViolation) {
+      ++violations;
+    }
+  }
+  // Without the ANN, off-whitelist benign anomalies are all flagged.
+  EXPECT_GT(violations, 40);
+}
+
+TEST(Verdicts, Names) {
+  EXPECT_EQ(VerdictName(Verdict::kSafe), "safe");
+  EXPECT_EQ(VerdictName(Verdict::kBenignAnomaly), "benign-anomaly");
+  EXPECT_EQ(VerdictName(Verdict::kViolation), "violation");
+}
+
+}  // namespace
+}  // namespace jarvis::spl

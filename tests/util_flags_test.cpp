@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace jarvis::util {
+namespace {
+
+Flags Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags flags = Make({"--name=value", "--count=7", "--rate=0.5"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_EQ(flags.GetInt("count", 0), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.5);
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags flags = Make({"--log", "events.txt", "--days", "14"});
+  EXPECT_EQ(flags.GetString("log", ""), "events.txt");
+  EXPECT_EQ(flags.GetInt("days", 0), 14);
+}
+
+TEST(Flags, BareBooleans) {
+  const Flags flags = Make({"--verbose", "--force=false", "--dry", "--x=1"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("force", true));
+  EXPECT_TRUE(flags.GetBool("dry", false));
+  EXPECT_TRUE(flags.GetBool("x", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = Make({"learn", "--log=x", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "learn");
+  EXPECT_EQ(flags.positional()[1], "extra");
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags flags = Make({});
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const Flags flags = Make({"--n=abc", "--d=1.2.3", "--b=maybe"});
+  EXPECT_THROW(flags.GetInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(flags.GetDouble("d", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.GetBool("b", false), std::invalid_argument);
+}
+
+TEST(Flags, MalformedFlagThrows) {
+  EXPECT_THROW(Make({"--=x"}), std::invalid_argument);
+  EXPECT_THROW(Make({"--"}), std::invalid_argument);
+}
+
+TEST(Flags, SpaceFormDoesNotEatNextFlag) {
+  const Flags flags = Make({"--a", "--b=2"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_EQ(flags.GetInt("b", 0), 2);
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags flags = Make({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace jarvis::util

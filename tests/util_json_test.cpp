@@ -1,0 +1,133 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace jarvis::util {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(JsonValue::Parse("null").type(), JsonValue::Type::kNull);
+  EXPECT_TRUE(JsonValue::Parse("true").AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false").AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25").AsNumber(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-17").AsNumber(), -17.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3").AsNumber(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(Json, DumpParsesBack) {
+  JsonObject obj;
+  obj["name"] = JsonValue("lock");
+  obj["watts"] = JsonValue(5.5);
+  obj["on"] = JsonValue(true);
+  obj["tags"] = JsonValue(JsonArray{JsonValue(1), JsonValue(2)});
+  JsonObject nested;
+  nested["x"] = JsonValue();
+  obj["extra"] = JsonValue(std::move(nested));
+  const JsonValue original{std::move(obj)};
+
+  const JsonValue reparsed = JsonValue::Parse(original.Dump());
+  EXPECT_EQ(reparsed, original);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  const JsonValue value(std::string("line\nbreak \"quoted\" \\slash\t"));
+  const JsonValue reparsed = JsonValue::Parse(value.Dump());
+  EXPECT_EQ(reparsed.AsString(), value.AsString());
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode) {
+  const std::string raw = "a\x01z";
+  const std::string dumped = JsonValue(raw).Dump();
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(JsonValue::Parse(dumped).AsString(), raw);
+}
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  EXPECT_EQ(JsonValue::Parse("\"\\u0041\"").AsString(), "A");
+  // 2-byte and 3-byte UTF-8 paths.
+  EXPECT_EQ(JsonValue::Parse("\"\\u00e9\"").AsString(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::Parse("\"\\u20ac\"").AsString(), "\xe2\x82\xac");
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const auto doc = JsonValue::Parse(
+      R"({"devices": [{"label": "lock", "states": 4},
+                      {"label": "light", "states": 2}],
+           "users": 5})");
+  EXPECT_EQ(doc.At("users").AsInt(), 5);
+  const auto& devices = doc.At("devices").AsArray();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0].At("label").AsString(), "lock");
+  EXPECT_EQ(devices[1].At("states").AsInt(), 2);
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const auto doc = JsonValue::Parse("  {  \"a\" :\n[ 1 ,\t2 ]  }  ");
+  EXPECT_EQ(doc.At("a").AsArray().size(), 2u);
+}
+
+TEST(Json, MalformedInputsThrow) {
+  EXPECT_THROW(JsonValue::Parse(""), JsonError);
+  EXPECT_THROW(JsonValue::Parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::Parse("[1,]"), JsonError);
+  EXPECT_THROW(JsonValue::Parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(JsonValue::Parse("\"unterminated"), JsonError);
+  EXPECT_THROW(JsonValue::Parse("tru"), JsonError);
+  EXPECT_THROW(JsonValue::Parse("{} extra"), JsonError);
+  EXPECT_THROW(JsonValue::Parse("nan"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue number(5.0);
+  EXPECT_THROW(number.AsString(), JsonError);
+  EXPECT_THROW(number.AsArray(), JsonError);
+  EXPECT_THROW(number.AsObject(), JsonError);
+  EXPECT_THROW(number.At("k"), JsonError);
+  const JsonValue text("x");
+  EXPECT_THROW(text.AsNumber(), JsonError);
+  EXPECT_THROW(text.AsBool(), JsonError);
+}
+
+TEST(Json, MissingKeyThrowsAndFallbacksWork) {
+  const auto doc = JsonValue::Parse(R"({"a": 1, "s": "x"})");
+  EXPECT_THROW(doc.At("missing"), JsonError);
+  EXPECT_DOUBLE_EQ(doc.GetNumber("a", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(doc.GetNumber("missing", -1.0), -1.0);
+  EXPECT_EQ(doc.GetString("s", "d"), "x");
+  EXPECT_EQ(doc.GetString("missing", "d"), "d");
+  // Wrong-typed field also falls back.
+  EXPECT_DOUBLE_EQ(doc.GetNumber("s", -1.0), -1.0);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Parse("[]").AsArray().size(), 0u);
+  EXPECT_EQ(JsonValue::Parse("{}").AsObject().size(), 0u);
+  EXPECT_EQ(JsonValue(JsonArray{}).Dump(), "[]");
+  EXPECT_EQ(JsonValue(JsonObject{}).Dump(), "{}");
+}
+
+TEST(Json, IntegersRenderWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue(5.0).Dump(), "5");
+  EXPECT_EQ(JsonValue(-3).Dump(), "-3");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+}
+
+TEST(Json, PrettyPrintRoundTrips) {
+  const auto doc =
+      JsonValue::Parse(R"({"a": [1, 2, {"b": true}], "c": "text"})");
+  const std::string pretty = doc.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(JsonValue::Parse(pretty), doc);
+}
+
+TEST(Json, CopyOnWriteMutationDoesNotAliasShares) {
+  JsonValue a(JsonArray{JsonValue(1)});
+  JsonValue b = a;  // shares the array node
+  b.MutableArray().push_back(JsonValue(2));
+  EXPECT_EQ(a.AsArray().size(), 1u);
+  EXPECT_EQ(b.AsArray().size(), 2u);
+}
+
+}  // namespace
+}  // namespace jarvis::util

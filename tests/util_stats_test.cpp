@@ -1,0 +1,129 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace jarvis::util {
+namespace {
+
+TEST(Stats, BasicAggregates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 4.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Mean(empty), std::invalid_argument);
+  EXPECT_THROW(Variance(empty), std::invalid_argument);
+  EXPECT_THROW(Min(empty), std::invalid_argument);
+  EXPECT_THROW(Max(empty), std::invalid_argument);
+  EXPECT_THROW(Percentile(empty, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+  EXPECT_THROW(Percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, OnlineMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  OnlineStats online;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextGaussian(3.0, 2.0);
+    xs.push_back(x);
+    online.Add(x);
+  }
+  EXPECT_NEAR(online.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(online.variance(), Variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(online.min(), Min(xs));
+  EXPECT_DOUBLE_EQ(online.max(), Max(xs));
+  EXPECT_EQ(online.count(), xs.size());
+}
+
+TEST(Stats, RocPerfectClassifier) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels = {true, true, false, false};
+  const auto curve = RocCurve(scores, labels);
+  EXPECT_NEAR(RocAuc(curve), 1.0, 1e-9);
+}
+
+TEST(Stats, RocRandomClassifierNearHalf) {
+  Rng rng(6);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.NextBool(0.5));
+  }
+  EXPECT_NEAR(RocAuc(RocCurve(scores, labels)), 0.5, 0.02);
+}
+
+TEST(Stats, RocInvertedClassifierNearZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_NEAR(RocAuc(RocCurve(scores, labels)), 0.0, 1e-9);
+}
+
+TEST(Stats, RocRequiresBothClasses) {
+  EXPECT_THROW(RocCurve({0.5, 0.6}, {true, true}), std::invalid_argument);
+  EXPECT_THROW(RocCurve({0.5}, {true, false}), std::invalid_argument);
+}
+
+TEST(Stats, RocEndpointsSpanUnitSquare) {
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool positive = rng.NextBool(0.4);
+    scores.push_back(positive ? rng.NextGaussian(0.7, 0.2)
+                              : rng.NextGaussian(0.3, 0.2));
+    labels.push_back(positive);
+  }
+  const auto curve = RocCurve(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  // Monotone nondecreasing in both axes.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+  }
+  const double auc = RocAuc(curve);
+  EXPECT_GT(auc, 0.75);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(0.5);   // bin 0
+  hist.Add(9.9);   // bin 4
+  hist.Add(-3.0);  // clamps to bin 0
+  hist.Add(42.0);  // clamps to bin 4
+  hist.Add(5.0);   // bin 2
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.counts()[0], 2u);
+  EXPECT_EQ(hist.counts()[2], 1u);
+  EXPECT_EQ(hist.counts()[4], 2u);
+  EXPECT_DOUBLE_EQ(hist.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.BinCenter(4), 9.0);
+  EXPECT_FALSE(hist.ToString().empty());
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jarvis::util
