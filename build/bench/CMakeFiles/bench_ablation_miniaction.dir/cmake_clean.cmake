@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_miniaction.dir/bench_ablation_miniaction.cpp.o"
+  "CMakeFiles/bench_ablation_miniaction.dir/bench_ablation_miniaction.cpp.o.d"
+  "bench_ablation_miniaction"
+  "bench_ablation_miniaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_miniaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

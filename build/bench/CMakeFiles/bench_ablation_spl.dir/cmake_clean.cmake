@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spl.dir/bench_ablation_spl.cpp.o"
+  "CMakeFiles/bench_ablation_spl.dir/bench_ablation_spl.cpp.o.d"
+  "bench_ablation_spl"
+  "bench_ablation_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

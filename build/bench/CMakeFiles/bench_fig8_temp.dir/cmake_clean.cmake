@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_temp.dir/bench_fig8_temp.cpp.o"
+  "CMakeFiles/bench_fig8_temp.dir/bench_fig8_temp.cpp.o.d"
+  "bench_fig8_temp"
+  "bench_fig8_temp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_temp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

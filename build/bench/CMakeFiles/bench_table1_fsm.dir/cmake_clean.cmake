@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fsm.dir/bench_table1_fsm.cpp.o"
+  "CMakeFiles/bench_table1_fsm.dir/bench_table1_fsm.cpp.o.d"
+  "bench_table1_fsm"
+  "bench_table1_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

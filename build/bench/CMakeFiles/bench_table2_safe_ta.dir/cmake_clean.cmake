@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_safe_ta.dir/bench_table2_safe_ta.cpp.o"
+  "CMakeFiles/bench_table2_safe_ta.dir/bench_table2_safe_ta.cpp.o.d"
+  "bench_table2_safe_ta"
+  "bench_table2_safe_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_safe_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_quality.cpp" "bench/CMakeFiles/bench_table3_quality.dir/bench_table3_quality.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_quality.dir/bench_table3_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jarvis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/jarvis_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/jarvis_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jarvis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/jarvis_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/jarvis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/jarvis_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_scheduler.dir/energy_scheduler.cpp.o"
+  "CMakeFiles/energy_scheduler.dir/energy_scheduler.cpp.o.d"
+  "energy_scheduler"
+  "energy_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

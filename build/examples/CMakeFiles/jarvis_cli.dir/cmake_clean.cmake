@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_cli.dir/jarvis_cli.cpp.o"
+  "CMakeFiles/jarvis_cli.dir/jarvis_cli.cpp.o.d"
+  "jarvis_cli"
+  "jarvis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

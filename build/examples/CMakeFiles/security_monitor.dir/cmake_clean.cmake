@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_monitor.dir/security_monitor.cpp.o"
+  "CMakeFiles/security_monitor.dir/security_monitor.cpp.o.d"
+  "security_monitor"
+  "security_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_core.dir/benefit_space.cpp.o"
+  "CMakeFiles/jarvis_core.dir/benefit_space.cpp.o.d"
+  "CMakeFiles/jarvis_core.dir/jarvis.cpp.o"
+  "CMakeFiles/jarvis_core.dir/jarvis.cpp.o.d"
+  "CMakeFiles/jarvis_core.dir/online_monitor.cpp.o"
+  "CMakeFiles/jarvis_core.dir/online_monitor.cpp.o.d"
+  "libjarvis_core.a"
+  "libjarvis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/bus.cpp" "src/events/CMakeFiles/jarvis_events.dir/bus.cpp.o" "gcc" "src/events/CMakeFiles/jarvis_events.dir/bus.cpp.o.d"
+  "/root/repo/src/events/event.cpp" "src/events/CMakeFiles/jarvis_events.dir/event.cpp.o" "gcc" "src/events/CMakeFiles/jarvis_events.dir/event.cpp.o.d"
+  "/root/repo/src/events/handler.cpp" "src/events/CMakeFiles/jarvis_events.dir/handler.cpp.o" "gcc" "src/events/CMakeFiles/jarvis_events.dir/handler.cpp.o.d"
+  "/root/repo/src/events/logger_app.cpp" "src/events/CMakeFiles/jarvis_events.dir/logger_app.cpp.o" "gcc" "src/events/CMakeFiles/jarvis_events.dir/logger_app.cpp.o.d"
+  "/root/repo/src/events/parser.cpp" "src/events/CMakeFiles/jarvis_events.dir/parser.cpp.o" "gcc" "src/events/CMakeFiles/jarvis_events.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/jarvis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

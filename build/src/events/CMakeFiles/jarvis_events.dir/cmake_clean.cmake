@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_events.dir/bus.cpp.o"
+  "CMakeFiles/jarvis_events.dir/bus.cpp.o.d"
+  "CMakeFiles/jarvis_events.dir/event.cpp.o"
+  "CMakeFiles/jarvis_events.dir/event.cpp.o.d"
+  "CMakeFiles/jarvis_events.dir/handler.cpp.o"
+  "CMakeFiles/jarvis_events.dir/handler.cpp.o.d"
+  "CMakeFiles/jarvis_events.dir/logger_app.cpp.o"
+  "CMakeFiles/jarvis_events.dir/logger_app.cpp.o.d"
+  "CMakeFiles/jarvis_events.dir/parser.cpp.o"
+  "CMakeFiles/jarvis_events.dir/parser.cpp.o.d"
+  "libjarvis_events.a"
+  "libjarvis_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/authorization.cpp" "src/fsm/CMakeFiles/jarvis_fsm.dir/authorization.cpp.o" "gcc" "src/fsm/CMakeFiles/jarvis_fsm.dir/authorization.cpp.o.d"
+  "/root/repo/src/fsm/device.cpp" "src/fsm/CMakeFiles/jarvis_fsm.dir/device.cpp.o" "gcc" "src/fsm/CMakeFiles/jarvis_fsm.dir/device.cpp.o.d"
+  "/root/repo/src/fsm/device_library.cpp" "src/fsm/CMakeFiles/jarvis_fsm.dir/device_library.cpp.o" "gcc" "src/fsm/CMakeFiles/jarvis_fsm.dir/device_library.cpp.o.d"
+  "/root/repo/src/fsm/environment.cpp" "src/fsm/CMakeFiles/jarvis_fsm.dir/environment.cpp.o" "gcc" "src/fsm/CMakeFiles/jarvis_fsm.dir/environment.cpp.o.d"
+  "/root/repo/src/fsm/episode.cpp" "src/fsm/CMakeFiles/jarvis_fsm.dir/episode.cpp.o" "gcc" "src/fsm/CMakeFiles/jarvis_fsm.dir/episode.cpp.o.d"
+  "/root/repo/src/fsm/state.cpp" "src/fsm/CMakeFiles/jarvis_fsm.dir/state.cpp.o" "gcc" "src/fsm/CMakeFiles/jarvis_fsm.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_fsm.dir/authorization.cpp.o"
+  "CMakeFiles/jarvis_fsm.dir/authorization.cpp.o.d"
+  "CMakeFiles/jarvis_fsm.dir/device.cpp.o"
+  "CMakeFiles/jarvis_fsm.dir/device.cpp.o.d"
+  "CMakeFiles/jarvis_fsm.dir/device_library.cpp.o"
+  "CMakeFiles/jarvis_fsm.dir/device_library.cpp.o.d"
+  "CMakeFiles/jarvis_fsm.dir/environment.cpp.o"
+  "CMakeFiles/jarvis_fsm.dir/environment.cpp.o.d"
+  "CMakeFiles/jarvis_fsm.dir/episode.cpp.o"
+  "CMakeFiles/jarvis_fsm.dir/episode.cpp.o.d"
+  "CMakeFiles/jarvis_fsm.dir/state.cpp.o"
+  "CMakeFiles/jarvis_fsm.dir/state.cpp.o.d"
+  "libjarvis_fsm.a"
+  "libjarvis_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neural/activation.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/activation.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/activation.cpp.o.d"
+  "/root/repo/src/neural/layer.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/layer.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/layer.cpp.o.d"
+  "/root/repo/src/neural/loss.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/loss.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/loss.cpp.o.d"
+  "/root/repo/src/neural/network.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/network.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/network.cpp.o.d"
+  "/root/repo/src/neural/optimizer.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/optimizer.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/optimizer.cpp.o.d"
+  "/root/repo/src/neural/serialize.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/serialize.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/serialize.cpp.o.d"
+  "/root/repo/src/neural/tensor.cpp" "src/neural/CMakeFiles/jarvis_neural.dir/tensor.cpp.o" "gcc" "src/neural/CMakeFiles/jarvis_neural.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_neural.dir/activation.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/activation.cpp.o.d"
+  "CMakeFiles/jarvis_neural.dir/layer.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/layer.cpp.o.d"
+  "CMakeFiles/jarvis_neural.dir/loss.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/loss.cpp.o.d"
+  "CMakeFiles/jarvis_neural.dir/network.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/network.cpp.o.d"
+  "CMakeFiles/jarvis_neural.dir/optimizer.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/optimizer.cpp.o.d"
+  "CMakeFiles/jarvis_neural.dir/serialize.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/serialize.cpp.o.d"
+  "CMakeFiles/jarvis_neural.dir/tensor.cpp.o"
+  "CMakeFiles/jarvis_neural.dir/tensor.cpp.o.d"
+  "libjarvis_neural.a"
+  "libjarvis_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/dqn_agent.cpp" "src/rl/CMakeFiles/jarvis_rl.dir/dqn_agent.cpp.o" "gcc" "src/rl/CMakeFiles/jarvis_rl.dir/dqn_agent.cpp.o.d"
+  "/root/repo/src/rl/iot_env.cpp" "src/rl/CMakeFiles/jarvis_rl.dir/iot_env.cpp.o" "gcc" "src/rl/CMakeFiles/jarvis_rl.dir/iot_env.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "src/rl/CMakeFiles/jarvis_rl.dir/replay.cpp.o" "gcc" "src/rl/CMakeFiles/jarvis_rl.dir/replay.cpp.o.d"
+  "/root/repo/src/rl/reward.cpp" "src/rl/CMakeFiles/jarvis_rl.dir/reward.cpp.o" "gcc" "src/rl/CMakeFiles/jarvis_rl.dir/reward.cpp.o.d"
+  "/root/repo/src/rl/tabular_agent.cpp" "src/rl/CMakeFiles/jarvis_rl.dir/tabular_agent.cpp.o" "gcc" "src/rl/CMakeFiles/jarvis_rl.dir/tabular_agent.cpp.o.d"
+  "/root/repo/src/rl/trainer.cpp" "src/rl/CMakeFiles/jarvis_rl.dir/trainer.cpp.o" "gcc" "src/rl/CMakeFiles/jarvis_rl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spl/CMakeFiles/jarvis_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jarvis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/jarvis_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/jarvis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/jarvis_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

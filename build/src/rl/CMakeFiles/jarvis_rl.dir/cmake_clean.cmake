@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_rl.dir/dqn_agent.cpp.o"
+  "CMakeFiles/jarvis_rl.dir/dqn_agent.cpp.o.d"
+  "CMakeFiles/jarvis_rl.dir/iot_env.cpp.o"
+  "CMakeFiles/jarvis_rl.dir/iot_env.cpp.o.d"
+  "CMakeFiles/jarvis_rl.dir/replay.cpp.o"
+  "CMakeFiles/jarvis_rl.dir/replay.cpp.o.d"
+  "CMakeFiles/jarvis_rl.dir/reward.cpp.o"
+  "CMakeFiles/jarvis_rl.dir/reward.cpp.o.d"
+  "CMakeFiles/jarvis_rl.dir/tabular_agent.cpp.o"
+  "CMakeFiles/jarvis_rl.dir/tabular_agent.cpp.o.d"
+  "CMakeFiles/jarvis_rl.dir/trainer.cpp.o"
+  "CMakeFiles/jarvis_rl.dir/trainer.cpp.o.d"
+  "libjarvis_rl.a"
+  "libjarvis_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

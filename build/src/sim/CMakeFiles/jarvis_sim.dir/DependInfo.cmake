@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/anomaly.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/anomaly.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/anomaly.cpp.o.d"
+  "/root/repo/src/sim/attack.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/attack.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/attack.cpp.o.d"
+  "/root/repo/src/sim/prices.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/prices.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/prices.cpp.o.d"
+  "/root/repo/src/sim/resident.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/resident.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/resident.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/smartstar.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/smartstar.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/smartstar.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/testbed.cpp.o.d"
+  "/root/repo/src/sim/thermal.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/thermal.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/thermal.cpp.o.d"
+  "/root/repo/src/sim/weather.cpp" "src/sim/CMakeFiles/jarvis_sim.dir/weather.cpp.o" "gcc" "src/sim/CMakeFiles/jarvis_sim.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/jarvis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/jarvis_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_sim.dir/anomaly.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/anomaly.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/attack.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/attack.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/prices.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/prices.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/resident.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/resident.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/scenario.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/smartstar.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/smartstar.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/testbed.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/testbed.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/thermal.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/thermal.cpp.o.d"
+  "CMakeFiles/jarvis_sim.dir/weather.cpp.o"
+  "CMakeFiles/jarvis_sim.dir/weather.cpp.o.d"
+  "libjarvis_sim.a"
+  "libjarvis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spl/active_learner.cpp" "src/spl/CMakeFiles/jarvis_spl.dir/active_learner.cpp.o" "gcc" "src/spl/CMakeFiles/jarvis_spl.dir/active_learner.cpp.o.d"
+  "/root/repo/src/spl/ann_filter.cpp" "src/spl/CMakeFiles/jarvis_spl.dir/ann_filter.cpp.o" "gcc" "src/spl/CMakeFiles/jarvis_spl.dir/ann_filter.cpp.o.d"
+  "/root/repo/src/spl/features.cpp" "src/spl/CMakeFiles/jarvis_spl.dir/features.cpp.o" "gcc" "src/spl/CMakeFiles/jarvis_spl.dir/features.cpp.o.d"
+  "/root/repo/src/spl/learner.cpp" "src/spl/CMakeFiles/jarvis_spl.dir/learner.cpp.o" "gcc" "src/spl/CMakeFiles/jarvis_spl.dir/learner.cpp.o.d"
+  "/root/repo/src/spl/safe_table.cpp" "src/spl/CMakeFiles/jarvis_spl.dir/safe_table.cpp.o" "gcc" "src/spl/CMakeFiles/jarvis_spl.dir/safe_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/jarvis_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/jarvis_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jarvis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jarvis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/jarvis_events.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_spl.dir/active_learner.cpp.o"
+  "CMakeFiles/jarvis_spl.dir/active_learner.cpp.o.d"
+  "CMakeFiles/jarvis_spl.dir/ann_filter.cpp.o"
+  "CMakeFiles/jarvis_spl.dir/ann_filter.cpp.o.d"
+  "CMakeFiles/jarvis_spl.dir/features.cpp.o"
+  "CMakeFiles/jarvis_spl.dir/features.cpp.o.d"
+  "CMakeFiles/jarvis_spl.dir/learner.cpp.o"
+  "CMakeFiles/jarvis_spl.dir/learner.cpp.o.d"
+  "CMakeFiles/jarvis_spl.dir/safe_table.cpp.o"
+  "CMakeFiles/jarvis_spl.dir/safe_table.cpp.o.d"
+  "libjarvis_spl.a"
+  "libjarvis_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_util.dir/csv.cpp.o"
+  "CMakeFiles/jarvis_util.dir/csv.cpp.o.d"
+  "CMakeFiles/jarvis_util.dir/flags.cpp.o"
+  "CMakeFiles/jarvis_util.dir/flags.cpp.o.d"
+  "CMakeFiles/jarvis_util.dir/json.cpp.o"
+  "CMakeFiles/jarvis_util.dir/json.cpp.o.d"
+  "CMakeFiles/jarvis_util.dir/rng.cpp.o"
+  "CMakeFiles/jarvis_util.dir/rng.cpp.o.d"
+  "CMakeFiles/jarvis_util.dir/stats.cpp.o"
+  "CMakeFiles/jarvis_util.dir/stats.cpp.o.d"
+  "CMakeFiles/jarvis_util.dir/strings.cpp.o"
+  "CMakeFiles/jarvis_util.dir/strings.cpp.o.d"
+  "CMakeFiles/jarvis_util.dir/timeofday.cpp.o"
+  "CMakeFiles/jarvis_util.dir/timeofday.cpp.o.d"
+  "libjarvis_util.a"
+  "libjarvis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apartment_test.dir/apartment_test.cpp.o"
+  "CMakeFiles/apartment_test.dir/apartment_test.cpp.o.d"
+  "apartment_test"
+  "apartment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apartment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_jarvis_test.dir/core_jarvis_test.cpp.o"
+  "CMakeFiles/core_jarvis_test.dir/core_jarvis_test.cpp.o.d"
+  "core_jarvis_test"
+  "core_jarvis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_jarvis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_monitor_test.dir/core_monitor_test.cpp.o"
+  "CMakeFiles/core_monitor_test.dir/core_monitor_test.cpp.o.d"
+  "core_monitor_test"
+  "core_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

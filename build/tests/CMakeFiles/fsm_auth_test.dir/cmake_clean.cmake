@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_auth_test.dir/fsm_auth_test.cpp.o"
+  "CMakeFiles/fsm_auth_test.dir/fsm_auth_test.cpp.o.d"
+  "fsm_auth_test"
+  "fsm_auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

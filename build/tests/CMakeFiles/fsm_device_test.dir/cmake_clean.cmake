@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_device_test.dir/fsm_device_test.cpp.o"
+  "CMakeFiles/fsm_device_test.dir/fsm_device_test.cpp.o.d"
+  "fsm_device_test"
+  "fsm_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_episode_test.dir/fsm_episode_test.cpp.o"
+  "CMakeFiles/fsm_episode_test.dir/fsm_episode_test.cpp.o.d"
+  "fsm_episode_test"
+  "fsm_episode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_episode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

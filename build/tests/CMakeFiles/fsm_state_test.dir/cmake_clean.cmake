@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_state_test.dir/fsm_state_test.cpp.o"
+  "CMakeFiles/fsm_state_test.dir/fsm_state_test.cpp.o.d"
+  "fsm_state_test"
+  "fsm_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

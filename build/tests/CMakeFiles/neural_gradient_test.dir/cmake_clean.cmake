@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_gradient_test.dir/neural_gradient_test.cpp.o"
+  "CMakeFiles/neural_gradient_test.dir/neural_gradient_test.cpp.o.d"
+  "neural_gradient_test"
+  "neural_gradient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_network_test.dir/neural_network_test.cpp.o"
+  "CMakeFiles/neural_network_test.dir/neural_network_test.cpp.o.d"
+  "neural_network_test"
+  "neural_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

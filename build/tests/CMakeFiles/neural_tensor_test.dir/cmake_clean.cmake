@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_tensor_test.dir/neural_tensor_test.cpp.o"
+  "CMakeFiles/neural_tensor_test.dir/neural_tensor_test.cpp.o.d"
+  "neural_tensor_test"
+  "neural_tensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_agent_test.dir/rl_agent_test.cpp.o"
+  "CMakeFiles/rl_agent_test.dir/rl_agent_test.cpp.o.d"
+  "rl_agent_test"
+  "rl_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_env_test.dir/rl_env_test.cpp.o"
+  "CMakeFiles/rl_env_test.dir/rl_env_test.cpp.o.d"
+  "rl_env_test"
+  "rl_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_reward_test.dir/rl_reward_test.cpp.o"
+  "CMakeFiles/rl_reward_test.dir/rl_reward_test.cpp.o.d"
+  "rl_reward_test"
+  "rl_reward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

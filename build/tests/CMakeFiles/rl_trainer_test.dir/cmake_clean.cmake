@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_trainer_test.dir/rl_trainer_test.cpp.o"
+  "CMakeFiles/rl_trainer_test.dir/rl_trainer_test.cpp.o.d"
+  "rl_trainer_test"
+  "rl_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_physics_test.dir/sim_physics_test.cpp.o"
+  "CMakeFiles/sim_physics_test.dir/sim_physics_test.cpp.o.d"
+  "sim_physics_test"
+  "sim_physics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_resident_test.dir/sim_resident_test.cpp.o"
+  "CMakeFiles/sim_resident_test.dir/sim_resident_test.cpp.o.d"
+  "sim_resident_test"
+  "sim_resident_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_resident_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

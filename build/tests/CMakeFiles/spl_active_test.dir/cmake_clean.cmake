@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_active_test.dir/spl_active_test.cpp.o"
+  "CMakeFiles/spl_active_test.dir/spl_active_test.cpp.o.d"
+  "spl_active_test"
+  "spl_active_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_active_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

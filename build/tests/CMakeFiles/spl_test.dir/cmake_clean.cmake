@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_test.dir/spl_test.cpp.o"
+  "CMakeFiles/spl_test.dir/spl_test.cpp.o.d"
+  "spl_test"
+  "spl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
