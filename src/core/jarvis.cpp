@@ -43,7 +43,7 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
   for (int restart = 0; restart < restarts; ++restart) {
     rl::DqnConfig dqn = config_.dqn;
     dqn.seed = config_.dqn.seed +
-               static_cast<std::uint64_t>(restart) * 0x9e3779b97f4a7c15ULL;
+               static_cast<std::uint64_t>(restart) * std::uint64_t{0x9e3779b97f4a7c15};
     auto agent = std::make_unique<rl::DqnAgent>(last_env_->feature_width(),
                                                 fsm_.codec(), dqn);
     rl::TrainResult result = rl::Train(*last_env_, *agent, config_.trainer);

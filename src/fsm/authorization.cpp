@@ -1,6 +1,6 @@
 #include "fsm/authorization.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace jarvis::fsm {
 
@@ -25,9 +25,9 @@ LocationId AuthorizationModel::AddLocation(const std::string& name) {
 
 GroupId AuthorizationModel::AddGroup(const std::string& name,
                                      LocationId location) {
-  if (location < 0 || static_cast<std::size_t>(location) >= locations_.size()) {
-    throw std::out_of_range("AddGroup: unknown location");
-  }
+  JARVIS_CHECK(
+      location >= 0 && static_cast<std::size_t>(location) < locations_.size(),
+      "AddGroup: unknown location ", location);
   const GroupId id = static_cast<GroupId>(groups_.size());
   groups_.push_back({id, name, location});
   return id;
@@ -35,15 +35,13 @@ GroupId AuthorizationModel::AddGroup(const std::string& name,
 
 void AuthorizationModel::PlaceDevice(DeviceId device, LocationId location,
                                      GroupId group) {
-  if (location < 0 || static_cast<std::size_t>(location) >= locations_.size()) {
-    throw std::out_of_range("PlaceDevice: unknown location");
-  }
-  if (group < 0 || static_cast<std::size_t>(group) >= groups_.size()) {
-    throw std::out_of_range("PlaceDevice: unknown group");
-  }
-  if (groups_[static_cast<std::size_t>(group)].location != location) {
-    throw std::invalid_argument("PlaceDevice: group not in location");
-  }
+  JARVIS_CHECK(
+      location >= 0 && static_cast<std::size_t>(location) < locations_.size(),
+      "PlaceDevice: unknown location ", location);
+  JARVIS_CHECK(group >= 0 && static_cast<std::size_t>(group) < groups_.size(),
+               "PlaceDevice: unknown group ", group);
+  JARVIS_CHECK_EQ(groups_[static_cast<std::size_t>(group)].location, location,
+                  "PlaceDevice: group not in location");
   placements_[device] = {location, group};
 }
 

@@ -1,7 +1,6 @@
 #include "fsm/device.h"
 
-#include <stdexcept>
-
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace jarvis::fsm {
@@ -21,22 +20,18 @@ std::string DeviceClassName(DeviceClass cls) {
     case DeviceClass::kEntertainment:
       return "entertainment";
   }
-  throw std::logic_error("unknown device class");
+  JARVIS_CHECK(false, "unknown device class: ", static_cast<int>(cls));
 }
 
 const std::string& Device::state_name(StateIndex s) const {
-  if (s < 0 || s >= state_count()) {
-    throw std::out_of_range("Device::state_name: " + label_ + " state " +
-                            std::to_string(s));
-  }
+  JARVIS_CHECK(s >= 0 && s < state_count(), "Device::state_name: ", label_,
+               " state ", s);
   return state_names_[static_cast<std::size_t>(s)];
 }
 
 const std::string& Device::action_name(ActionIndex a) const {
-  if (a < 0 || a >= action_count()) {
-    throw std::out_of_range("Device::action_name: " + label_ + " action " +
-                            std::to_string(a));
-  }
+  JARVIS_CHECK(a >= 0 && a < action_count(), "Device::action_name: ", label_,
+               " action ", a);
   return action_names_[static_cast<std::size_t>(a)];
 }
 
@@ -55,35 +50,30 @@ std::optional<ActionIndex> Device::FindAction(const std::string& name) const {
 }
 
 StateIndex Device::Transition(StateIndex state, ActionIndex action) const {
-  if (state < 0 || state >= state_count()) {
-    throw std::out_of_range("Device::Transition: bad state");
-  }
+  JARVIS_CHECK(state >= 0 && state < state_count(),
+               "Device::Transition: bad state ", state, " on ", label_);
   if (action == kNoAction) return state;
-  if (action < 0 || action >= action_count()) {
-    throw std::out_of_range("Device::Transition: bad action");
-  }
+  JARVIS_CHECK(action >= 0 && action < action_count(),
+               "Device::Transition: bad action ", action, " on ", label_);
   return transition_[static_cast<std::size_t>(state) *
                          static_cast<std::size_t>(action_count()) +
                      static_cast<std::size_t>(action)];
 }
 
 double Device::DisUtility(StateIndex state, ActionIndex action) const {
-  if (state < 0 || state >= state_count()) {
-    throw std::out_of_range("Device::DisUtility: bad state");
-  }
+  JARVIS_CHECK(state >= 0 && state < state_count(),
+               "Device::DisUtility: bad state ", state, " on ", label_);
   if (action == kNoAction) return 0.0;
-  if (action < 0 || action >= action_count()) {
-    throw std::out_of_range("Device::DisUtility: bad action");
-  }
+  JARVIS_CHECK(action >= 0 && action < action_count(),
+               "Device::DisUtility: bad action ", action, " on ", label_);
   return dis_utility_[static_cast<std::size_t>(state) *
                           static_cast<std::size_t>(action_count()) +
                       static_cast<std::size_t>(action)];
 }
 
 double Device::PowerDraw(StateIndex state) const {
-  if (state < 0 || state >= state_count()) {
-    throw std::out_of_range("Device::PowerDraw: bad state");
-  }
+  JARVIS_CHECK(state >= 0 && state < state_count(),
+               "Device::PowerDraw: bad state ", state, " on ", label_);
   return power_draw_watts_[static_cast<std::size_t>(state)];
 }
 
@@ -110,18 +100,16 @@ Device::Builder::Builder(DeviceId id, std::string label, DeviceClass cls) {
 
 Device::Builder& Device::Builder::AddState(const std::string& name,
                                            double power_watts) {
-  if (device_.FindState(name).has_value()) {
-    throw std::invalid_argument("duplicate state name: " + name);
-  }
+  JARVIS_CHECK(!device_.FindState(name).has_value(),
+               "duplicate state name: ", name);
   device_.state_names_.push_back(name);
   device_.power_draw_watts_.push_back(power_watts);
   return *this;
 }
 
 Device::Builder& Device::Builder::AddAction(const std::string& name) {
-  if (device_.FindAction(name).has_value()) {
-    throw std::invalid_argument("duplicate action name: " + name);
-  }
+  JARVIS_CHECK(!device_.FindAction(name).has_value(),
+               "duplicate action name: ", name);
   device_.action_names_.push_back(name);
   return *this;
 }
@@ -134,9 +122,8 @@ Device::Builder& Device::Builder::SetTransition(const std::string& state,
 }
 
 Device::Builder& Device::Builder::SetDefaultDisUtility(double omega) {
-  if (omega < 0.0 || omega > 1.0) {
-    throw std::invalid_argument("dis-utility must be in [0,1]");
-  }
+  JARVIS_CHECK(omega >= 0.0 && omega <= 1.0,
+               "dis-utility must be in [0,1], got ", omega);
   device_.default_dis_utility_ = omega;
   return *this;
 }
@@ -144,38 +131,31 @@ Device::Builder& Device::Builder::SetDefaultDisUtility(double omega) {
 Device::Builder& Device::Builder::SetDisUtility(const std::string& state,
                                                 const std::string& action,
                                                 double omega) {
-  if (omega < 0.0 || omega > 1.0) {
-    throw std::invalid_argument("dis-utility must be in [0,1]");
-  }
+  JARVIS_CHECK(omega >= 0.0 && omega <= 1.0,
+               "dis-utility must be in [0,1], got ", omega);
   pending_dis_utility_.push_back({state, action, omega});
   return *this;
 }
 
 StateIndex Device::Builder::RequireState(const std::string& name) const {
   auto found = device_.FindState(name);
-  if (!found) {
-    throw std::invalid_argument("unknown state '" + name + "' on device " +
-                                device_.label_);
-  }
+  JARVIS_CHECK(found.has_value(), "unknown state '", name, "' on device ",
+               device_.label_);
   return *found;
 }
 
 ActionIndex Device::Builder::RequireAction(const std::string& name) const {
   auto found = device_.FindAction(name);
-  if (!found) {
-    throw std::invalid_argument("unknown action '" + name + "' on device " +
-                                device_.label_);
-  }
+  JARVIS_CHECK(found.has_value(), "unknown action '", name, "' on device ",
+               device_.label_);
   return *found;
 }
 
 Device Device::Builder::Build() {
-  if (device_.state_names_.empty()) {
-    throw std::invalid_argument("device needs at least one state");
-  }
-  if (device_.action_names_.empty()) {
-    throw std::invalid_argument("device needs at least one action");
-  }
+  JARVIS_CHECK(!device_.state_names_.empty(),
+               "device needs at least one state");
+  JARVIS_CHECK(!device_.action_names_.empty(),
+               "device needs at least one action");
   const auto states = static_cast<std::size_t>(device_.state_count());
   const auto actions = static_cast<std::size_t>(device_.action_count());
 

@@ -56,7 +56,7 @@ class Device {
   std::optional<ActionIndex> FindAction(const std::string& name) const;
 
   // delta_i: next state for (state, action). kNoAction returns the state
-  // unchanged. Out-of-range inputs throw std::out_of_range.
+  // unchanged. Out-of-range inputs fail a JARVIS_CHECK (util::CheckError).
   StateIndex Transition(StateIndex state, ActionIndex action) const;
 
   // omega_i(state, action): normalized dis-utility per time instance for

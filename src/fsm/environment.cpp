@@ -1,6 +1,6 @@
 #include "fsm/environment.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace jarvis::fsm {
 
@@ -21,27 +21,22 @@ std::string RejectReasonName(RejectReason reason) {
     case RejectReason::kInvalidAction:
       return "invalid-action";
   }
-  throw std::logic_error("unknown reject reason");
+  JARVIS_CHECK(false, "unknown reject reason: ", static_cast<int>(reason));
 }
 
 EnvironmentFsm::EnvironmentFsm(std::vector<Device> devices,
                                AuthorizationModel auth)
     : devices_(std::move(devices)), auth_(std::move(auth)), codec_(devices_) {
-  if (devices_.empty()) {
-    throw std::invalid_argument("EnvironmentFsm: no devices");
-  }
+  JARVIS_CHECK(!devices_.empty(), "EnvironmentFsm: no devices");
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    if (devices_[i].id() != static_cast<DeviceId>(i)) {
-      throw std::invalid_argument(
-          "EnvironmentFsm: device ids must be dense and ordered");
-    }
+    JARVIS_CHECK(devices_[i].id() == static_cast<DeviceId>(i),
+                 "EnvironmentFsm: device ids must be dense and ordered");
   }
 }
 
 const Device& EnvironmentFsm::device(DeviceId id) const {
-  if (id < 0 || static_cast<std::size_t>(id) >= devices_.size()) {
-    throw std::out_of_range("EnvironmentFsm::device: bad id");
-  }
+  JARVIS_CHECK(id >= 0 && static_cast<std::size_t>(id) < devices_.size(),
+               "EnvironmentFsm::device: bad id ", id);
   return devices_[static_cast<std::size_t>(id)];
 }
 
@@ -49,7 +44,7 @@ const Device& EnvironmentFsm::DeviceByLabel(const std::string& label) const {
   for (const auto& d : devices_) {
     if (d.label() == label) return d;
   }
-  throw std::invalid_argument("unknown device label: " + label);
+  JARVIS_CHECK(false, "unknown device label: ", label);
 }
 
 DeviceId EnvironmentFsm::DeviceIdByLabel(const std::string& label) const {
@@ -57,27 +52,21 @@ DeviceId EnvironmentFsm::DeviceIdByLabel(const std::string& label) const {
 }
 
 void EnvironmentFsm::ValidateState(const StateVector& state) const {
-  if (state.size() != devices_.size()) {
-    throw std::invalid_argument("state width mismatch");
-  }
+  JARVIS_CHECK_EQ(state.size(), devices_.size(), "state width mismatch");
   for (std::size_t i = 0; i < state.size(); ++i) {
-    if (state[i] < 0 || state[i] >= devices_[i].state_count()) {
-      throw std::invalid_argument("state index out of range for device " +
-                                  devices_[i].label());
-    }
+    JARVIS_CHECK(state[i] >= 0 && state[i] < devices_[i].state_count(),
+                 "state index ", state[i], " out of range for device ",
+                 devices_[i].label());
   }
 }
 
 void EnvironmentFsm::ValidateAction(const ActionVector& action) const {
-  if (action.size() != devices_.size()) {
-    throw std::invalid_argument("action width mismatch");
-  }
+  JARVIS_CHECK_EQ(action.size(), devices_.size(), "action width mismatch");
   for (std::size_t i = 0; i < action.size(); ++i) {
     if (action[i] == kNoAction) continue;
-    if (action[i] < 0 || action[i] >= devices_[i].action_count()) {
-      throw std::invalid_argument("action index out of range for device " +
-                                  devices_[i].label());
-    }
+    JARVIS_CHECK(action[i] >= 0 && action[i] < devices_[i].action_count(),
+                 "action index ", action[i], " out of range for device ",
+                 devices_[i].label());
   }
 }
 

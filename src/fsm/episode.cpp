@@ -1,26 +1,24 @@
 #include "fsm/episode.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace jarvis::fsm {
 
 Episode::Episode(EpisodeConfig config, util::SimTime start,
                  StateVector initial_state)
     : config_(config), start_(start), initial_state_(std::move(initial_state)) {
-  if (config_.period_minutes <= 0 || config_.interval_minutes <= 0) {
-    throw std::invalid_argument("Episode: T and I must be positive");
-  }
-  if (config_.interval_minutes > config_.period_minutes) {
-    throw std::invalid_argument("Episode: I > T");
-  }
+  JARVIS_CHECK(config_.period_minutes > 0 && config_.interval_minutes > 0,
+               "Episode: T and I must be positive (T=",
+               config_.period_minutes, ", I=", config_.interval_minutes, ")");
+  JARVIS_CHECK_LE(config_.interval_minutes, config_.period_minutes,
+                  "Episode: I > T");
 }
 
 void Episode::Record(util::SimTime time, StateVector state,
                      ActionVector action) {
-  if (IsComplete()) {
-    throw std::logic_error("Episode::Record: episode already complete");
-  }
+  JARVIS_CHECK(!IsComplete(), "Episode::Record: episode already complete");
   steps_.push_back({time, std::move(state), std::move(action)});
 }
 

@@ -1,7 +1,8 @@
 #include "fsm/state.h"
 
 #include <limits>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace jarvis::fsm {
 
@@ -17,10 +18,9 @@ StateCodec::StateCodec(const std::vector<Device>& devices) {
 
     weights_.push_back(state_space_size_);
     const auto radix = static_cast<std::uint64_t>(device.state_count());
-    if (state_space_size_ >
-        std::numeric_limits<std::uint64_t>::max() / radix) {
-      throw std::overflow_error("StateCodec: joint state space > 2^64");
-    }
+    JARVIS_CHECK(
+        state_space_size_ <= std::numeric_limits<std::uint64_t>::max() / radix,
+        "StateCodec: joint state space > 2^64");
     state_space_size_ *= radix;
 
     mini_offsets_.push_back(mini_action_count_);
@@ -30,14 +30,13 @@ StateCodec::StateCodec(const std::vector<Device>& devices) {
 }
 
 std::uint64_t StateCodec::Encode(const StateVector& state) const {
-  if (state.size() != radices_.size()) {
-    throw std::invalid_argument("StateCodec::Encode: width mismatch");
-  }
+  JARVIS_CHECK_EQ(state.size(), radices_.size(),
+                  "StateCodec::Encode: width mismatch");
   std::uint64_t key = 0;
   for (std::size_t i = 0; i < state.size(); ++i) {
-    if (state[i] < 0 || state[i] >= radices_[i]) {
-      throw std::out_of_range("StateCodec::Encode: state index out of range");
-    }
+    JARVIS_CHECK(state[i] >= 0 && state[i] < radices_[i],
+                 "StateCodec::Encode: state index ", state[i],
+                 " out of range for device ", i);
     key += static_cast<std::uint64_t>(state[i]) * weights_[i];
   }
   return key;
@@ -55,20 +54,17 @@ StateVector StateCodec::Decode(std::uint64_t key) const {
 
 std::size_t StateCodec::MiniActionSlot(const MiniAction& mini) const {
   const auto device = static_cast<std::size_t>(mini.device);
-  if (mini.device < 0 || device >= mini_offsets_.size()) {
-    throw std::out_of_range("MiniActionSlot: bad device");
-  }
+  JARVIS_CHECK(mini.device >= 0 && device < mini_offsets_.size(),
+               "MiniActionSlot: bad device ", mini.device);
   if (mini.action == kNoAction) return NoOpSlot(mini.device);
-  if (mini.action < 0 || mini.action >= action_counts_[device]) {
-    throw std::out_of_range("MiniActionSlot: bad action");
-  }
+  JARVIS_CHECK(mini.action >= 0 && mini.action < action_counts_[device],
+               "MiniActionSlot: bad action ", mini.action, " on device ",
+               mini.device);
   return mini_offsets_[device] + static_cast<std::size_t>(mini.action);
 }
 
 MiniAction StateCodec::SlotToMiniAction(std::size_t slot) const {
-  if (slot >= mini_action_count_) {
-    throw std::out_of_range("SlotToMiniAction: bad slot");
-  }
+  JARVIS_CHECK_LT(slot, mini_action_count_, "SlotToMiniAction: bad slot");
   for (std::size_t i = mini_offsets_.size(); i-- > 0;) {
     if (slot >= mini_offsets_[i]) {
       const std::size_t local = slot - mini_offsets_[i];
@@ -78,22 +74,20 @@ MiniAction StateCodec::SlotToMiniAction(std::size_t slot) const {
                                          : static_cast<ActionIndex>(local)};
     }
   }
-  throw std::logic_error("SlotToMiniAction: unreachable");
+  JARVIS_CHECK(false, "SlotToMiniAction: unreachable");
 }
 
 std::size_t StateCodec::NoOpSlot(DeviceId device) const {
   const auto idx = static_cast<std::size_t>(device);
-  if (device < 0 || idx >= mini_offsets_.size()) {
-    throw std::out_of_range("NoOpSlot: bad device");
-  }
+  JARVIS_CHECK(device >= 0 && idx < mini_offsets_.size(),
+               "NoOpSlot: bad device ", device);
   return mini_offsets_[idx] + static_cast<std::size_t>(action_counts_[idx]);
 }
 
 std::vector<std::size_t> StateCodec::ActionToSlots(
     const ActionVector& action) const {
-  if (action.size() != radices_.size()) {
-    throw std::invalid_argument("ActionToSlots: width mismatch");
-  }
+  JARVIS_CHECK_EQ(action.size(), radices_.size(),
+                  "ActionToSlots: width mismatch");
   std::vector<std::size_t> slots;
   slots.reserve(action.size());
   for (std::size_t i = 0; i < action.size(); ++i) {
@@ -114,15 +108,13 @@ ActionVector StateCodec::SlotsToAction(
 }
 
 std::vector<double> StateCodec::OneHot(const StateVector& state) const {
-  if (state.size() != radices_.size()) {
-    throw std::invalid_argument("OneHot: width mismatch");
-  }
+  JARVIS_CHECK_EQ(state.size(), radices_.size(), "OneHot: width mismatch");
   std::vector<double> features(one_hot_width_, 0.0);
   std::size_t offset = 0;
   for (std::size_t i = 0; i < state.size(); ++i) {
-    if (state[i] < 0 || state[i] >= radices_[i]) {
-      throw std::out_of_range("OneHot: state index out of range");
-    }
+    JARVIS_CHECK(state[i] >= 0 && state[i] < radices_[i],
+                 "OneHot: state index ", state[i],
+                 " out of range for device ", i);
     features[offset + static_cast<std::size_t>(state[i])] = 1.0;
     offset += static_cast<std::size_t>(radices_[i]);
   }

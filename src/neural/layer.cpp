@@ -1,7 +1,8 @@
 #include "neural/layer.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace jarvis::neural {
 
@@ -12,9 +13,9 @@ DenseLayer::DenseLayer(std::size_t in_features, std::size_t out_features,
       biases_(1, out_features),
       grad_weights_(in_features, out_features),
       grad_biases_(1, out_features) {
-  if (in_features == 0 || out_features == 0) {
-    throw std::invalid_argument("DenseLayer: zero-sized layer");
-  }
+  JARVIS_CHECK(in_features > 0 && out_features > 0,
+               "DenseLayer: zero-sized layer (", in_features, "x",
+               out_features, ")");
   const double fan_in = static_cast<double>(in_features);
   const double limit = activation == Activation::kRelu
                            ? std::sqrt(6.0 / fan_in)  // He-uniform
@@ -38,9 +39,7 @@ Tensor DenseLayer::Infer(const Tensor& input) const {
 }
 
 Tensor DenseLayer::Backward(const Tensor& grad_output) {
-  if (!has_cache_) {
-    throw std::logic_error("DenseLayer::Backward without Forward");
-  }
+  JARVIS_CHECK(has_cache_, "DenseLayer::Backward without Forward");
   // dL/dz = dL/dy * act'(z), expressed via the cached activated output.
   const Tensor grad_pre =
       grad_output.Hadamard(DerivativeFromOutput(activation_, cached_output_));

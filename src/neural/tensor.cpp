@@ -1,7 +1,8 @@
 #include "neural/tensor.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "util/check.h"
 
 namespace jarvis::neural {
 
@@ -13,9 +14,7 @@ Tensor::Tensor(std::initializer_list<std::initializer_list<double>> rows) {
   cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
   data_.reserve(rows_ * cols_);
   for (const auto& row : rows) {
-    if (row.size() != cols_) {
-      throw std::invalid_argument("Tensor: ragged initializer");
-    }
+    JARVIS_CHECK_EQ(row.size(), cols_, "Tensor: ragged initializer");
     data_.insert(data_.end(), row.begin(), row.end());
   }
 }
@@ -33,37 +32,22 @@ Tensor Tensor::Generate(std::size_t rows, std::size_t cols,
   return t;
 }
 
-double& Tensor::At(std::size_t r, std::size_t c) {
-  if (r >= rows_ || c >= cols_) throw std::out_of_range("Tensor::At");
-  return data_[r * cols_ + c];
-}
-
-double Tensor::At(std::size_t r, std::size_t c) const {
-  if (r >= rows_ || c >= cols_) throw std::out_of_range("Tensor::At");
-  return data_[r * cols_ + c];
-}
-
 std::vector<double> Tensor::RowVector(std::size_t r) const {
-  if (r >= rows_) throw std::out_of_range("Tensor::RowVector");
+  JARVIS_CHECK_LT(r, rows_, "Tensor::RowVector");
   return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
           data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
 }
 
 void Tensor::SetRow(std::size_t r, const std::vector<double>& values) {
-  if (r >= rows_) throw std::out_of_range("Tensor::SetRow");
-  if (values.size() != cols_) {
-    throw std::invalid_argument("Tensor::SetRow: width mismatch");
-  }
+  JARVIS_CHECK_LT(r, rows_, "Tensor::SetRow");
+  JARVIS_CHECK_EQ(values.size(), cols_, "Tensor::SetRow: width mismatch");
   std::copy(values.begin(), values.end(),
             data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
 }
 
 void Tensor::CheckShape(const Tensor& other, const char* op) const {
-  if (!SameShape(other)) {
-    throw std::invalid_argument(std::string("Tensor shape mismatch in ") + op +
-                                ": " + ShapeString() + " vs " +
-                                other.ShapeString());
-  }
+  JARVIS_CHECK(SameShape(other), "Tensor shape mismatch in ", op, ": ",
+               ShapeString(), " vs ", other.ShapeString());
 }
 
 Tensor& Tensor::operator+=(const Tensor& other) {
@@ -109,10 +93,8 @@ Tensor Tensor::Hadamard(const Tensor& other) const {
 }
 
 Tensor Tensor::MatMul(const Tensor& other) const {
-  if (cols_ != other.rows_) {
-    throw std::invalid_argument("Tensor::MatMul: inner dims " + ShapeString() +
-                                " vs " + other.ShapeString());
-  }
+  JARVIS_CHECK_EQ(cols_, other.rows_, "Tensor::MatMul: inner dims ",
+                  ShapeString(), " vs ", other.ShapeString());
   Tensor out(rows_, other.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
@@ -149,9 +131,9 @@ void Tensor::MapInPlace(const std::function<double(double)>& f) {
 }
 
 Tensor Tensor::AddRowBroadcast(const Tensor& row) const {
-  if (row.rows_ != 1 || row.cols_ != cols_) {
-    throw std::invalid_argument("Tensor::AddRowBroadcast: shape mismatch");
-  }
+  JARVIS_CHECK(row.rows_ == 1 && row.cols_ == cols_,
+               "Tensor::AddRowBroadcast: shape mismatch: ", ShapeString(),
+               " vs ", row.ShapeString());
   Tensor out = *this;
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
@@ -178,12 +160,13 @@ double Tensor::SumAll() const {
 }
 
 double Tensor::MaxAll() const {
-  if (data_.empty()) throw std::logic_error("Tensor::MaxAll on empty tensor");
+  JARVIS_CHECK(!data_.empty(), "Tensor::MaxAll on empty tensor");
   return *std::max_element(data_.begin(), data_.end());
 }
 
 std::size_t Tensor::ArgMaxRow(std::size_t r) const {
-  if (r >= rows_ || cols_ == 0) throw std::out_of_range("Tensor::ArgMaxRow");
+  JARVIS_CHECK(r < rows_ && cols_ > 0, "Tensor::ArgMaxRow: row ", r, " of ",
+               ShapeString());
   const auto begin = data_.begin() + static_cast<std::ptrdiff_t>(r * cols_);
   return static_cast<std::size_t>(
       std::max_element(begin, begin + static_cast<std::ptrdiff_t>(cols_)) -

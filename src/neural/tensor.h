@@ -10,9 +10,10 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/check.h"
 
 namespace jarvis::neural {
 
@@ -33,8 +34,19 @@ class Tensor {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& At(std::size_t r, std::size_t c);
-  double At(std::size_t r, std::size_t c) const;
+  // Element access. Bounds are JARVIS_DCHECKed: debug (and any build with
+  // JARVIS_DCHECK_ENABLED=1) verifies every access; release keeps the
+  // unchecked fast path.
+  double& At(std::size_t r, std::size_t c) {
+    JARVIS_DCHECK(r < rows_ && c < cols_, "Tensor::At(", r, ", ", c,
+                  ") out of bounds for ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(std::size_t r, std::size_t c) const {
+    JARVIS_DCHECK(r < rows_ && c < cols_, "Tensor::At(", r, ", ", c,
+                  ") out of bounds for ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+  }
   double& operator()(std::size_t r, std::size_t c) { return At(r, c); }
   double operator()(std::size_t r, std::size_t c) const { return At(r, c); }
 

@@ -1,11 +1,11 @@
 #include "rl/replay.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace jarvis::rl {
 
 ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) throw std::invalid_argument("ReplayBuffer: capacity 0");
+  JARVIS_CHECK_GT(capacity, std::size_t{0}, "ReplayBuffer: capacity 0");
   buffer_.reserve(capacity);
 }
 
@@ -20,9 +20,9 @@ void ReplayBuffer::Add(Experience experience) {
 
 std::vector<const Experience*> ReplayBuffer::Sample(std::size_t batch,
                                                     util::Rng& rng) const {
-  if (!CanSample(batch)) {
-    throw std::logic_error("ReplayBuffer::Sample: not enough experiences");
-  }
+  JARVIS_CHECK(CanSample(batch),
+               "ReplayBuffer::Sample: not enough experiences (", buffer_.size(),
+               " < ", batch, ")");
   std::vector<const Experience*> sample;
   sample.reserve(batch);
   for (std::size_t i = 0; i < batch; ++i) {

@@ -32,9 +32,10 @@ double DamPriceModel::BasePrice(int hour) const {
 
 double DamPriceModel::PriceAt(util::SimTime t) const {
   util::Rng rng(seed_ ^
-                (static_cast<std::uint64_t>(t.day()) * 0xd1b54a32d192ed03ULL) ^
+                (static_cast<std::uint64_t>(t.day()) *
+                 std::uint64_t{0xd1b54a32d192ed03}) ^
                 (static_cast<std::uint64_t>(t.hour_of_day()) *
-                 0x2545f4914f6cdd1dULL));
+                 std::uint64_t{0x2545f4914f6cdd1d}));
   const double factor =
       std::max(0.2, 1.0 + rng.NextGaussian(0.0, config_.volatility));
   return BasePrice(t.hour_of_day()) * factor;

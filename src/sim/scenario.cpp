@@ -21,7 +21,8 @@ ScenarioGenerator::ScenarioGenerator(ScheduleConfig schedule,
       seed_(seed) {}
 
 DayScenario ScenarioGenerator::Generate(int day) const {
-  util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) * 0x9e3779b97f4a7c15ULL));
+  util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) *
+                         std::uint64_t{0x9e3779b97f4a7c15}));
   DayScenario scenario;
   scenario.day = day;
   scenario.weekend = util::SimTime::FromDayAndMinute(day, 0).is_weekend();

@@ -50,7 +50,7 @@ SmartStarDataset::SmartStarDataset(const fsm::EnvironmentFsm& fsm,
 DayTrace SmartStarDataset::Day(int day_index) const {
   ResidentSimulator simulator(
       fsm_, thermal_,
-      seed_ ^ (static_cast<std::uint64_t>(day_index) * 0xff51afd7ed558ccdULL));
+      seed_ ^ (static_cast<std::uint64_t>(day_index) * std::uint64_t{0xff51afd7ed558ccd}));
   const DayScenario scenario = generator_.Generate(day_index);
   return simulator.SimulateDay(scenario, simulator.OvernightState(),
                                thermal_.initial_indoor_c);

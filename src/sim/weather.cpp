@@ -26,7 +26,9 @@ double WeatherModel::SmoothComponent(util::SimTime t) const {
 double WeatherModel::DayNoise(int day, std::uint64_t stream) const {
   // A fresh generator per (seed, day, stream) keeps lookups stateless and
   // order-independent, so OutdoorTempC is a pure function of time.
-  util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) * 0x517cc1b727220a95ULL) ^
+  util::Rng rng(seed_ ^
+                (static_cast<std::uint64_t>(day) *
+                 std::uint64_t{0x517cc1b727220a95}) ^
                 stream);
   return rng.NextGaussian(0.0, config_.noise_stddev_c);
 }

@@ -1,6 +1,6 @@
 #include "spl/safe_table.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace jarvis::spl {
 
@@ -17,9 +17,8 @@ std::uint64_t Mix(std::uint64_t h, std::uint64_t value) {
 SafeTransitionTable::SafeTransitionTable(const fsm::EnvironmentFsm& fsm,
                                          KeyMode mode, int count_threshold)
     : fsm_(fsm), mode_(mode), threshold_(count_threshold) {
-  if (count_threshold < 0) {
-    throw std::invalid_argument("SafeTransitionTable: negative threshold");
-  }
+  JARVIS_CHECK_GE(count_threshold, 0,
+                  "SafeTransitionTable: negative threshold");
   // The safety context: security-critical devices, when present. The
   // temperature sensor participates only in thermal-device keys (see
   // MakeKey): its state is safety-relevant for the thermostat ("heater cut
@@ -139,13 +138,10 @@ util::JsonValue SafeTransitionTable::ToJson() const {
 
 void SafeTransitionTable::LoadJson(const util::JsonValue& doc) {
   const std::string mode = doc.At("mode").AsString();
-  if ((mode == "exact") != (mode_ == KeyMode::kExactState)) {
-    throw std::invalid_argument("SafeTransitionTable::LoadJson: mode mismatch");
-  }
-  if (doc.At("threshold").AsInt() != threshold_) {
-    throw std::invalid_argument(
-        "SafeTransitionTable::LoadJson: threshold mismatch");
-  }
+  JARVIS_CHECK((mode == "exact") == (mode_ == KeyMode::kExactState),
+               "SafeTransitionTable::LoadJson: mode mismatch: ", mode);
+  JARVIS_CHECK_EQ(doc.At("threshold").AsInt(), threshold_,
+                  "SafeTransitionTable::LoadJson: threshold mismatch");
   counts_.clear();
   forced_.clear();
   for (const auto& entry : doc.At("counts").AsArray()) {

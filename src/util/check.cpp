@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+namespace jarvis::util::check_internal {
+
+void CheckFail(const char* file, int line, const char* condition,
+               const std::string& message) {
+  std::string what = std::string("CHECK failed: ") + condition;
+  if (!message.empty()) {
+    what += ": ";
+    what += message;
+  }
+  what += " [";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  what += "]";
+  throw CheckError(what);
+}
+
+}  // namespace jarvis::util::check_internal

@@ -1,0 +1,131 @@
+// Contract-check macros for precondition and invariant enforcement.
+//
+// Policy (see DESIGN.md "Correctness tooling"):
+//   JARVIS_CHECK(...)   — always on, in every build type. Use for API
+//                         preconditions whose violation indicates caller
+//                         misuse (shape mismatches, invalid configuration)
+//                         and for invariants that guard the safe table.
+//   JARVIS_DCHECK(...)  — compiled out when NDEBUG is defined (Release /
+//                         RelWithDebInfo) unless JARVIS_DCHECK_ENABLED is
+//                         forced to 1. Use on hot paths (per-element tensor
+//                         access) where the release build must keep the
+//                         unchecked fast path.
+//
+// A failed check throws util::CheckError (a std::logic_error) carrying
+// file:line, the stringified condition, and an optional streamed message:
+//
+//   JARVIS_CHECK(r < rows_, "Tensor::At: row ", r, " out of ", rows_);
+//   JARVIS_CHECK_EQ(values.size(), cols_, "Tensor::SetRow width");
+//
+// Throwing (rather than aborting) keeps contract violations testable with
+// plain EXPECT_THROW and lets long-running monitors contain a misbehaving
+// caller without taking the whole process down.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+// Debug-only checks default to the build type: active when NDEBUG is not
+// defined. Force with -DJARVIS_DCHECK_ENABLED=0/1 (the test binaries force 1
+// so contract tests run under every build type).
+#ifndef JARVIS_DCHECK_ENABLED
+#ifdef NDEBUG
+#define JARVIS_DCHECK_ENABLED 0
+#else
+#define JARVIS_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace jarvis::util {
+
+// Thrown on contract violation. Derives from std::logic_error: a failed
+// check is by definition a programming error, not an environmental one.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace check_internal {
+
+// Builds the final message and throws CheckError. Out-of-line so the cold
+// failure path costs one call in the caller's code.
+[[noreturn]] void CheckFail(const char* file, int line, const char* condition,
+                            const std::string& message);
+
+template <typename... Args>
+std::string StreamArgs(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+}  // namespace check_internal
+}  // namespace jarvis::util
+
+#define JARVIS_CHECK(condition, ...)                                \
+  do {                                                              \
+    if (!(condition)) {                                             \
+      ::jarvis::util::check_internal::CheckFail(                    \
+          __FILE__, __LINE__, #condition,                           \
+          ::jarvis::util::check_internal::StreamArgs(__VA_ARGS__)); \
+    }                                                               \
+  } while (false)
+
+// Binary comparison checks report both operand values on failure.
+#define JARVIS_CHECK_OP_(op, lhs, rhs, ...)                             \
+  do {                                                                  \
+    const auto& jarvis_check_lhs_ = (lhs);                              \
+    const auto& jarvis_check_rhs_ = (rhs);                              \
+    if (!(jarvis_check_lhs_ op jarvis_check_rhs_)) {                    \
+      ::jarvis::util::check_internal::CheckFail(                        \
+          __FILE__, __LINE__, #lhs " " #op " " #rhs,                    \
+          ::jarvis::util::check_internal::StreamArgs(                   \
+              "(", jarvis_check_lhs_, " vs ", jarvis_check_rhs_, ") ") + \
+              ::jarvis::util::check_internal::StreamArgs(__VA_ARGS__)); \
+    }                                                                   \
+  } while (false)
+
+#define JARVIS_CHECK_EQ(lhs, rhs, ...) JARVIS_CHECK_OP_(==, lhs, rhs, __VA_ARGS__)
+#define JARVIS_CHECK_NE(lhs, rhs, ...) JARVIS_CHECK_OP_(!=, lhs, rhs, __VA_ARGS__)
+#define JARVIS_CHECK_LT(lhs, rhs, ...) JARVIS_CHECK_OP_(<, lhs, rhs, __VA_ARGS__)
+#define JARVIS_CHECK_LE(lhs, rhs, ...) JARVIS_CHECK_OP_(<=, lhs, rhs, __VA_ARGS__)
+#define JARVIS_CHECK_GT(lhs, rhs, ...) JARVIS_CHECK_OP_(>, lhs, rhs, __VA_ARGS__)
+#define JARVIS_CHECK_GE(lhs, rhs, ...) JARVIS_CHECK_OP_(>=, lhs, rhs, __VA_ARGS__)
+
+#if JARVIS_DCHECK_ENABLED
+#define JARVIS_DCHECK(condition, ...) JARVIS_CHECK(condition, __VA_ARGS__)
+#define JARVIS_DCHECK_EQ(lhs, rhs, ...) JARVIS_CHECK_EQ(lhs, rhs, __VA_ARGS__)
+#define JARVIS_DCHECK_NE(lhs, rhs, ...) JARVIS_CHECK_NE(lhs, rhs, __VA_ARGS__)
+#define JARVIS_DCHECK_LT(lhs, rhs, ...) JARVIS_CHECK_LT(lhs, rhs, __VA_ARGS__)
+#define JARVIS_DCHECK_LE(lhs, rhs, ...) JARVIS_CHECK_LE(lhs, rhs, __VA_ARGS__)
+#define JARVIS_DCHECK_GT(lhs, rhs, ...) JARVIS_CHECK_GT(lhs, rhs, __VA_ARGS__)
+#define JARVIS_DCHECK_GE(lhs, rhs, ...) JARVIS_CHECK_GE(lhs, rhs, __VA_ARGS__)
+#else
+// Disabled variants still type-check their operands (in an unevaluated
+// branch the optimizer removes) so a DCHECK-only variable is not "unused"
+// and release-only bit-rot is caught at compile time.
+#define JARVIS_DCHECK(condition, ...) \
+  do {                                \
+    if (false) {                      \
+      (void)(condition);              \
+    }                                 \
+  } while (false)
+#define JARVIS_DCHECK_OP_DISABLED_(lhs, rhs) \
+  do {                                       \
+    if (false) {                             \
+      (void)(lhs);                           \
+      (void)(rhs);                           \
+    }                                        \
+  } while (false)
+#define JARVIS_DCHECK_EQ(lhs, rhs, ...) JARVIS_DCHECK_OP_DISABLED_(lhs, rhs)
+#define JARVIS_DCHECK_NE(lhs, rhs, ...) JARVIS_DCHECK_OP_DISABLED_(lhs, rhs)
+#define JARVIS_DCHECK_LT(lhs, rhs, ...) JARVIS_DCHECK_OP_DISABLED_(lhs, rhs)
+#define JARVIS_DCHECK_LE(lhs, rhs, ...) JARVIS_DCHECK_OP_DISABLED_(lhs, rhs)
+#define JARVIS_DCHECK_GT(lhs, rhs, ...) JARVIS_DCHECK_OP_DISABLED_(lhs, rhs)
+#define JARVIS_DCHECK_GE(lhs, rhs, ...) JARVIS_DCHECK_OP_DISABLED_(lhs, rhs)
+#endif

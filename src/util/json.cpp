@@ -139,7 +139,8 @@ std::string JsonEscape(const std::string& raw) {
 namespace {
 
 void AppendNumber(std::string& out, double value) {
-  if (value == std::llround(value) && std::fabs(value) < 1e15) {
+  if (value == static_cast<double>(std::llround(value)) &&
+      std::fabs(value) < 1e15) {
     out += std::to_string(std::llround(value));
     return;
   }
@@ -151,7 +152,8 @@ void AppendNumber(std::string& out, double value) {
 void Indent(std::string& out, int indent, int depth) {
   if (indent <= 0) return;
   out.push_back('\n');
-  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 namespace jarvis::fsm {
 namespace {
 
@@ -69,9 +71,9 @@ TEST_F(AuthFixture, UnplacedDeviceInaccessible) {
 }
 
 TEST_F(AuthFixture, GroupMustBelongToLocation) {
-  EXPECT_THROW(auth_.AddGroup("bad", 99), std::out_of_range);
-  EXPECT_THROW(auth_.PlaceDevice(2, home_, desk_), std::invalid_argument);
-  EXPECT_THROW(auth_.PlaceDevice(2, 99, kitchen_), std::out_of_range);
+  EXPECT_THROW(auth_.AddGroup("bad", 99), util::CheckError);
+  EXPECT_THROW(auth_.PlaceDevice(2, home_, desk_), util::CheckError);
+  EXPECT_THROW(auth_.PlaceDevice(2, 99, kitchen_), util::CheckError);
 }
 
 TEST_F(AuthFixture, RegistriesEnumerate) {

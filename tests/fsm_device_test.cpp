@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 #include "fsm/device_library.h"
 
 namespace jarvis::fsm {
@@ -48,11 +50,11 @@ TEST(Device, TransitionSemantics) {
 
 TEST(Device, TransitionBoundsChecked) {
   const Device device = MakeToggle();
-  EXPECT_THROW(device.Transition(-1, 0), std::out_of_range);
-  EXPECT_THROW(device.Transition(2, 0), std::out_of_range);
-  EXPECT_THROW(device.Transition(0, 5), std::out_of_range);
-  EXPECT_THROW(device.state_name(9), std::out_of_range);
-  EXPECT_THROW(device.action_name(-1), std::out_of_range);
+  EXPECT_THROW(device.Transition(-1, 0), util::CheckError);
+  EXPECT_THROW(device.Transition(2, 0), util::CheckError);
+  EXPECT_THROW(device.Transition(0, 5), util::CheckError);
+  EXPECT_THROW(device.state_name(9), util::CheckError);
+  EXPECT_THROW(device.action_name(-1), util::CheckError);
 }
 
 TEST(Device, LookupsReturnNulloptForUnknown) {
@@ -80,35 +82,35 @@ TEST(Device, PowerDrawPerState) {
   const Device device = MakeToggle();
   EXPECT_DOUBLE_EQ(device.PowerDraw(0), 0.0);
   EXPECT_DOUBLE_EQ(device.PowerDraw(1), 10.0);
-  EXPECT_THROW(device.PowerDraw(2), std::out_of_range);
+  EXPECT_THROW(device.PowerDraw(2), util::CheckError);
 }
 
 TEST(Device, BuilderRejectsInvalidSpecs) {
   EXPECT_THROW(Device::Builder(0, "x", DeviceClass::kSensor)
                    .AddState("a")
                    .AddState("a"),
-               std::invalid_argument);
+               util::CheckError);
   EXPECT_THROW(Device::Builder(0, "x", DeviceClass::kSensor)
                    .AddAction("a")
                    .AddAction("a"),
-               std::invalid_argument);
+               util::CheckError);
   EXPECT_THROW(Device::Builder(0, "x", DeviceClass::kSensor)
                    .AddState("a")
                    .Build(),
-               std::invalid_argument);  // no actions
+               util::CheckError);  // no actions
   EXPECT_THROW(Device::Builder(0, "x", DeviceClass::kSensor)
                    .AddAction("a")
                    .Build(),
-               std::invalid_argument);  // no states
+               util::CheckError);  // no states
   EXPECT_THROW(Device::Builder(0, "x", DeviceClass::kSensor)
                    .AddState("a")
                    .AddAction("go")
                    .SetTransition("a", "go", "missing")
                    .Build(),
-               std::invalid_argument);
+               util::CheckError);
   EXPECT_THROW(Device::Builder(0, "x", DeviceClass::kSensor)
                    .SetDefaultDisUtility(1.5),
-               std::invalid_argument);
+               util::CheckError);
 }
 
 // --- Device library: every catalog device satisfies shared invariants. ----

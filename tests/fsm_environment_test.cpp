@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 #include "fsm/device_library.h"
 
 namespace jarvis::fsm {
@@ -33,21 +35,21 @@ TEST(EnvironmentFsm, ConstraintFiveAtMostOneChangePerDevice) {
 
 TEST(EnvironmentFsm, ValidationRejectsBadShapes) {
   const EnvironmentFsm fsm = BuildExampleHome();
-  EXPECT_THROW(fsm.ValidateState({0, 0}), std::invalid_argument);
-  EXPECT_THROW(fsm.ValidateState({9, 0, 0, 0, 0}), std::invalid_argument);
-  EXPECT_THROW(fsm.ValidateAction({0}), std::invalid_argument);
+  EXPECT_THROW(fsm.ValidateState({0, 0}), util::CheckError);
+  EXPECT_THROW(fsm.ValidateState({9, 0, 0, 0, 0}), util::CheckError);
+  EXPECT_THROW(fsm.ValidateAction({0}), util::CheckError);
   ActionVector bad(5, kNoAction);
   bad[1] = 7;
-  EXPECT_THROW(fsm.ValidateAction(bad), std::invalid_argument);
-  EXPECT_THROW(fsm.Apply({0, 0, 0, 0, 0}, bad), std::invalid_argument);
+  EXPECT_THROW(fsm.ValidateAction(bad), util::CheckError);
+  EXPECT_THROW(fsm.Apply({0, 0, 0, 0, 0}, bad), util::CheckError);
 }
 
 TEST(EnvironmentFsm, DeviceLookupByLabel) {
   const EnvironmentFsm fsm = BuildExampleHome();
   EXPECT_EQ(fsm.DeviceIdByLabel("thermostat"), 3);
   EXPECT_EQ(fsm.DeviceByLabel("light").label(), "light");
-  EXPECT_THROW(fsm.DeviceByLabel("toaster"), std::invalid_argument);
-  EXPECT_THROW(fsm.device(99), std::out_of_range);
+  EXPECT_THROW(fsm.DeviceByLabel("toaster"), util::CheckError);
+  EXPECT_THROW(fsm.device(99), util::CheckError);
 }
 
 TEST(EnvironmentFsm, SingleDeviceActionsEnumerate) {
@@ -142,11 +144,11 @@ TEST_F(ResolveRequestsFixture, NoActionRequestsAccepted) {
 
 TEST(EnvironmentFsmConstruction, RejectsEmptyAndMisnumbered) {
   EXPECT_THROW(EnvironmentFsm({}, AuthorizationModel{}),
-               std::invalid_argument);
+               util::CheckError);
   std::vector<Device> devices;
   devices.push_back(MakeSmartLight(3));  // id 3 but index 0
   EXPECT_THROW(EnvironmentFsm(std::move(devices), AuthorizationModel{}),
-               std::invalid_argument);
+               util::CheckError);
 }
 
 TEST(EnvironmentFsm, RejectReasonNamesAreStable) {

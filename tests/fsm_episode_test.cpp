@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 #include "fsm/device_library.h"
 
 namespace jarvis::fsm {
@@ -28,17 +30,17 @@ TEST(Episode, RecordsUntilComplete) {
   EXPECT_EQ(episode.size(), 3u);
   EXPECT_THROW(
       episode.Record(util::SimTime(3), initial, ActionVector(5, kNoAction)),
-      std::logic_error);
+      util::CheckError);
 }
 
 TEST(Episode, ValidatesConfig) {
   const StateVector initial = {0};
   EXPECT_THROW(Episode({0, 1}, util::SimTime(0), initial),
-               std::invalid_argument);
+               util::CheckError);
   EXPECT_THROW(Episode({10, 0}, util::SimTime(0), initial),
-               std::invalid_argument);
+               util::CheckError);
   EXPECT_THROW(Episode({5, 10}, util::SimTime(0), initial),
-               std::invalid_argument);
+               util::CheckError);
 }
 
 TEST(Episode, FinalStateAppliesLastAction) {

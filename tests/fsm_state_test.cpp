@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 #include <set>
 
 #include "fsm/device_library.h"
@@ -93,9 +95,9 @@ TEST(StateCodec, StateSpaceSizeMatchesProduct) {
 
 TEST(StateCodec, EncodeValidatesInput) {
   const StateCodec codec(ExampleHomeDevices());
-  EXPECT_THROW(codec.Encode({0, 0}), std::invalid_argument);
-  EXPECT_THROW(codec.Encode({9, 0, 0, 0, 0}), std::out_of_range);
-  EXPECT_THROW(codec.OneHot({0, 0, 0, 0, -1}), std::out_of_range);
+  EXPECT_THROW(codec.Encode({0, 0}), util::CheckError);
+  EXPECT_THROW(codec.Encode({9, 0, 0, 0, 0}), util::CheckError);
+  EXPECT_THROW(codec.OneHot({0, 0, 0, 0, -1}), util::CheckError);
 }
 
 TEST(StateCodec, ActionSlotsConversions) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 namespace jarvis::neural {
 namespace {
 
@@ -13,14 +15,14 @@ TEST(Tensor, ConstructionAndAccess) {
   EXPECT_DOUBLE_EQ(t(1, 2), 1.5);
   t(0, 1) = 7.0;
   EXPECT_DOUBLE_EQ(t.At(0, 1), 7.0);
-  EXPECT_THROW(t.At(2, 0), std::out_of_range);
-  EXPECT_THROW(t.At(0, 3), std::out_of_range);
+  EXPECT_THROW(t.At(2, 0), util::CheckError);
+  EXPECT_THROW(t.At(0, 3), util::CheckError);
 }
 
 TEST(Tensor, InitializerListAndRaggedRejected) {
   Tensor t{{1.0, 2.0}, {3.0, 4.0}};
   EXPECT_DOUBLE_EQ(t(1, 0), 3.0);
-  EXPECT_THROW((Tensor{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+  EXPECT_THROW((Tensor{{1.0}, {2.0, 3.0}}), util::CheckError);
 }
 
 TEST(Tensor, RowConstructorAndAccessors) {
@@ -28,15 +30,15 @@ TEST(Tensor, RowConstructorAndAccessors) {
   EXPECT_EQ(r.rows(), 1u);
   EXPECT_EQ(r.cols(), 3u);
   EXPECT_EQ(r.RowVector(0), (std::vector<double>{1.0, 2.0, 3.0}));
-  EXPECT_THROW(r.RowVector(1), std::out_of_range);
+  EXPECT_THROW(r.RowVector(1), util::CheckError);
 }
 
 TEST(Tensor, SetRowValidatesWidth) {
   Tensor t(2, 2);
   t.SetRow(1, {5.0, 6.0});
   EXPECT_DOUBLE_EQ(t(1, 1), 6.0);
-  EXPECT_THROW(t.SetRow(0, {1.0}), std::invalid_argument);
-  EXPECT_THROW(t.SetRow(2, {1.0, 2.0}), std::out_of_range);
+  EXPECT_THROW(t.SetRow(0, {1.0}), util::CheckError);
+  EXPECT_THROW(t.SetRow(2, {1.0, 2.0}), util::CheckError);
 }
 
 TEST(Tensor, ElementwiseOps) {
@@ -50,8 +52,8 @@ TEST(Tensor, ElementwiseOps) {
   EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
   const Tensor had = a.Hadamard(b);
   EXPECT_DOUBLE_EQ(had(0, 1), 40.0);
-  EXPECT_THROW(a + Tensor(1, 2), std::invalid_argument);
-  EXPECT_THROW(a.Hadamard(Tensor(2, 3)), std::invalid_argument);
+  EXPECT_THROW(a + Tensor(1, 2), util::CheckError);
+  EXPECT_THROW(a.Hadamard(Tensor(2, 3)), util::CheckError);
 }
 
 TEST(Tensor, MatMul) {
@@ -64,7 +66,7 @@ TEST(Tensor, MatMul) {
   EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
   EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
   EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
-  EXPECT_THROW(a.MatMul(a), std::invalid_argument);
+  EXPECT_THROW(a.MatMul(a), util::CheckError);
 }
 
 TEST(Tensor, MatMulIdentity) {
@@ -102,7 +104,7 @@ TEST(Tensor, BroadcastAndReduce) {
   const Tensor shifted = batch.AddRowBroadcast(bias);
   EXPECT_DOUBLE_EQ(shifted(0, 0), 11.0);
   EXPECT_DOUBLE_EQ(shifted(1, 1), 24.0);
-  EXPECT_THROW(batch.AddRowBroadcast(Tensor(1, 3)), std::invalid_argument);
+  EXPECT_THROW(batch.AddRowBroadcast(Tensor(1, 3)), util::CheckError);
 
   const Tensor colsum = batch.SumRows();
   EXPECT_EQ(colsum.rows(), 1u);
@@ -116,8 +118,57 @@ TEST(Tensor, Reductions) {
   EXPECT_DOUBLE_EQ(t.MaxAll(), 5.0);
   EXPECT_EQ(t.ArgMaxRow(0), 1u);
   EXPECT_EQ(t.ArgMaxRow(1), 1u);
-  EXPECT_THROW(t.ArgMaxRow(2), std::out_of_range);
-  EXPECT_THROW(Tensor().MaxAll(), std::logic_error);
+  EXPECT_THROW(t.ArgMaxRow(2), util::CheckError);
+  EXPECT_THROW(Tensor().MaxAll(), util::CheckError);
+}
+
+// Contract-violation coverage: every misuse below must fail a JARVIS_CHECK
+// (or, for At(), a JARVIS_DCHECK — active here because the test binaries
+// compile with JARVIS_DCHECK_ENABLED=1).
+TEST(TensorContract, OutOfBoundsAccessReportsIndexAndShape) {
+  const Tensor t(2, 3);
+  try {
+    (void)t.At(5, 1);
+    FAIL() << "At did not throw";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Tensor::At(5, 1)"), std::string::npos) << what;
+    EXPECT_NE(what.find("2x3"), std::string::npos) << what;
+  }
+}
+
+TEST(TensorContract, MutableAccessAlsoChecked) {
+  Tensor t(1, 1);
+  EXPECT_THROW(t.At(1, 0) = 3.0, util::CheckError);
+  EXPECT_THROW(t(0, 1) = 3.0, util::CheckError);
+}
+
+TEST(TensorContract, ShapeMismatchReportsBothShapes) {
+  const Tensor a(2, 2);
+  const Tensor b(3, 2);
+  try {
+    (void)(a + b);
+    FAIL() << "operator+ did not throw";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[2x2]"), std::string::npos) << what;
+    EXPECT_NE(what.find("[3x2]"), std::string::npos) << what;
+  }
+  Tensor c(2, 2);
+  EXPECT_THROW(c += b, util::CheckError);
+  EXPECT_THROW(c -= b, util::CheckError);
+}
+
+TEST(TensorContract, MatMulInnerDimensionMismatch) {
+  const Tensor a(2, 3);
+  const Tensor b(4, 2);
+  EXPECT_THROW(a.MatMul(b), util::CheckError);
+}
+
+TEST(TensorContract, EmptyTensorReductions) {
+  EXPECT_THROW(Tensor().MaxAll(), util::CheckError);
+  EXPECT_THROW(Tensor().ArgMaxRow(0), util::CheckError);
+  EXPECT_DOUBLE_EQ(Tensor().SumAll(), 0.0);  // sum of nothing is defined
 }
 
 TEST(Tensor, GenerateUsesCallback) {

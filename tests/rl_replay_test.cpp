@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 #include <set>
 
 namespace jarvis::rl {
@@ -17,7 +19,7 @@ Experience MakeExperience(double reward) {
 }
 
 TEST(ReplayBuffer, RejectsZeroCapacity) {
-  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+  EXPECT_THROW(ReplayBuffer(0), util::CheckError);
 }
 
 TEST(ReplayBuffer, FillsThenWrapsAsRing) {
@@ -47,7 +49,7 @@ TEST(ReplayBuffer, CanSampleGate) {
   ReplayBuffer buffer(10);
   EXPECT_FALSE(buffer.CanSample(1));
   util::Rng rng(2);
-  EXPECT_THROW(buffer.Sample(1, rng), std::logic_error);
+  EXPECT_THROW(buffer.Sample(1, rng), util::CheckError);
   buffer.Add(MakeExperience(0));
   EXPECT_TRUE(buffer.CanSample(1));
   EXPECT_FALSE(buffer.CanSample(2));

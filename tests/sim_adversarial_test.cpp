@@ -6,6 +6,7 @@
 #include <set>
 
 #include "fsm/device_library.h"
+#include "util/check.h"
 #include "sim/anomaly.h"
 #include "sim/attack.h"
 #include "sim/testbed.h"
@@ -145,7 +146,7 @@ TEST_F(AdversarialFixture, CustomCountsRespected) {
 
 TEST_F(AdversarialFixture, RequiresFullHome) {
   const fsm::EnvironmentFsm small = fsm::BuildExampleHome();
-  EXPECT_THROW(AttackGenerator(small, 1), std::invalid_argument);
+  EXPECT_THROW(AttackGenerator(small, 1), util::CheckError);
 }
 
 TEST_F(AdversarialFixture, InjectionReplacesExactlyOneStep) {

@@ -5,6 +5,7 @@
 
 #include "sim/testbed.h"
 #include "spl/active_learner.h"
+#include "util/check.h"
 #include "spl/learner.h"
 
 namespace jarvis::spl {
@@ -73,7 +74,7 @@ TEST_F(ActiveFixture, PersistenceRejectsConfigMismatch) {
   SplConfig other;
   other.count_threshold = 3;
   SafetyPolicyLearner mismatched(testbed_->home_a(), other);
-  EXPECT_THROW(mismatched.LoadJson(doc), std::invalid_argument);
+  EXPECT_THROW(mismatched.LoadJson(doc), util::CheckError);
 }
 
 TEST_F(ActiveFixture, ForceAdmitCreatesManualPolicy) {

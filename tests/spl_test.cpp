@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 #include "fsm/device_library.h"
 #include "sim/testbed.h"
 #include "spl/ann_filter.h"
@@ -84,7 +86,7 @@ TEST_F(SafeTableFixture, ThresholdGatesAdmission) {
   table.Finalize();
   EXPECT_TRUE(table.IsSafe(state_, LightOn(), 400));
   EXPECT_THROW(SafeTransitionTable(home_, KeyMode::kFactoredContext, -1),
-               std::invalid_argument);
+               util::CheckError);
 }
 
 TEST_F(SafeTableFixture, TimeBucketsSeparateDayParts) {

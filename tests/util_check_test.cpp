@@ -1,0 +1,90 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jarvis::util {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(JARVIS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(JARVIS_CHECK(true, "never formatted"));
+  EXPECT_NO_THROW(JARVIS_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(JARVIS_CHECK_LT(3, 4, "ordering"));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(JARVIS_CHECK(false), CheckError);
+  // CheckError is a std::logic_error so generic handlers still work.
+  EXPECT_THROW(JARVIS_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageCarriesConditionFileAndArgs) {
+  try {
+    const int got = 3;
+    JARVIS_CHECK(got == 4, "expected four, got ", got);
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got == 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected four, got 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, BinaryChecksReportBothOperands) {
+  try {
+    const std::size_t width = 2;
+    const std::size_t expected = 5;
+    JARVIS_CHECK_EQ(width, expected, "width mismatch");
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("width == expected"), std::string::npos) << what;
+    EXPECT_NE(what.find("(2 vs 5)"), std::string::npos) << what;
+    EXPECT_NE(what.find("width mismatch"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, AllComparisonVariants) {
+  EXPECT_THROW(JARVIS_CHECK_NE(7, 7), CheckError);
+  EXPECT_THROW(JARVIS_CHECK_LT(4, 4), CheckError);
+  EXPECT_THROW(JARVIS_CHECK_LE(5, 4), CheckError);
+  EXPECT_THROW(JARVIS_CHECK_GT(4, 4), CheckError);
+  EXPECT_THROW(JARVIS_CHECK_GE(3, 4), CheckError);
+  EXPECT_NO_THROW(JARVIS_CHECK_NE(7, 8));
+  EXPECT_NO_THROW(JARVIS_CHECK_LE(4, 4));
+  EXPECT_NO_THROW(JARVIS_CHECK_GE(4, 4));
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  JARVIS_CHECK([&] { return ++calls; }() == 1);
+  EXPECT_EQ(calls, 1);
+}
+
+// The test binaries compile with JARVIS_DCHECK_ENABLED=1 (see
+// tests/CMakeLists.txt), so DCHECKs behave exactly like CHECKs here; the
+// library built without it keeps the unchecked fast path.
+TEST(Check, DcheckActiveInTestBuilds) {
+  static_assert(JARVIS_DCHECK_ENABLED == 1,
+                "test binaries must force-enable DCHECKs");
+  EXPECT_THROW(JARVIS_DCHECK(false, "debug contract"), CheckError);
+  EXPECT_THROW(JARVIS_DCHECK_EQ(1, 2), CheckError);
+  EXPECT_NO_THROW(JARVIS_DCHECK(true));
+}
+
+TEST(Check, StreamedMessageSupportsMixedTypes) {
+  try {
+    JARVIS_CHECK(false, "shape [", 2, "x", 3, "] vs scale ", 1.5);
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("shape [2x3] vs scale 1.5"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace jarvis::util

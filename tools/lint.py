@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Repo-specific lint gate for Jarvis (registered as the `repo_lint` ctest).
+
+Enforced invariants (see DESIGN.md "Correctness tooling"):
+
+  1. Every header starts with `#pragma once` (first preprocessor directive).
+  2. Every header is self-contained: it compiles standalone with
+     `$CXX -fsyntax-only` and the project include paths.
+  3. No `using namespace` at any scope inside headers.
+  4. Randomness goes through util/rng: no `rand()`, `srand()`, or
+     `std::random_device` anywhere outside src/util/rng.* (deterministic
+     replay of episodes is part of the safety story).
+  5. No <iostream> in src/ — the library must not drag streams into hot
+     paths or emit stray output; CLIs under examples/ may use it freely.
+  6. No `std::cout` / `std::cerr` / `printf` writes in src/ (logging goes
+     through the events logger).
+
+Exit status 0 when clean; 1 with a readable report otherwise.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Files allowed to use raw OS randomness.
+RNG_ALLOWLIST = {
+    os.path.join("src", "util", "rng.h"),
+    os.path.join("src", "util", "rng.cpp"),
+}
+
+PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+DIRECTIVE_RE = re.compile(r"^\s*#")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+RAND_RE = re.compile(r"(?<![\w:])(?:std\s*::\s*)?(?:rand|srand)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
+IOSTREAM_RE = re.compile(r'^\s*#\s*include\s*[<"]iostream[>"]')
+STREAM_WRITE_RE = re.compile(r"\bstd\s*::\s*(cout|cerr)\b|(?<![\w:])f?printf\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments and string literals (keeps line count)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".hpp", ".cpp", ".cc")):
+                    path = os.path.join(dirpath, name)
+                    yield os.path.relpath(path, root)
+
+
+def check_pragma_once(rel, lines, errors):
+    for lineno, line in enumerate(lines, 1):
+        if DIRECTIVE_RE.match(line):
+            if not PRAGMA_RE.match(line):
+                errors.append(
+                    f"{rel}:{lineno}: first preprocessor directive must be "
+                    "'#pragma once'")
+            return
+    errors.append(f"{rel}:1: header has no '#pragma once'")
+
+
+def check_file_text(root, rel, errors):
+    is_header = rel.endswith((".h", ".hpp"))
+    in_src = rel.startswith("src" + os.sep)
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_comments(raw)
+    code_lines = code.splitlines()
+
+    if is_header:
+        check_pragma_once(rel, raw.splitlines(), errors)
+        for lineno, line in enumerate(code_lines, 1):
+            if USING_NAMESPACE_RE.match(line):
+                errors.append(
+                    f"{rel}:{lineno}: 'using namespace' is banned in headers")
+
+    if rel not in RNG_ALLOWLIST:
+        for lineno, line in enumerate(code_lines, 1):
+            if RAND_RE.search(line) or RANDOM_DEVICE_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: raw randomness is banned; route through "
+                    "util/rng (seeded, replayable)")
+
+    if in_src:
+        for lineno, line in enumerate(code_lines, 1):
+            if IOSTREAM_RE.match(line):
+                errors.append(
+                    f"{rel}:{lineno}: <iostream> is banned in src/ "
+                    "(keep streams out of library hot paths)")
+            if STREAM_WRITE_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: direct console output is banned in src/ "
+                    "(use the events logger)")
+
+
+def check_self_contained(root, rel, cxx, extra_flags):
+    """Compiles the header alone; returns an error string or None."""
+    # Include by absolute path: quoted includes inside the header still
+    # resolve against its own directory, and nothing project-local can
+    # shadow system headers (e.g. spl/features.h vs glibc <features.h>).
+    wrapper = f'#include "{os.path.join(root, rel)}"\n'
+    with tempfile.TemporaryDirectory() as tmp:
+        tu = os.path.join(tmp, "self_containment_check.cpp")
+        with open(tu, "w", encoding="utf-8") as f:
+            f.write(wrapper)
+        cmd = [
+            cxx, "-std=c++20", "-fsyntax-only",
+            "-I", os.path.join(root, "src"),
+        ] + extra_flags + [tu]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            head = "\n    ".join(detail[:8])
+            return f"{rel}: header is not self-contained:\n    {head}"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                        help="compiler for header self-containment checks")
+    parser.add_argument("--skip-self-containment", action="store_true",
+                        help="text checks only (no compiler invocations)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    files = list(iter_files(root))
+    if not files:
+        print("lint.py: no sources found under", root, file=sys.stderr)
+        return 1
+
+    errors = []
+    for rel in files:
+        check_file_text(root, rel, errors)
+
+    headers = [f for f in files if f.endswith((".h", ".hpp"))]
+    if not args.skip_self_containment:
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=os.cpu_count() or 2) as pool:
+            futures = {
+                pool.submit(check_self_contained, root, rel, args.cxx, []): rel
+                for rel in headers
+            }
+            for future in concurrent.futures.as_completed(futures):
+                err = future.result()
+                if err:
+                    errors.append(err)
+
+    if errors:
+        print(f"lint.py: {len(errors)} finding(s):\n", file=sys.stderr)
+        for err in sorted(errors):
+            print("  " + err, file=sys.stderr)
+        return 1
+
+    mode = "text-only" if args.skip_self_containment else "full"
+    print(f"lint.py: clean ({len(files)} files, {len(headers)} headers, "
+          f"{mode} mode)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
