@@ -10,14 +10,21 @@ Jarvis::Jarvis(const fsm::EnvironmentFsm& fsm, JarvisConfig config)
 void Jarvis::LearnPolicies(const std::vector<fsm::Episode>& learning_episodes,
                            const std::vector<sim::LabeledSample>& labeled) {
   learner_.Learn(learning_episodes, labeled);
+  health_.learn = learner_.learn_report();
 }
 
 std::size_t Jarvis::LearnFromEvents(
     const std::vector<events::Event>& events,
     const fsm::StateVector& initial_state, util::SimTime start,
     const std::vector<sim::LabeledSample>& labeled) {
-  events::LogParser parser(fsm_, config_.episode);
+  events::LogParser parser(fsm_, config_.episode, config_.parse_drop_budget);
   const auto episodes = parser.Parse(events, initial_state, start);
+  health_.parse = parser.report();
+  if (!health_.parse.WithinBudget()) {
+    throw std::runtime_error(
+        "Jarvis::LearnFromEvents: parse drop budget exceeded — event stream "
+        "too degraded to learn from");
+  }
   if (episodes.empty()) {
     throw std::invalid_argument(
         "Jarvis::LearnFromEvents: no complete learning episodes in log");
@@ -47,6 +54,11 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
     auto agent = std::make_unique<rl::DqnAgent>(last_env_->feature_width(),
                                                 fsm_.codec(), dqn);
     rl::TrainResult result = rl::Train(*last_env_, *agent, config_.trainer);
+    // Health accumulates across every restart, not just the winner: a
+    // divergence in a losing restart is still a divergence this instance
+    // survived.
+    health_.train_divergence_recoveries += result.divergence_recoveries;
+    health_.train_poisoned_purged += result.poisoned_experiences_purged;
     if (restart == 0 || result.greedy_reward > plan.train.greedy_reward) {
       plan.train = std::move(result);
       agent_ = std::move(agent);

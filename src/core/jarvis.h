@@ -22,6 +22,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/health.h"
+#include "core/online_monitor.h"
 #include "events/logger_app.h"
 #include "events/parser.h"
 #include "rl/trainer.h"
@@ -42,6 +44,12 @@ struct JarvisConfig {
   // local optimum that a single epsilon-greedy run falls into on some
   // seeds; restarts make the day plan robust at 2x training cost.
   int restarts = 2;
+  // Graceful-degradation budget for LearnFromEvents: the parser may drop
+  // up to this fraction of the incoming events (unknown vocabulary,
+  // conflicts, stragglers) before the facade refuses to learn from the
+  // remainder — learning from a mostly-lost stream silently whitelists a
+  // distorted picture of the home.
+  double parse_drop_budget = 0.25;
   std::uint64_t seed = 1;
 };
 
@@ -102,6 +110,28 @@ class Jarvis {
   // Audits any episode against the learnt policies (detection pipeline).
   spl::AuditResult Audit(const fsm::Episode& episode) const;
 
+  // --- Degradation telemetry ----------------------------------------------
+
+  // Aggregated counters from every stage run so far on this instance:
+  // LearnFromEvents fills the parse/learn sections, OptimizeDay accumulates
+  // the trainer's divergence recoveries, and the Note* calls fold in
+  // externally-observed degradation.
+  const HealthReport& Health() const { return health_; }
+  void ResetHealth() { health_ = {}; }
+
+  // Records what a fault injector actually injected into the streams this
+  // instance consumed (chaos tests compare these against stage counters).
+  void NoteInjectedFaults(const faults::FaultCounters& counters) {
+    health_.injected += counters;
+  }
+
+  // Snapshots a monitor's fail-safe and unknown-event counters into the
+  // health report (replaces the previous snapshot of the same monitor).
+  void NoteMonitor(const OnlineMonitor& monitor) {
+    health_.monitor_failsafe_denials = monitor.failsafe_denials();
+    health_.monitor_unknown_events = monitor.unknown_events();
+  }
+
   const JarvisConfig& config() const { return config_; }
   const fsm::EnvironmentFsm& fsm() const { return fsm_; }
 
@@ -109,6 +139,7 @@ class Jarvis {
   const fsm::EnvironmentFsm& fsm_;
   JarvisConfig config_;
   spl::SafetyPolicyLearner learner_;
+  HealthReport health_;
   std::unique_ptr<rl::DqnAgent> agent_;
   std::unique_ptr<rl::IoTEnv> last_env_;  // featurizer for SuggestAction
 };

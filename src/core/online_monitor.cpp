@@ -6,12 +6,35 @@ namespace jarvis::core {
 
 OnlineMonitor::OnlineMonitor(const fsm::EnvironmentFsm& fsm,
                              const spl::SafetyPolicyLearner& learner,
-                             fsm::StateVector initial_state)
-    : fsm_(fsm), learner_(learner), state_(std::move(initial_state)) {
+                             fsm::StateVector initial_state,
+                             MonitorConfig config)
+    : fsm_(fsm),
+      learner_(learner),
+      state_(std::move(initial_state)),
+      config_(config),
+      last_seen_(fsm.device_count()),
+      state_known_(fsm.device_count(), true) {
   fsm_.ValidateState(state_);
   if (!learner_.learned()) {
     throw std::invalid_argument("OnlineMonitor: learner not learned");
   }
+}
+
+void OnlineMonitor::MarkStateUnknown(std::size_t device_index) {
+  if (device_index < state_known_.size()) {
+    state_known_[device_index] = false;
+  }
+}
+
+bool OnlineMonitor::StateUntrusted(std::size_t device_index,
+                                   util::SimTime now) const {
+  if (!config_.fail_safe) return false;
+  if (!state_known_[device_index]) return true;
+  if (config_.staleness_limit_minutes > 0 && last_seen_[device_index] &&
+      now - *last_seen_[device_index] > config_.staleness_limit_minutes) {
+    return true;
+  }
+  return false;
 }
 
 std::optional<spl::Verdict> OnlineMonitor::Consume(const events::Event& event) {
@@ -36,9 +59,15 @@ std::optional<spl::Verdict> OnlineMonitor::Consume(const events::Event& event) {
     const auto new_state = device->FindState(event.attribute_value);
     if (!new_state) {
       ++unknown_events_;
+      // A report arrived but is undecodable (e.g. corrupted in transit):
+      // under fail-safe the device's tracked state can no longer be
+      // trusted until the next good report.
+      if (config_.fail_safe) state_known_[device_index] = false;
       return std::nullopt;
     }
     state_[device_index] = *new_state;
+    state_known_[device_index] = true;
+    last_seen_[device_index] = event.date;
     return std::nullopt;
   }
 
@@ -50,6 +79,24 @@ std::optional<spl::Verdict> OnlineMonitor::Consume(const events::Event& event) {
 
   const fsm::MiniAction mini{static_cast<fsm::DeviceId>(device_index),
                              *action};
+
+  // Fail-safe: deny-unsafe-by-default. A command on a device whose tracked
+  // state is unknown or stale cannot be classified against a trusted
+  // context — report it as a violation but count it separately: it is a
+  // trust failure, not a learner classification.
+  if (StateUntrusted(device_index, event.date)) {
+    if (!state_known_[device_index]) {
+      ++unknown_state_denials_;
+    } else {
+      ++stale_denials_;
+    }
+    if (callback_) {
+      callback_({event.date, mini, spl::Verdict::kViolation, device->label(),
+                 device->action_name(*action)});
+    }
+    return spl::Verdict::kViolation;
+  }
+
   const spl::Verdict verdict =
       learner_.ClassifyMini(state_, mini, event.date.minute_of_day());
   ++commands_classified_;
@@ -72,6 +119,7 @@ std::optional<spl::Verdict> OnlineMonitor::Consume(const events::Event& event) {
   // flagged: the monitor observes, enforcement is the RL environment's
   // job).
   state_[device_index] = device->Transition(state_[device_index], *action);
+  last_seen_[device_index] = event.date;
   return verdict;
 }
 

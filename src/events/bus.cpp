@@ -26,17 +26,23 @@ void EventBus::Publish(const Event& event) {
   ++published_count_;
   // Index-based loop: callbacks may add subscriptions while we iterate;
   // those only take effect for later publications of this same event set.
+  // A callback that calls Subscribe() can also reallocate subscriptions_,
+  // so no reference into the vector may be held across the invocation:
+  // fields are matched through indexed access and the callback is invoked
+  // through a copy that survives reallocation.
   const std::size_t live_at_publish = subscriptions_.size();
   for (std::size_t i = 0; i < live_at_publish; ++i) {
-    const auto& sub = subscriptions_[i];
-    if (!sub.active) continue;
-    if (!sub.device_label.empty() && sub.device_label != event.device_label) {
+    if (!subscriptions_[i].active) continue;
+    if (!subscriptions_[i].device_label.empty() &&
+        subscriptions_[i].device_label != event.device_label) {
       continue;
     }
-    if (!sub.capability.empty() && sub.capability != event.capability) {
+    if (!subscriptions_[i].capability.empty() &&
+        subscriptions_[i].capability != event.capability) {
       continue;
     }
-    sub.callback(event);
+    const EventCallback callback = subscriptions_[i].callback;
+    callback(event);
   }
 }
 

@@ -4,14 +4,21 @@
 
 namespace jarvis::events {
 
-LogParser::LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config)
-    : fsm_(fsm), config_(config) {}
+LogParser::LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config,
+                     double drop_budget)
+    : fsm_(fsm), config_(config) {
+  report_.drop_budget = drop_budget;
+}
 
 std::vector<fsm::Episode> LogParser::Parse(
     const std::vector<Event>& events, const fsm::StateVector& initial_state,
     util::SimTime start, bool keep_partial) {
   fsm_.ValidateState(initial_state);
-  stats_ = {};
+  const double drop_budget = report_.drop_budget;
+  report_ = {};
+  report_.drop_budget = drop_budget;
+  report_.events_seen = events.size();
+  ParseStats& stats = report_.stats;
 
   std::vector<fsm::Episode> episodes;
   if (events.empty()) return episodes;
@@ -21,7 +28,7 @@ std::vector<fsm::Episode> LogParser::Parse(
   util::SimTime last_event_time = start;
   for (const auto& event : events) {
     if (event.date < last_event_time) {
-      ++stats_.out_of_order;
+      ++stats.out_of_order;
     } else {
       last_event_time = event.date;
     }
@@ -45,8 +52,13 @@ std::vector<fsm::Episode> LogParser::Parse(
       while (cursor < events.size() && events[cursor].date < interval_end) {
         const Event& event = events[cursor];
         ++cursor;
-        if (event.date < t) continue;  // out-of-order stragglers: skip
-        ++stats_.events_consumed;
+        if (event.date < t) {
+          // Out-of-order straggler (late arrival): skipped, but accounted
+          // for so degraded transports are visible in the ParseReport.
+          ++stats.stragglers_skipped;
+          continue;
+        }
+        ++stats.events_consumed;
 
         const fsm::Device* device = nullptr;
         std::size_t device_index = 0;
@@ -58,18 +70,18 @@ std::vector<fsm::Episode> LogParser::Parse(
           }
         }
         if (device == nullptr) {
-          ++stats_.unknown_device;
+          ++stats.unknown_device;
           continue;
         }
 
         if (!event.command.empty()) {
           const auto action_index = device->FindAction(event.command);
           if (!action_index) {
-            ++stats_.unknown_command;
+            ++stats.unknown_command;
             continue;
           }
           if (acted[device_index]) {
-            ++stats_.conflicting_commands;  // first command wins
+            ++stats.conflicting_commands;  // first command wins
             continue;
           }
           acted[device_index] = true;
@@ -78,7 +90,7 @@ std::vector<fsm::Episode> LogParser::Parse(
           // Exogenous attribute change (sensor flips, user arrives, ...).
           const auto state_index = device->FindState(event.attribute_value);
           if (!state_index) {
-            ++stats_.unknown_state;
+            ++stats.unknown_state;
             continue;
           }
           overrides.emplace_back(device_index, *state_index);

@@ -23,11 +23,39 @@ struct ParseStats {
   std::size_t unknown_command = 0;
   std::size_t conflicting_commands = 0;  // dropped by first-come-first-served
   std::size_t out_of_order = 0;          // timestamps going backwards
+  std::size_t stragglers_skipped = 0;    // late arrivals behind the cursor
+};
+
+// Degradation accounting for one Parse call: every reason an event was
+// dropped or skipped, plus the configured drop budget. A report beyond
+// budget means the stream was too degraded for the episodes to be trusted
+// blindly — callers decide (the parser itself never gives up; it parses
+// whatever survives). Feeds core::HealthReport.
+struct ParseReport {
+  ParseStats stats;
+  std::size_t events_seen = 0;  // raw stream size before any drop
+  double drop_budget = 1.0;     // ceiling on the tolerated drop fraction
+
+  std::size_t events_dropped() const {
+    return stats.unknown_device + stats.unknown_state + stats.unknown_command +
+           stats.conflicting_commands + stats.stragglers_skipped;
+  }
+  double DropFraction() const {
+    return events_seen == 0
+               ? 0.0
+               : static_cast<double>(events_dropped()) /
+                     static_cast<double>(events_seen);
+  }
+  bool WithinBudget() const { return DropFraction() <= drop_budget; }
 };
 
 class LogParser {
  public:
-  LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config);
+  // `drop_budget` is the tolerated fraction of dropped/skipped events per
+  // Parse call before the report flags the stream as beyond budget; the
+  // default tolerates anything (pre-fault-model behavior).
+  LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config,
+            double drop_budget = 1.0);
 
   // Parses a time-sorted event stream starting from `initial_state` at
   // `start`. Produces one episode per period T until the events run out;
@@ -37,12 +65,13 @@ class LogParser {
                                   util::SimTime start,
                                   bool keep_partial = false);
 
-  const ParseStats& stats() const { return stats_; }
+  const ParseStats& stats() const { return report_.stats; }
+  const ParseReport& report() const { return report_; }
 
  private:
   const fsm::EnvironmentFsm& fsm_;
   fsm::EpisodeConfig config_;
-  ParseStats stats_;
+  ParseReport report_;
 };
 
 }  // namespace jarvis::events

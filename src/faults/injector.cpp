@@ -1,0 +1,342 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+namespace jarvis::faults {
+
+namespace {
+
+constexpr std::uint64_t kInjectorSalt = 0xfa17ULL;
+
+// Mangles one field chosen by the RNG. The garbage strings are valid UTF-8
+// but outside every device vocabulary, so downstream stages classify them
+// as unknown rather than crashing.
+void CorruptField(util::Rng& rng, events::Event* event) {
+  switch (rng.NextIndex(3)) {
+    case 0:
+      event->attribute_value = "??corrupt??";
+      break;
+    case 1:
+      event->command = "??corrupt??";
+      break;
+    default:
+      event->device_label += "~corrupt";
+      break;
+  }
+}
+
+bool IsSensorReport(const events::Event& event) {
+  return event.command.empty();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultInjector (batch path)
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+std::vector<events::Event> FaultInjector::Apply(
+    const std::vector<events::Event>& events) {
+  util::Rng rng(schedule_.seed ^ kInjectorSalt);
+  std::vector<std::unordered_map<std::string, std::string>> stuck(
+      schedule_.specs.size());
+  std::unordered_map<std::string, std::string> last_value;
+  struct Pending {
+    util::SimTime due;
+    events::Event event;
+  };
+  std::vector<Pending> pending;
+
+  std::vector<events::Event> out;
+  out.reserve(events.size());
+
+  const auto flush_due = [&](util::SimTime now) {
+    // Small list: scan for due arrivals, earliest first, keep order stable.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.due < b.due;
+                     });
+    std::size_t emitted = 0;
+    for (const auto& p : pending) {
+      if (p.due > now) break;
+      out.push_back(p.event);  // original timestamp: arrives as a straggler
+      ++emitted;
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(emitted));
+  };
+
+  for (const auto& input : events) {
+    flush_due(input.date);
+
+    events::Event event = input;
+    bool drop = false;
+    bool flap = false;
+    bool delayed = false;
+    int delay_minutes = 0;
+    std::size_t copies = 0;
+
+    // Loss faults first, whatever their schedule position: an event that
+    // never arrives must not also be duplicated, corrupted, or delayed.
+    for (std::size_t i = 0; i < schedule_.specs.size() && !drop; ++i) {
+      const FaultSpec& spec = schedule_.specs[i];
+      if (!spec.AppliesAt(input.date)) continue;
+      if (spec.kind == FaultKind::kDeviceOffline) {
+        if (spec.AppliesTo(input.device_label) && rng.NextBool(spec.rate)) {
+          ++counters_.offline_drops;
+          drop = true;
+        }
+      } else if (spec.kind == FaultKind::kDrop) {
+        if (rng.NextBool(spec.rate)) {
+          ++counters_.dropped;
+          drop = true;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < schedule_.specs.size() && !drop; ++i) {
+      const FaultSpec& spec = schedule_.specs[i];
+      if (!spec.AppliesAt(input.date)) continue;
+      switch (spec.kind) {
+        case FaultKind::kDeviceOffline:
+        case FaultKind::kDrop:
+          break;  // handled in the loss pass above
+        case FaultKind::kStuckSensor:
+          if (IsSensorReport(input) && spec.AppliesTo(input.device_label)) {
+            std::string& stuck_value = stuck[i][input.device_label];
+            if (stuck_value.empty()) {
+              stuck_value = spec.stuck_value.empty() ? input.attribute_value
+                                                     : spec.stuck_value;
+            }
+            if (rng.NextBool(spec.rate) &&
+                event.attribute_value != stuck_value) {
+              event.attribute_value = stuck_value;
+              ++counters_.stuck_reports;
+            }
+          }
+          break;
+        case FaultKind::kCorruptField:
+          if (rng.NextBool(spec.rate)) {
+            CorruptField(rng, &event);
+            ++counters_.corrupted;
+          }
+          break;
+        case FaultKind::kDeviceFlap:
+          if (IsSensorReport(input) && spec.AppliesTo(input.device_label) &&
+              rng.NextBool(spec.rate)) {
+            flap = true;
+          }
+          break;
+        case FaultKind::kDuplicate:
+          if (rng.NextBool(spec.rate)) {
+            ++copies;
+            ++counters_.duplicated;
+          }
+          break;
+        case FaultKind::kDelay:
+          if (rng.NextBool(spec.rate)) {
+            delayed = true;
+            delay_minutes = spec.delay_minutes;
+            ++counters_.delayed;
+          }
+          break;
+        case FaultKind::kReorder:    // second pass below
+        case FaultKind::kPublishFail:  // live path only
+          break;
+      }
+    }
+
+    if (!drop) {
+      if (flap) {
+        const auto it = last_value.find(input.device_label);
+        if (it != last_value.end() && it->second != event.attribute_value) {
+          events::Event stale = event;
+          stale.attribute_value = it->second;
+          out.push_back(stale);
+          ++counters_.flap_reports;
+        }
+      }
+      if (delayed) {
+        // Duplicated copies ride along with the delayed original.
+        for (std::size_t c = 0; c <= copies; ++c) {
+          pending.push_back({input.date + delay_minutes, event});
+        }
+      } else {
+        out.push_back(event);
+        for (std::size_t c = 0; c < copies; ++c) out.push_back(event);
+      }
+    }
+    // Flap memory tracks what the device last reported (pre-fault value),
+    // whether or not the transmission survived.
+    if (IsSensorReport(input)) last_value[input.device_label] = input.attribute_value;
+  }
+  flush_due(util::SimTime(std::numeric_limits<std::int64_t>::max()));
+
+  for (const FaultSpec& spec : schedule_.specs) {
+    if (spec.kind != FaultKind::kReorder) continue;
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (!spec.AppliesAt(out[i].date)) continue;
+      if (rng.NextBool(spec.rate)) {
+        std::swap(out[i], out[i + 1]);
+        ++counters_.reordered;
+        ++i;  // do not immediately re-reorder the swapped pair
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyBus (live path)
+
+FaultyBus::FaultyBus(events::EventBus& inner, FaultSchedule schedule)
+    : inner_(inner),
+      schedule_(std::move(schedule)),
+      rng_(schedule_.seed ^ kInjectorSalt),
+      stuck_(schedule_.specs.size()) {}
+
+void FaultyBus::Flush(util::SimTime now) {
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.due < b.due;
+                   });
+  std::size_t emitted = 0;
+  for (const auto& p : pending_) {
+    if (p.due > now) break;
+    inner_.Publish(p.event);
+    ++emitted;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(emitted));
+}
+
+void FaultyBus::FlushAll() {
+  Flush(util::SimTime(std::numeric_limits<std::int64_t>::max()));
+}
+
+bool FaultyBus::Publish(const events::Event& input) {
+  Flush(input.date);
+
+  events::Event event = input;
+  bool flap = false;
+  bool delayed = false;
+  int delay_minutes = 0;
+  std::size_t copies = 0;
+
+  // Loss faults first, whatever their schedule position (see Apply).
+  for (const FaultSpec& spec : schedule_.specs) {
+    if (!spec.AppliesAt(input.date)) continue;
+    if (spec.kind == FaultKind::kPublishFail) {
+      if (rng_.NextBool(spec.rate)) {
+        ++counters_.publish_failures;
+        return false;  // retryable: the event was not delivered
+      }
+    } else if (spec.kind == FaultKind::kDeviceOffline) {
+      if (spec.AppliesTo(input.device_label) && rng_.NextBool(spec.rate)) {
+        ++counters_.offline_drops;
+        return true;  // consumed, silently lost
+      }
+    } else if (spec.kind == FaultKind::kDrop) {
+      if (rng_.NextBool(spec.rate)) {
+        ++counters_.dropped;
+        return true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < schedule_.specs.size(); ++i) {
+    const FaultSpec& spec = schedule_.specs[i];
+    if (!spec.AppliesAt(input.date)) continue;
+    switch (spec.kind) {
+      case FaultKind::kPublishFail:
+      case FaultKind::kDeviceOffline:
+      case FaultKind::kDrop:
+        break;  // handled in the loss pass above
+      case FaultKind::kStuckSensor:
+        if (IsSensorReport(input) && spec.AppliesTo(input.device_label)) {
+          std::string& stuck_value = stuck_[i][input.device_label];
+          if (stuck_value.empty()) {
+            stuck_value = spec.stuck_value.empty() ? input.attribute_value
+                                                   : spec.stuck_value;
+          }
+          if (rng_.NextBool(spec.rate) &&
+              event.attribute_value != stuck_value) {
+            event.attribute_value = stuck_value;
+            ++counters_.stuck_reports;
+          }
+        }
+        break;
+      case FaultKind::kCorruptField:
+        if (rng_.NextBool(spec.rate)) {
+          CorruptField(rng_, &event);
+          ++counters_.corrupted;
+        }
+        break;
+      case FaultKind::kDeviceFlap:
+        if (IsSensorReport(input) && spec.AppliesTo(input.device_label) &&
+            rng_.NextBool(spec.rate)) {
+          flap = true;
+        }
+        break;
+      case FaultKind::kDuplicate:
+        if (rng_.NextBool(spec.rate)) {
+          ++copies;
+          ++counters_.duplicated;
+        }
+        break;
+      case FaultKind::kDelay:
+        if (rng_.NextBool(spec.rate)) {
+          delayed = true;
+          delay_minutes = spec.delay_minutes;
+          ++counters_.delayed;
+        }
+        break;
+      case FaultKind::kReorder:  // meaningless one event at a time
+        break;
+    }
+  }
+
+  if (flap) {
+    const auto it = last_value_.find(input.device_label);
+    if (it != last_value_.end() && it->second != event.attribute_value) {
+      events::Event stale = event;
+      stale.attribute_value = it->second;
+      inner_.Publish(stale);
+      ++counters_.flap_reports;
+    }
+  }
+  if (IsSensorReport(input)) last_value_[input.device_label] = input.attribute_value;
+
+  if (delayed) {
+    for (std::size_t c = 0; c <= copies; ++c) {
+      pending_.push_back({input.date + delay_minutes, event});
+    }
+    return true;
+  }
+  inner_.Publish(event);
+  for (std::size_t c = 0; c < copies; ++c) inner_.Publish(event);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ReliablePublisher
+
+ReliablePublisher::ReliablePublisher(FaultyBus& bus, util::RetryPolicy policy,
+                                     util::SleepFn sleep)
+    : bus_(bus), policy_(policy), sleep_(std::move(sleep)) {}
+
+bool ReliablePublisher::Publish(const events::Event& event) {
+  const util::RetryResult result = util::Retry(
+      policy_, [&] { return bus_.Publish(event); }, sleep_);
+  if (result.attempts > 1) {
+    retried_ += static_cast<std::size_t>(result.attempts - 1);
+  }
+  if (!result.succeeded) ++abandoned_;
+  return result.succeeded;
+}
+
+}  // namespace jarvis::faults

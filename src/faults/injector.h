@@ -1,0 +1,107 @@
+// Seeded fault injection over the event path. Two entry points share the
+// fault vocabulary of faults::FaultSchedule:
+//
+//   FaultInjector — batch path: corrupts a recorded, time-sorted event
+//     stream (e.g. a simulator trace) before it reaches the parser.
+//   FaultyBus — live path: wraps events::EventBus::Publish and injects the
+//     same faults one publication at a time, including retryable publish
+//     failures (kPublishFail) that ReliablePublisher recovers from via
+//     util::Retry.
+//
+// Both count every fault they actually inject (FaultCounters), so chaos
+// tests can check downstream degradation accounting against ground truth.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "events/bus.h"
+#include "events/event.h"
+#include "faults/schedule.h"
+#include "util/retry.h"
+#include "util/rng.h"
+
+namespace jarvis::faults {
+
+// Batch-path injector. Apply() is deterministic for a given (schedule,
+// stream) pair: it re-seeds its RNG from the schedule seed on every call,
+// so the same call yields the same faulted stream bit for bit.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule);
+
+  // Returns the faulted copy of `events` (which must be time-sorted, the
+  // parser's own precondition). Counters accumulate across calls.
+  std::vector<events::Event> Apply(const std::vector<events::Event>& events);
+
+  const FaultCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = {}; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  FaultSchedule schedule_;
+  FaultCounters counters_;
+};
+
+// Live-path injector wrapping an EventBus. Delayed events are held back
+// and delivered (with their original timestamps, i.e. as stragglers) once
+// Flush() advances past their due time; Publish() flushes implicitly up to
+// the published event's timestamp.
+class FaultyBus {
+ public:
+  FaultyBus(events::EventBus& inner, FaultSchedule schedule);
+
+  // Applies the schedule to one live publication. Returns false only when
+  // a kPublishFail fault ate the event — the caller may retry (see
+  // ReliablePublisher); every other fault consumes the event silently.
+  bool Publish(const events::Event& event);
+
+  // Delivers held-back events whose due time is <= now.
+  void Flush(util::SimTime now);
+  // Delivers everything still pending (end of stream).
+  void FlushAll();
+
+  std::size_t pending_delayed() const { return pending_.size(); }
+  const FaultCounters& counters() const { return counters_; }
+  events::EventBus& inner() { return inner_; }
+
+ private:
+  struct Pending {
+    util::SimTime due;
+    events::Event event;
+  };
+
+  events::EventBus& inner_;
+  FaultSchedule schedule_;
+  util::Rng rng_;
+  FaultCounters counters_;
+  std::vector<Pending> pending_;
+  // Per-spec stuck values and per-device last sensor value (flap memory).
+  std::vector<std::unordered_map<std::string, std::string>> stuck_;
+  std::unordered_map<std::string, std::string> last_value_;
+};
+
+// Fault-recovery path: publishes through a FaultyBus, retrying failed
+// publishes under util::Retry's bounded deterministic backoff.
+class ReliablePublisher {
+ public:
+  explicit ReliablePublisher(FaultyBus& bus, util::RetryPolicy policy = {},
+                             util::SleepFn sleep = nullptr);
+
+  // True once the publish went through; false when the attempt budget ran
+  // out and the event was abandoned.
+  bool Publish(const events::Event& event);
+
+  std::size_t retried_publishes() const { return retried_; }
+  std::size_t abandoned_publishes() const { return abandoned_; }
+
+ private:
+  FaultyBus& bus_;
+  util::RetryPolicy policy_;
+  util::SleepFn sleep_;
+  std::size_t retried_ = 0;
+  std::size_t abandoned_ = 0;
+};
+
+}  // namespace jarvis::faults

@@ -44,17 +44,25 @@ std::string Episode::DebugString(const EnvironmentFsm& fsm) const {
   return out;
 }
 
+std::size_t AppendTriggerActions(const Episode& episode,
+                                 std::vector<TriggerAction>* out) {
+  std::size_t appended = 0;
+  for (const auto& step : episode.steps()) {
+    const bool any_action =
+        std::any_of(step.action.begin(), step.action.end(),
+                    [](ActionIndex a) { return a != kNoAction; });
+    if (!any_action) continue;
+    out->push_back({step.state, step.action, step.time.minute_of_day()});
+    ++appended;
+  }
+  return appended;
+}
+
 std::vector<TriggerAction> ExtractTriggerActions(
     const std::vector<Episode>& episodes) {
   std::vector<TriggerAction> result;
   for (const auto& episode : episodes) {
-    for (const auto& step : episode.steps()) {
-      const bool any_action =
-          std::any_of(step.action.begin(), step.action.end(),
-                      [](ActionIndex a) { return a != kNoAction; });
-      if (!any_action) continue;
-      result.push_back({step.state, step.action, step.time.minute_of_day()});
-    }
+    AppendTriggerActions(episode, &result);
   }
   return result;
 }

@@ -73,6 +73,11 @@ struct TriggerAction {
   int minute_of_day = 0;
 };
 
+// Appends one episode's T/A observations (all-no-op steps skipped) to
+// `out`. Returns the number appended.
+std::size_t AppendTriggerActions(const Episode& episode,
+                                 std::vector<TriggerAction>* out);
+
 // Flattens episodes into the T/A training dataset TD of Algorithm 1,
 // skipping all-no-op steps (no transition to learn).
 std::vector<TriggerAction> ExtractTriggerActions(

@@ -1,5 +1,6 @@
 #include "rl/dqn_agent.h"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -27,7 +28,19 @@ DqnAgent::DqnAgent(std::size_t feature_width, const fsm::StateCodec& codec,
       config_(config),
       network_(BuildNetwork(feature_width, codec.mini_action_count(), config)),
       buffer_(config.replay_capacity),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      initial_epsilon_(config.epsilon) {}
+
+bool DqnAgent::diverged() const {
+  return !std::isfinite(last_loss_) || last_loss_ > config_.divergence_loss;
+}
+
+void DqnAgent::ReseedExploration(std::uint64_t seed) {
+  rng_ = util::Rng(seed);
+  config_.epsilon = initial_epsilon_;
+  last_explore_slot_.clear();
+  last_loss_ = 0.0;
+}
 
 std::vector<double> DqnAgent::QValues(
     const std::vector<double>& features) const {

@@ -35,6 +35,10 @@ struct DqnConfig {
   // produces the multi-step streaks they need.
   double explore_repeat_prob = 0.6;
   double preferable_loss = 1.0;  // L_p (rewards are per-minute, O(1))
+  // Replay loss above this (or any non-finite loss) flags the agent as
+  // diverged; the trainer then restores the last good snapshot, purges the
+  // poisoned replay memory, and reseeds exploration.
+  double divergence_loss = 1e6;
   std::size_t batch_size = 32;    // BSize
   std::size_t replay_capacity = 20000;
   // Replay passes between target-network syncs; 0 disables the target
@@ -78,6 +82,15 @@ class DqnAgent {
   void RestoreSnapshot();
   bool has_snapshot() const { return !snapshot_.empty(); }
 
+  // Divergence detection and recovery. diverged() reflects the most recent
+  // replay loss; ReseedExploration restarts the exploration schedule (fresh
+  // RNG stream, initial epsilon, no sticky-slot memory) so a restored
+  // network does not replay the trajectory that diverged it; the purge
+  // drops non-finite experiences from the replay memory.
+  bool diverged() const;
+  void ReseedExploration(std::uint64_t seed);
+  std::size_t PurgePoisonedExperiences() { return buffer_.PurgePoisoned(); }
+
   double epsilon() const { return config_.epsilon; }
   double last_loss() const { return last_loss_; }
   const DqnConfig& config() const { return config_; }
@@ -100,6 +113,7 @@ class DqnAgent {
   int replays_since_sync_ = 0;
   ReplayBuffer buffer_;
   util::Rng rng_;
+  double initial_epsilon_;
   double last_loss_ = 0.0;
   std::vector<std::pair<neural::Tensor, neural::Tensor>> snapshot_;
   // Last exploratory slot per device (sticky exploration); empty until the

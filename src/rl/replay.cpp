@@ -1,8 +1,26 @@
 #include "rl/replay.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 
 namespace jarvis::rl {
+
+namespace {
+
+bool Poisoned(const Experience& exp) {
+  constexpr double kAbsurdReward = 1e9;
+  if (!std::isfinite(exp.reward) || std::abs(exp.reward) > kAbsurdReward) {
+    return true;
+  }
+  const auto finite = [](double v) { return std::isfinite(v); };
+  return !std::all_of(exp.features.begin(), exp.features.end(), finite) ||
+         !std::all_of(exp.next_features.begin(), exp.next_features.end(),
+                      finite);
+}
+
+}  // namespace
 
 ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
   JARVIS_CHECK_GT(capacity, std::size_t{0}, "ReplayBuffer: capacity 0");
@@ -29,6 +47,16 @@ std::vector<const Experience*> ReplayBuffer::Sample(std::size_t batch,
     sample.push_back(&buffer_[rng.NextIndex(buffer_.size())]);
   }
   return sample;
+}
+
+std::size_t ReplayBuffer::PurgePoisoned() {
+  const std::size_t before = buffer_.size();
+  buffer_.erase(std::remove_if(buffer_.begin(), buffer_.end(), Poisoned),
+                buffer_.end());
+  // Re-anchor the ring cursor: while below capacity Add() appends, and the
+  // size-mod-capacity cursor keeps overwrite order correct once full again.
+  next_ = buffer_.size() % capacity_;
+  return before - buffer_.size();
 }
 
 void ReplayBuffer::Clear() {

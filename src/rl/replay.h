@@ -39,6 +39,12 @@ class ReplayBuffer {
   std::vector<const Experience*> Sample(std::size_t batch,
                                         util::Rng& rng) const;
 
+  // Divergence recovery: removes experiences with non-finite features or
+  // rewards (or absurd reward magnitudes) so a restored network does not
+  // immediately re-train on the samples that diverged it. Returns the
+  // number removed; relative order of survivors is preserved.
+  std::size_t PurgePoisoned();
+
   void Clear();
 
  private:

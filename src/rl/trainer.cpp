@@ -29,8 +29,14 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
   const auto& codec = env.fsm().codec();
   double best_greedy = -std::numeric_limits<double>::infinity();
 
+  // Last-good-weights baseline: taken before any replay pass so divergence
+  // recovery always has a snapshot to fall back to, even in episode 0.
+  // Best-greedy tracking below overwrites it with strictly better weights.
+  agent.SaveSnapshot();
+
   for (int ep = 0; ep < config.episodes; ++ep) {
     const bool demonstrate = ep < config.demonstration_episodes;
+    bool aborted = false;
     env.Reset();
     while (!env.done()) {
       const auto features = env.Features();
@@ -56,9 +62,28 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
       for (int r = 0; r < config.replays_per_step; ++r) {
         result.final_loss = agent.Replay();
       }
+
+      // Divergence recovery: a non-finite or exploding replay loss means
+      // the network is gone — abort the episode, restore the last good
+      // weights, drop the poisoned experiences, and restart exploration on
+      // a fresh RNG stream so the run stays deterministic but does not
+      // retrace the diverging trajectory.
+      if (agent.diverged()) {
+        ++result.divergence_recoveries;
+        agent.RestoreSnapshot();
+        result.poisoned_experiences_purged += agent.PurgePoisonedExperiences();
+        agent.ReseedExploration(agent.config().seed ^
+                                (0x9e3779b97f4a7c15ULL *
+                                 (result.divergence_recoveries + 1)));
+        aborted = true;
+        break;
+      }
     }
     result.episode_rewards.push_back(env.cumulative_reward());
     result.training_violations += env.violations();
+    // An aborted episode's weights were just restored from the snapshot:
+    // re-evaluating them greedily would re-measure the snapshot itself.
+    if (aborted) continue;
 
     // Track the best greedy policy seen: epsilon-greedy training is noisy
     // and the final network is not always the best one.

@@ -29,6 +29,12 @@ struct TrainResult {
   double final_loss = 0.0;
   std::size_t training_violations = 0;   // summed over training episodes
 
+  // Divergence recovery accounting: how many episodes were aborted because
+  // the replay loss went non-finite (or past divergence_loss), and how many
+  // poisoned experiences the recoveries dropped from the replay memory.
+  std::size_t divergence_recoveries = 0;
+  std::size_t poisoned_experiences_purged = 0;
+
   // Greedy evaluation episode after training.
   double greedy_reward = 0.0;
   std::size_t greedy_violations = 0;

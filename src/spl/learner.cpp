@@ -26,8 +26,27 @@ SafetyPolicyLearner::SafetyPolicyLearner(const fsm::EnvironmentFsm& fsm,
 void SafetyPolicyLearner::Learn(
     const std::vector<fsm::Episode>& episodes,
     const std::vector<sim::LabeledSample>& labeled) {
-  if (episodes.empty()) {
-    throw std::invalid_argument("SafetyPolicyLearner::Learn: no episodes");
+  learn_report_ = {};
+  learn_report_.episodes_offered = episodes.size();
+
+  // Episode-gap tolerance: a degraded event stream may yield empty or
+  // truncated episodes; they are skipped (and counted) rather than
+  // poisoning or aborting the learning phase.
+  std::vector<fsm::TriggerAction> observations;
+  for (const auto& episode : episodes) {
+    const auto min_steps = static_cast<std::size_t>(
+        config_.min_episode_fraction *
+        static_cast<double>(episode.config().StepsPerEpisode()));
+    if (episode.size() == 0 || episode.size() < min_steps) {
+      ++learn_report_.episodes_skipped;
+      continue;
+    }
+    ++learn_report_.episodes_used;
+    fsm::AppendTriggerActions(episode, &observations);
+  }
+  if (learn_report_.episodes_used == 0) {
+    throw std::invalid_argument(
+        "SafetyPolicyLearner::Learn: no usable episodes");
   }
   if (config_.use_ann_filter) {
     if (labeled.empty()) {
@@ -41,9 +60,12 @@ void SafetyPolicyLearner::Learn(
   // Mem <- Filter_ANN(TD): drop transitions the filter regards as benign
   // anomalies so malfunctions observed during the learning week are not
   // whitelisted as habitual behavior.
-  const auto observations = fsm::ExtractTriggerActions(episodes);
   for (const auto& ta : observations) {
-    if (config_.use_ann_filter && filter_.IsBenign(ta)) continue;
+    if (config_.use_ann_filter && filter_.IsBenign(ta)) {
+      ++learn_report_.filtered_benign;
+      continue;
+    }
+    ++learn_report_.observations;
     table_.Observe(ta.trigger_state, ta.action, ta.minute_of_day);
   }
   table_.Finalize();

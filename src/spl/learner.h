@@ -31,7 +31,24 @@ struct SplConfig {
   int count_threshold = 0;  // Thresh_env; 0 = any observation admits
   AnnFilterConfig ann;
   bool use_ann_filter = true;  // ablation hook
+  // Learning episodes shorter than this fraction of their configured
+  // period are skipped (and counted) instead of aborting the learning
+  // phase — a degraded event stream may hand the learner gappy or partial
+  // episodes, and losing a day of the learning week must not lose the
+  // week. 0 keeps every non-empty episode.
+  double min_episode_fraction = 0.0;
   std::uint64_t seed = 7;
+};
+
+// Degradation accounting for one learning phase: how many of the offered
+// episodes actually contributed, and what the ANN filter removed. Feeds
+// core::HealthReport.
+struct LearnReport {
+  std::size_t episodes_offered = 0;
+  std::size_t episodes_used = 0;
+  std::size_t episodes_skipped = 0;  // empty or below min_episode_fraction
+  std::size_t observations = 0;      // surviving T/A observations
+  std::size_t filtered_benign = 0;   // removed by Filter_ANN(TD)
 };
 
 // One flagged mini-action when auditing an episode.
@@ -56,11 +73,14 @@ class SafetyPolicyLearner {
   // Runs the learning phase. `labeled` is the training dataset TD
   // (learning-phase behavior labeled normal plus user-labeled benign
   // anomalies); `episodes` are the learning episodes whose surviving
-  // transitions populate P_safe.
+  // transitions populate P_safe. Gappy input is tolerated: empty or
+  // too-short episodes are skipped and counted in learn_report(); only a
+  // stream with zero usable episodes aborts.
   void Learn(const std::vector<fsm::Episode>& episodes,
              const std::vector<sim::LabeledSample>& labeled);
 
   bool learned() const { return learned_; }
+  const LearnReport& learn_report() const { return learn_report_; }
 
   // Classifies one joint transition attempt.
   Verdict Classify(const fsm::StateVector& state,
@@ -103,6 +123,7 @@ class SafetyPolicyLearner {
   SplConfig config_;
   SafeTransitionTable table_;
   AnnFilter filter_;
+  LearnReport learn_report_;
   bool learned_ = false;
 };
 

@@ -1,0 +1,16 @@
+#include "util/retry.h"
+
+namespace jarvis::util {
+
+int BackoffMs(const RetryPolicy& policy, int attempt) {
+  if (attempt <= 1 || policy.base_backoff_ms <= 0) return 0;
+  double delay = policy.base_backoff_ms;
+  for (int k = 2; k < attempt; ++k) {
+    delay *= policy.backoff_factor;
+    if (delay >= policy.max_backoff_ms) return policy.max_backoff_ms;
+  }
+  if (delay >= policy.max_backoff_ms) return policy.max_backoff_ms;
+  return static_cast<int>(delay);
+}
+
+}  // namespace jarvis::util

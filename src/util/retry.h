@@ -1,0 +1,57 @@
+// Bounded retry with deterministic exponential backoff, for the
+// fault-recovery paths (faults::ReliablePublisher and friends). No jitter
+// on purpose: recovery behavior must replay bit-for-bit from a seed, like
+// every other stochastic process in the library (which this one is not).
+//
+// The sleep function is injectable so tests record the backoff sequence
+// instead of waiting it out; passing nullptr skips sleeping entirely,
+// which is the right default in a simulation whose clock is SimTime
+// minutes, not wall time.
+#pragma once
+
+#include <functional>
+
+namespace jarvis::util {
+
+struct RetryPolicy {
+  int max_attempts = 3;        // total tries, clamped to >= 1
+  int base_backoff_ms = 10;    // delay before the second attempt
+  double backoff_factor = 2.0; // multiplier per further failed attempt
+  int max_backoff_ms = 10000;  // delay ceiling
+};
+
+// Deterministic backoff before the given 1-based attempt: attempt 1 waits
+// nothing, attempt k >= 2 waits base * factor^(k-2), capped at the ceiling.
+int BackoffMs(const RetryPolicy& policy, int attempt);
+
+struct RetryResult {
+  bool succeeded = false;
+  int attempts = 0;          // attempts actually made
+  int total_backoff_ms = 0;  // sum of delays requested
+};
+
+using SleepFn = std::function<void(int delay_ms)>;
+
+// Calls `fn` (returning true on success) until it succeeds or the policy's
+// attempt budget runs out.
+template <typename Fn>
+RetryResult Retry(const RetryPolicy& policy, Fn&& fn,
+                  const SleepFn& sleep = nullptr) {
+  RetryResult result;
+  const int budget = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    if (attempt > 1) {
+      const int delay = BackoffMs(policy, attempt);
+      result.total_backoff_ms += delay;
+      if (sleep) sleep(delay);
+    }
+    ++result.attempts;
+    if (fn()) {
+      result.succeeded = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace jarvis::util

@@ -115,6 +115,83 @@ TEST_F(JarvisFixture, LearnFromEventsFullPipeline) {
                std::invalid_argument);
 }
 
+TEST_F(JarvisFixture, HealthReportAggregatesPipelineCounters) {
+  sim::ResidentSimulator resident(testbed_->home_a(), sim::ThermalConfig{},
+                                  404, sim::BehaviorConfig{0.0, 1});
+  const auto generator = testbed_->home_a_generator();
+  const auto trace = resident.SimulateDay(generator.Generate(0),
+                                          resident.OvernightState(), 21.0);
+
+  JarvisConfig config;
+  config.trainer.episodes = 2;
+  config.restarts = 1;
+  Jarvis fresh(testbed_->home_a(), config);
+  EXPECT_FALSE(fresh.Health().degraded());
+
+  fresh.LearnFromEvents(trace.events, resident.OvernightState(),
+                        util::SimTime(0), testbed_->BuildTrainingSet());
+  const HealthReport& health = fresh.Health();
+  EXPECT_EQ(health.parse.events_seen, trace.events.size());
+  EXPECT_TRUE(health.parse.WithinBudget());
+  EXPECT_EQ(health.learn.episodes_used, 1u);
+  EXPECT_EQ(health.learn.episodes_skipped, 0u);
+  EXPECT_GT(health.learn.observations, 0u);
+  EXPECT_FALSE(health.degraded());
+
+  // Externally observed degradation folds in.
+  faults::FaultCounters injected;
+  injected.dropped = 3;
+  fresh.NoteInjectedFaults(injected);
+  EXPECT_EQ(fresh.Health().injected.dropped, 3u);
+
+  OnlineMonitor monitor(testbed_->home_a(), fresh.learner(),
+                        resident.OvernightState());
+  monitor.MarkStateUnknown(0);
+  events::Event unlock;
+  unlock.date = util::SimTime(120);
+  unlock.device_label = "lock";
+  unlock.attribute_value = "unlocked";
+  unlock.command = "unlock";
+  monitor.Consume(unlock);
+  fresh.NoteMonitor(monitor);
+  EXPECT_EQ(fresh.Health().monitor_failsafe_denials, 1u);
+  EXPECT_TRUE(fresh.Health().degraded());
+
+  fresh.ResetHealth();
+  EXPECT_EQ(fresh.Health().injected.dropped, 0u);
+  EXPECT_EQ(fresh.Health().parse.events_seen, 0u);
+  EXPECT_FALSE(fresh.Health().degraded());
+}
+
+TEST_F(JarvisFixture, LearnFromEventsEnforcesParseDropBudget) {
+  sim::ResidentSimulator resident(testbed_->home_a(), sim::ThermalConfig{},
+                                  404, sim::BehaviorConfig{0.0, 1});
+  const auto generator = testbed_->home_a_generator();
+  auto trace = resident.SimulateDay(generator.Generate(0),
+                                    resident.OvernightState(), 21.0);
+  // Mangle a third of the stream into unknown devices: beyond the default
+  // 25% budget, the facade must refuse to learn from the wreckage.
+  for (std::size_t i = 0; i < trace.events.size(); i += 3) {
+    trace.events[i].device_label = "ghost";
+  }
+  JarvisConfig config;
+  Jarvis fresh(testbed_->home_a(), config);
+  EXPECT_THROW(fresh.LearnFromEvents(trace.events, resident.OvernightState(),
+                                     util::SimTime(0),
+                                     testbed_->BuildTrainingSet()),
+               std::runtime_error);
+  EXPECT_FALSE(fresh.Health().parse.WithinBudget());
+  EXPECT_TRUE(fresh.Health().degraded());
+
+  // Raising the budget lets the pipeline degrade gracefully instead.
+  config.parse_drop_budget = 0.5;
+  Jarvis lax(testbed_->home_a(), config);
+  lax.LearnFromEvents(trace.events, resident.OvernightState(),
+                      util::SimTime(0), testbed_->BuildTrainingSet());
+  EXPECT_TRUE(lax.learned());
+  EXPECT_GT(lax.Health().parse.stats.unknown_device, 0u);
+}
+
 TEST_F(JarvisFixture, MetricForSelectsFocusedMetric) {
   sim::DayMetrics metrics;
   metrics.energy_kwh = 1.0;

@@ -117,6 +117,93 @@ TEST_F(MonitorFixture, AttachedToBusStreamsAlerts) {
   EXPECT_EQ(alerts[0].verdict, spl::Verdict::kViolation);
 }
 
+TEST_F(MonitorFixture, FailSafeDeniesCommandOnUndecodableState) {
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  std::vector<MonitorAlert> alerts;
+  events::EventBus bus;
+  monitor.Attach(bus,
+                 [&](const MonitorAlert& alert) { alerts.push_back(alert); });
+
+  // A corrupted sensor report makes the device's tracked state untrusted.
+  bus.Publish(SensorEvent(60, "temp_sensor", "??corrupt??"));
+  EXPECT_EQ(monitor.unknown_events(), 1u);
+
+  // Deny-unsafe-by-default: the follow-up command cannot be classified
+  // against a trusted context, so it is denied — and counted as a trust
+  // failure, not a learner verdict.
+  const auto verdict =
+      monitor.Consume(CommandEvent(61, "temp_sensor", "off", "power_off"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, spl::Verdict::kViolation);
+  EXPECT_EQ(monitor.unknown_state_denials(), 1u);
+  EXPECT_EQ(monitor.failsafe_denials(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.commands_classified(), 0u);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].verdict, spl::Verdict::kViolation);
+
+  // The next good report restores trust and normal classification.
+  bus.Publish(SensorEvent(62, "temp_sensor", "optimal"));
+  monitor.Consume(CommandEvent(63, "temp_sensor", "off", "power_off"));
+  EXPECT_EQ(monitor.commands_classified(), 1u);
+  EXPECT_EQ(monitor.failsafe_denials(), 1u);
+}
+
+TEST_F(MonitorFixture, MarkStateUnknownExternallyTriggersDenial) {
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  monitor.MarkStateUnknown(0);  // e.g. health system saw the lock offline
+  const auto verdict = monitor.Consume(
+      CommandEvent(17 * 60 + 40, "lock", "unlocked", "unlock"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, spl::Verdict::kViolation);
+  EXPECT_EQ(monitor.unknown_state_denials(), 1u);
+
+  // A decodable report brings the lock back.
+  monitor.Consume(SensorEvent(17 * 60 + 41, "lock", "unlocked"));
+  monitor.Consume(CommandEvent(17 * 60 + 42, "lock", "locked", "lock"));
+  EXPECT_EQ(monitor.commands_classified(), 1u);
+}
+
+TEST_F(MonitorFixture, StalenessClockDeniesOldContext) {
+  MonitorConfig config;
+  config.staleness_limit_minutes = 30;
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0), config);
+
+  // temp_sensor reports at minute 0; by minute 100 that context is stale.
+  monitor.Consume(SensorEvent(0, "temp_sensor", "optimal"));
+  const auto verdict =
+      monitor.Consume(CommandEvent(100, "temp_sensor", "off", "power_off"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, spl::Verdict::kViolation);
+  EXPECT_EQ(monitor.stale_denials(), 1u);
+
+  // The clock only starts at a device's first report: the lock never
+  // reported, so its constructor-supplied state is still trusted.
+  monitor.Consume(CommandEvent(100, "lock", "unlocked", "unlock"));
+  EXPECT_EQ(monitor.commands_classified(), 1u);
+  EXPECT_EQ(monitor.stale_denials(), 1u);
+
+  // A fresh report resets the clock.
+  monitor.Consume(SensorEvent(101, "temp_sensor", "optimal"));
+  monitor.Consume(CommandEvent(110, "temp_sensor", "off", "power_off"));
+  EXPECT_EQ(monitor.commands_classified(), 2u);
+  EXPECT_EQ(monitor.stale_denials(), 1u);
+}
+
+TEST_F(MonitorFixture, FailSafeOffPreservesLegacyBehavior) {
+  MonitorConfig config;
+  config.fail_safe = false;
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0), config);
+  monitor.Consume(SensorEvent(60, "temp_sensor", "plasma"));
+  monitor.Consume(CommandEvent(61, "temp_sensor", "off", "power_off"));
+  EXPECT_EQ(monitor.failsafe_denials(), 0u);
+  EXPECT_EQ(monitor.commands_classified(), 1u);
+}
+
 TEST_F(MonitorFixture, StreamingMatchesBatchAuditOnNaturalDay) {
   // The streaming monitor over a day's event stream must agree with the
   // batch audit of the same day's episode on the violation count.

@@ -89,6 +89,25 @@ TEST(EventBus, UnsubscribeStopsDelivery) {
   EXPECT_EQ(bus.subscription_count(), 0u);
 }
 
+TEST(EventBus, CallbackGrowingSubscriptionsDuringPublishIsSafe) {
+  // Regression: Publish used to hold a reference into the subscription
+  // vector across the callback, dangling when a callback's Subscribe
+  // reallocated it (visible under ASan).
+  EventBus bus;
+  int delivered = 0;
+  bus.Subscribe("", "", [&](const Event&) {
+    // Enough new subscriptions to force at least one reallocation.
+    for (int i = 0; i < 100; ++i) {
+      bus.Subscribe("none", "none", [](const Event&) {});
+    }
+    ++delivered;
+  });
+  bus.Subscribe("", "", [&](const Event&) { ++delivered; });
+  bus.Publish(MakeEvent("a", "b"));
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(bus.subscription_count(), 102u);
+}
+
 TEST(EventBus, SubscribingDuringPublishDoesNotSeeCurrentEvent) {
   EventBus bus;
   int late_count = 0;
@@ -266,6 +285,38 @@ TEST_F(ParserFixture, MultipleEpisodesCutAtPeriodBoundaries) {
   EXPECT_EQ(episodes[1].initial_state()[2], *fsm_.device(2).FindState("on"));
   EXPECT_EQ(episodes[1].steps()[5].action[2],
             *fsm_.device(2).FindAction("power_off"));
+}
+
+TEST_F(ParserFixture, StragglersSkippedAndCounted) {
+  LogParser parser(fsm_, {10, 1});
+  const std::vector<Event> events = {
+      CommandEvent(5, "light", "on", "power_on"),
+      SensorEvent(2, "temp_sensor", "below_optimal"),  // late arrival
+  };
+  const auto episodes = parser.Parse(events, initial_, util::SimTime(0), false);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(parser.stats().stragglers_skipped, 1u);
+  EXPECT_EQ(parser.stats().out_of_order, 1u);
+  EXPECT_EQ(parser.stats().events_consumed, 1u);
+  // The straggler's stale reading never overrode the tracked state.
+  EXPECT_EQ(episodes[0].steps()[3].state[4],
+            *fsm_.device(4).FindState("optimal"));
+  EXPECT_EQ(parser.report().events_dropped(), 1u);
+  EXPECT_DOUBLE_EQ(parser.report().DropFraction(), 0.5);
+}
+
+TEST_F(ParserFixture, DropBudgetFlagsDegradedStream) {
+  const std::vector<Event> events = {
+      CommandEvent(1, "light", "on", "power_on"),
+      CommandEvent(2, "toaster", "on", "power_on"),  // unknown device
+  };
+  LogParser strict(fsm_, {10, 1}, /*drop_budget=*/0.25);
+  strict.Parse(events, initial_, util::SimTime(0), false);
+  EXPECT_FALSE(strict.report().WithinBudget());
+
+  LogParser lax(fsm_, {10, 1}, /*drop_budget=*/0.5);
+  lax.Parse(events, initial_, util::SimTime(0), false);
+  EXPECT_TRUE(lax.report().WithinBudget());
 }
 
 TEST_F(ParserFixture, EmptyLogYieldsNothing) {

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 
+#include <limits>
 #include <set>
 
 namespace jarvis::rl {
@@ -97,6 +98,28 @@ TEST(ReplayBuffer, StoresFullExperienceFields) {
   EXPECT_DOUBLE_EQ(stored->reward, 0.7);
   EXPECT_EQ(stored->next_mask, experience.next_mask);
   EXPECT_TRUE(stored->done);
+}
+
+TEST(ReplayBuffer, PurgePoisonedDropsNonFiniteExperiences) {
+  ReplayBuffer buffer(10);
+  buffer.Add(MakeExperience(1.0));
+  buffer.Add(MakeExperience(std::numeric_limits<double>::infinity()));
+  buffer.Add(MakeExperience(2.0));
+  Experience nan_features = MakeExperience(3.0);
+  nan_features.features = {std::numeric_limits<double>::quiet_NaN()};
+  buffer.Add(nan_features);
+  buffer.Add(MakeExperience(2e9));  // absurd magnitude counts as poisoned
+
+  EXPECT_EQ(buffer.PurgePoisoned(), 3u);
+  EXPECT_EQ(buffer.size(), 2u);
+  util::Rng rng(5);
+  for (const Experience* exp : buffer.Sample(2, rng)) {
+    EXPECT_TRUE(exp->reward == 1.0 || exp->reward == 2.0);
+  }
+  // The ring stays consistent: refilling past capacity still works.
+  for (int i = 0; i < 12; ++i) buffer.Add(MakeExperience(i));
+  EXPECT_EQ(buffer.size(), 10u);
+  EXPECT_EQ(buffer.PurgePoisoned(), 0u);
 }
 
 }  // namespace

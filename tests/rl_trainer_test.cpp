@@ -3,6 +3,9 @@
 // and violation accounting.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "fsm/device_library.h"
 #include "rl/dqn_agent.h"
 #include "rl/trainer.h"
@@ -202,6 +205,54 @@ TEST_F(TrainerFixture, StickyExplorationProducesStreaks) {
     return static_cast<double>(repeats) / total;
   };
   EXPECT_GT(repeat_rate(sticky), repeat_rate(uniform) + 0.2);
+}
+
+TEST_F(TrainerFixture, DivergenceRecoveryRestoresWeightsAndPurges) {
+  IoTEnv env = MakeEnv();
+  const auto& codec = testbed_->home_a().codec();
+  DqnConfig dqn;
+  dqn.batch_size = 8;
+  DqnAgent agent(env.feature_width(), codec, dqn);
+
+  // Poison the replay memory before training: infinite rewards make the
+  // very first replay pass produce a non-finite loss.
+  for (int i = 0; i < 16; ++i) {
+    Experience poison;
+    poison.features.assign(env.feature_width(), 0.5);
+    poison.taken_slots = {0};
+    poison.reward = std::numeric_limits<double>::infinity();
+    poison.next_features.assign(env.feature_width(), 0.0);
+    poison.next_mask.assign(codec.mini_action_count(), false);
+    poison.done = true;
+    agent.Remember(poison);
+  }
+
+  TrainerConfig config;
+  config.episodes = 2;
+  config.demonstration_episodes = 1;
+  const TrainResult result = Train(env, agent, config);
+
+  EXPECT_GE(result.divergence_recoveries, 1u);
+  EXPECT_GE(result.poisoned_experiences_purged, 16u);
+  EXPECT_FALSE(agent.diverged());
+  // The restored weights produce finite values end to end.
+  env.Reset();
+  for (double q : agent.QValues(env.Features())) {
+    EXPECT_TRUE(std::isfinite(q));
+  }
+  EXPECT_TRUE(std::isfinite(result.greedy_reward));
+  EXPECT_EQ(result.episode_rewards.size(), 2u);
+}
+
+TEST_F(TrainerFixture, ReseedExplorationRestartsSchedule) {
+  DqnConfig config;
+  config.epsilon = 0.8;
+  DqnAgent agent(2, testbed_->home_a().codec(), config);
+  agent.DecayEpsilonOnce();
+  ASSERT_LT(agent.epsilon(), 0.8);
+  agent.ReseedExploration(1234);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.8);
+  EXPECT_FALSE(agent.diverged());
 }
 
 TEST_F(TrainerFixture, DemonstrationEpisodesConfigurable) {

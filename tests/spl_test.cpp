@@ -310,6 +310,65 @@ TEST_F(SplIntegration, LearnValidatesInputs) {
                std::invalid_argument);
 }
 
+TEST_F(SplIntegration, GappyEpisodesSkippedNotFatal) {
+  // A degraded stream hands the learner empty and truncated episodes among
+  // the good ones; they are skipped and counted, and learning proceeds.
+  auto episodes = testbed_->HomeALearningEpisodes();
+  const std::size_t good = episodes.size();
+  episodes.emplace_back(episodes.front().config(), util::SimTime(0),
+                        episodes.front().initial_state());  // empty
+
+  SplConfig config;
+  config.min_episode_fraction = 0.5;
+  SafetyPolicyLearner tolerant(testbed_->home_a(), config);
+  tolerant.Learn(episodes, testbed_->BuildTrainingSet());
+
+  EXPECT_TRUE(tolerant.learned());
+  const LearnReport& report = tolerant.learn_report();
+  EXPECT_EQ(report.episodes_offered, good + 1);
+  EXPECT_EQ(report.episodes_used, good);
+  EXPECT_EQ(report.episodes_skipped, 1u);
+  EXPECT_GT(report.observations, 0u);
+}
+
+TEST_F(SplIntegration, MinEpisodeFractionSkipsTruncatedEpisodes) {
+  auto episodes = testbed_->HomeALearningEpisodes();
+  // A truncated episode: a tenth of the configured period.
+  fsm::Episode partial(episodes.front().config(), util::SimTime(0),
+                       episodes.front().initial_state());
+  const int steps = episodes.front().config().StepsPerEpisode() / 10;
+  fsm::StateVector state = partial.initial_state();
+  const fsm::ActionVector noop(testbed_->home_a().device_count(),
+                               fsm::kNoAction);
+  for (int i = 0; i < steps; ++i) {
+    partial.Record(util::SimTime(i), state, noop);
+  }
+  episodes.push_back(partial);
+
+  SplConfig config;
+  config.min_episode_fraction = 0.5;
+  SafetyPolicyLearner tolerant(testbed_->home_a(), config);
+  tolerant.Learn(episodes, testbed_->BuildTrainingSet());
+  EXPECT_EQ(tolerant.learn_report().episodes_skipped, 1u);
+
+  // With no minimum, the truncated episode contributes.
+  SafetyPolicyLearner lax(testbed_->home_a(), SplConfig{});
+  lax.Learn(episodes, testbed_->BuildTrainingSet());
+  EXPECT_EQ(lax.learn_report().episodes_skipped, 0u);
+  EXPECT_EQ(lax.learn_report().episodes_used,
+            tolerant.learn_report().episodes_used + 1);
+}
+
+TEST_F(SplIntegration, AllEpisodesGappyAborts) {
+  const fsm::Episode shape = testbed_->HomeALearningEpisodes().front();
+  std::vector<fsm::Episode> empties;
+  empties.emplace_back(shape.config(), util::SimTime(0),
+                       shape.initial_state());
+  SafetyPolicyLearner fresh(testbed_->home_a(), SplConfig{});
+  EXPECT_THROW(fresh.Learn(empties, testbed_->BuildTrainingSet()),
+               std::invalid_argument);
+}
+
 TEST_F(SplIntegration, AnnDisabledModeTreatsAnomaliesAsViolations) {
   SplConfig config;
   config.use_ann_filter = false;

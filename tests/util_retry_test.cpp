@@ -1,0 +1,84 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jarvis::util {
+namespace {
+
+TEST(BackoffMs, DeterministicExponentialSequence) {
+  const RetryPolicy policy{.max_attempts = 6,
+                           .base_backoff_ms = 10,
+                           .backoff_factor = 2.0,
+                           .max_backoff_ms = 10000};
+  EXPECT_EQ(BackoffMs(policy, 1), 0);
+  EXPECT_EQ(BackoffMs(policy, 2), 10);
+  EXPECT_EQ(BackoffMs(policy, 3), 20);
+  EXPECT_EQ(BackoffMs(policy, 4), 40);
+  EXPECT_EQ(BackoffMs(policy, 5), 80);
+}
+
+TEST(BackoffMs, CappedAtCeiling) {
+  const RetryPolicy policy{.max_attempts = 20,
+                           .base_backoff_ms = 10,
+                           .backoff_factor = 10.0,
+                           .max_backoff_ms = 500};
+  EXPECT_EQ(BackoffMs(policy, 2), 10);
+  EXPECT_EQ(BackoffMs(policy, 3), 100);
+  EXPECT_EQ(BackoffMs(policy, 4), 500);
+  EXPECT_EQ(BackoffMs(policy, 10), 500);
+}
+
+TEST(Retry, FirstAttemptSuccessSleepsNever) {
+  bool slept = false;
+  const auto result = Retry(
+      RetryPolicy{}, [] { return true; }, [&](int) { slept = true; });
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(result.total_backoff_ms, 0);
+  EXPECT_FALSE(slept);
+}
+
+TEST(Retry, RecordsBackoffSequenceUntilSuccess) {
+  std::vector<int> delays;
+  int calls = 0;
+  const auto result = Retry(
+      RetryPolicy{.max_attempts = 5}, [&] { return ++calls == 3; },
+      [&](int delay_ms) { delays.push_back(delay_ms); });
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(delays, (std::vector<int>{10, 20}));
+  EXPECT_EQ(result.total_backoff_ms, 30);
+}
+
+TEST(Retry, ExhaustsBudgetAndReportsFailure) {
+  int calls = 0;
+  const auto result = Retry(RetryPolicy{.max_attempts = 4}, [&] {
+    ++calls;
+    return false;
+  });
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(result.attempts, 4);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(result.total_backoff_ms, 10 + 20 + 40);
+}
+
+TEST(Retry, NonPositiveBudgetClampsToOneAttempt) {
+  int calls = 0;
+  const auto result = Retry(RetryPolicy{.max_attempts = 0}, [&] {
+    ++calls;
+    return false;
+  });
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, NullSleepSkipsSleepingButStillCountsBackoff) {
+  const auto result =
+      Retry(RetryPolicy{.max_attempts = 3}, [] { return false; }, nullptr);
+  EXPECT_EQ(result.total_backoff_ms, 10 + 20);
+}
+
+}  // namespace
+}  // namespace jarvis::util

@@ -28,6 +28,13 @@ import tempfile
 
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 
+# Every src/ module the lint invariants are consciously applied to. A new
+# src/ subdirectory must be registered here (and in DESIGN.md §3) so its
+# headers inherit the hygiene/RNG/iostream rules on purpose, not by luck.
+SRC_MODULES = frozenset({
+    "core", "events", "faults", "fsm", "neural", "rl", "sim", "spl", "util",
+})
+
 # Files allowed to use raw OS randomness.
 RNG_ALLOWLIST = {
     os.path.join("src", "util", "rng.h"),
@@ -166,6 +173,13 @@ def main():
         return 1
 
     errors = []
+    src_root = os.path.join(root, "src")
+    for entry in sorted(os.listdir(src_root)):
+        if os.path.isdir(os.path.join(src_root, entry)) \
+                and entry not in SRC_MODULES:
+            errors.append(
+                f"src/{entry}: module not registered in tools/lint.py "
+                "SRC_MODULES (register it so lint rules apply on purpose)")
     for rel in files:
         check_file_text(root, rel, errors)
 
