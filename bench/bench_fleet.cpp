@@ -1,0 +1,110 @@
+// Fleet runtime throughput: tenants/sec for a 32-tenant workload at
+// jobs = 1, 2, 4, 8, demonstrating that sharded tenant pipelines scale
+// across workers without changing a single result (DESIGN.md §10). Writes
+// the machine-readable BENCH_fleet.json next to the human-readable table
+// so CI can track the scaling curve.
+//
+// Note the speedup is bounded by the host's core count: on a single-core
+// runner every jobs level measures the same sequential work (speedup ~1x);
+// the >=3x target at jobs=8 is for hosts with >=8 cores.
+#include <chrono>
+#include <fstream>
+
+#include "bench_common.h"
+#include "runtime/fleet.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace jarvis;
+
+int FleetTenants() {
+  return bench::EnvInt("JARVIS_BENCH_FLEET_TENANTS", 32);
+}
+
+runtime::FleetConfig MakeConfig(std::size_t tenants, std::size_t jobs) {
+  runtime::FleetConfig config;
+  config.tenants = tenants;
+  config.jobs = jobs;
+  config.fleet_seed = 42;
+  // Small per-tenant pipelines: the bench measures scheduling throughput,
+  // not policy quality, so each tenant should be cheap enough that the
+  // jobs sweep finishes in CI time.
+  config.tenant_config.restarts = 1;
+  config.tenant_config.trainer.episodes =
+      bench::EnvInt("JARVIS_BENCH_FLEET_EPISODES", 2);
+  config.tenant_config.trainer.demonstration_episodes = 1;
+  config.tenant_config.dqn.hidden_units = {8, 8};
+  config.tenant_config.dqn.batch_size = 16;
+  config.tenant_config.spl.ann.epochs = 3;
+  return config;
+}
+
+runtime::SimulatedWorkloadOptions MakeWorkload() {
+  runtime::SimulatedWorkloadOptions options;
+  options.learning_days = bench::EnvInt("JARVIS_BENCH_FLEET_DAYS", 2);
+  options.benign_anomaly_samples = 200;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fleet runtime scaling: tenants/sec vs worker count",
+                     "fleet runtime (DESIGN.md §10); not a paper figure");
+
+  const auto tenants = static_cast<std::size_t>(FleetTenants());
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  const auto factory = runtime::SimulatedWorkloadFactory(home, MakeWorkload());
+
+  std::printf("%-6s %10s %14s %9s   parity vs jobs=1\n", "jobs", "seconds",
+              "tenants/sec", "speedup");
+
+  util::JsonArray levels;
+  double base_seconds = 0.0;
+  double base_energy = 0.0;
+  bool parity = true;
+  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    runtime::Fleet fleet(home, MakeConfig(tenants, jobs));
+    const auto start = std::chrono::steady_clock::now();
+    const runtime::FleetReport report = fleet.Run(factory);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (jobs == 1) {
+      base_seconds = seconds;
+      base_energy = report.total_energy_kwh;
+    }
+    // Exact-equality parity check: worker count must not perturb results.
+    const bool level_parity = report.total_energy_kwh == base_energy &&
+                              report.completed == tenants;
+    parity = parity && level_parity;
+
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(tenants) / seconds : 0.0;
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+    std::printf("%-6zu %10.2f %14.1f %8.2fx   %s\n", jobs, seconds, rate,
+                speedup, level_parity ? "ok" : "MISMATCH");
+
+    util::JsonObject level;
+    level["jobs"] = static_cast<std::int64_t>(jobs);
+    level["seconds"] = seconds;
+    level["tenants_per_sec"] = rate;
+    level["speedup_vs_jobs1"] = speedup;
+    level["completed"] = static_cast<std::int64_t>(report.completed);
+    level["quarantined"] = static_cast<std::int64_t>(report.quarantined);
+    levels.push_back(util::JsonValue(std::move(level)));
+  }
+
+  util::JsonObject doc;
+  doc["bench"] = "fleet";
+  doc["tenants"] = static_cast<std::int64_t>(tenants);
+  doc["parity"] = parity;
+  doc["levels"] = util::JsonValue(std::move(levels));
+  std::ofstream out("BENCH_fleet.json");
+  out << util::JsonValue(std::move(doc)).Dump(2) << "\n";
+  std::printf("wrote BENCH_fleet.json (%zu tenants, parity %s)\n", tenants,
+              parity ? "ok" : "MISMATCH");
+  return parity ? 0 : 1;
+}

@@ -12,6 +12,9 @@
 //       Train the constrained DQN for a day and compare against normal.
 //   jarvis_cli suggest --policies policies.json --minute 480
 //       Print the best safe action for the overnight state at a minute.
+//   jarvis_cli fleet --fleet 8 --jobs 4
+//       Run a multi-tenant fleet (one Jarvis pipeline per simulated home)
+//       across a worker pool and print the per-tenant and aggregate report.
 //
 // All subcommands run on the standard 11-device home.
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include <sstream>
 
 #include "core/jarvis.h"
+#include "runtime/fleet.h"
 #include "sim/testbed.h"
 #include "util/flags.h"
 
@@ -34,7 +38,9 @@ int Usage() {
       "  audit    --log FILE --policies FILE\n"
       "  optimize --policies FILE [--day N] [--focus energy|cost|temp] "
       "[--f W] [--episodes N]\n"
-      "  suggest  --policies FILE [--day N] [--minute M]\n");
+      "  suggest  --policies FILE [--day N] [--minute M]\n"
+      "  fleet    [--fleet N] [--jobs N] [--days N] [--episodes N] "
+      "[--seed S]\n");
   return 2;
 }
 
@@ -202,6 +208,46 @@ int Suggest(const util::Flags& flags) {
   return 0;
 }
 
+int FleetRun(const util::Flags& flags) {
+  runtime::FleetConfig config;
+  config.tenants = static_cast<std::size_t>(flags.GetInt("fleet", 8));
+  config.jobs = static_cast<std::size_t>(flags.GetInt("jobs", 1));
+  config.fleet_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  config.tenant_config.trainer.episodes = flags.GetInt("episodes", 24);
+
+  runtime::SimulatedWorkloadOptions workload;
+  workload.learning_days = flags.GetInt("days", 3);
+
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  runtime::Fleet fleet(home, config);
+  const runtime::FleetReport report =
+      fleet.Run(runtime::SimulatedWorkloadFactory(home, workload));
+
+  for (const auto& tenant : report.tenants) {
+    if (tenant.quarantined) {
+      std::printf("tenant %2zu  QUARANTINED: %s\n", tenant.tenant,
+                  tenant.error.c_str());
+      continue;
+    }
+    std::printf(
+        "tenant %2zu  %zu episodes  %.2f kWh  $%.2f  %.0f degC-min  "
+        "(%zu violations)%s\n",
+        tenant.tenant, tenant.learning_episodes,
+        tenant.plan.optimized_metrics.energy_kwh,
+        tenant.plan.optimized_metrics.cost_usd,
+        tenant.plan.optimized_metrics.comfort_error_c_min,
+        tenant.plan.violations,
+        tenant.health.degraded() ? "  [degraded]" : "");
+  }
+  std::printf(
+      "fleet: %zu tenants, jobs=%zu: %zu completed, %zu quarantined, "
+      "%zu degraded; total %.2f kWh  $%.2f  %zu violations\n",
+      report.tenants.size(), config.jobs, report.completed,
+      report.quarantined, report.degraded, report.total_energy_kwh,
+      report.total_cost_usd, report.total_violations);
+  return report.quarantined == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +260,7 @@ int main(int argc, char** argv) {
     if (command == "audit") return Audit(flags);
     if (command == "optimize") return Optimize(flags);
     if (command == "suggest") return Suggest(flags);
+    if (command == "fleet") return FleetRun(flags);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace jarvis::core {
 
 Jarvis::Jarvis(const fsm::EnvironmentFsm& fsm, JarvisConfig config)
@@ -42,15 +44,27 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
   env_config.weights = weights;
   env_config.constrained = true;
 
-  last_env_ = std::make_unique<rl::IoTEnv>(fsm_, natural, config_.thermal,
+  // IoTEnv holds the day trace by reference, and the env is retained for
+  // SuggestAction long after this call returns — so retain our own copy of
+  // the trace; the caller's may die with its scope (fleet tenant workloads
+  // do exactly that). Old env is replaced before the old day it references
+  // is released.
+  auto day = std::make_unique<sim::DayTrace>(natural);
+  last_env_ = std::make_unique<rl::IoTEnv>(fsm_, *day, config_.thermal,
                                            &learner_, env_config);
+  last_day_ = std::move(day);
 
   DayPlan plan;
   const int restarts = std::max(1, config_.restarts);
   for (int restart = 0; restart < restarts; ++restart) {
     rl::DqnConfig dqn = config_.dqn;
-    dqn.seed = config_.dqn.seed +
-               static_cast<std::uint64_t>(restart) * std::uint64_t{0x9e3779b97f4a7c15};
+    // Restart 0 keeps the configured seed (so single-restart runs are
+    // directly comparable to a bare DqnAgent with the same config); later
+    // restarts draw decorrelated streams from it.
+    dqn.seed = restart == 0
+                   ? config_.dqn.seed
+                   : util::DeriveSeed(config_.dqn.seed,
+                                      static_cast<std::uint64_t>(restart));
     auto agent = std::make_unique<rl::DqnAgent>(last_env_->feature_width(),
                                                 fsm_.codec(), dqn);
     rl::TrainResult result = rl::Train(*last_env_, *agent, config_.trainer);
@@ -71,13 +85,13 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
 }
 
 fsm::ActionVector Jarvis::SuggestAction(const fsm::StateVector& state,
-                                        int minute) {
+                                        int minute) const {
   if (!agent_ || !last_env_) {
     throw std::logic_error("Jarvis::SuggestAction: no trained policy");
   }
   const auto features = last_env_->FeaturesFor(state, minute);
   const auto mask = last_env_->SafeSlotMaskFor(state, minute);
-  return agent_->SelectAction(features, mask, /*greedy=*/true);
+  return agent_->GreedyActionFromQ(agent_->QValues(features), mask);
 }
 
 spl::AuditResult Jarvis::Audit(const fsm::Episode& episode) const {

@@ -16,6 +16,16 @@
 //   jarvis.LearnFromEvents(log_events, initial_state, start_time, labeled);
 //   auto plan = jarvis.OptimizeDay(todays_natural_trace, weights);
 //   auto action = jarvis.SuggestAction();   // best safe action now
+//
+// Concurrency contract (audited for the fleet runtime; see DESIGN.md §10):
+// a Jarvis instance owns all of its mutable state — learner, health
+// counters, trained agent — and shares only the const EnvironmentFsm& it
+// was constructed with. The class keeps no static or global mutable state
+// (tools/lint.py enforces this repo-wide), so distinct instances may run
+// their full learn→optimize pipelines concurrently with no locking. One
+// instance is single-writer: LearnFromEvents / OptimizeDay must not race
+// each other, while const members (SuggestAction, Audit, Health) are safe
+// to call concurrently between mutations.
 #pragma once
 
 #include <memory>
@@ -104,8 +114,20 @@ class Jarvis {
   // recently trained policy. Requires a prior OptimizeDay on a scenario
   // with the same home. The paper's deployment mode: the user may take
   // some actions manually and rely on Jarvis for the rest; Jarvis suggests
-  // from whatever state the environment reached.
-  fsm::ActionVector SuggestAction(const fsm::StateVector& state, int minute);
+  // from whatever state the environment reached. Const and genuinely
+  // read-only: concurrent SuggestAction calls on one instance (or across
+  // fleet tenants) mutate nothing — the greedy decode goes through
+  // rl::DqnAgent::GreedyActionFromQ, bypassing SelectAction's
+  // sticky-exploration memory.
+  fsm::ActionVector SuggestAction(const fsm::StateVector& state,
+                                  int minute) const;
+
+  // Read-only access to the trained policy and its featurizer for the
+  // batched inference path (runtime::InferenceBatcher collects Q-value
+  // queries from many tenants and answers each tenant's batch with one
+  // forward). Null before the first OptimizeDay.
+  const rl::DqnAgent* agent() const { return agent_.get(); }
+  const rl::IoTEnv* policy_env() const { return last_env_.get(); }
 
   // Audits any episode against the learnt policies (detection pipeline).
   spl::AuditResult Audit(const fsm::Episode& episode) const;
@@ -141,6 +163,10 @@ class Jarvis {
   spl::SafetyPolicyLearner learner_;
   HealthReport health_;
   std::unique_ptr<rl::DqnAgent> agent_;
+  // The optimized day, owned here because last_env_ references it and both
+  // outlive OptimizeDay's caller-provided trace. Declared before last_env_
+  // so reverse destruction tears the env down first.
+  std::unique_ptr<sim::DayTrace> last_day_;
   std::unique_ptr<rl::IoTEnv> last_env_;  // featurizer for SuggestAction
 };
 

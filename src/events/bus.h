@@ -1,6 +1,14 @@
 // Publish-subscribe event bus (Section II-A). Apps subscribe to device
 // capabilities; every publication of a matching event is delivered to all
 // subscribers in subscription order.
+//
+// Thread safety: an EventBus is a per-home (per-tenant) object and is NOT
+// thread-safe — Publish/Subscribe mutate the subscription list and
+// counters without locking. The fleet runtime gives every tenant shard its
+// own bus; nothing here is shared across shards (no statics, no global
+// registries — the shared-state audit for DESIGN.md §10 and the
+// tools/lint.py mutable-static ban keep it that way). Publish is
+// re-entrant on one thread: a callback may Subscribe during delivery.
 #pragma once
 
 #include <functional>

@@ -30,6 +30,14 @@ std::vector<double> Network::PredictOne(const std::vector<double>& input) const 
   return Predict(Tensor::Row(input)).RowVector(0);
 }
 
+Tensor Network::PredictBatch(const Tensor& inputs) const {
+  if (inputs.cols() != input_features_) {
+    throw std::invalid_argument("Network::PredictBatch: input width mismatch");
+  }
+  if (inputs.rows() == 0) return Tensor(0, output_features());
+  return Predict(inputs);
+}
+
 Tensor Network::ForwardCached(const Tensor& input) {
   Tensor activation = input;
   for (auto& layer : layers_) activation = layer.Forward(activation);

@@ -33,6 +33,16 @@ class Network {
   // Convenience: single-sample prediction.
   std::vector<double> PredictOne(const std::vector<double>& input) const;
 
+  // Batched inference over `inputs` (rows are independent samples; width
+  // must equal input_features()). Row i of the result is *bit-identical*
+  // to PredictOne(row i): every layer op — MatMul accumulation, bias
+  // broadcast, activation — iterates each output row independently in the
+  // same order regardless of how many rows share the tensor, so batching
+  // queries from many tenants through one forward (runtime::
+  // InferenceBatcher) cannot perturb any tenant's Q-values. The batched
+  // parity test (runtime_batcher_test) pins this invariant.
+  Tensor PredictBatch(const Tensor& inputs) const;
+
   // One optimization step on a batch; returns the batch loss before the
   // update.
   double TrainBatch(const Tensor& input, const Tensor& target);

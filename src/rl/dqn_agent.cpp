@@ -73,12 +73,29 @@ std::size_t DqnAgent::BestSlotForDevice(const std::vector<double>& q,
   return best;
 }
 
+fsm::ActionVector DqnAgent::GreedyActionFromQ(
+    const std::vector<double>& q, const std::vector<bool>& mask) const {
+  if (mask.size() != codec_.mini_action_count()) {
+    throw std::invalid_argument("DqnAgent::GreedyActionFromQ: mask width");
+  }
+  if (q.size() != codec_.mini_action_count()) {
+    throw std::invalid_argument("DqnAgent::GreedyActionFromQ: q width");
+  }
+  std::vector<std::size_t> slots;
+  slots.reserve(codec_.device_count());
+  for (std::size_t device = 0; device < codec_.device_count(); ++device) {
+    slots.push_back(BestSlotForDevice(q, mask, device));
+  }
+  return codec_.SlotsToAction(slots);
+}
+
 fsm::ActionVector DqnAgent::SelectAction(const std::vector<double>& features,
                                          const std::vector<bool>& mask,
                                          bool greedy) {
   if (mask.size() != codec_.mini_action_count()) {
     throw std::invalid_argument("DqnAgent::SelectAction: mask width");
   }
+  if (greedy) return GreedyActionFromQ(QValues(features), mask);
   std::vector<std::size_t> slots;
   // Per-device exploration: each device independently explores with
   // probability epsilon while the rest follow the greedy policy. This

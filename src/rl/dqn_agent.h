@@ -63,6 +63,16 @@ class DqnAgent {
   // Q-values for all slots (diagnostics and Table III reporting).
   std::vector<double> QValues(const std::vector<double>& features) const;
 
+  // Greedy joint-action decode from a precomputed Q-value row: per device,
+  // the best mask-admitted slot (ties to the no-op). This is exactly
+  // SelectAction's greedy path, split out const so (a) a batched forward
+  // (runtime::InferenceBatcher) can decode each output row without a second
+  // per-row Predict, and (b) concurrent fleet tenants can decode without
+  // touching any agent state — unlike SelectAction, which maintains the
+  // sticky-exploration memory even when called greedily.
+  fsm::ActionVector GreedyActionFromQ(const std::vector<double>& q,
+                                      const std::vector<bool>& mask) const;
+
   void Remember(Experience experience);
 
   // One replay mini-batch training pass (no-op until the buffer can fill a

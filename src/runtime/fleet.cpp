@@ -1,0 +1,206 @@
+#include "runtime/fleet.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "rl/iot_env.h"
+#include "runtime/inference_batcher.h"
+#include "sim/anomaly.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace jarvis::runtime {
+
+namespace {
+
+// Sub-stream indices under a tenant's derived seed. Every seeded component
+// of a tenant pipeline draws a distinct DeriveSeed stream so components
+// never share (or partially overlap) generator state.
+enum TenantStream : std::uint64_t {
+  kSplStream = 1,
+  kDqnStream = 2,
+  kResidentStream = 3,
+  kScenarioStream = 4,
+  kAnomalyStream = 5,
+};
+
+core::JarvisConfig MakeTenantConfig(const core::JarvisConfig& base,
+                                    std::uint64_t tenant_seed) {
+  core::JarvisConfig config = base;
+  config.seed = tenant_seed;
+  config.spl.seed = util::DeriveSeed(tenant_seed, kSplStream);
+  config.dqn.seed = util::DeriveSeed(tenant_seed, kDqnStream);
+  return config;
+}
+
+}  // namespace
+
+WorkloadFactory SimulatedWorkloadFactory(const fsm::EnvironmentFsm& home,
+                                         SimulatedWorkloadOptions options) {
+  if (options.learning_days < 1) {
+    throw std::invalid_argument(
+        "SimulatedWorkloadFactory: need at least 1 learning day");
+  }
+  return [&home, options](std::size_t /*tenant_index*/,
+                          std::uint64_t tenant_seed) {
+    sim::ResidentSimulator resident(
+        home, sim::ThermalConfig{},
+        util::DeriveSeed(tenant_seed, kResidentStream));
+    const sim::ScenarioGenerator generator(
+        {}, {}, {}, util::DeriveSeed(tenant_seed, kScenarioStream));
+    // learning_days of natural behavior for Algorithm 1, plus one more
+    // contiguous day to optimize; states carry across midnights so the
+    // parser sees one gap-free stream.
+    auto traces =
+        resident.SimulateDays(generator, 0, options.learning_days + 1);
+
+    TenantWorkload workload;
+    workload.initial_state = resident.OvernightState();
+    workload.start = util::SimTime(0);
+    workload.weights = options.weights;
+    workload.day = std::move(traces.back());
+    traces.pop_back();
+
+    std::vector<fsm::Episode> episodes;
+    episodes.reserve(traces.size());
+    for (auto& trace : traces) {
+      for (const auto& event : trace.events) {
+        workload.events.push_back(event);
+      }
+      episodes.push_back(std::move(trace.episode));
+    }
+    sim::AnomalyGenerator anomalies(
+        home, util::DeriveSeed(tenant_seed, kAnomalyStream));
+    workload.labeled = anomalies.BuildTrainingSet(
+        fsm::ExtractTriggerActions(episodes),
+        options.benign_anomaly_samples);
+    return workload;
+  };
+}
+
+Fleet::Fleet(const fsm::EnvironmentFsm& home, FleetConfig config)
+    : home_(home), config_(config) {
+  if (config_.tenants == 0) {
+    throw std::invalid_argument("Fleet: at least one tenant");
+  }
+  shards_.resize(config_.tenants);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].seed =
+        util::DeriveSeed(config_.fleet_seed, static_cast<std::uint64_t>(i));
+  }
+}
+
+void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
+                      TenantResult& result) {
+  TenantShard& shard = shards_[index];
+  result.tenant = index;
+  result.seed = shard.seed;
+  if (shard.quarantined) {
+    result.quarantined = true;
+    result.error = "quarantined by a previous run";
+    return;
+  }
+  try {
+    const TenantWorkload workload = factory(index, shard.seed);
+    auto jarvis = std::make_unique<core::Jarvis>(
+        home_, MakeTenantConfig(config_.tenant_config, shard.seed));
+    result.learning_episodes =
+        jarvis->LearnFromEvents(workload.events, workload.initial_state,
+                                workload.start, workload.labeled);
+    result.plan = jarvis->OptimizeDay(workload.day, workload.weights);
+    result.health = jarvis->Health();
+    result.completed = true;
+    shard.jarvis = std::move(jarvis);
+  } catch (const std::exception& error) {
+    // Quarantine, never tear down: the shard keeps its slot (and its
+    // error) while the rest of the fleet proceeds.
+    shard.quarantined = true;
+    shard.jarvis.reset();
+    result.quarantined = true;
+    result.error = error.what();
+  }
+}
+
+void Fleet::ForEachTenant(const std::function<void(std::size_t)>& fn) {
+  if (config_.jobs <= 1) {
+    // Sequential mode: no pool, no second thread — the determinism oracle
+    // parallel runs are tested against.
+    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(config_.jobs, config_.queue_capacity);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  // Drain + join: establishes the happens-before edge that makes every
+  // result slot safely readable below.
+  pool.Shutdown();
+}
+
+FleetReport Fleet::Run(const WorkloadFactory& factory) {
+  if (!factory) throw std::invalid_argument("Fleet::Run: null factory");
+  FleetReport report;
+  report.tenants.assign(shards_.size(), TenantResult{});
+  // Each job writes only its own pre-allocated slot; no cross-tenant
+  // synchronization beyond the pool join.
+  ForEachTenant([this, &factory, &report](std::size_t i) {
+    RunTenant(i, factory, report.tenants[i]);
+  });
+
+  for (const TenantResult& tenant : report.tenants) {
+    if (tenant.quarantined) ++report.quarantined;
+    if (!tenant.completed) continue;
+    ++report.completed;
+    if (tenant.health.degraded()) ++report.degraded;
+    report.total_energy_kwh += tenant.plan.optimized_metrics.energy_kwh;
+    report.total_cost_usd += tenant.plan.optimized_metrics.cost_usd;
+    report.total_violations += tenant.plan.violations;
+  }
+  report_ = report;
+  return report;
+}
+
+std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
+    std::size_t tenant, const fsm::StateVector& state,
+    const std::vector<int>& minutes) const {
+  if (tenant >= shards_.size()) {
+    throw std::out_of_range("Fleet::SuggestMinutes: no such tenant");
+  }
+  const core::Jarvis* jarvis = shards_[tenant].jarvis.get();
+  if (jarvis == nullptr) {
+    throw std::logic_error("Fleet::SuggestMinutes: tenant has not run");
+  }
+  const rl::DqnAgent* agent = jarvis->agent();
+  const rl::IoTEnv* env = jarvis->policy_env();
+  if (agent == nullptr || env == nullptr) {
+    throw std::logic_error("Fleet::SuggestMinutes: tenant has no policy");
+  }
+  InferenceBatcher batcher(agent->network());
+  std::vector<std::vector<bool>> masks;
+  masks.reserve(minutes.size());
+  for (int minute : minutes) {
+    batcher.Enqueue(env->FeaturesFor(state, minute));
+    masks.push_back(env->SafeSlotMaskFor(state, minute));
+  }
+  batcher.Flush();
+  std::vector<fsm::ActionVector> actions;
+  actions.reserve(minutes.size());
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    actions.push_back(agent->GreedyActionFromQ(batcher.Result(i), masks[i]));
+  }
+  return actions;
+}
+
+const core::Jarvis* Fleet::tenant(std::size_t index) const {
+  if (index >= shards_.size()) return nullptr;
+  return shards_[index].jarvis.get();
+}
+
+std::uint64_t Fleet::tenant_seed(std::size_t index) const {
+  if (index >= shards_.size()) {
+    throw std::out_of_range("Fleet::tenant_seed");
+  }
+  return shards_[index].seed;
+}
+
+}  // namespace jarvis::runtime

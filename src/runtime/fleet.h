@@ -1,0 +1,155 @@
+// Multi-tenant fleet runtime: N independent smart homes, each running its
+// own core::Jarvis learn→optimize pipeline, scheduled across a
+// runtime::ThreadPool. The paper frames Jarvis as one agent per
+// environment (Section III-A), which is exactly the shape that shards: a
+// tenant owns every piece of mutable state its pipeline touches and shares
+// only the const fsm::EnvironmentFsm device model, so tenant jobs are
+// embarrassingly parallel.
+//
+// Determinism contract (pinned by runtime_fleet_test):
+//   * Every tenant's seed derives from the fleet seed via
+//     util::DeriveSeed(fleet_seed, tenant_index) — never from scheduling.
+//   * A tenant's whole pipeline runs inside one task on one worker; shards
+//     never exchange data mid-run.
+//   * Therefore per-tenant results are identical for ANY worker count, and
+//     `jobs = 1` (run inline on the calling thread, no pool) is the
+//     sequential oracle the parallel runs must reproduce bit-for-bit.
+//
+// Failure containment: a tenant whose pipeline throws is quarantined — its
+// error is recorded in its TenantResult slot and it is skipped by later
+// phases — and the fleet keeps serving the other tenants. A tenant failure
+// must never tear down the process (ThreadPool's exception backstop
+// guarantees that even for non-std::exception throwables).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/jarvis.h"
+#include "runtime/thread_pool.h"
+
+namespace jarvis::runtime {
+
+struct FleetConfig {
+  std::size_t tenants = 1;
+  // Worker threads for tenant jobs. 1 = sequential mode: jobs run inline
+  // on the calling thread with no pool — the determinism oracle.
+  std::size_t jobs = 1;
+  // Root seed; tenant i's pipeline seeds derive from
+  // DeriveSeed(fleet_seed, i).
+  std::uint64_t fleet_seed = 1;
+  // Per-tenant config template. The seed fields (spl.seed, dqn.seed, seed)
+  // are overridden per tenant from the derived tenant seed; everything
+  // else applies verbatim to every tenant.
+  core::JarvisConfig tenant_config;
+  // Backpressure bound on the scheduler queue.
+  std::size_t queue_capacity = 256;
+};
+
+// Everything one tenant's learn+optimize job consumes. Produced per tenant
+// by a WorkloadFactory — deterministically from (tenant_index,
+// tenant_seed), never from shared mutable state.
+struct TenantWorkload {
+  std::vector<events::Event> events;  // learning-phase device log
+  fsm::StateVector initial_state;
+  util::SimTime start{0};
+  std::vector<sim::LabeledSample> labeled;  // ANN training set TD
+  // The day to optimize (placeholder episode until the factory fills it;
+  // fsm::Episode has no default constructor).
+  sim::DayTrace day{{}, fsm::Episode{{1, 1}, util::SimTime(0), {0}}, {}, {},
+                    {}};
+  rl::RewardWeights weights;
+};
+
+// Must be safe to call concurrently for DISTINCT tenant indices (it runs
+// inside the tenant's job). Throwing quarantines the tenant.
+using WorkloadFactory =
+    std::function<TenantWorkload(std::size_t tenant_index,
+                                 std::uint64_t tenant_seed)>;
+
+// Canned factory: simulates each tenant's home with a ResidentSimulator
+// seeded from the tenant seed — `learning_days` of natural behavior for
+// the learning phase plus one more day to optimize. This is what the CLI
+// and bench run; tests inject custom factories.
+struct SimulatedWorkloadOptions {
+  int learning_days = 3;
+  std::size_t benign_anomaly_samples = 500;
+  rl::RewardWeights weights;
+};
+WorkloadFactory SimulatedWorkloadFactory(const fsm::EnvironmentFsm& home,
+                                         SimulatedWorkloadOptions options);
+
+// Outcome of one tenant's pipeline. Slot i of FleetReport::tenants is
+// tenant i regardless of completion order.
+struct TenantResult {
+  std::size_t tenant = 0;
+  std::uint64_t seed = 0;
+  bool completed = false;
+  bool quarantined = false;
+  std::string error;  // what quarantined it
+  std::size_t learning_episodes = 0;
+  core::DayPlan plan;
+  core::HealthReport health;
+};
+
+struct FleetReport {
+  std::vector<TenantResult> tenants;
+  std::size_t completed = 0;
+  std::size_t quarantined = 0;
+  std::size_t degraded = 0;  // completed tenants whose health degraded()
+  // Aggregates over completed tenants (optimized day).
+  double total_energy_kwh = 0.0;
+  double total_cost_usd = 0.0;
+  std::size_t total_violations = 0;
+};
+
+class Fleet {
+ public:
+  // `home` is the shared const device model; it must outlive the fleet.
+  Fleet(const fsm::EnvironmentFsm& home, FleetConfig config);
+
+  // Runs LearnFromEvents + OptimizeDay for every tenant (workloads from
+  // `factory`) across the pool and aggregates. Each tenant's trained
+  // pipeline is retained for SuggestMinutes / tenant(). Calling Run again
+  // re-runs every non-quarantined tenant.
+  FleetReport Run(const WorkloadFactory& factory);
+
+  // Batched deployment-mode suggestion: greedy actions for one tenant at
+  // each queried minute, computed with a single batched forward through
+  // the tenant's policy network (InferenceBatcher) instead of one forward
+  // per minute. Bit-identical to calling Jarvis::SuggestAction per minute.
+  std::vector<fsm::ActionVector> SuggestMinutes(
+      std::size_t tenant, const fsm::StateVector& state,
+      const std::vector<int>& minutes) const;
+
+  // The tenant's facade (null for out-of-range), e.g. for audits.
+  const core::Jarvis* tenant(std::size_t index) const;
+  std::size_t tenant_count() const { return shards_.size(); }
+  std::uint64_t tenant_seed(std::size_t index) const;
+  const FleetConfig& config() const { return config_; }
+  // Last Run()'s report (empty before the first Run).
+  const FleetReport& report() const { return report_; }
+
+ private:
+  struct TenantShard {
+    std::uint64_t seed = 0;
+    std::unique_ptr<core::Jarvis> jarvis;
+    bool quarantined = false;
+  };
+
+  void RunTenant(std::size_t index, const WorkloadFactory& factory,
+                 TenantResult& result);
+  // Schedules fn(i) for every tenant: inline when jobs <= 1, else across a
+  // pool. Returns once all jobs finished.
+  void ForEachTenant(const std::function<void(std::size_t)>& fn);
+
+  const fsm::EnvironmentFsm& home_;
+  FleetConfig config_;
+  std::vector<TenantShard> shards_;
+  FleetReport report_;
+};
+
+}  // namespace jarvis::runtime

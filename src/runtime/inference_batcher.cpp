@@ -1,0 +1,55 @@
+#include "runtime/inference_batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace jarvis::runtime {
+
+InferenceBatcher::InferenceBatcher(const neural::Network& network,
+                                   std::size_t max_batch_rows)
+    : network_(network),
+      max_batch_rows_(std::max<std::size_t>(1, max_batch_rows)) {}
+
+std::size_t InferenceBatcher::Enqueue(std::vector<double> features) {
+  if (features.size() != network_.input_features()) {
+    throw std::invalid_argument("InferenceBatcher::Enqueue: feature width");
+  }
+  pending_.push_back(std::move(features));
+  return results_.size() + pending_.size() - 1;
+}
+
+void InferenceBatcher::Flush() {
+  std::size_t offset = 0;
+  while (offset < pending_.size()) {
+    const std::size_t rows =
+        std::min(max_batch_rows_, pending_.size() - offset);
+    neural::Tensor batch(rows, network_.input_features());
+    for (std::size_t r = 0; r < rows; ++r) {
+      batch.SetRow(r, pending_[offset + r]);
+    }
+    const neural::Tensor out = network_.PredictBatch(batch);
+    for (std::size_t r = 0; r < rows; ++r) {
+      results_.push_back(out.RowVector(r));
+    }
+    ++flush_batches_;
+    rows_inferred_ += rows;
+    offset += rows;
+  }
+  pending_.clear();
+}
+
+const std::vector<double>& InferenceBatcher::Result(std::size_t ticket) const {
+  if (ticket >= results_.size()) {
+    throw std::logic_error(
+        "InferenceBatcher::Result: ticket not flushed (call Flush() first)");
+  }
+  return results_[ticket];
+}
+
+void InferenceBatcher::Reset() {
+  pending_.clear();
+  results_.clear();
+}
+
+}  // namespace jarvis::runtime

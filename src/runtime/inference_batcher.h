@@ -1,0 +1,70 @@
+// Coalesces mini-action Q-value queries into batched forward passes.
+//
+// The paper's factored Q-head (Section V-A-7) maps one observation row to
+// one row of per-slot Q-values through dense layers only, so rows are
+// mutually independent: a Tensor holding many tenants' feature rows runs
+// the layer stack ONCE and yields, per row, bit-for-bit the values a
+// per-row PredictOne would produce (neural::Network::PredictBatch
+// documents the op-order argument; runtime_batcher_test pins it). That
+// exact-equality invariant is what lets the fleet batch inference without
+// perturbing any tenant's decisions — batching is a pure throughput
+// optimization, invisible to determinism contracts.
+//
+// Scope: one batcher serves one network (one parameter set). Queries from
+// different fleet tenants can share a forward only when the tenants share
+// policy parameters (e.g. a fleet-wide warm-start policy); tenants with
+// individually trained networks each get their own batch, which still
+// collapses a day's worth of SuggestAction calls into one pass
+// (Fleet::SuggestMinutes).
+//
+// Thread safety: thread-compatible, not thread-safe — Enqueue/Flush mutate
+// the pending buffer. Use one batcher per thread or synchronize
+// externally; the underlying Network::PredictBatch is const and safe to
+// share across batchers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "neural/network.h"
+
+namespace jarvis::runtime {
+
+class InferenceBatcher {
+ public:
+  // `network` must outlive the batcher. Pending queries flush in chunks of
+  // at most `max_batch_rows` (bounds the transient Tensor).
+  explicit InferenceBatcher(const neural::Network& network,
+                            std::size_t max_batch_rows = 256);
+
+  // Queues one feature row (width must equal network.input_features()).
+  // Returns the ticket to redeem with Result() after Flush().
+  std::size_t Enqueue(std::vector<double> features);
+
+  // Runs every pending query through the network in batched forwards.
+  // No-op when nothing is pending.
+  void Flush();
+
+  // The Q-value row for a ticket; the ticket must have been flushed.
+  const std::vector<double>& Result(std::size_t ticket) const;
+
+  // Discards all tickets and results (start a fresh batching window).
+  void Reset();
+
+  std::size_t pending() const { return pending_.size(); }
+  std::size_t ticket_count() const { return results_.size() + pending_.size(); }
+  // Forward passes actually run — the coalescing evidence a test or an
+  // operator dashboard wants (queries answered per forward).
+  std::size_t flush_batches() const { return flush_batches_; }
+  std::size_t rows_inferred() const { return rows_inferred_; }
+
+ private:
+  const neural::Network& network_;
+  std::size_t max_batch_rows_;
+  std::vector<std::vector<double>> pending_;
+  std::vector<std::vector<double>> results_;  // indexed by ticket
+  std::size_t flush_batches_ = 0;
+  std::size_t rows_inferred_ = 0;
+};
+
+}  // namespace jarvis::runtime

@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace jarvis::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const std::size_t count = std::max<std::size_t>(1, workers);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  if (!task) return false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < queue_capacity_;
+    });
+    if (shutting_down_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock,
+                      [this] { return shutting_down_ || !queue_.empty(); });
+      // Graceful shutdown: drain the queue before exiting, so Shutdown()
+      // runs everything already accepted.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    not_full_.notify_one();
+
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      ++executed_;
+      if (error) {
+        ++failed_;
+        if (first_error_.empty()) {
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::exception& e) {
+            first_error_ = e.what();
+          } catch (...) {
+            first_error_ = "unknown exception";
+          }
+        }
+      }
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+std::size_t ThreadPool::tasks_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+std::string ThreadPool::first_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
+}  // namespace jarvis::runtime

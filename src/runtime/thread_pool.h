@@ -1,0 +1,83 @@
+// Fixed-size worker pool with a bounded work queue — the execution engine
+// under runtime::Fleet. Design constraints, in order:
+//
+//   * No detached threads: every worker is joined in Shutdown() (and the
+//     destructor), so no task outlives the pool and TSan sees a clean
+//     happens-before edge from every task to the code after Shutdown().
+//   * Bounded queue: Submit() blocks once `queue_capacity` tasks are
+//     waiting, so a fast producer (the fleet scheduler enqueuing thousands
+//     of tenants) cannot balloon memory; backpressure instead of OOM.
+//   * Exception capture per task: a task that throws is caught, counted,
+//     and its message retained — one bad tenant must never std::terminate
+//     the process ("quarantined, not torn down"). Callers that need
+//     per-task error detail (Fleet does) catch inside their own task body;
+//     this layer is the backstop.
+//
+// The pool is deliberately minimal: no futures, no priorities, no work
+// stealing. Fleet jobs are coarse (a whole tenant pipeline), so a mutex +
+// two condition variables saturate any core count the fleet can use.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jarvis::runtime {
+
+class ThreadPool {
+ public:
+  // Starts `workers` threads (at least 1) sharing a queue that holds at
+  // most `queue_capacity` waiting tasks (at least 1).
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 256);
+
+  // Drains and joins (Shutdown).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; blocks while the queue is at capacity. Returns false
+  // (and drops the task) if the pool has been shut down.
+  bool Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing (queue empty
+  // and no worker mid-task). New Submits may still follow.
+  void WaitIdle();
+
+  // Stops accepting work, runs everything already queued to completion,
+  // and joins all workers. Idempotent.
+  void Shutdown();
+
+  std::size_t worker_count() const { return workers_.size(); }
+  // Counters are stable snapshots once the producers are quiesced
+  // (WaitIdle/Shutdown); they may lag mid-flight.
+  std::size_t tasks_executed() const;
+  // Tasks whose exception reached the pool layer (the backstop; Fleet
+  // catches tenant failures before they get here).
+  std::size_t tasks_failed() const;
+  // Message of the first backstop-captured exception ("" when none).
+  std::string first_error() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;   // workers wait for tasks
+  std::condition_variable not_full_;    // producers wait for queue room
+  std::condition_variable idle_;        // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t queue_capacity_;
+  std::size_t active_ = 0;              // tasks currently executing
+  std::size_t executed_ = 0;
+  std::size_t failed_ = 0;
+  std::string first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace jarvis::runtime

@@ -20,6 +20,15 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t DeriveSeed(std::uint64_t root_seed, std::uint64_t stream) {
+  // Jump the SplitMix64 state ahead by `stream` increments of the golden
+  // gamma; SplitMix64() then advances once more and finalizes, so stream k
+  // returns finalize(root + (k + 1) * gamma) — the (k + 1)-th output of the
+  // SplitMix64 sequence rooted at `root_seed`.
+  std::uint64_t state = root_seed + stream * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(s);

@@ -1,6 +1,12 @@
 // Deterministic, seedable random number generation for simulation and
 // learning components. All stochastic behavior in the library flows through
 // util::Rng so experiments are reproducible from a single seed.
+//
+// Thread safety: Rng is NOT thread-safe — every Next* call mutates the
+// generator state, and concurrent calls on one instance are a data race.
+// Concurrent code (the fleet runtime) gives each execution stream its own
+// Rng, seeded via DeriveSeed so the streams are decorrelated yet fully
+// reproducible from one root seed.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +15,16 @@
 #include <vector>
 
 namespace jarvis::util {
+
+// Derives the seed for sub-stream `stream` of the generator family rooted
+// at `root_seed`: the SplitMix64 stream is jumped ahead by `stream + 1`
+// increments and finalized, so consecutive stream indices (tenant 0, 1, 2,
+// ...) yield decorrelated 64-bit seeds even when root seeds are small
+// consecutive integers. This is the one sanctioned way to fan a single
+// experiment seed out to per-tenant / per-restart seeds — raw `seed + i`
+// arithmetic hands neighboring streams nearly identical xoshiro
+// initializations, which the SplitMix64 finalizer mixes away.
+std::uint64_t DeriveSeed(std::uint64_t root_seed, std::uint64_t stream);
 
 // xoshiro256** by Blackman & Vigna, seeded via SplitMix64. Chosen over
 // std::mt19937 for speed and for a guaranteed-stable output sequence across

@@ -1,0 +1,127 @@
+// Round-trip coverage for neural::serialize — the save-after-learning /
+// load-at-deployment path. JSON numbers are emitted at %.17g, so a
+// round-tripped network must match the original parameter-for-parameter
+// with EXACT FP equality, and therefore predict identically.
+#include "neural/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jarvis::neural {
+namespace {
+
+Network MakeNetwork(std::uint64_t seed) {
+  return Network(7,
+                 {{10, Activation::kRelu},
+                  {6, Activation::kTanh},
+                  {4, Activation::kSigmoid},
+                  {3, Activation::kIdentity}},
+                 Loss::kMeanSquaredError, std::make_unique<Adam>(0.005),
+                 jarvis::util::Rng(seed));
+}
+
+void TrainALittle(Network& network, std::uint64_t seed) {
+  jarvis::util::Rng rng(seed);
+  Tensor inputs = Tensor::Generate(24, network.input_features(),
+                                   [&rng] { return rng.NextGaussian(); });
+  Tensor targets = Tensor::Generate(24, network.output_features(),
+                                    [&rng] { return rng.NextDouble(); });
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    network.TrainEpoch(inputs, targets, 8);
+  }
+}
+
+TEST(NeuralSerialize, RoundTripPreservesTopology) {
+  Network original = MakeNetwork(5);
+  const Network restored =
+      FromJsonString(ToJsonString(original), Loss::kMeanSquaredError,
+                     std::make_unique<Adam>(0.005), jarvis::util::Rng(999));
+  ASSERT_EQ(restored.layers().size(), original.layers().size());
+  EXPECT_EQ(restored.input_features(), original.input_features());
+  EXPECT_EQ(restored.output_features(), original.output_features());
+  EXPECT_EQ(restored.parameter_count(), original.parameter_count());
+  for (std::size_t i = 0; i < original.layers().size(); ++i) {
+    EXPECT_EQ(restored.layers()[i].activation(),
+              original.layers()[i].activation());
+    EXPECT_EQ(restored.layers()[i].in_features(),
+              original.layers()[i].in_features());
+    EXPECT_EQ(restored.layers()[i].out_features(),
+              original.layers()[i].out_features());
+  }
+}
+
+TEST(NeuralSerialize, RoundTripPreservesParametersExactly) {
+  Network original = MakeNetwork(5);
+  TrainALittle(original, 17);  // non-initial, "ugly" doubles
+  const Network restored =
+      FromJsonString(ToJsonString(original), Loss::kMeanSquaredError,
+                     std::make_unique<Adam>(0.005), jarvis::util::Rng(999));
+  for (std::size_t i = 0; i < original.layers().size(); ++i) {
+    EXPECT_EQ(restored.layers()[i].weights().data(),
+              original.layers()[i].weights().data())
+        << "layer " << i << " weights";
+    EXPECT_EQ(restored.layers()[i].biases().data(),
+              original.layers()[i].biases().data())
+        << "layer " << i << " biases";
+  }
+}
+
+TEST(NeuralSerialize, RoundTripPredictsIdentically) {
+  Network original = MakeNetwork(8);
+  TrainALittle(original, 4);
+  const Network restored =
+      FromJsonString(ToJsonString(original), Loss::kMeanSquaredError,
+                     std::make_unique<Adam>(0.005), jarvis::util::Rng(1));
+  jarvis::util::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> input(original.input_features());
+    for (double& x : input) x = rng.NextGaussian(0.0, 3.0);
+    EXPECT_EQ(restored.PredictOne(input), original.PredictOne(input));
+  }
+}
+
+TEST(NeuralSerialize, SecondSerializationIsStable) {
+  Network original = MakeNetwork(21);
+  TrainALittle(original, 2);
+  const std::string first = ToJsonString(original);
+  const Network restored =
+      FromJsonString(first, Loss::kMeanSquaredError,
+                     std::make_unique<Adam>(0.005), jarvis::util::Rng(0));
+  EXPECT_EQ(ToJsonString(restored), first);
+}
+
+TEST(NeuralSerialize, RejectsCorruptDocuments) {
+  // Hand-built document with a truncated weight payload: "data" holds one
+  // value where rows*cols demands six.
+  jarvis::util::JsonObject weights;
+  weights["rows"] = jarvis::util::JsonValue(2);
+  weights["cols"] = jarvis::util::JsonValue(3);
+  weights["data"] =
+      jarvis::util::JsonValue(jarvis::util::JsonArray{
+          jarvis::util::JsonValue(1.0)});
+  jarvis::util::JsonObject biases;
+  biases["rows"] = jarvis::util::JsonValue(1);
+  biases["cols"] = jarvis::util::JsonValue(3);
+  biases["data"] = jarvis::util::JsonValue(
+      jarvis::util::JsonArray(3, jarvis::util::JsonValue(0.0)));
+  jarvis::util::JsonObject layer;
+  layer["activation"] = jarvis::util::JsonValue("identity");
+  layer["weights"] = jarvis::util::JsonValue(std::move(weights));
+  layer["biases"] = jarvis::util::JsonValue(std::move(biases));
+  jarvis::util::JsonObject doc;
+  doc["input_features"] = jarvis::util::JsonValue(2);
+  doc["layers"] = jarvis::util::JsonValue(
+      jarvis::util::JsonArray{jarvis::util::JsonValue(std::move(layer))});
+  EXPECT_THROW(
+      FromJson(jarvis::util::JsonValue(std::move(doc)),
+               Loss::kMeanSquaredError, std::make_unique<Adam>(0.005),
+               jarvis::util::Rng(0)),
+      jarvis::util::JsonError);
+}
+
+}  // namespace
+}  // namespace jarvis::neural

@@ -1,0 +1,152 @@
+// Pins the batching invariant the fleet runtime rests on: a batched
+// forward pass produces, per row, EXACTLY the doubles the per-row path
+// produces (identical op order — see neural::Network::PredictBatch), so
+// coalescing many tenants' Q-value queries into one pass cannot perturb
+// any tenant's decisions.
+#include "runtime/inference_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "fsm/device_library.h"
+#include "rl/dqn_agent.h"
+#include "util/rng.h"
+
+namespace jarvis::runtime {
+namespace {
+
+neural::Network MakeNetwork(std::size_t inputs, std::size_t outputs,
+                            std::uint64_t seed) {
+  return neural::Network(
+      inputs,
+      {{16, neural::Activation::kRelu},
+       {12, neural::Activation::kTanh},
+       {outputs, neural::Activation::kIdentity}},
+      neural::Loss::kMeanSquaredError,
+      std::make_unique<neural::Adam>(0.01), util::Rng(seed));
+}
+
+std::vector<std::vector<double>> MakeRows(std::size_t count,
+                                          std::size_t width,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> rows(count);
+  for (auto& row : rows) {
+    row.resize(width);
+    for (double& x : row) x = rng.NextGaussian();
+  }
+  return rows;
+}
+
+TEST(PredictBatch, RowsExactlyEqualPredictOne) {
+  const neural::Network network = MakeNetwork(9, 7, 11);
+  const auto rows = MakeRows(33, 9, 22);
+  neural::Tensor batch(rows.size(), 9);
+  for (std::size_t r = 0; r < rows.size(); ++r) batch.SetRow(r, rows[r]);
+
+  const neural::Tensor out = network.PredictBatch(batch);
+  ASSERT_EQ(out.rows(), rows.size());
+  ASSERT_EQ(out.cols(), 7u);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::vector<double> one = network.PredictOne(rows[r]);
+    for (std::size_t c = 0; c < one.size(); ++c) {
+      // Exact FP equality, not a tolerance: the batched row must be
+      // bit-for-bit the single-row result.
+      EXPECT_EQ(out.At(r, c), one[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(PredictBatch, RejectsWidthMismatchAndHandlesEmpty) {
+  const neural::Network network = MakeNetwork(5, 3, 1);
+  EXPECT_THROW(network.PredictBatch(neural::Tensor(2, 4)),
+               std::invalid_argument);
+  const neural::Tensor empty = network.PredictBatch(neural::Tensor(0, 5));
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.cols(), 3u);
+}
+
+TEST(InferenceBatcher, CoalescedResultsMatchPerRowInference) {
+  const neural::Network network = MakeNetwork(6, 4, 5);
+  InferenceBatcher batcher(network);
+  const auto rows = MakeRows(40, 6, 77);  // "queries from 40 tenants"
+  std::vector<std::size_t> tickets;
+  tickets.reserve(rows.size());
+  for (const auto& row : rows) tickets.push_back(batcher.Enqueue(row));
+  EXPECT_EQ(batcher.pending(), rows.size());
+
+  batcher.Flush();
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.flush_batches(), 1u);  // one forward for all 40 queries
+  EXPECT_EQ(batcher.rows_inferred(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batcher.Result(tickets[i]), network.PredictOne(rows[i]));
+  }
+}
+
+TEST(InferenceBatcher, ChunksLargeBatchesAndKeepsTicketOrder) {
+  const neural::Network network = MakeNetwork(6, 4, 5);
+  InferenceBatcher batcher(network, /*max_batch_rows=*/8);
+  const auto rows = MakeRows(20, 6, 3);
+  for (const auto& row : rows) batcher.Enqueue(row);
+  batcher.Flush();
+  EXPECT_EQ(batcher.flush_batches(), 3u);  // 8 + 8 + 4
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batcher.Result(i), network.PredictOne(rows[i]));
+  }
+}
+
+TEST(InferenceBatcher, MultipleFlushWindowsAccumulateTickets) {
+  const neural::Network network = MakeNetwork(6, 4, 5);
+  InferenceBatcher batcher(network);
+  const auto rows = MakeRows(6, 6, 9);
+  for (std::size_t i = 0; i < 3; ++i) batcher.Enqueue(rows[i]);
+  batcher.Flush();
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(batcher.Enqueue(rows[i]), i);
+  }
+  batcher.Flush();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(batcher.Result(i), network.PredictOne(rows[i]));
+  }
+  batcher.Reset();
+  EXPECT_EQ(batcher.ticket_count(), 0u);
+  EXPECT_THROW(batcher.Result(0), std::logic_error);
+}
+
+TEST(InferenceBatcher, GuardsBadInput) {
+  const neural::Network network = MakeNetwork(6, 4, 5);
+  InferenceBatcher batcher(network);
+  EXPECT_THROW(batcher.Enqueue(std::vector<double>(5, 0.0)),
+               std::invalid_argument);
+  batcher.Enqueue(std::vector<double>(6, 0.0));
+  EXPECT_THROW(batcher.Result(0), std::logic_error);  // not flushed yet
+}
+
+// The deployment-path parity: decoding a batched Q-row through the agent
+// must equal the agent's own greedy SelectAction.
+TEST(InferenceBatcher, GreedyDecodeMatchesSelectAction) {
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  const std::size_t feature_width = 12;
+  rl::DqnConfig config;
+  config.hidden_units = {16, 16};
+  rl::DqnAgent agent(feature_width, home.codec(), config);
+  const std::vector<bool> mask(home.codec().mini_action_count(), true);
+
+  InferenceBatcher batcher(agent.network());
+  const auto rows = MakeRows(10, feature_width, 31);
+  for (const auto& row : rows) batcher.Enqueue(row);
+  batcher.Flush();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const fsm::ActionVector batched =
+        agent.GreedyActionFromQ(batcher.Result(i), mask);
+    const fsm::ActionVector direct = agent.SelectAction(rows[i], mask, true);
+    EXPECT_EQ(batched, direct) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace jarvis::runtime

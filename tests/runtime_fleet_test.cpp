@@ -1,0 +1,168 @@
+// Fleet determinism and containment contracts (DESIGN.md §10):
+//   * per-tenant results are identical for any worker count — jobs=1 is
+//     the sequential oracle the parallel schedule must reproduce;
+//   * a throwing tenant is quarantined and counted, never fatal;
+//   * the batched SuggestMinutes path equals per-minute SuggestAction.
+#include "runtime/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fsm/device_library.h"
+#include "sim/resident.h"
+#include "util/rng.h"
+
+namespace jarvis::runtime {
+namespace {
+
+// Deliberately tiny tenant pipelines: the contracts under test are about
+// scheduling and determinism, not policy quality.
+FleetConfig CheapConfig(std::size_t tenants, std::size_t jobs) {
+  FleetConfig config;
+  config.tenants = tenants;
+  config.jobs = jobs;
+  config.fleet_seed = 2024;
+  config.tenant_config.restarts = 1;
+  config.tenant_config.trainer.episodes = 2;
+  config.tenant_config.trainer.demonstration_episodes = 1;
+  config.tenant_config.dqn.hidden_units = {8, 8};
+  config.tenant_config.dqn.batch_size = 16;
+  config.tenant_config.spl.ann.epochs = 3;
+  return config;
+}
+
+SimulatedWorkloadOptions CheapWorkload() {
+  SimulatedWorkloadOptions options;
+  options.learning_days = 2;
+  options.benign_anomaly_samples = 200;
+  return options;
+}
+
+class FleetFixture : public ::testing::Test {
+ protected:
+  static const fsm::EnvironmentFsm& Home() {
+    static const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+    return home;
+  }
+};
+
+void ExpectTenantResultsIdentical(const FleetReport& oracle,
+                                  const FleetReport& parallel) {
+  ASSERT_EQ(oracle.tenants.size(), parallel.tenants.size());
+  for (std::size_t i = 0; i < oracle.tenants.size(); ++i) {
+    const TenantResult& a = oracle.tenants[i];
+    const TenantResult& b = parallel.tenants[i];
+    SCOPED_TRACE(::testing::Message() << "tenant " << i);
+    EXPECT_EQ(a.tenant, b.tenant);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.quarantined, b.quarantined);
+    EXPECT_EQ(a.learning_episodes, b.learning_episodes);
+    // DayPlan metrics: exact FP equality, not tolerances — the worker
+    // count must not perturb a single operation in any tenant pipeline.
+    EXPECT_EQ(a.plan.optimized_metrics.energy_kwh,
+              b.plan.optimized_metrics.energy_kwh);
+    EXPECT_EQ(a.plan.optimized_metrics.cost_usd,
+              b.plan.optimized_metrics.cost_usd);
+    EXPECT_EQ(a.plan.optimized_metrics.comfort_error_c_min,
+              b.plan.optimized_metrics.comfort_error_c_min);
+    EXPECT_EQ(a.plan.normal_metrics.energy_kwh,
+              b.plan.normal_metrics.energy_kwh);
+    EXPECT_EQ(a.plan.violations, b.plan.violations);
+    EXPECT_EQ(a.plan.train.greedy_reward, b.plan.train.greedy_reward);
+    EXPECT_EQ(a.plan.train.episode_rewards, b.plan.train.episode_rewards);
+    EXPECT_EQ(a.health.parse.events_dropped(), b.health.parse.events_dropped());
+    EXPECT_EQ(a.health.learn.episodes_used, b.health.learn.episodes_used);
+  }
+  EXPECT_EQ(oracle.completed, parallel.completed);
+  EXPECT_EQ(oracle.quarantined, parallel.quarantined);
+  EXPECT_EQ(oracle.total_energy_kwh, parallel.total_energy_kwh);
+  EXPECT_EQ(oracle.total_cost_usd, parallel.total_cost_usd);
+  EXPECT_EQ(oracle.total_violations, parallel.total_violations);
+}
+
+TEST_F(FleetFixture, SixteenTenantParallelRunMatchesSequentialOracle) {
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+
+  Fleet oracle(Home(), CheapConfig(16, 1));
+  const FleetReport sequential = oracle.Run(factory);
+  ASSERT_EQ(sequential.completed, 16u);
+  ASSERT_EQ(sequential.quarantined, 0u);
+
+  Fleet parallel(Home(), CheapConfig(16, 8));
+  const FleetReport threaded = parallel.Run(factory);
+
+  ExpectTenantResultsIdentical(sequential, threaded);
+}
+
+TEST_F(FleetFixture, TenantSeedsDeriveFromFleetSeed) {
+  Fleet fleet(Home(), CheapConfig(4, 1));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fleet.tenant_seed(i),
+              util::DeriveSeed(2024, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_NE(fleet.tenant_seed(0), fleet.tenant_seed(1));
+  EXPECT_THROW(fleet.tenant_seed(99), std::out_of_range);
+}
+
+TEST_F(FleetFixture, ThrowingTenantIsQuarantinedNotFatal) {
+  const auto good = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  const WorkloadFactory factory = [&good](std::size_t tenant,
+                                          std::uint64_t seed) {
+    if (tenant == 2) {
+      throw std::runtime_error("tenant 2 has a corrupt event log");
+    }
+    return good(tenant, seed);
+  };
+
+  Fleet fleet(Home(), CheapConfig(4, 2));
+  const FleetReport report = fleet.Run(factory);
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_TRUE(report.tenants[2].quarantined);
+  EXPECT_EQ(report.tenants[2].error, "tenant 2 has a corrupt event log");
+  EXPECT_FALSE(report.tenants[2].completed);
+  EXPECT_EQ(fleet.tenant(2), nullptr);
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_TRUE(report.tenants[i].completed);
+    EXPECT_NE(fleet.tenant(i), nullptr);
+  }
+
+  // A re-run skips the quarantined shard instead of retrying it.
+  const FleetReport rerun = fleet.Run(good);
+  EXPECT_EQ(rerun.completed, 3u);
+  EXPECT_EQ(rerun.quarantined, 1u);
+  EXPECT_EQ(rerun.tenants[2].error, "quarantined by a previous run");
+}
+
+TEST_F(FleetFixture, SuggestMinutesMatchesPerMinuteSuggestAction) {
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  Fleet fleet(Home(), CheapConfig(2, 2));
+  ASSERT_EQ(fleet.Run(factory).completed, 2u);
+
+  sim::ResidentSimulator resident(Home(), sim::ThermalConfig{}, 1);
+  const fsm::StateVector state = resident.OvernightState();
+  const std::vector<int> minutes = {0, 60, 6 * 60, 12 * 60, 23 * 60};
+  for (std::size_t tenant = 0; tenant < 2; ++tenant) {
+    const auto batched = fleet.SuggestMinutes(tenant, state, minutes);
+    ASSERT_EQ(batched.size(), minutes.size());
+    for (std::size_t i = 0; i < minutes.size(); ++i) {
+      EXPECT_EQ(batched[i],
+                fleet.tenant(tenant)->SuggestAction(state, minutes[i]))
+          << "tenant " << tenant << " minute " << minutes[i];
+    }
+  }
+  EXPECT_THROW(fleet.SuggestMinutes(99, state, minutes), std::out_of_range);
+}
+
+TEST_F(FleetFixture, GuardsBadConfiguration) {
+  FleetConfig config = CheapConfig(0, 1);
+  EXPECT_THROW(Fleet(Home(), config), std::invalid_argument);
+  Fleet fleet(Home(), CheapConfig(1, 1));
+  EXPECT_THROW(fleet.Run(WorkloadFactory{}), std::invalid_argument);
+  EXPECT_THROW(fleet.SuggestMinutes(0, {}, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jarvis::runtime

@@ -1,0 +1,123 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace jarvis::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(pool.tasks_executed(), 200u);
+  EXPECT_EQ(pool.tasks_failed(), 0u);
+}
+
+TEST(ThreadPool, BoundedQueueBackpressureStillRunsEverything) {
+  // A tiny queue forces Submit to block on backpressure; every task must
+  // still execute exactly once.
+  ThreadPool pool(2, /*queue_capacity=*/2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, CapturesTaskExceptionsAndSurvives) {
+  ThreadPool pool(2);
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] { throw std::runtime_error("tenant exploded"); });
+    pool.Submit([&ok] { ++ok; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ok.load(), 10);
+  EXPECT_EQ(pool.tasks_failed(), 10u);
+  EXPECT_EQ(pool.tasks_executed(), 20u);
+  EXPECT_EQ(pool.first_error(), "tenant exploded");
+  // The pool still accepts and runs work after failures.
+  pool.Submit([&ok] { ++ok; });
+  pool.WaitIdle();
+  EXPECT_EQ(ok.load(), 11);
+}
+
+TEST(ThreadPool, CapturesNonStdExceptions) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });  // NOLINT(hicpp-exception-baseclass)
+  pool.WaitIdle();
+  EXPECT_EQ(pool.tasks_failed(), 1u);
+  EXPECT_EQ(pool.first_error(), "unknown exception");
+}
+
+TEST(ThreadPool, ShutdownDrainsQueueThenRejects) {
+  ThreadPool pool(1, 64);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 32);  // graceful: queued work ran to completion
+  EXPECT_FALSE(pool.Submit([&counter] { ++counter; }));
+  EXPECT_EQ(counter.load(), 32);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPool, DestructorJoinsWithoutLosingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3, 8);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool: drain + join; no detached threads survive this scope
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ConcurrentProducers) {
+  ThreadPool pool(4, 16);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&counter] { ++counter; });
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&mutex, &ids] {
+      std::lock_guard<std::mutex> lock(mutex);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_FALSE(ids.count(std::this_thread::get_id()));
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace jarvis::runtime

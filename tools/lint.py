@@ -14,6 +14,11 @@ Enforced invariants (see DESIGN.md "Correctness tooling"):
      paths or emit stray output; CLIs under examples/ may use it freely.
   6. No `std::cout` / `std::cerr` / `printf` writes in src/ (logging goes
      through the events logger).
+  7. No mutable static/global state in src/ — every object is per-instance
+     so distinct Jarvis/Fleet tenants can run concurrently on distinct
+     threads (DESIGN.md §10). `static const`/`constexpr`/`constinit`
+     constants are fine; anything else needs an entry in
+     MUTABLE_STATIC_ALLOWLIST with a justification.
 
 Exit status 0 when clean; 1 with a readable report otherwise.
 """
@@ -32,7 +37,8 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 # src/ subdirectory must be registered here (and in DESIGN.md §3) so its
 # headers inherit the hygiene/RNG/iostream rules on purpose, not by luck.
 SRC_MODULES = frozenset({
-    "core", "events", "faults", "fsm", "neural", "rl", "sim", "spl", "util",
+    "core", "events", "faults", "fsm", "neural", "rl", "runtime", "sim",
+    "spl", "util",
 })
 
 # Files allowed to use raw OS randomness.
@@ -41,6 +47,12 @@ RNG_ALLOWLIST = {
     os.path.join("src", "util", "rng.cpp"),
 }
 
+# src/ files allowed to hold mutable static/global state. Empty on purpose:
+# the concurrency audit for the fleet runtime found none, and keeping it
+# that way is what lets tenants run on any worker without locks. Add a
+# file here only with a written justification next to the entry.
+MUTABLE_STATIC_ALLOWLIST: frozenset = frozenset()
+
 PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 DIRECTIVE_RE = re.compile(r"^\s*#")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -48,6 +60,12 @@ RAND_RE = re.compile(r"(?<![\w:])(?:std\s*::\s*)?(?:rand|srand)\s*\(")
 RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
 IOSTREAM_RE = re.compile(r'^\s*#\s*include\s*[<"]iostream[>"]')
 STREAM_WRITE_RE = re.compile(r"\bstd\s*::\s*(cout|cerr)\b|(?<![\w:])f?printf\s*\(")
+# A namespace/function-scope `static` (or thread_local) object declaration.
+# Lines with '(' are skipped below: static functions and static member
+# function declarations are linkage, not state. `static_assert` has no \b
+# match ('_' is a word character).
+STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?(?:static|thread_local)\b")
+CONST_QUAL_RE = re.compile(r"\bconst(?:expr|init)?\b")
 
 
 def strip_comments(text: str) -> str:
@@ -132,6 +150,15 @@ def check_file_text(root, rel, errors):
                 errors.append(
                     f"{rel}:{lineno}: direct console output is banned in src/ "
                     "(use the events logger)")
+            if (rel not in MUTABLE_STATIC_ALLOWLIST
+                    and STATIC_DECL_RE.match(line)
+                    and "(" not in line
+                    and not CONST_QUAL_RE.search(line)):
+                errors.append(
+                    f"{rel}:{lineno}: mutable static/global state is banned "
+                    "in src/ — keep objects per-instance so tenants stay "
+                    "thread-safe (DESIGN.md §10); constants must be "
+                    "const/constexpr")
 
 
 def check_self_contained(root, rel, cxx, extra_flags):
