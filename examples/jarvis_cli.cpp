@@ -15,6 +15,10 @@
 //   jarvis_cli fleet --fleet 8 --jobs 4
 //       Run a multi-tenant fleet (one Jarvis pipeline per simulated home)
 //       across a worker pool and print the per-tenant and aggregate report.
+//   jarvis_cli metrics --fleet 2 --format json
+//       Run a small instrumented fleet and dump the observability export:
+//       fleet-level metrics, aggregated tenant metrics, and the span tree.
+//       CI validates this output with tools/check_metrics.py.
 //
 // All subcommands run on the standard 11-device home.
 #include <cstdio>
@@ -40,7 +44,9 @@ int Usage() {
       "[--f W] [--episodes N]\n"
       "  suggest  --policies FILE [--day N] [--minute M]\n"
       "  fleet    [--fleet N] [--jobs N] [--days N] [--episodes N] "
-      "[--seed S]\n");
+      "[--seed S]\n"
+      "  metrics  [--fleet N] [--jobs N] [--days N] [--episodes N] "
+      "[--seed S] [--format json|csv] [--out FILE]\n");
   return 2;
 }
 
@@ -248,6 +254,49 @@ int FleetRun(const util::Flags& flags) {
   return report.quarantined == 0 ? 0 : 1;
 }
 
+int Metrics(const util::Flags& flags) {
+  runtime::FleetConfig config;
+  config.tenants = static_cast<std::size_t>(flags.GetInt("fleet", 2));
+  config.jobs = static_cast<std::size_t>(flags.GetInt("jobs", 1));
+  config.fleet_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  config.tenant_config.trainer.episodes = flags.GetInt("episodes", 4);
+  config.tenant_config.restarts = 1;
+
+  runtime::SimulatedWorkloadOptions workload;
+  workload.learning_days = flags.GetInt("days", 2);
+  workload.benign_anomaly_samples = 500;
+
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  runtime::Fleet fleet(home, config);
+  fleet.Run(runtime::SimulatedWorkloadFactory(home, workload));
+
+  const obs::MetricsSnapshot aggregate = fleet.AggregateTenantMetrics();
+  const std::string format = flags.GetString("format", "json");
+  std::string output;
+  if (format == "json") {
+    util::JsonObject document;
+    document["fleet"] = fleet.TakeMetricsSnapshot().ToJson();
+    document["tenants"] = aggregate.ToJson();
+    document["spans"] = obs::SpansToJson(fleet.FlushSpans());
+    output = util::JsonValue(std::move(document)).Dump(2);
+    output.push_back('\n');
+  } else if (format == "csv") {
+    output = aggregate.ToCsv();
+  } else {
+    std::fprintf(stderr, "unknown --format %s (json|csv)\n", format.c_str());
+    return 2;
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fputs(output.c_str(), stdout);
+  } else {
+    WriteFile(out, output);
+    std::printf("metrics (%s) -> %s\n", format.c_str(), out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +310,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return Optimize(flags);
     if (command == "suggest") return Suggest(flags);
     if (command == "fleet") return FleetRun(flags);
+    if (command == "metrics") return Metrics(flags);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

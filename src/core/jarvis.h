@@ -36,6 +36,8 @@
 #include "core/online_monitor.h"
 #include "events/logger_app.h"
 #include "events/parser.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "rl/trainer.h"
 #include "sim/resident.h"
 #include "spl/learner.h"
@@ -60,6 +62,11 @@ struct JarvisConfig {
   // remainder — learning from a mostly-lost stream silently whitelists a
   // distorted picture of the home.
   double parse_drop_budget = 0.25;
+  // Wires the instance's obs::Registry through every pipeline stage it
+  // owns (parser, learner, trainer, agent, network). Observational only:
+  // results are bit-identical either way (the fleet parity test pins
+  // this); disable to get the exact uninstrumented code path.
+  bool metrics_enabled = true;
   std::uint64_t seed = 1;
 };
 
@@ -154,12 +161,40 @@ class Jarvis {
     health_.monitor_unknown_events = monitor.unknown_events();
   }
 
+  // --- Observability ------------------------------------------------------
+
+  // The instance's metrics registry (core.jarvis.*, events.parser.*,
+  // spl.*, rl.* instruments accumulate here across calls when
+  // config.metrics_enabled). Each instance owns its own registry — there
+  // is no global one — so fleet tenants never share metric state. The
+  // registry accepts registrations/snapshots even when metrics_enabled is
+  // false; the pipeline just never writes to it.
+  obs::Registry& Metrics() { return registry_; }
+  obs::MetricsSnapshot TakeMetricsSnapshot() const {
+    return registry_.TakeSnapshot();
+  }
+  // Span tree of the pipeline phases run so far (learn.parse, learn.spl,
+  // optimize.restart.N, ...); FlushSpans drains it.
+  obs::Tracer& SpanTracer() { return tracer_; }
+  std::vector<obs::SpanRecord> FlushSpans() { return tracer_.Flush(); }
+
   const JarvisConfig& config() const { return config_; }
   const fsm::EnvironmentFsm& fsm() const { return fsm_; }
 
  private:
+  obs::Registry* MetricsOrNull() {
+    return config_.metrics_enabled ? &registry_ : nullptr;
+  }
+  obs::Tracer* TracerOrNull() {
+    return config_.metrics_enabled ? &tracer_ : nullptr;
+  }
+
   const fsm::EnvironmentFsm& fsm_;
   JarvisConfig config_;
+  // Declared before every component that may cache instrument pointers
+  // into it, so those components are destroyed first.
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   spl::SafetyPolicyLearner learner_;
   HealthReport health_;
   std::unique_ptr<rl::DqnAgent> agent_;
@@ -168,6 +203,13 @@ class Jarvis {
   // so reverse destruction tears the env down first.
   std::unique_ptr<sim::DayTrace> last_day_;
   std::unique_ptr<rl::IoTEnv> last_env_;  // featurizer for SuggestAction
+  // Facade-level counters, cached at construction (null when metrics are
+  // disabled). suggest_counter_ is bumped from const SuggestAction —
+  // Counter::Increment is a relaxed atomic, safe under the concurrent
+  // const-call contract above.
+  obs::Counter* learn_counter_ = nullptr;
+  obs::Counter* optimize_counter_ = nullptr;
+  obs::Counter* suggest_counter_ = nullptr;
 };
 
 }  // namespace jarvis::core

@@ -10,6 +10,25 @@ LogParser::LogParser(const fsm::EnvironmentFsm& fsm, fsm::EpisodeConfig config,
   report_.drop_budget = drop_budget;
 }
 
+void LogParser::SetMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    events_seen_counter_ = nullptr;
+    events_accepted_counter_ = nullptr;
+    events_dropped_counter_ = nullptr;
+    stragglers_counter_ = nullptr;
+    episodes_counter_ = nullptr;
+    return;
+  }
+  events_seen_counter_ = registry->GetCounter("events.parser.events_seen");
+  events_accepted_counter_ =
+      registry->GetCounter("events.parser.events_accepted");
+  events_dropped_counter_ =
+      registry->GetCounter("events.parser.events_dropped");
+  stragglers_counter_ =
+      registry->GetCounter("events.parser.stragglers_skipped");
+  episodes_counter_ = registry->GetCounter("events.parser.episodes_parsed");
+}
+
 std::vector<fsm::Episode> LogParser::Parse(
     const std::vector<Event>& events, const fsm::StateVector& initial_state,
     util::SimTime start, bool keep_partial) {
@@ -111,6 +130,20 @@ std::vector<fsm::Episode> LogParser::Parse(
     const bool complete = episode.IsComplete();
     if (complete || keep_partial) episodes.push_back(std::move(episode));
     if (cursor >= events.size()) break;
+  }
+  if (events_seen_counter_ != nullptr) {
+    // Every seen event is either a straggler or consumed, and consumed
+    // events either pass the vocabulary/conflict checks (accepted) or are
+    // dropped — so accepted + dropped == seen holds by construction.
+    const std::size_t vocab_drops = stats.unknown_device +
+                                    stats.unknown_state +
+                                    stats.unknown_command +
+                                    stats.conflicting_commands;
+    events_seen_counter_->Increment(report_.events_seen);
+    events_accepted_counter_->Increment(stats.events_consumed - vocab_drops);
+    events_dropped_counter_->Increment(report_.events_dropped());
+    stragglers_counter_->Increment(stats.stragglers_skipped);
+    episodes_counter_->Increment(episodes.size());
   }
   return episodes;
 }

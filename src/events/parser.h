@@ -13,6 +13,7 @@
 #include "events/event.h"
 #include "fsm/environment.h"
 #include "fsm/episode.h"
+#include "obs/metrics.h"
 
 namespace jarvis::events {
 
@@ -68,10 +69,22 @@ class LogParser {
   const ParseStats& stats() const { return report_.stats; }
   const ParseReport& report() const { return report_; }
 
+  // Wires events.parser.* counters (events_seen / accepted / dropped /
+  // stragglers / episodes). Null disables. Counters are bumped once per
+  // Parse call from the finished report — the per-event loop stays
+  // untouched and the counts are exact by construction:
+  // events_seen == events_accepted + events_dropped.
+  void SetMetrics(obs::Registry* registry);
+
  private:
   const fsm::EnvironmentFsm& fsm_;
   fsm::EpisodeConfig config_;
   ParseReport report_;
+  obs::Counter* events_seen_counter_ = nullptr;
+  obs::Counter* events_accepted_counter_ = nullptr;
+  obs::Counter* events_dropped_counter_ = nullptr;
+  obs::Counter* stragglers_counter_ = nullptr;
+  obs::Counter* episodes_counter_ = nullptr;
 };
 
 }  // namespace jarvis::events

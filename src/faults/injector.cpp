@@ -39,8 +39,34 @@ bool IsSensorReport(const events::Event& event) {
 FaultInjector::FaultInjector(FaultSchedule schedule)
     : schedule_(std::move(schedule)) {}
 
+void FaultInjector::SetMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    dropped_counter_ = nullptr;
+    duplicated_counter_ = nullptr;
+    delayed_counter_ = nullptr;
+    reordered_counter_ = nullptr;
+    corrupted_counter_ = nullptr;
+    offline_counter_ = nullptr;
+    flap_counter_ = nullptr;
+    stuck_counter_ = nullptr;
+    publish_fail_counter_ = nullptr;
+    return;
+  }
+  dropped_counter_ = registry->GetCounter("faults.injector.dropped");
+  duplicated_counter_ = registry->GetCounter("faults.injector.duplicated");
+  delayed_counter_ = registry->GetCounter("faults.injector.delayed");
+  reordered_counter_ = registry->GetCounter("faults.injector.reordered");
+  corrupted_counter_ = registry->GetCounter("faults.injector.corrupted");
+  offline_counter_ = registry->GetCounter("faults.injector.offline_drops");
+  flap_counter_ = registry->GetCounter("faults.injector.flap_reports");
+  stuck_counter_ = registry->GetCounter("faults.injector.stuck_reports");
+  publish_fail_counter_ =
+      registry->GetCounter("faults.injector.publish_failures");
+}
+
 std::vector<events::Event> FaultInjector::Apply(
     const std::vector<events::Event>& events) {
+  const FaultCounters before = counters_;
   util::Rng rng(schedule_.seed ^ kInjectorSalt);
   std::vector<std::unordered_map<std::string, std::string>> stuck(
       schedule_.specs.size());
@@ -186,6 +212,21 @@ std::vector<events::Event> FaultInjector::Apply(
         ++i;  // do not immediately re-reorder the swapped pair
       }
     }
+  }
+  if (dropped_counter_ != nullptr) {
+    // Mirror this Apply's FaultCounters deltas into the obs registry so
+    // the two accountings can never drift apart.
+    dropped_counter_->Increment(counters_.dropped - before.dropped);
+    duplicated_counter_->Increment(counters_.duplicated - before.duplicated);
+    delayed_counter_->Increment(counters_.delayed - before.delayed);
+    reordered_counter_->Increment(counters_.reordered - before.reordered);
+    corrupted_counter_->Increment(counters_.corrupted - before.corrupted);
+    offline_counter_->Increment(counters_.offline_drops -
+                                before.offline_drops);
+    flap_counter_->Increment(counters_.flap_reports - before.flap_reports);
+    stuck_counter_->Increment(counters_.stuck_reports - before.stuck_reports);
+    publish_fail_counter_->Increment(counters_.publish_failures -
+                                     before.publish_failures);
   }
   return out;
 }

@@ -19,6 +19,7 @@
 #include "events/bus.h"
 #include "events/event.h"
 #include "faults/schedule.h"
+#include "obs/metrics.h"
 #include "util/retry.h"
 #include "util/rng.h"
 
@@ -39,9 +40,23 @@ class FaultInjector {
   void ResetCounters() { counters_ = {}; }
   const FaultSchedule& schedule() const { return schedule_; }
 
+  // Wires faults.injector.* counters mirroring FaultCounters (one obs
+  // counter per fault kind, bumped by delta at the end of each Apply).
+  // Ground truth for the chaos tests' counter round-trip. Null disables.
+  void SetMetrics(obs::Registry* registry);
+
  private:
   FaultSchedule schedule_;
   FaultCounters counters_;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
+  obs::Counter* delayed_counter_ = nullptr;
+  obs::Counter* reordered_counter_ = nullptr;
+  obs::Counter* corrupted_counter_ = nullptr;
+  obs::Counter* offline_counter_ = nullptr;
+  obs::Counter* flap_counter_ = nullptr;
+  obs::Counter* stuck_counter_ = nullptr;
+  obs::Counter* publish_fail_counter_ = nullptr;
 };
 
 // Live-path injector wrapping an EventBus. Delayed events are held back

@@ -34,8 +34,21 @@ Tensor Network::PredictBatch(const Tensor& inputs) const {
   if (inputs.cols() != input_features_) {
     throw std::invalid_argument("Network::PredictBatch: input width mismatch");
   }
+  JARVIS_OBS_ONLY(if (batch_rows_histogram_ != nullptr) {
+    batch_rows_histogram_->Observe(static_cast<double>(inputs.rows()));
+  })
   if (inputs.rows() == 0) return Tensor(0, output_features());
   return Predict(inputs);
+}
+
+void Network::SetMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    batch_rows_histogram_ = nullptr;
+    return;
+  }
+  batch_rows_histogram_ = registry->GetHistogram(
+      "neural.predict_batch.rows",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
 }
 
 Tensor Network::ForwardCached(const Tensor& input) {

@@ -10,6 +10,7 @@
 
 #include "neural/loss.h"
 #include "neural/optimizer.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace jarvis::neural {
@@ -73,6 +74,12 @@ class Network {
   std::vector<std::pair<Tensor, Tensor>> ExportParameters() const;
   void ImportParameters(const std::vector<std::pair<Tensor, Tensor>>& params);
 
+  // Wires neural.predict_batch.rows (batch-size distribution of the
+  // batched-inference entry point — the fleet amortization statistic).
+  // Null disables. Observation only: PredictBatch output stays
+  // bit-identical per row regardless of wiring.
+  void SetMetrics(obs::Registry* registry);
+
  private:
   Tensor ForwardCached(const Tensor& input);
   void BackwardAndStep(const Tensor& grad_output);
@@ -82,6 +89,7 @@ class Network {
   std::vector<DenseLayer> layers_;
   std::unique_ptr<Optimizer> optimizer_;
   mutable jarvis::util::Rng rng_;
+  obs::Histogram* batch_rows_histogram_ = nullptr;
 };
 
 }  // namespace jarvis::neural

@@ -1,0 +1,158 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jarvis::obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds, Determinism determinism)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1),
+      determinism_(determinism) {
+  if (upper_bounds_.empty()) {
+    throw std::invalid_argument(
+        "obs::Histogram: need at least one finite bucket bound");
+  }
+  if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) ||
+      std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) !=
+          upper_bounds_.end()) {
+    throw std::invalid_argument(
+        "obs::Histogram: bucket bounds must be strictly increasing");
+  }
+  for (double bound : upper_bounds_) {
+    if (!std::isfinite(bound)) {
+      throw std::invalid_argument(
+          "obs::Histogram: bucket bounds must be finite (the +inf bucket is "
+          "implicit)");
+    }
+  }
+  // vector's value-initialization of std::atomic elements is not reliably
+  // zeroing pre-P0883 library implementations; zero explicitly so buckets
+  // never start from reused heap garbage.
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) {
+    nan_ignored_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // First bucket whose upper bound is >= value; past-the-end = +inf bucket.
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const auto index =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = {
+      10.0,     25.0,     50.0,     100.0,    250.0,    500.0,
+      1000.0,   2500.0,   5000.0,   10000.0,  25000.0,  50000.0,
+      100000.0, 250000.0, 500000.0, 1000000.0};
+  return kBounds;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              Determinism determinism) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
+                                     determinism))).first;
+  } else if (it->second->determinism_ != determinism) {
+    throw std::invalid_argument("obs::Registry: counter '" + name +
+                                "' re-registered with a different "
+                                "determinism class");
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Determinism determinism) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(determinism)))
+             .first;
+  } else if (it->second->determinism_ != determinism) {
+    throw std::invalid_argument("obs::Registry: gauge '" + name +
+                                "' re-registered with a different "
+                                "determinism class");
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> upper_bounds,
+                                  Determinism determinism) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(
+                                std::move(upper_bounds), determinism)))
+             .first;
+  } else if (it->second->determinism_ != determinism ||
+             it->second->upper_bounds_ != upper_bounds) {
+    throw std::invalid_argument("obs::Registry: histogram '" + name +
+                                "' re-registered with different bounds or "
+                                "determinism class");
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetTimerUs(const std::string& name) {
+  return GetHistogram(name, DefaultLatencyBoundsUs(), Determinism::kTiming);
+}
+
+MetricsSnapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back(
+        {name, counter->Value(),
+         counter->determinism_ == Determinism::kStable});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back(
+        {name, gauge->Value(), gauge->determinism_ == Determinism::kStable});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.upper_bounds = histogram->upper_bounds_;
+    sample.bucket_counts.reserve(histogram->buckets_.size());
+    for (const auto& bucket : histogram->buckets_) {
+      sample.bucket_counts.push_back(bucket.load(std::memory_order_relaxed));
+    }
+    sample.count = histogram->count_.load(std::memory_order_relaxed);
+    sample.sum = histogram->sum_.load(std::memory_order_relaxed);
+    sample.nan_ignored =
+        histogram->nan_ignored_.load(std::memory_order_relaxed);
+    sample.deterministic = histogram->determinism_ == Determinism::kStable;
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+}  // namespace jarvis::obs

@@ -1,0 +1,88 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace jarvis::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::NowNs() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+Tracer::ThreadBuf& Tracer::BufForThisThread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(self);
+  if (it == buffers_.end()) {
+    auto buf = std::make_unique<ThreadBuf>();
+    buf->thread_index = buffers_.size();
+    it = buffers_.emplace(self, std::move(buf)).first;
+  }
+  return *it->second;
+}
+
+std::vector<SpanRecord> Tracer::Flush() {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, buf] : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      out.insert(out.end(), std::make_move_iterator(buf->records.begin()),
+                 std::make_move_iterator(buf->records.end()));
+      buf->records.clear();
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return std::tie(a.start_ns, a.thread_index, a.depth) <
+                     std::tie(b.start_ns, b.thread_index, b.depth);
+            });
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name)
+    : tracer_(tracer), name_(std::move(name)) {
+  if (tracer_ == nullptr) return;
+  buf_ = &tracer_->BufForThisThread();
+  depth_ = buf_->depth;
+  ++buf_->depth;
+  start_ns_ = tracer_->NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end_ns = tracer_->NowNs();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.thread_index = buf_->thread_index;
+  record.depth = depth_;
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns - start_ns_;
+  --buf_->depth;
+  std::lock_guard<std::mutex> lock(buf_->mutex);
+  buf_->records.push_back(std::move(record));
+}
+
+util::JsonValue SpansToJson(const std::vector<SpanRecord>& spans) {
+  util::JsonArray rows;
+  rows.reserve(spans.size());
+  for (const SpanRecord& span : spans) {
+    util::JsonObject row;
+    row["name"] = util::JsonValue(span.name);
+    row["thread"] =
+        util::JsonValue(static_cast<std::int64_t>(span.thread_index));
+    row["depth"] = util::JsonValue(static_cast<std::int64_t>(span.depth));
+    row["start_ns"] = util::JsonValue(static_cast<std::int64_t>(span.start_ns));
+    row["duration_ns"] =
+        util::JsonValue(static_cast<std::int64_t>(span.duration_ns));
+    rows.emplace_back(std::move(row));
+  }
+  return util::JsonValue(std::move(rows));
+}
+
+}  // namespace jarvis::obs

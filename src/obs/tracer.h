@@ -1,0 +1,103 @@
+// Span tracing: nested, named wall-clock intervals recorded from any
+// thread, merged into one ordered list at flush. The shape of a fleet run
+// ("tenant.3" > "workload" > "learn" > ...) falls out of RAII ScopedSpans
+// opened down the call stack.
+//
+// Per-thread buffers: each recording thread gets its own buffer (created on
+// first use, found via a mutex-protected map keyed by std::this_thread ——
+// NOT thread_local, which tools/lint.py bans as mutable static state).
+// Appends touch only the owning thread's buffer under that buffer's own
+// mutex, so recording threads never contend with each other; Flush locks
+// each buffer in turn, drains it, and merges by start time. Span depth is
+// tracked per buffer and only ever touched by the owning thread.
+//
+// Determinism: spans are wall-clock measurements — inherently kTiming.
+// Golden tests compare span *structure* (names, nesting, counts), never
+// durations. Like the Registry, a null Tracer* is the disabled state: a
+// ScopedSpan constructed with nullptr does nothing, not even a clock read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace jarvis::obs {
+
+// One completed span. start_ns is relative to the Tracer's construction
+// (steady clock), so records from one tracer are mutually comparable.
+struct SpanRecord {
+  std::string name;
+  // Dense per-tracer index of the recording thread (order of first use),
+  // stable across a run — used for grouping, not identification.
+  std::size_t thread_index = 0;
+  // Nesting depth at open: 0 for a root span, 1 for its children, ...
+  std::size_t depth = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+class ScopedSpan;
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Drains every thread's buffer and returns all completed spans sorted by
+  // (start_ns, thread_index, depth). Call between phases or at shutdown —
+  // concurrent recording during a flush is safe but a span completing
+  // mid-flush may land in the next flush.
+  std::vector<SpanRecord> Flush();
+
+ private:
+  friend class ScopedSpan;
+
+  struct ThreadBuf {
+    std::mutex mutex;
+    std::size_t thread_index = 0;
+    // Open-span nesting for this thread; touched only by the owning
+    // thread, read/written without the buffer mutex.
+    std::size_t depth = 0;
+    std::vector<SpanRecord> records;
+  };
+
+  // Buffer for the calling thread, created on first use.
+  ThreadBuf& BufForThisThread();
+  std::uint64_t NowNs() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;  // guards buffers_ map shape, not buffer contents
+  std::map<std::thread::id, std::unique_ptr<ThreadBuf>> buffers_;
+};
+
+// Opens a span on construction, records it on destruction. Null tracer →
+// fully inert. Non-copyable, non-movable: a span belongs to one scope on
+// one thread.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  Tracer::ThreadBuf* buf_ = nullptr;
+  std::string name_;
+  std::size_t depth_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+// [{"name": ..., "thread": ..., "depth": ..., "start_ns": ...,
+//   "duration_ns": ...}, ...] — for the CLI / debugging dumps.
+util::JsonValue SpansToJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace jarvis::obs

@@ -31,6 +31,36 @@ DqnAgent::DqnAgent(std::size_t feature_width, const fsm::StateCodec& codec,
       rng_(config.seed),
       initial_epsilon_(config.epsilon) {}
 
+void DqnAgent::SetMetrics(obs::Registry* registry) {
+  network_.SetMetrics(registry);
+  if (registry == nullptr) {
+    actions_counter_ = nullptr;
+    replays_counter_ = nullptr;
+    replay_size_gauge_ = nullptr;
+    epsilon_gauge_ = nullptr;
+    loss_histogram_ = nullptr;
+    epsilon_histogram_ = nullptr;
+    forward_timer_ = nullptr;
+    train_timer_ = nullptr;
+    return;
+  }
+  actions_counter_ = registry->GetCounter("rl.agent.actions_selected");
+  replays_counter_ = registry->GetCounter("rl.agent.replay_batches");
+  replay_size_gauge_ = registry->GetGauge("rl.agent.replay_size");
+  epsilon_gauge_ = registry->GetGauge("rl.agent.epsilon");
+  // Replay-loss distribution; the top buckets catch divergence excursions.
+  loss_histogram_ = registry->GetHistogram(
+      "rl.agent.replay_loss",
+      {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 100.0, 10000.0});
+  // Exploration trajectory: how training time distributes across the
+  // epsilon anneal from 1.0 down to epsilon_min.
+  epsilon_histogram_ = registry->GetHistogram(
+      "rl.agent.epsilon_trajectory",
+      {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0});
+  forward_timer_ = registry->GetTimerUs("rl.agent.forward_us");
+  train_timer_ = registry->GetTimerUs("rl.agent.train_us");
+}
+
 bool DqnAgent::diverged() const {
   return !std::isfinite(last_loss_) || last_loss_ > config_.divergence_loss;
 }
@@ -95,6 +125,8 @@ fsm::ActionVector DqnAgent::SelectAction(const std::vector<double>& features,
   if (mask.size() != codec_.mini_action_count()) {
     throw std::invalid_argument("DqnAgent::SelectAction: mask width");
   }
+  JARVIS_OBS_ONLY(
+      if (actions_counter_ != nullptr) actions_counter_->Increment();)
   if (greedy) return GreedyActionFromQ(QValues(features), mask);
   std::vector<std::size_t> slots;
   // Per-device exploration: each device independently explores with
@@ -191,7 +223,10 @@ double DqnAgent::Replay() {
   }
   // Current predictions seed the target tensor so non-taken slots carry no
   // gradient (mask) and taken slots move toward r + gamma * max Q(s', .).
-  neural::Tensor targets = network_.Predict(inputs);
+  neural::Tensor targets = [&] {
+    JARVIS_OBS_ONLY(obs::ScopedTimer timer(forward_timer_);)
+    return network_.Predict(inputs);
+  }();
   neural::Tensor mask(batch.size(), outputs, 0.0);
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -223,7 +258,10 @@ double DqnAgent::Replay() {
     }
   }
 
-  last_loss_ = network_.TrainBatchMasked(inputs, targets, mask);
+  {
+    JARVIS_OBS_ONLY(obs::ScopedTimer timer(train_timer_);)
+    last_loss_ = network_.TrainBatchMasked(inputs, targets, mask);
+  }
 
   // Algorithm 2's guard: decay exploration only once the network fits its
   // replay targets to the preferable loss.
@@ -232,6 +270,13 @@ double DqnAgent::Replay() {
     config_.epsilon =
         std::max(config_.epsilon_min, config_.epsilon * config_.epsilon_decay);
   }
+  JARVIS_OBS_ONLY(if (replays_counter_ != nullptr) {
+    replays_counter_->Increment();
+    replay_size_gauge_->Set(static_cast<double>(buffer_.size()));
+    epsilon_gauge_->Set(config_.epsilon);
+    loss_histogram_->Observe(last_loss_);
+    epsilon_histogram_->Observe(config_.epsilon);
+  })
   return last_loss_;
 }
 

@@ -16,6 +16,7 @@
 
 #include "fsm/state.h"
 #include "neural/network.h"
+#include "obs/metrics.h"
 #include "rl/replay.h"
 #include "util/rng.h"
 
@@ -101,6 +102,13 @@ class DqnAgent {
   void ReseedExploration(std::uint64_t seed);
   std::size_t PurgePoisonedExperiences() { return buffer_.PurgePoisoned(); }
 
+  // Wires rl.agent.* instruments (actions selected, replay batches, loss
+  // and epsilon histograms, replay-size gauge, forward/train timers) and
+  // cascades to the network (neural.predict_batch.rows). Null disables —
+  // and the hot-loop call sites are additionally wrapped in
+  // JARVIS_OBS_ONLY so a -DJARVIS_OBS_OFF build compiles them out.
+  void SetMetrics(obs::Registry* registry);
+
   double epsilon() const { return config_.epsilon; }
   double last_loss() const { return last_loss_; }
   const DqnConfig& config() const { return config_; }
@@ -129,6 +137,14 @@ class DqnAgent {
   // Last exploratory slot per device (sticky exploration); empty until the
   // first SelectAction.
   std::vector<std::size_t> last_explore_slot_;
+  obs::Counter* actions_counter_ = nullptr;
+  obs::Counter* replays_counter_ = nullptr;
+  obs::Gauge* replay_size_gauge_ = nullptr;
+  obs::Gauge* epsilon_gauge_ = nullptr;
+  obs::Histogram* loss_histogram_ = nullptr;
+  obs::Histogram* epsilon_histogram_ = nullptr;
+  obs::Histogram* forward_timer_ = nullptr;
+  obs::Histogram* train_timer_ = nullptr;
 };
 
 }  // namespace jarvis::rl

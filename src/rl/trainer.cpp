@@ -24,10 +24,27 @@ double RunGreedyEpisode(IoTEnv& env, DqnAgent& agent) {
   return env.cumulative_reward();
 }
 
-TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
+TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config,
+                  obs::Registry* metrics) {
   TrainResult result;
   const auto& codec = env.fsm().codec();
   double best_greedy = -std::numeric_limits<double>::infinity();
+
+  // Trainer-level counters are bumped per episode (from local tallies),
+  // never inside the step loop; the agent's own hot-loop instruments are
+  // wired through SetMetrics and null-checked at their call sites.
+  obs::Counter* episodes_counter = nullptr;
+  obs::Counter* steps_counter = nullptr;
+  obs::Counter* recoveries_counter = nullptr;
+  obs::Counter* purged_counter = nullptr;
+  if (metrics != nullptr) {
+    agent.SetMetrics(metrics);
+    episodes_counter = metrics->GetCounter("rl.trainer.episodes");
+    steps_counter = metrics->GetCounter("rl.trainer.steps");
+    recoveries_counter =
+        metrics->GetCounter("rl.trainer.divergence_recoveries");
+    purged_counter = metrics->GetCounter("rl.trainer.purged_experiences");
+  }
 
   // Last-good-weights baseline: taken before any replay pass so divergence
   // recovery always has a snapshot to fall back to, even in episode 0.
@@ -37,8 +54,10 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
   for (int ep = 0; ep < config.episodes; ++ep) {
     const bool demonstrate = ep < config.demonstration_episodes;
     bool aborted = false;
+    std::size_t episode_steps = 0;
     env.Reset();
     while (!env.done()) {
+      ++episode_steps;
       const auto features = env.Features();
       const auto mask = env.SafeSlotMask();
       const auto action = demonstrate
@@ -71,7 +90,12 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
       if (agent.diverged()) {
         ++result.divergence_recoveries;
         agent.RestoreSnapshot();
-        result.poisoned_experiences_purged += agent.PurgePoisonedExperiences();
+        const std::size_t purged = agent.PurgePoisonedExperiences();
+        result.poisoned_experiences_purged += purged;
+        if (recoveries_counter != nullptr) {
+          recoveries_counter->Increment();
+          purged_counter->Increment(purged);
+        }
         agent.ReseedExploration(agent.config().seed ^
                                 (0x9e3779b97f4a7c15ULL *
                                  (result.divergence_recoveries + 1)));
@@ -81,6 +105,10 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config) {
     }
     result.episode_rewards.push_back(env.cumulative_reward());
     result.training_violations += env.violations();
+    if (episodes_counter != nullptr) {
+      episodes_counter->Increment();
+      steps_counter->Increment(episode_steps);
+    }
     // An aborted episode's weights were just restored from the snapshot:
     // re-evaluating them greedily would re-measure the snapshot itself.
     if (aborted) continue;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rl/dqn_agent.h"
 #include "rl/iot_env.h"
 
@@ -43,8 +44,13 @@ struct TrainResult {
 };
 
 // Trains `agent` on `env` and greedily evaluates. The env is reset as
-// needed; after return it holds the greedy evaluation episode.
-TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config);
+// needed; after return it holds the greedy evaluation episode. When
+// `metrics` is non-null the run bumps rl.trainer.* counters (episodes,
+// steps, divergence recoveries, purged experiences) and wires the agent
+// (rl.agent.*) for the duration of the call; observation only — the
+// training trajectory is identical either way.
+TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config,
+                  obs::Registry* metrics = nullptr);
 
 // Runs one greedy (no exploration, no learning) episode and returns its
 // cumulative reward. The env afterwards holds the episode.

@@ -1,6 +1,7 @@
 #include "runtime/fleet.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "rl/iot_env.h"
@@ -100,14 +101,24 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
     result.error = "quarantined by a previous run";
     return;
   }
+  obs::ScopedSpan tenant_span(&tracer_, "tenant." + std::to_string(index));
   try {
-    const TenantWorkload workload = factory(index, shard.seed);
+    const TenantWorkload workload = [&] {
+      obs::ScopedSpan span(&tracer_, "workload");
+      return factory(index, shard.seed);
+    }();
     auto jarvis = std::make_unique<core::Jarvis>(
         home_, MakeTenantConfig(config_.tenant_config, shard.seed));
-    result.learning_episodes =
-        jarvis->LearnFromEvents(workload.events, workload.initial_state,
-                                workload.start, workload.labeled);
-    result.plan = jarvis->OptimizeDay(workload.day, workload.weights);
+    {
+      obs::ScopedSpan span(&tracer_, "learn");
+      result.learning_episodes =
+          jarvis->LearnFromEvents(workload.events, workload.initial_state,
+                                  workload.start, workload.labeled);
+    }
+    {
+      obs::ScopedSpan span(&tracer_, "optimize");
+      result.plan = jarvis->OptimizeDay(workload.day, workload.weights);
+    }
     result.health = jarvis->Health();
     result.completed = true;
     shard.jarvis = std::move(jarvis);
@@ -128,7 +139,7 @@ void Fleet::ForEachTenant(const std::function<void(std::size_t)>& fn) {
     for (std::size_t i = 0; i < shards_.size(); ++i) fn(i);
     return;
   }
-  ThreadPool pool(config_.jobs, config_.queue_capacity);
+  ThreadPool pool(config_.jobs, config_.queue_capacity, &registry_);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     pool.Submit([&fn, i] { fn(i); });
   }
@@ -156,8 +167,37 @@ FleetReport Fleet::Run(const WorkloadFactory& factory) {
     report.total_cost_usd += tenant.plan.optimized_metrics.cost_usd;
     report.total_violations += tenant.plan.violations;
   }
+  registry_.GetCounter("runtime.fleet.runs")->Increment();
+  registry_.GetCounter("runtime.fleet.tenants_run")
+      ->Increment(report.tenants.size());
+  registry_.GetCounter("runtime.fleet.tenants_completed")
+      ->Increment(report.completed);
+  registry_.GetCounter("runtime.fleet.tenants_quarantined")
+      ->Increment(report.quarantined);
   report_ = report;
   return report;
+}
+
+obs::MetricsSnapshot Fleet::TenantMetrics(std::size_t index) const {
+  if (index >= shards_.size()) {
+    throw std::out_of_range("Fleet::TenantMetrics: no such tenant");
+  }
+  const core::Jarvis* jarvis = shards_[index].jarvis.get();
+  if (jarvis == nullptr) {
+    throw std::logic_error("Fleet::TenantMetrics: tenant has not run");
+  }
+  return jarvis->TakeMetricsSnapshot();
+}
+
+obs::MetricsSnapshot Fleet::AggregateTenantMetrics() const {
+  std::vector<obs::MetricsSnapshot> parts;
+  parts.reserve(shards_.size());
+  for (const TenantShard& shard : shards_) {
+    if (shard.jarvis != nullptr) {
+      parts.push_back(shard.jarvis->TakeMetricsSnapshot());
+    }
+  }
+  return obs::MetricsSnapshot::Merge(parts);
 }
 
 std::vector<fsm::ActionVector> Fleet::SuggestMinutes(

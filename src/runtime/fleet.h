@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "core/jarvis.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "runtime/thread_pool.h"
 
 namespace jarvis::runtime {
@@ -133,6 +135,31 @@ class Fleet {
   // Last Run()'s report (empty before the first Run).
   const FleetReport& report() const { return report_; }
 
+  // --- Observability ------------------------------------------------------
+  //
+  // Two metric scopes, deliberately separate:
+  //   * Fleet-level (this registry): runtime.fleet.* run counters plus the
+  //     runtime.pool.* instruments of the scheduling pool. Mostly kTiming
+  //     or scheduling-shaped — never compared across worker counts.
+  //   * Tenant-level: each tenant Jarvis owns its OWN registry (wired when
+  //     tenant_config.metrics_enabled), so per-tenant metrics are a pure
+  //     function of the tenant seed and identical for any `jobs` — the
+  //     deterministic snapshots the fleet parity tests compare.
+
+  obs::Registry& Metrics() { return registry_; }
+  obs::MetricsSnapshot TakeMetricsSnapshot() const {
+    return registry_.TakeSnapshot();
+  }
+  // Snapshot of tenant `index`'s own registry (throws std::logic_error for
+  // a tenant that has not completed a run).
+  obs::MetricsSnapshot TenantMetrics(std::size_t index) const;
+  // Element-wise sum of every completed tenant's snapshot — the fleet-wide
+  // pipeline totals (events parsed, violations filtered, DQN steps, ...).
+  obs::MetricsSnapshot AggregateTenantMetrics() const;
+  // Per-tenant span trees recorded during Run ("tenant.N" roots with
+  // workload/learn/optimize children); draining returns them sorted.
+  std::vector<obs::SpanRecord> FlushSpans() { return tracer_.Flush(); }
+
  private:
   struct TenantShard {
     std::uint64_t seed = 0;
@@ -148,6 +175,11 @@ class Fleet {
 
   const fsm::EnvironmentFsm& home_;
   FleetConfig config_;
+  // Declared before the shards so tenants (which never reference these —
+  // they own their registries) and any cached instrument pointers die
+  // first on destruction.
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   std::vector<TenantShard> shards_;
   FleetReport report_;
 };

@@ -6,8 +6,16 @@
 
 namespace jarvis::runtime {
 
-ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity,
+                       obs::Registry* registry)
     : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  if (registry != nullptr) {
+    executed_counter_ = registry->GetCounter("runtime.pool.tasks_executed");
+    failed_counter_ = registry->GetCounter("runtime.pool.tasks_failed");
+    queue_depth_gauge_ = registry->GetGauge("runtime.pool.queue_depth",
+                                            obs::Determinism::kTiming);
+    task_timer_ = registry->GetTimerUs("runtime.pool.task_us");
+  }
   const std::size_t count = std::max<std::size_t>(1, workers);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -26,6 +34,9 @@ bool ThreadPool::Submit(std::function<void()> task) {
     });
     if (shutting_down_) return false;
     queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
   }
   not_empty_.notify_one();
   return true;
@@ -44,16 +55,24 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      }
     }
     not_full_.notify_one();
 
     std::exception_ptr error;
     try {
+      obs::ScopedTimer timer(task_timer_);
       task();
     } catch (...) {
       error = std::current_exception();
     }
 
+    if (executed_counter_ != nullptr) {
+      executed_counter_->Increment();
+      if (error) failed_counter_->Increment();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -27,13 +27,20 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace jarvis::runtime {
 
 class ThreadPool {
  public:
   // Starts `workers` threads (at least 1) sharing a queue that holds at
-  // most `queue_capacity` waiting tasks (at least 1).
-  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 256);
+  // most `queue_capacity` waiting tasks (at least 1). A non-null
+  // `registry` wires runtime.pool.* instruments: tasks_executed /
+  // tasks_failed counters, a queue-depth gauge sampled at every
+  // enqueue/dequeue, and a task-latency histogram (all but the executed
+  // counter are kTiming — scheduling-dependent by nature).
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 256,
+                      obs::Registry* registry = nullptr);
 
   // Drains and joins (Shutdown).
   ~ThreadPool();
@@ -78,6 +85,10 @@ class ThreadPool {
   std::size_t failed_ = 0;
   std::string first_error_;
   bool shutting_down_ = false;
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* task_timer_ = nullptr;
 };
 
 }  // namespace jarvis::runtime

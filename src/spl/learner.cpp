@@ -1,5 +1,6 @@
 #include "spl/learner.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace jarvis::spl {
@@ -22,6 +23,34 @@ SafetyPolicyLearner::SafetyPolicyLearner(const fsm::EnvironmentFsm& fsm,
       config_(config),
       table_(fsm, config.key_mode, config.count_threshold),
       filter_(fsm, config.ann, config.seed) {}
+
+void SafetyPolicyLearner::SetMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    episodes_offered_counter_ = nullptr;
+    episodes_used_counter_ = nullptr;
+    episodes_skipped_counter_ = nullptr;
+    observations_counter_ = nullptr;
+    filtered_benign_counter_ = nullptr;
+    ann_epochs_counter_ = nullptr;
+    classify_safe_counter_ = nullptr;
+    classify_benign_counter_ = nullptr;
+    classify_violation_counter_ = nullptr;
+    return;
+  }
+  episodes_offered_counter_ =
+      registry->GetCounter("spl.learner.episodes_offered");
+  episodes_used_counter_ = registry->GetCounter("spl.learner.episodes_used");
+  episodes_skipped_counter_ =
+      registry->GetCounter("spl.learner.episodes_skipped");
+  observations_counter_ = registry->GetCounter("spl.learner.observations");
+  filtered_benign_counter_ =
+      registry->GetCounter("spl.learner.anomalies_filtered");
+  ann_epochs_counter_ = registry->GetCounter("spl.learner.ann_epochs");
+  classify_safe_counter_ = registry->GetCounter("spl.classify.safe");
+  classify_benign_counter_ =
+      registry->GetCounter("spl.classify.benign_anomaly");
+  classify_violation_counter_ = registry->GetCounter("spl.classify.violation");
+}
 
 void SafetyPolicyLearner::Learn(
     const std::vector<fsm::Episode>& episodes,
@@ -70,6 +99,16 @@ void SafetyPolicyLearner::Learn(
   }
   table_.Finalize();
   learned_ = true;
+  if (episodes_offered_counter_ != nullptr) {
+    episodes_offered_counter_->Increment(learn_report_.episodes_offered);
+    episodes_used_counter_->Increment(learn_report_.episodes_used);
+    episodes_skipped_counter_->Increment(learn_report_.episodes_skipped);
+    observations_counter_->Increment(learn_report_.observations);
+    filtered_benign_counter_->Increment(learn_report_.filtered_benign);
+    if (config_.use_ann_filter) {
+      ann_epochs_counter_->Increment(config_.ann.epochs);
+    }
+  }
 }
 
 Verdict SafetyPolicyLearner::ClassifyMini(const fsm::StateVector& state,
@@ -79,12 +118,19 @@ Verdict SafetyPolicyLearner::ClassifyMini(const fsm::StateVector& state,
     throw std::logic_error("SafetyPolicyLearner: not learned yet");
   }
   if (table_.IsMiniActionSafe(state, mini, minute_of_day)) {
+    if (classify_safe_counter_ != nullptr) classify_safe_counter_->Increment();
     return Verdict::kSafe;
   }
   if (config_.use_ann_filter &&
       filter_.BenignScore(state, mini, minute_of_day) >=
           config_.ann.benign_threshold) {
+    if (classify_benign_counter_ != nullptr) {
+      classify_benign_counter_->Increment();
+    }
     return Verdict::kBenignAnomaly;
+  }
+  if (classify_violation_counter_ != nullptr) {
+    classify_violation_counter_->Increment();
   }
   return Verdict::kViolation;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/anomaly.h"
 #include "spl/ann_filter.h"
 #include "spl/safe_table.h"
@@ -108,6 +109,14 @@ class SafetyPolicyLearner {
   // from the unsafe benefit space.
   SafeTransitionTable& mutable_table() { return table_; }
 
+  // Wires spl.learner.* counters (episodes offered/used/skipped,
+  // observations, anomalies filtered, ANN epochs) bumped per Learn call,
+  // and spl.classify.* verdict counters bumped per ClassifyMini (the
+  // deployment-phase detection statistic behind the paper's 214-violation
+  // claim — includes the mask-construction probes IoTEnv issues while
+  // training). Null disables.
+  void SetMetrics(obs::Registry* registry);
+
   // Persistence: the learnt policies (whitelist + ANN parameters), so a
   // deployment reloads them without repeating the learning phase.
   util::JsonValue ToJson() const;
@@ -125,6 +134,15 @@ class SafetyPolicyLearner {
   AnnFilter filter_;
   LearnReport learn_report_;
   bool learned_ = false;
+  obs::Counter* episodes_offered_counter_ = nullptr;
+  obs::Counter* episodes_used_counter_ = nullptr;
+  obs::Counter* episodes_skipped_counter_ = nullptr;
+  obs::Counter* observations_counter_ = nullptr;
+  obs::Counter* filtered_benign_counter_ = nullptr;
+  obs::Counter* ann_epochs_counter_ = nullptr;
+  obs::Counter* classify_safe_counter_ = nullptr;
+  obs::Counter* classify_benign_counter_ = nullptr;
+  obs::Counter* classify_violation_counter_ = nullptr;
 };
 
 }  // namespace jarvis::spl

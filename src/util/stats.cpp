@@ -40,7 +40,16 @@ double Max(const std::vector<double>& xs) {
 
 double Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("Percentile: empty input");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("Percentile: bad p");
+  // Negated comparison so a NaN p (for which every comparison is false)
+  // cannot slip past the range check.
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("Percentile: bad p");
+  }
+  // A NaN sample breaks std::sort's strict weak ordering (undefined
+  // behavior) and would make every rank meaningless — reject it.
+  for (double x : xs) {
+    if (std::isnan(x)) throw std::invalid_argument("Percentile: NaN sample");
+  }
   std::sort(xs.begin(), xs.end());
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
@@ -65,7 +74,10 @@ void OnlineStats::Add(double x) {
 
 double OnlineStats::variance() const {
   if (count_ == 0) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  // Welford's m2 is mathematically non-negative but can round to a tiny
+  // negative value (e.g. many identical large-magnitude samples); clamp so
+  // variance() never goes negative and stddev() never sqrt(-0.0...1) = NaN.
+  return std::max(0.0, m2_) / static_cast<double>(count_);
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
@@ -125,11 +137,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::Add(double x) {
+  // NaN has no bin; casting it (or ±inf) to an integer is undefined
+  // behavior, so guard first and clamp while still in the double domain.
+  if (std::isnan(x)) {
+    ++nan_ignored_;
+    return;
+  }
   const double frac = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  const double scaled =
+      std::clamp(frac * static_cast<double>(counts_.size()), 0.0,
+                 static_cast<double>(counts_.size()) - 1.0);
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 

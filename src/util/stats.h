@@ -56,13 +56,15 @@ std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
 double RocAuc(const std::vector<RocPoint>& curve);
 
 // Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
-// samples clamp to the edge buckets.
+// samples (including ±inf) clamp to the edge buckets. NaN samples have no
+// bin and are ignored (tallied separately in nan_ignored()).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void Add(double x);
   const std::vector<std::size_t>& counts() const { return counts_; }
   std::size_t total() const { return total_; }
+  std::size_t nan_ignored() const { return nan_ignored_; }
   double BinCenter(std::size_t i) const;
   std::string ToString() const;  // ASCII rendering for bench output
 
@@ -71,6 +73,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ignored_ = 0;
 };
 
 }  // namespace jarvis::util

@@ -223,5 +223,90 @@ TEST_F(ChaosFixture, KitchenSinkSchedule) {
   EXPECT_GT(outcome.health.parse.events_dropped(), 0u);
 }
 
+TEST_F(ChaosFixture, ObsCountersMirrorInjectedGroundTruth) {
+  faults::FaultSchedule schedule;
+  schedule.seed = 11;
+  schedule.specs.push_back(Spec(faults::FaultKind::kDrop, 0.10));
+  schedule.specs.push_back(Spec(faults::FaultKind::kDuplicate, 0.08));
+  schedule.specs.push_back(Spec(faults::FaultKind::kDelay, 0.12, 9));
+  schedule.specs.push_back(Spec(faults::FaultKind::kReorder, 0.05));
+  schedule.specs.push_back(Spec(faults::FaultKind::kCorruptField, 0.05));
+  schedule.specs.push_back(Spec(faults::FaultKind::kDeviceFlap, 0.10));
+
+  obs::Registry registry;
+  faults::FaultInjector injector(schedule);
+  injector.SetMetrics(&registry);
+  injector.Apply(*events_);
+
+  const auto expect_mirrored = [&registry, &injector] {
+    const obs::MetricsSnapshot snapshot = registry.TakeSnapshot();
+    const faults::FaultCounters& truth = injector.counters();
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.dropped"),
+              truth.dropped);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.duplicated"),
+              truth.duplicated);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.delayed"),
+              truth.delayed);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.reordered"),
+              truth.reordered);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.corrupted"),
+              truth.corrupted);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.offline_drops"),
+              truth.offline_drops);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.flap_reports"),
+              truth.flap_reports);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.stuck_reports"),
+              truth.stuck_reports);
+    EXPECT_EQ(snapshot.CounterValue("faults.injector.publish_failures"),
+              truth.publish_failures);
+  };
+  expect_mirrored();
+  EXPECT_GT(injector.counters().total(), 0u);
+
+  // A second Apply accumulates in both ledgers identically (Apply re-seeds
+  // per call, so the second pass injects the same faults again).
+  const faults::FaultCounters after_first = injector.counters();
+  injector.Apply(*events_);
+  EXPECT_EQ(injector.counters().total(), 2 * after_first.total());
+  expect_mirrored();
+
+  // ResetCounters clears the injector's ledger but obs counters are
+  // monotonic history — subsequent deltas keep accumulating on top.
+  injector.ResetCounters();
+  const obs::MetricsSnapshot before = registry.TakeSnapshot();
+  injector.Apply(*events_);
+  const obs::MetricsSnapshot after = registry.TakeSnapshot();
+  EXPECT_EQ(after.CounterValue("faults.injector.dropped"),
+            before.CounterValue("faults.injector.dropped") +
+                injector.counters().dropped);
+}
+
+TEST_F(ChaosFixture, InstrumentedInjectionIsBitIdentical) {
+  // Wiring metrics must not consume RNG draws or otherwise perturb the
+  // faulted stream.
+  faults::FaultSchedule schedule;
+  schedule.seed = 12;
+  schedule.specs.push_back(Spec(faults::FaultKind::kDrop, 0.15));
+  schedule.specs.push_back(Spec(faults::FaultKind::kCorruptField, 0.05));
+
+  faults::FaultInjector plain(schedule);
+  faults::FaultInjector wired(schedule);
+  obs::Registry registry;
+  wired.SetMetrics(&registry);
+
+  const auto expected = plain.Apply(*events_);
+  const auto actual = wired.Apply(*events_);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].date, expected[i].date) << "event " << i;
+    EXPECT_EQ(actual[i].device_label, expected[i].device_label)
+        << "event " << i;
+    EXPECT_EQ(actual[i].attribute_value, expected[i].attribute_value)
+        << "event " << i;
+    EXPECT_EQ(actual[i].command, expected[i].command) << "event " << i;
+  }
+  EXPECT_EQ(plain.counters(), wired.counters());
+}
+
 }  // namespace
 }  // namespace jarvis::core

@@ -1,0 +1,219 @@
+// End-to-end observability: runs the full learn→optimize→suggest pipeline
+// with metrics wired and pins (a) the golden-determinism contract — the
+// deterministic snapshot subset is bit-identical across reruns of the same
+// seeded workload — and (b) the cross-stage counter invariants that hold
+// by construction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/jarvis.h"
+#include "core/online_monitor.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
+#include "sim/testbed.h"
+
+namespace jarvis::core {
+namespace {
+
+struct PipelineRun {
+  std::unique_ptr<Jarvis> jarvis;
+  std::size_t events_fed = 0;
+  std::size_t episodes_learned = 0;
+};
+
+class ObsPipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::TestbedConfig config;
+    config.benign_anomaly_samples = 2000;
+    testbed_ = new sim::Testbed(config);
+    learner_ = new spl::SafetyPolicyLearner(testbed_->home_a(),
+                                            spl::SplConfig{});
+    learner_->Learn(testbed_->HomeALearningEpisodes(),
+                    testbed_->BuildTrainingSet());
+  }
+  static void TearDownTestSuite() {
+    delete learner_;
+    delete testbed_;
+    learner_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  // One full seeded pipeline: raw events through the parser, SPL learning,
+  // a (tiny) DQN optimization, and one deployment suggestion. Everything
+  // is seeded, so reruns are bit-identical.
+  static PipelineRun RunPipeline(bool metrics_enabled = true) {
+    sim::ResidentSimulator resident(testbed_->home_a(), sim::ThermalConfig{},
+                                    404, sim::BehaviorConfig{0.0, 1});
+    const auto generator = testbed_->home_a_generator();
+    std::vector<events::Event> events;
+    fsm::StateVector state = resident.OvernightState();
+    double indoor = 21.0;
+    for (int day = 0; day < 2; ++day) {
+      const auto trace =
+          resident.SimulateDay(generator.Generate(day), state, indoor);
+      events.insert(events.end(), trace.events.begin(), trace.events.end());
+      state = trace.episode.FinalState(testbed_->home_a());
+      indoor = trace.indoor_c.back();
+    }
+
+    JarvisConfig config;
+    config.trainer.episodes = 4;
+    config.restarts = 1;
+    config.metrics_enabled = metrics_enabled;
+    PipelineRun run;
+    run.events_fed = events.size();
+    run.jarvis = std::make_unique<Jarvis>(testbed_->home_a(), config);
+    run.episodes_learned = run.jarvis->LearnFromEvents(
+        events, resident.OvernightState(), util::SimTime(0),
+        testbed_->BuildTrainingSet());
+    const sim::DayTrace day = testbed_->home_b_data().Day(1);
+    run.jarvis->OptimizeDay(day, rl::RewardWeights{});
+    run.jarvis->SuggestAction(day.episode.initial_state(), 480);
+    return run;
+  }
+
+  static events::Event CommandEvent(int minute, const std::string& device,
+                                    const std::string& value,
+                                    const std::string& command) {
+    events::Event event;
+    event.date = util::SimTime(minute);
+    event.device_label = device;
+    event.attribute = "state";
+    event.attribute_value = value;
+    event.command = command;
+    return event;
+  }
+
+  static events::Event SensorEvent(int minute, const std::string& device,
+                                   const std::string& value) {
+    return CommandEvent(minute, device, value, "");
+  }
+
+  static sim::Testbed* testbed_;
+  static spl::SafetyPolicyLearner* learner_;
+};
+
+sim::Testbed* ObsPipelineFixture::testbed_ = nullptr;
+spl::SafetyPolicyLearner* ObsPipelineFixture::learner_ = nullptr;
+
+TEST_F(ObsPipelineFixture, GoldenSnapshotIdenticalAcrossReruns) {
+  const PipelineRun first = RunPipeline();
+  const PipelineRun second = RunPipeline();
+  const obs::MetricsSnapshot golden_a =
+      first.jarvis->TakeMetricsSnapshot().DeterministicOnly();
+  const obs::MetricsSnapshot golden_b =
+      second.jarvis->TakeMetricsSnapshot().DeterministicOnly();
+  EXPECT_FALSE(golden_a.empty());
+  // Metrics are observational: the deterministic subset must be
+  // bit-identical across reruns of the same seeded workload (timers keep
+  // ticking, which is exactly what DeterministicOnly strips).
+  EXPECT_EQ(golden_a, golden_b);
+}
+
+TEST_F(ObsPipelineFixture, CounterInvariantsAcrossStages) {
+  const PipelineRun run = RunPipeline();
+  const obs::MetricsSnapshot snapshot = run.jarvis->TakeMetricsSnapshot();
+
+  // Parser conservation: every event offered is accepted or dropped.
+  const std::uint64_t seen =
+      snapshot.CounterValue("events.parser.events_seen");
+  EXPECT_EQ(seen, run.events_fed);
+  EXPECT_EQ(seen,
+            snapshot.CounterValue("events.parser.events_accepted") +
+                snapshot.CounterValue("events.parser.events_dropped"));
+
+  // The obs counters mirror the pipeline's own degradation accounting.
+  const HealthReport& health = run.jarvis->Health();
+  EXPECT_EQ(seen, health.parse.events_seen);
+  EXPECT_EQ(snapshot.CounterValue("events.parser.episodes_parsed"),
+            run.episodes_learned);
+  EXPECT_EQ(snapshot.CounterValue("spl.learner.episodes_used"),
+            health.learn.episodes_used);
+  EXPECT_EQ(snapshot.CounterValue("spl.learner.episodes_skipped"),
+            health.learn.episodes_skipped);
+  EXPECT_EQ(snapshot.CounterValue("spl.learner.episodes_offered"),
+            health.learn.episodes_used + health.learn.episodes_skipped);
+  EXPECT_EQ(snapshot.CounterValue("spl.learner.observations"),
+            health.learn.observations);
+
+  // Facade call counters.
+  EXPECT_EQ(snapshot.CounterValue("core.jarvis.learn_calls"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("core.jarvis.optimize_calls"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("core.jarvis.suggest_calls"), 1u);
+
+  // The DQN stage ran and reported.
+  EXPECT_GE(snapshot.CounterValue("rl.trainer.episodes"), 4u);
+  EXPECT_GT(snapshot.CounterValue("rl.trainer.steps"), 0u);
+  EXPECT_GT(snapshot.CounterValue("rl.agent.actions_selected"), 0u);
+  EXPECT_GT(snapshot.CounterValue("rl.agent.replay_batches"), 0u);
+  EXPECT_EQ(snapshot.FindHistogram("rl.agent.replay_loss").count,
+            snapshot.CounterValue("rl.agent.replay_batches"));
+}
+
+TEST_F(ObsPipelineFixture, MonitorDecisionInvariant) {
+  obs::Registry registry;
+  OnlineMonitor monitor(testbed_->home_a(), *learner_,
+                        fsm::StateVector(11, 0));
+  monitor.SetMetrics(&registry);
+
+  monitor.MarkStateUnknown(0);  // staleness transition 1
+  // Fail-safe denial: lock state is untrusted.
+  monitor.Consume(CommandEvent(120, "lock", "unlocked", "unlock"));
+  // Good report restores trust; the next command is learner-classified.
+  monitor.Consume(SensorEvent(121, "lock", "unlocked"));
+  monitor.Consume(CommandEvent(122, "lock", "locked", "lock"));
+  // Unknown vocabulary: counted, not a decision.
+  monitor.Consume(CommandEvent(123, "toaster", "on", "pop"));
+  // Corrupt sensor report: staleness transition 2, then a denial.
+  monitor.Consume(SensorEvent(124, "temp_sensor", "??corrupt??"));
+  monitor.Consume(CommandEvent(125, "temp_sensor", "off", "power_off"));
+
+  const obs::MetricsSnapshot snapshot = registry.TakeSnapshot();
+  const std::uint64_t decisions =
+      snapshot.CounterValue("core.monitor.decisions");
+  // Every command verdict is exactly one of allowed / denied / benign.
+  EXPECT_EQ(decisions, snapshot.CounterValue("core.monitor.allowed") +
+                           snapshot.CounterValue("core.monitor.denied") +
+                           snapshot.CounterValue("core.monitor.benign_anomalies"));
+  EXPECT_EQ(decisions, 3u);  // two fail-safe denials + one classification
+  EXPECT_EQ(snapshot.CounterValue("core.monitor.failsafe_denials"), 2u);
+  // Denied folds learner violations and fail-safe denials together.
+  EXPECT_EQ(snapshot.CounterValue("core.monitor.denied"),
+            monitor.violations() + monitor.failsafe_denials());
+  EXPECT_EQ(snapshot.CounterValue("core.monitor.unknown_events"),
+            monitor.unknown_events());
+  EXPECT_EQ(snapshot.CounterValue("core.monitor.staleness_transitions"), 2u);
+}
+
+TEST_F(ObsPipelineFixture, SpanTreeShapesThePipeline) {
+  const PipelineRun run = RunPipeline();
+  const std::vector<obs::SpanRecord> spans = run.jarvis->FlushSpans();
+  ASSERT_FALSE(spans.empty());
+
+  std::set<std::string> roots;
+  std::set<std::string> children;
+  for (const obs::SpanRecord& span : spans) {
+    (span.depth == 0 ? roots : children).insert(span.name);
+  }
+  EXPECT_TRUE(roots.count("learn") == 1);
+  EXPECT_TRUE(roots.count("optimize") == 1);
+  EXPECT_TRUE(children.count("learn.parse") == 1);
+  EXPECT_TRUE(children.count("optimize.restart.0") == 1);
+  // Flush drained everything.
+  EXPECT_TRUE(run.jarvis->FlushSpans().empty());
+}
+
+TEST_F(ObsPipelineFixture, DisabledMetricsLeaveRegistryEmpty) {
+  const PipelineRun run = RunPipeline(/*metrics_enabled=*/false);
+  EXPECT_TRUE(run.jarvis->TakeMetricsSnapshot().empty());
+  // And the pipeline still worked.
+  EXPECT_TRUE(run.jarvis->learned());
+}
+
+}  // namespace
+}  // namespace jarvis::core

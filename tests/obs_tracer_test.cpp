@@ -1,0 +1,137 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace jarvis::obs {
+namespace {
+
+TEST(Tracer, RecordsNestedSpansWithDepth) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+      {
+        ScopedSpan leaf(&tracer, "leaf");
+      }
+    }
+    ScopedSpan sibling(&tracer, "sibling");
+  }
+  const std::vector<SpanRecord> spans = tracer.Flush();
+  ASSERT_EQ(spans.size(), 4u);
+  // Sorted by start time: outer opened first, then inner, leaf, sibling.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].depth, 1u);
+  // A child starts no earlier than its parent and fits inside it.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+}
+
+TEST(Tracer, FlushDrainsBuffer) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "once");
+  }
+  EXPECT_EQ(tracer.Flush().size(), 1u);
+  EXPECT_TRUE(tracer.Flush().empty());
+  {
+    ScopedSpan span(&tracer, "again");
+  }
+  // Depth restarts at the root after a balanced scope, flush or not.
+  const std::vector<SpanRecord> spans = tracer.Flush();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "again");
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(Tracer, NullTracerIsInert) {
+  ScopedSpan span(nullptr, "ignored");
+  ScopedSpan nested(nullptr, "also ignored");
+  // Nothing to assert beyond "does not crash"; the spans record nowhere.
+}
+
+TEST(Tracer, OnlyCompletedSpansFlush) {
+  Tracer tracer;
+  ScopedSpan open(&tracer, "still-open");
+  {
+    ScopedSpan done(&tracer, "done");
+  }
+  const std::vector<SpanRecord> spans = tracer.Flush();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "done");
+  EXPECT_EQ(spans[0].depth, 1u);  // opened under "still-open"
+}
+
+// Label `runtime`: recorded under TSan in CI. Spans from concurrent pool
+// workers land in per-thread buffers and merge at flush.
+TEST(Tracer, ConcurrentSpansFromThreadPool) {
+  Tracer tracer;
+  constexpr std::size_t kTasks = 32;
+  {
+    runtime::ThreadPool pool(4);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      pool.Submit([&tracer, t] {
+        ScopedSpan outer(&tracer, "task." + std::to_string(t));
+        ScopedSpan inner(&tracer, "work");
+      });
+    }
+    pool.Shutdown();
+  }
+  const std::vector<SpanRecord> spans = tracer.Flush();
+  ASSERT_EQ(spans.size(), 2 * kTasks);
+
+  std::size_t roots = 0;
+  std::size_t children = 0;
+  std::set<std::string> root_names;
+  std::set<std::size_t> threads;
+  for (const SpanRecord& span : spans) {
+    threads.insert(span.thread_index);
+    if (span.depth == 0) {
+      ++roots;
+      root_names.insert(span.name);
+    } else {
+      EXPECT_EQ(span.name, "work");
+      EXPECT_EQ(span.depth, 1u);
+      ++children;
+    }
+  }
+  EXPECT_EQ(roots, kTasks);
+  EXPECT_EQ(children, kTasks);
+  EXPECT_EQ(root_names.size(), kTasks);  // every task span distinct
+  EXPECT_LE(threads.size(), 4u);         // dense thread indices, one per worker
+  // Sorted by start time.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+  }
+}
+
+TEST(Tracer, SpansToJsonShape) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "root");
+    ScopedSpan inner(&tracer, "child");
+  }
+  const util::JsonValue json = SpansToJson(tracer.Flush());
+  const std::string dump = json.Dump();
+  EXPECT_NE(dump.find("\"root\""), std::string::npos);
+  EXPECT_NE(dump.find("\"child\""), std::string::npos);
+  EXPECT_NE(dump.find("\"depth\""), std::string::npos);
+  EXPECT_NE(dump.find("\"duration_ns\""), std::string::npos);
+  EXPECT_NO_THROW(util::JsonValue::Parse(dump));
+}
+
+}  // namespace
+}  // namespace jarvis::obs

@@ -156,6 +156,86 @@ TEST_F(FleetFixture, SuggestMinutesMatchesPerMinuteSuggestAction) {
   EXPECT_THROW(fleet.SuggestMinutes(99, state, minutes), std::out_of_range);
 }
 
+TEST_F(FleetFixture, TenantMetricsIdenticalAcrossWorkerCounts) {
+  // Tenant-level metrics are observational AND deterministic: each tenant
+  // Jarvis owns its registry, so its deterministic snapshot is a pure
+  // function of the tenant seed — bit-identical whether the fleet ran
+  // sequentially or across 4 workers.
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  Fleet oracle(Home(), CheapConfig(4, 1));
+  Fleet parallel(Home(), CheapConfig(4, 4));
+  ASSERT_EQ(oracle.Run(factory).completed, 4u);
+  ASSERT_EQ(parallel.Run(factory).completed, 4u);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(::testing::Message() << "tenant " << i);
+    const obs::MetricsSnapshot a = oracle.TenantMetrics(i).DeterministicOnly();
+    const obs::MetricsSnapshot b =
+        parallel.TenantMetrics(i).DeterministicOnly();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(oracle.AggregateTenantMetrics().DeterministicOnly(),
+            parallel.AggregateTenantMetrics().DeterministicOnly());
+}
+
+TEST_F(FleetFixture, InstrumentationDoesNotPerturbResults) {
+  // The determinism contract extends to instrumentation itself: disabling
+  // tenant metrics must not change a single FP operation in any pipeline.
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  Fleet instrumented(Home(), CheapConfig(2, 1));
+  FleetConfig bare_config = CheapConfig(2, 1);
+  bare_config.tenant_config.metrics_enabled = false;
+  Fleet bare(Home(), bare_config);
+
+  const FleetReport with_metrics = instrumented.Run(factory);
+  const FleetReport without = bare.Run(factory);
+  ExpectTenantResultsIdentical(without, with_metrics);
+
+  EXPECT_FALSE(instrumented.TenantMetrics(0).empty());
+  EXPECT_TRUE(bare.TenantMetrics(0).empty());
+}
+
+TEST_F(FleetFixture, FleetLevelMetricsAndSpans) {
+  const auto good = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  const WorkloadFactory factory = [&good](std::size_t tenant,
+                                          std::uint64_t seed) {
+    if (tenant == 1) throw std::runtime_error("boom");
+    return good(tenant, seed);
+  };
+  Fleet fleet(Home(), CheapConfig(3, 2));
+  fleet.Run(factory);
+
+  const obs::MetricsSnapshot fleet_metrics = fleet.TakeMetricsSnapshot();
+  EXPECT_EQ(fleet_metrics.CounterValue("runtime.fleet.runs"), 1u);
+  EXPECT_EQ(fleet_metrics.CounterValue("runtime.fleet.tenants_run"), 3u);
+  EXPECT_EQ(fleet_metrics.CounterValue("runtime.fleet.tenants_completed"),
+            2u);
+  EXPECT_EQ(fleet_metrics.CounterValue("runtime.fleet.tenants_quarantined"),
+            1u);
+  // The scheduling pool reported through the fleet registry.
+  EXPECT_EQ(fleet_metrics.CounterValue("runtime.pool.tasks_executed"), 3u);
+
+  // Per-tenant span trees: one "tenant.N" root per attempted tenant, with
+  // the pipeline children underneath for the ones that ran.
+  std::size_t roots = 0;
+  std::size_t children = 0;
+  for (const obs::SpanRecord& span : fleet.FlushSpans()) {
+    if (span.depth == 0) {
+      EXPECT_EQ(span.name.rfind("tenant.", 0), 0u);
+      ++roots;
+    } else {
+      ++children;
+    }
+  }
+  EXPECT_EQ(roots, 3u);
+  EXPECT_GE(children, 2u * 3u);  // workload/learn/optimize for 2 tenants
+
+  // TenantMetrics guards: quarantined tenant never built a pipeline.
+  EXPECT_THROW(fleet.TenantMetrics(1), std::logic_error);
+  EXPECT_THROW(fleet.TenantMetrics(99), std::out_of_range);
+}
+
 TEST_F(FleetFixture, GuardsBadConfiguration) {
   FleetConfig config = CheapConfig(0, 1);
   EXPECT_THROW(Fleet(Home(), config), std::invalid_argument);

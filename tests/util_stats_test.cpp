@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.h"
 
@@ -35,6 +36,41 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
   EXPECT_THROW(Percentile(xs, -1.0), std::invalid_argument);
   EXPECT_THROW(Percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSingleSample) {
+  const std::vector<double> xs = {7.5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 7.5);
+}
+
+TEST(Stats, PercentileRejectsNan) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // A NaN p slips past naive `p < 0 || p > 100` checks (every comparison
+  // with NaN is false); it must still throw.
+  EXPECT_THROW(Percentile(xs, nan), std::invalid_argument);
+  EXPECT_THROW(Percentile({1.0, nan, 3.0}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, OnlineVarianceNeverNegative) {
+  // Many identical large-magnitude samples drive Welford's m2 to a tiny
+  // negative rounding residue; variance/stddev must clamp, not go NaN.
+  OnlineStats online;
+  for (int i = 0; i < 1000; ++i) online.Add(1.0e8 + 0.1);
+  EXPECT_GE(online.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(online.stddev()));
+}
+
+TEST(Stats, OnlineSingleSample) {
+  OnlineStats online;
+  online.Add(4.25);
+  EXPECT_EQ(online.count(), 1u);
+  EXPECT_DOUBLE_EQ(online.mean(), 4.25);
+  EXPECT_DOUBLE_EQ(online.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(online.min(), 4.25);
+  EXPECT_DOUBLE_EQ(online.max(), 4.25);
 }
 
 TEST(Stats, OnlineMatchesBatch) {
@@ -123,6 +159,19 @@ TEST(Stats, HistogramBinsAndClamps) {
   EXPECT_FALSE(hist.ToString().empty());
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Stats, HistogramIgnoresNanAndClampsInfinity) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(std::numeric_limits<double>::quiet_NaN());
+  hist.Add(std::numeric_limits<double>::infinity());
+  hist.Add(-std::numeric_limits<double>::infinity());
+  // NaN has no bin: excluded from total(), tallied in nan_ignored().
+  EXPECT_EQ(hist.total(), 2u);
+  EXPECT_EQ(hist.nan_ignored(), 1u);
+  // ±inf clamp into the edge bins like any out-of-range sample.
+  EXPECT_EQ(hist.counts()[0], 1u);
+  EXPECT_EQ(hist.counts()[4], 1u);
 }
 
 }  // namespace

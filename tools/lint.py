@@ -37,8 +37,8 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 # src/ subdirectory must be registered here (and in DESIGN.md §3) so its
 # headers inherit the hygiene/RNG/iostream rules on purpose, not by luck.
 SRC_MODULES = frozenset({
-    "core", "events", "faults", "fsm", "neural", "rl", "runtime", "sim",
-    "spl", "util",
+    "core", "events", "faults", "fsm", "neural", "obs", "rl", "runtime",
+    "sim", "spl", "util",
 })
 
 # Files allowed to use raw OS randomness.
