@@ -28,30 +28,63 @@ Activation ActivationFromName(const std::string& name) {
 }
 
 Tensor Apply(Activation act, const Tensor& pre_activation) {
+  Tensor out = pre_activation;
+  ApplyInPlace(act, out);
+  return out;
+}
+
+void ApplyInPlace(Activation act, Tensor& tensor) {
+  auto& data = tensor.mutable_data();
+  // One switch per tensor, then a tight loop per case with the scalar math
+  // inlined: same element order and same expressions as the historical
+  // Map(std::function) path, so outputs are bit-identical — only the
+  // per-element indirect call is gone.
   switch (act) {
     case Activation::kIdentity:
-      return pre_activation;
+      return;
     case Activation::kRelu:
-      return pre_activation.Map([](double x) { return x > 0.0 ? x : 0.0; });
+      for (double& x : data) x = x > 0.0 ? x : 0.0;
+      return;
     case Activation::kSigmoid:
-      return pre_activation.Map(
-          [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+      for (double& x : data) x = 1.0 / (1.0 + std::exp(-x));
+      return;
     case Activation::kTanh:
-      return pre_activation.Map([](double x) { return std::tanh(x); });
+      for (double& x : data) x = std::tanh(x);
+      return;
   }
   throw std::logic_error("unknown activation");
 }
 
 Tensor DerivativeFromOutput(Activation act, const Tensor& activated) {
+  Tensor out;
+  DerivativeFromOutputInto(act, activated, out);
+  return out;
+}
+
+void DerivativeFromOutputInto(Activation act, const Tensor& activated,
+                              Tensor& out) {
+  out.Resize(activated.rows(), activated.cols());
+  const auto& in = activated.data();
+  auto& dst = out.mutable_data();
   switch (act) {
     case Activation::kIdentity:
-      return Tensor(activated.rows(), activated.cols(), 1.0);
+      out.Fill(1.0);
+      return;
     case Activation::kRelu:
-      return activated.Map([](double y) { return y > 0.0 ? 1.0 : 0.0; });
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        dst[i] = in[i] > 0.0 ? 1.0 : 0.0;
+      }
+      return;
     case Activation::kSigmoid:
-      return activated.Map([](double y) { return y * (1.0 - y); });
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        dst[i] = in[i] * (1.0 - in[i]);
+      }
+      return;
     case Activation::kTanh:
-      return activated.Map([](double y) { return 1.0 - y * y; });
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        dst[i] = 1.0 - in[i] * in[i];
+      }
+      return;
   }
   throw std::logic_error("unknown activation");
 }

@@ -26,26 +26,36 @@ DenseLayer::DenseLayer(std::size_t in_features, std::size_t out_features,
   }
 }
 
-Tensor DenseLayer::Forward(const Tensor& input) {
-  cached_input_ = input;
-  cached_output_ =
-      Apply(activation_, input.MatMul(weights_).AddRowBroadcast(biases_));
+const Tensor& DenseLayer::Forward(const Tensor& input) {
+  cached_input_ = input;  // copy-assign reuses capacity: no steady-state alloc
+  input.MatMulInto(weights_, cached_output_);
+  cached_output_.AddRowBroadcastInPlace(biases_);
+  ApplyInPlace(activation_, cached_output_);
   has_cache_ = true;
   return cached_output_;
 }
 
-Tensor DenseLayer::Infer(const Tensor& input) const {
-  return Apply(activation_, input.MatMul(weights_).AddRowBroadcast(biases_));
+void DenseLayer::InferInto(const Tensor& input, Tensor& out) const {
+  input.MatMulInto(weights_, out);
+  out.AddRowBroadcastInPlace(biases_);
+  ApplyInPlace(activation_, out);
 }
 
-Tensor DenseLayer::Backward(const Tensor& grad_output) {
+const Tensor& DenseLayer::Backward(const Tensor& grad_output) {
   JARVIS_CHECK(has_cache_, "DenseLayer::Backward without Forward");
   // dL/dz = dL/dy * act'(z), expressed via the cached activated output.
-  const Tensor grad_pre =
-      grad_output.Hadamard(DerivativeFromOutput(activation_, cached_output_));
-  grad_weights_ += cached_input_.Transposed().MatMul(grad_pre);
-  grad_biases_ += grad_pre.SumRows();
-  return grad_pre.MatMul(weights_.Transposed());
+  // (deriv * grad and grad * deriv round identically, so computing the
+  // derivative in place and scaling by grad_output matches the historical
+  // Hadamard order bit-for-bit.)
+  DerivativeFromOutputInto(activation_, cached_output_, grad_pre_);
+  grad_pre_.HadamardInPlace(grad_output);
+  // Gradients are zero on entry (the optimizer zeroes them each step), so
+  // accumulating products directly is bit-identical to materializing the
+  // transposed products and adding.
+  cached_input_.TransposedMatMulAccumulate(grad_pre_, grad_weights_);
+  grad_pre_.SumRowsAccumulate(grad_biases_);
+  grad_pre_.MatMulTransposedInto(weights_, grad_input_);
+  return grad_input_;
 }
 
 void DenseLayer::ZeroGradients() {

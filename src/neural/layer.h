@@ -1,6 +1,13 @@
 // Fully-connected layer with activation. Holds weights, biases, and the
 // gradients produced by the most recent backward pass; the optimizer applies
 // them to the parameters.
+//
+// Memory model (DESIGN.md §12): Forward/Backward return references into
+// layer-owned scratch tensors that are reused across calls, so steady-state
+// training performs zero allocations. The returned references are
+// invalidated by the next Forward/Backward call on the same layer. A layer
+// is therefore thread-compatible, not thread-safe — each fleet tenant owns
+// its own network (DESIGN.md §10), so nothing shares layers across threads.
 #pragma once
 
 #include "neural/activation.h"
@@ -17,22 +24,34 @@ class DenseLayer {
              Activation activation, jarvis::util::Rng& rng);
 
   // Forward pass over a batch (rows are samples). Caches the input and
-  // output for the subsequent backward pass.
-  Tensor Forward(const Tensor& input);
+  // output for the subsequent backward pass. Returns a reference to the
+  // cached output (valid until the next Forward on this layer).
+  const Tensor& Forward(const Tensor& input);
 
-  // Forward pass without caching (inference only; safe to call concurrently
-  // with no pending backward).
-  Tensor Infer(const Tensor& input) const;
+  // Forward pass without touching the backward caches, writing into a
+  // caller-owned scratch tensor (resized; allocation-free once `out` has
+  // seen the shape). `out` must not alias `input`.
+  void InferInto(const Tensor& input, Tensor& out) const;
 
-  // Consumes dLoss/dOutput, accumulates parameter gradients, and returns
-  // dLoss/dInput for the upstream layer. Must follow a Forward call.
-  Tensor Backward(const Tensor& grad_output);
+  // Consumes dLoss/dOutput, accumulates parameter gradients on top of
+  // their current contents (zeroed by the optimizer step or by
+  // ZeroGradients — callers driving Backward by hand must zero first), and
+  // returns
+  // dLoss/dInput for the upstream layer (a reference into layer scratch,
+  // valid until the next Backward on this layer). Must follow a Forward
+  // call; `grad_output` must not alias this layer's scratch.
+  const Tensor& Backward(const Tensor& grad_output);
 
   void ZeroGradients();
 
   std::size_t in_features() const { return weights_.rows(); }
   std::size_t out_features() const { return weights_.cols(); }
   Activation activation() const { return activation_; }
+
+  // Most recent Forward output (post-activation), for callers that train
+  // against the same forward they just ran (Network::TrainCachedMasked).
+  bool has_cache() const { return has_cache_; }
+  const Tensor& cached_output() const { return cached_output_; }
 
   Tensor& weights() { return weights_; }
   Tensor& biases() { return biases_; }
@@ -55,6 +74,9 @@ class DenseLayer {
   Tensor grad_biases_;   // 1 x out
   Tensor cached_input_;  // batch x in
   Tensor cached_output_; // batch x out (post-activation)
+  // Backward scratch, reused across calls (zero steady-state allocations).
+  Tensor grad_pre_;      // batch x out (dLoss/dPreActivation)
+  Tensor grad_input_;    // batch x in  (dLoss/dInput, the return value)
   bool has_cache_ = false;
 };
 

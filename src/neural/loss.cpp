@@ -46,10 +46,17 @@ double ComputeLoss(Loss loss, const Tensor& prediction, const Tensor& target) {
 }
 
 Tensor LossGradient(Loss loss, const Tensor& prediction, const Tensor& target) {
+  Tensor grad;
+  LossGradientInto(loss, prediction, target, grad);
+  return grad;
+}
+
+void LossGradientInto(Loss loss, const Tensor& prediction,
+                      const Tensor& target, Tensor& grad) {
   if (!prediction.SameShape(target)) {
     throw std::invalid_argument("LossGradient: shape mismatch");
   }
-  Tensor grad(prediction.rows(), prediction.cols());
+  grad.Resize(prediction.rows(), prediction.cols());
   const auto& p = prediction.data();
   const auto& t = target.data();
   auto& g = grad.mutable_data();
@@ -67,7 +74,6 @@ Tensor LossGradient(Loss loss, const Tensor& prediction, const Tensor& target) {
       }
       break;
   }
-  return grad;
 }
 
 double MaskedMseLoss(const Tensor& prediction, const Tensor& target,
@@ -91,22 +97,29 @@ double MaskedMseLoss(const Tensor& prediction, const Tensor& target,
 
 Tensor MaskedMseGradient(const Tensor& prediction, const Tensor& target,
                          const Tensor& mask) {
+  Tensor grad;
+  MaskedMseGradientInto(prediction, target, mask, grad);
+  return grad;
+}
+
+void MaskedMseGradientInto(const Tensor& prediction, const Tensor& target,
+                           const Tensor& mask, Tensor& grad) {
   if (!prediction.SameShape(target) || !prediction.SameShape(mask)) {
     throw std::invalid_argument("MaskedMseGradient: shape mismatch");
   }
-  Tensor grad(prediction.rows(), prediction.cols());
+  grad.Resize(prediction.rows(), prediction.cols());
+  grad.Fill(0.0);
   const auto& p = prediction.data();
   const auto& t = target.data();
   const auto& m = mask.data();
   auto& g = grad.mutable_data();
   double active = 0.0;
   for (double v : m) active += (v != 0.0) ? 1.0 : 0.0;
-  if (active == 0.0) return grad;
+  if (active == 0.0) return;
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (m[i] == 0.0) continue;
     g[i] = 2.0 * (p[i] - t[i]) / active;
   }
-  return grad;
 }
 
 }  // namespace jarvis::neural

@@ -22,6 +22,10 @@ double ComputeLoss(Loss loss, const Tensor& prediction, const Tensor& target);
 // dLoss/dPrediction, same shape as prediction, already averaged over the
 // batch element count (so optimizer steps are batch-size invariant).
 Tensor LossGradient(Loss loss, const Tensor& prediction, const Tensor& target);
+// Scratch-tensor variant: writes into `grad` (resized; allocation-free once
+// the shape has been seen). `grad` must not alias prediction or target.
+void LossGradientInto(Loss loss, const Tensor& prediction,
+                      const Tensor& target, Tensor& grad);
 
 // Per-element mask variant of MSE: positions where mask == 0 contribute no
 // loss and no gradient. The DQN uses this to train only the Q output for the
@@ -31,5 +35,8 @@ double MaskedMseLoss(const Tensor& prediction, const Tensor& target,
                      const Tensor& mask);
 Tensor MaskedMseGradient(const Tensor& prediction, const Tensor& target,
                          const Tensor& mask);
+// Scratch-tensor variant (see LossGradientInto).
+void MaskedMseGradientInto(const Tensor& prediction, const Tensor& target,
+                           const Tensor& mask, Tensor& grad);
 
 }  // namespace jarvis::neural

@@ -1,6 +1,6 @@
 #include "neural/network.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace jarvis::neural {
 
@@ -11,8 +11,8 @@ Network::Network(std::size_t input_features,
       loss_(loss),
       optimizer_(std::move(optimizer)),
       rng_(rng) {
-  if (layers.empty()) throw std::invalid_argument("Network: no layers");
-  if (!optimizer_) throw std::invalid_argument("Network: null optimizer");
+  JARVIS_CHECK(!layers.empty(), "Network: no layers");
+  JARVIS_CHECK(optimizer_ != nullptr, "Network: null optimizer");
   std::size_t width = input_features;
   for (const auto& spec : layers) {
     layers_.emplace_back(width, spec.units, spec.activation, rng_);
@@ -20,25 +20,49 @@ Network::Network(std::size_t input_features,
   }
 }
 
+const Tensor& Network::PredictScratch(const Tensor& input) const {
+  const Tensor* activation = &input;
+  bool into_ping = true;
+  for (const auto& layer : layers_) {
+    Tensor& out = into_ping ? infer_ping_ : infer_pong_;
+    layer.InferInto(*activation, out);
+    activation = &out;
+    into_ping = !into_ping;
+  }
+  return *activation;
+}
+
 Tensor Network::Predict(const Tensor& input) const {
-  Tensor activation = input;
-  for (const auto& layer : layers_) activation = layer.Infer(activation);
-  return activation;
+  return PredictScratch(input);
 }
 
 std::vector<double> Network::PredictOne(const std::vector<double>& input) const {
-  return Predict(Tensor::Row(input)).RowVector(0);
+  std::vector<double> out;
+  PredictOneInto(input, out);
+  return out;
+}
+
+void Network::PredictOneInto(const std::vector<double>& input,
+                             std::vector<double>& out) const {
+  infer_row_.Resize(1, input.size());
+  infer_row_.SetRow(0, input);
+  const Tensor& prediction = PredictScratch(infer_row_);
+  out.resize(prediction.cols());
+  const auto& data = prediction.data();
+  std::copy(data.begin(), data.end(), out.begin());
 }
 
 Tensor Network::PredictBatch(const Tensor& inputs) const {
-  if (inputs.cols() != input_features_) {
-    throw std::invalid_argument("Network::PredictBatch: input width mismatch");
-  }
+  return PredictBatchScratch(inputs);
+}
+
+const Tensor& Network::PredictBatchScratch(const Tensor& inputs) const {
+  JARVIS_CHECK_EQ(inputs.cols(), input_features_,
+                  "Network::PredictBatch: input width mismatch");
   JARVIS_OBS_ONLY(if (batch_rows_histogram_ != nullptr) {
     batch_rows_histogram_->Observe(static_cast<double>(inputs.rows()));
   })
-  if (inputs.rows() == 0) return Tensor(0, output_features());
-  return Predict(inputs);
+  return PredictScratch(inputs);
 }
 
 void Network::SetMetrics(obs::Registry* registry) {
@@ -51,59 +75,83 @@ void Network::SetMetrics(obs::Registry* registry) {
       {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
 }
 
-Tensor Network::ForwardCached(const Tensor& input) {
-  Tensor activation = input;
-  for (auto& layer : layers_) activation = layer.Forward(activation);
-  return activation;
+const Tensor& Network::ForwardCached(const Tensor& input) {
+  const Tensor* activation = &input;
+  for (auto& layer : layers_) activation = &layer.Forward(*activation);
+  return *activation;
 }
 
 void Network::BackwardAndStep(const Tensor& grad_output) {
-  Tensor grad = grad_output;
+  // Gradient references walk backward through layer-owned scratch: layer N's
+  // dInput is layer N-1's dOutput, with no intermediate copies.
+  const Tensor* grad = &grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = it->Backward(grad);
+    grad = &it->Backward(*grad);
   }
   optimizer_->Step(layers_);
 }
 
 double Network::TrainBatch(const Tensor& input, const Tensor& target) {
-  const Tensor prediction = ForwardCached(input);
+  const Tensor& prediction = ForwardCached(input);
   const double batch_loss = ComputeLoss(loss_, prediction, target);
-  BackwardAndStep(LossGradient(loss_, prediction, target));
+  LossGradientInto(loss_, prediction, target, loss_grad_);
+  BackwardAndStep(loss_grad_);
   return batch_loss;
 }
 
 double Network::TrainBatchMasked(const Tensor& input, const Tensor& target,
                                  const Tensor& mask) {
-  if (loss_ != Loss::kMeanSquaredError) {
-    throw std::logic_error("TrainBatchMasked requires MSE loss");
-  }
-  const Tensor prediction = ForwardCached(input);
+  JARVIS_CHECK(loss_ == Loss::kMeanSquaredError,
+               "TrainBatchMasked requires MSE loss");
+  const Tensor& prediction = ForwardCached(input);
   const double batch_loss = MaskedMseLoss(prediction, target, mask);
-  BackwardAndStep(MaskedMseGradient(prediction, target, mask));
+  MaskedMseGradientInto(prediction, target, mask, loss_grad_);
+  BackwardAndStep(loss_grad_);
+  return batch_loss;
+}
+
+const Tensor& Network::ForwardForTraining(const Tensor& input) {
+  JARVIS_CHECK_EQ(input.cols(), input_features_,
+                  "Network::ForwardForTraining: input width mismatch");
+  return ForwardCached(input);
+}
+
+double Network::TrainCachedMasked(const Tensor& target, const Tensor& mask) {
+  JARVIS_CHECK(loss_ == Loss::kMeanSquaredError,
+               "TrainCachedMasked requires MSE loss");
+  JARVIS_CHECK(layers_.back().has_cache(),
+               "TrainCachedMasked without a preceding ForwardForTraining");
+  const Tensor& prediction = layers_.back().cached_output();
+  const double batch_loss = MaskedMseLoss(prediction, target, mask);
+  MaskedMseGradientInto(prediction, target, mask, loss_grad_);
+  BackwardAndStep(loss_grad_);
   return batch_loss;
 }
 
 double Network::TrainEpoch(const Tensor& inputs, const Tensor& targets,
                            std::size_t batch_size) {
-  if (inputs.rows() != targets.rows()) {
-    throw std::invalid_argument("TrainEpoch: sample count mismatch");
-  }
-  if (batch_size == 0) throw std::invalid_argument("TrainEpoch: batch 0");
-  std::vector<std::size_t> order(inputs.rows());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng_.Shuffle(order);
+  JARVIS_CHECK_EQ(inputs.rows(), targets.rows(),
+                  "TrainEpoch: sample count mismatch");
+  JARVIS_CHECK_GT(batch_size, std::size_t{0}, "TrainEpoch: batch 0");
+  epoch_order_.resize(inputs.rows());
+  for (std::size_t i = 0; i < epoch_order_.size(); ++i) epoch_order_[i] = i;
+  rng_.Shuffle(epoch_order_);
 
   double total_loss = 0.0;
   std::size_t batches = 0;
-  for (std::size_t start = 0; start < order.size(); start += batch_size) {
-    const std::size_t end = std::min(start + batch_size, order.size());
-    Tensor batch_in(end - start, inputs.cols());
-    Tensor batch_target(end - start, targets.cols());
+  for (std::size_t start = 0; start < epoch_order_.size();
+       start += batch_size) {
+    const std::size_t end =
+        std::min(start + batch_size, epoch_order_.size());
+    // Gather rows into reusable scratch: the only per-epoch allocations are
+    // the first-time growth of the two batch buffers.
+    batch_in_.Resize(end - start, inputs.cols());
+    batch_target_.Resize(end - start, targets.cols());
     for (std::size_t i = start; i < end; ++i) {
-      batch_in.SetRow(i - start, inputs.RowVector(order[i]));
-      batch_target.SetRow(i - start, targets.RowVector(order[i]));
+      batch_in_.CopyRowFrom(i - start, inputs, epoch_order_[i]);
+      batch_target_.CopyRowFrom(i - start, targets, epoch_order_[i]);
     }
-    total_loss += TrainBatch(batch_in, batch_target);
+    total_loss += TrainBatch(batch_in_, batch_target_);
     ++batches;
   }
   return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
@@ -126,27 +174,23 @@ std::vector<std::pair<Tensor, Tensor>> Network::ExportParameters() const {
 
 void Network::ImportParameters(
     const std::vector<std::pair<Tensor, Tensor>>& params) {
-  if (params.size() != layers_.size()) {
-    throw std::invalid_argument("ImportParameters: layer count mismatch");
-  }
+  JARVIS_CHECK_EQ(params.size(), layers_.size(),
+                  "ImportParameters: layer count mismatch");
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (!params[i].first.SameShape(layers_[i].weights()) ||
-        !params[i].second.SameShape(layers_[i].biases())) {
-      throw std::invalid_argument("ImportParameters: shape mismatch");
-    }
+    JARVIS_CHECK(params[i].first.SameShape(layers_[i].weights()) &&
+                     params[i].second.SameShape(layers_[i].biases()),
+                 "ImportParameters: shape mismatch");
     layers_[i].weights() = params[i].first;
     layers_[i].biases() = params[i].second;
   }
 }
 
 void Network::CopyParametersFrom(const Network& other) {
-  if (other.layers_.size() != layers_.size()) {
-    throw std::invalid_argument("CopyParametersFrom: topology mismatch");
-  }
+  JARVIS_CHECK_EQ(other.layers_.size(), layers_.size(),
+                  "CopyParametersFrom: topology mismatch");
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (!layers_[i].weights().SameShape(other.layers_[i].weights())) {
-      throw std::invalid_argument("CopyParametersFrom: layer shape mismatch");
-    }
+    JARVIS_CHECK(layers_[i].weights().SameShape(other.layers_[i].weights()),
+                 "CopyParametersFrom: layer shape mismatch");
     layers_[i].weights() = other.layers_[i].weights();
     layers_[i].biases() = other.layers_[i].biases();
   }

@@ -25,14 +25,29 @@ class Network {
  public:
   // `input_features` is the width of the input; `layers` lists hidden and
   // output layers in order. The optimizer is owned by the network.
+  // Argument validation is enforced with JARVIS_CHECK (throws
+  // util::CheckError).
   Network(std::size_t input_features, const std::vector<LayerSpec>& layers,
           Loss loss, std::unique_ptr<Optimizer> optimizer,
           jarvis::util::Rng rng);
 
-  // Forward pass for inference (no caches mutated beyond layer scratch).
+  // Forward pass for inference, returning a fresh tensor. Inference routes
+  // through mutable network-owned scratch (zero steady-state allocations
+  // beyond the returned copy), so a Network is thread-compatible, not
+  // thread-safe: each fleet tenant owns its network and runs on one worker
+  // (DESIGN.md §10/§12); nothing may share one Network across threads.
   Tensor Predict(const Tensor& input) const;
+  // Allocation-free variant: returns a reference to network-owned scratch
+  // holding the prediction. Invalidated by the next Predict*/forward call
+  // on this network; `input` must not alias network scratch (i.e. must not
+  // itself be a reference previously returned by this method).
+  const Tensor& PredictScratch(const Tensor& input) const;
   // Convenience: single-sample prediction.
   std::vector<double> PredictOne(const std::vector<double>& input) const;
+  // Allocation-free single-sample variant (steady state: `out` is resized
+  // once and overwritten thereafter).
+  void PredictOneInto(const std::vector<double>& input,
+                      std::vector<double>& out) const;
 
   // Batched inference over `inputs` (rows are independent samples; width
   // must equal input_features()). Row i of the result is *bit-identical*
@@ -43,6 +58,11 @@ class Network {
   // InferenceBatcher) cannot perturb any tenant's Q-values. The batched
   // parity test (runtime_batcher_test) pins this invariant.
   Tensor PredictBatch(const Tensor& inputs) const;
+  // Allocation-free PredictBatch: same contract (width check, metrics
+  // observation, per-row bit-identity with PredictOne), returning a
+  // reference into network scratch, valid until the next Predict*/forward
+  // call on this network.
+  const Tensor& PredictBatchScratch(const Tensor& inputs) const;
 
   // One optimization step on a batch; returns the batch loss before the
   // update.
@@ -51,6 +71,18 @@ class Network {
   // Masked variant (MSE only): elements with mask==0 receive no gradient.
   double TrainBatchMasked(const Tensor& input, const Tensor& target,
                           const Tensor& mask);
+
+  // Replay fast path, in two halves. ForwardForTraining runs one cached
+  // forward over `input` and returns the prediction (a reference into
+  // layer scratch, valid until the next forward/train call on this
+  // network; PredictScratch and PredictOneInto use separate inference
+  // scratch and do NOT invalidate it). TrainCachedMasked then trains
+  // against that cached forward without recomputing it — bit-identical to
+  // TrainBatchMasked(input, target, mask), minus one redundant forward
+  // pass. DqnAgent::Replay uses the pair to derive its targets from the
+  // same forward it trains on.
+  const Tensor& ForwardForTraining(const Tensor& input);
+  double TrainCachedMasked(const Tensor& target, const Tensor& mask);
 
   // Repeats TrainBatch over the whole dataset in shuffled mini-batches for
   // one epoch; returns the mean batch loss.
@@ -81,7 +113,7 @@ class Network {
   void SetMetrics(obs::Registry* registry);
 
  private:
-  Tensor ForwardCached(const Tensor& input);
+  const Tensor& ForwardCached(const Tensor& input);
   void BackwardAndStep(const Tensor& grad_output);
 
   std::size_t input_features_;
@@ -89,6 +121,18 @@ class Network {
   std::vector<DenseLayer> layers_;
   std::unique_ptr<Optimizer> optimizer_;
   mutable jarvis::util::Rng rng_;
+  // Inference scratch: ping-pong activation buffers plus a 1-row staging
+  // tensor for PredictOne. Mutable so const Predict stays allocation-free;
+  // this is what makes the network thread-compatible rather than
+  // thread-safe (see Predict).
+  mutable Tensor infer_ping_;
+  mutable Tensor infer_pong_;
+  mutable Tensor infer_row_;
+  // Training scratch: loss gradient and mini-batch gather buffers.
+  Tensor loss_grad_;
+  Tensor batch_in_;
+  Tensor batch_target_;
+  std::vector<std::size_t> epoch_order_;
   obs::Histogram* batch_rows_histogram_ = nullptr;
 };
 

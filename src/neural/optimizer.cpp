@@ -1,16 +1,48 @@
 #include "neural/optimizer.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace jarvis::neural {
 
+namespace {
+
+// In-place p[i] -= g[i] * lr. The product is rounded into a named temporary
+// before the subtraction, so the result is bit-identical to the historical
+// materialize-a-scaled-tensor-then-subtract formulation (and immune to FMA
+// contraction).
+void ApplyScaledGradient(Tensor& param, const Tensor& grad, double lr) {
+  auto& p = param.mutable_data();
+  const auto& g = grad.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double scaled = g[i] * lr;
+    p[i] -= scaled;
+  }
+}
+
+// In-place v[i] = v[i]*momentum + g[i]*lr; p[i] -= v[i]. Each product is
+// rounded separately, matching the historical tensor-expression sequence
+// (v *= momentum; v += g*lr; p -= v) bit-for-bit.
+void ApplyMomentumStep(Tensor& param, const Tensor& grad, Tensor& velocity,
+                       double momentum, double lr) {
+  auto& p = param.mutable_data();
+  auto& v = velocity.mutable_data();
+  const auto& g = grad.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double decayed = v[i] * momentum;
+    const double scaled = g[i] * lr;
+    v[i] = decayed + scaled;
+    p[i] -= v[i];
+  }
+}
+
+}  // namespace
+
 Sgd::Sgd(double learning_rate, double momentum)
     : learning_rate_(learning_rate), momentum_(momentum) {
-  if (learning_rate <= 0.0) throw std::invalid_argument("Sgd: lr <= 0");
-  if (momentum < 0.0 || momentum >= 1.0) {
-    throw std::invalid_argument("Sgd: momentum out of [0,1)");
-  }
+  JARVIS_CHECK_GT(learning_rate, 0.0, "Sgd: lr <= 0");
+  JARVIS_CHECK(momentum >= 0.0 && momentum < 1.0, "Sgd: momentum out of [0,1)");
 }
 
 void Sgd::Step(std::vector<DenseLayer>& layers) {
@@ -26,15 +58,15 @@ void Sgd::Step(std::vector<DenseLayer>& layers) {
   for (std::size_t i = 0; i < layers.size(); ++i) {
     auto& layer = layers[i];
     if (momentum_ > 0.0) {
-      weight_velocity_[i] *= momentum_;
-      weight_velocity_[i] += layer.weight_gradients() * learning_rate_;
-      bias_velocity_[i] *= momentum_;
-      bias_velocity_[i] += layer.bias_gradients() * learning_rate_;
-      layer.weights() -= weight_velocity_[i];
-      layer.biases() -= bias_velocity_[i];
+      ApplyMomentumStep(layer.weights(), layer.weight_gradients(),
+                        weight_velocity_[i], momentum_, learning_rate_);
+      ApplyMomentumStep(layer.biases(), layer.bias_gradients(),
+                        bias_velocity_[i], momentum_, learning_rate_);
     } else {
-      layer.weights() -= layer.weight_gradients() * learning_rate_;
-      layer.biases() -= layer.bias_gradients() * learning_rate_;
+      ApplyScaledGradient(layer.weights(), layer.weight_gradients(),
+                          learning_rate_);
+      ApplyScaledGradient(layer.biases(), layer.bias_gradients(),
+                          learning_rate_);
     }
     layer.ZeroGradients();
   }
@@ -45,7 +77,7 @@ Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
       beta1_(beta1),
       beta2_(beta2),
       epsilon_(epsilon) {
-  if (learning_rate <= 0.0) throw std::invalid_argument("Adam: lr <= 0");
+  JARVIS_CHECK_GT(learning_rate, 0.0, "Adam: lr <= 0");
 }
 
 void Adam::Step(std::vector<DenseLayer>& layers) {

@@ -2,9 +2,19 @@
 // paper's networks: the single-hidden-layer ANN filter (Section IV-A) and
 // the two-hidden-layer DQN (Section V-A-6). Vectors are 1xN or Nx1 matrices.
 //
-// The networks here are tiny (tens of units), so the implementation favors
-// clarity and correctness over blocking/vectorization tricks; the simple
-// loops still saturate these sizes easily.
+// Kernel & memory model (DESIGN.md §12): the hot-path entry points are the
+// *Into / *InPlace / *Accumulate kernels, which write into caller-owned
+// tensors so steady-state forward/backward passes allocate nothing. Every
+// kernel preserves one numerical invariant: each output element accumulates
+// its k-products in ascending-k order starting from +0.0, independently of
+// every other output element. That per-row accumulation order is what makes
+// batched inference bit-identical to per-row inference (Network::
+// PredictBatch) and the refactored kernels bit-identical to the naive
+// reference loops (tests/neural_kernels_test.cpp).
+//
+// IEEE semantics are honored: there is no zero-operand shortcut, so
+// 0 * inf and 0 * NaN propagate NaN instead of silently contributing 0 —
+// divergence in the DQN surfaces in its outputs rather than being masked.
 #pragma once
 
 #include <cstddef>
@@ -56,6 +66,16 @@ class Tensor {
   // Extracts row r as a flat vector.
   std::vector<double> RowVector(std::size_t r) const;
   void SetRow(std::size_t r, const std::vector<double>& values);
+  // Copies src's row src_row into this tensor's row dst_row (widths must
+  // match). The allocation-free row gather used by mini-batch assembly.
+  void CopyRowFrom(std::size_t dst_row, const Tensor& src,
+                   std::size_t src_row);
+
+  // Reshapes without shrinking capacity: repeated Resize cycles between
+  // shapes seen before perform no allocation (the scratch-tensor contract).
+  // Newly exposed elements are zero; surviving elements keep their values
+  // only when cols is unchanged (row-major layout).
+  void Resize(std::size_t rows, std::size_t cols);
 
   // Elementwise operations (shapes must match).
   Tensor& operator+=(const Tensor& other);
@@ -71,14 +91,46 @@ class Tensor {
   Tensor MatMul(const Tensor& other) const;
   Tensor Transposed() const;
 
-  // Applies f elementwise, returning a new tensor.
+  // out = this * other, written into a caller-owned tensor (resized, no
+  // allocation once out has seen the shape). Contiguous inner loop over
+  // out's columns; per output element the k-products accumulate in
+  // ascending-k order from +0.0 — the bit-identity invariant.
+  // `out` must not alias this or other.
+  void MatMulInto(const Tensor& other, Tensor& out) const;
+
+  // out = this * other^T without materializing the transpose: both operands
+  // stream row-contiguously. Element (i, j) accumulates
+  // this(i, k) * other(j, k) in ascending-k order — exactly the order
+  // Transposed()-then-MatMul produced, so backprop's dInput stays
+  // bit-identical. `out` must not alias this or other.
+  void MatMulTransposedInto(const Tensor& other, Tensor& out) const;
+
+  // out += this^T * other without materializing the transpose (the weight-
+  // gradient kernel: this is the cached batch-major input, other the
+  // batch-major upstream gradient). Element (i, j) accumulates
+  // this(b, i) * other(b, j) in ascending-b order on top of out's current
+  // value; with out zeroed this matches Transposed().MatMul() bit-for-bit.
+  // out must already be (this->cols x other.cols) and not alias either
+  // operand.
+  void TransposedMatMulAccumulate(const Tensor& other, Tensor& out) const;
+
+  // Applies f elementwise, returning a new tensor. std::function dispatch —
+  // test/tooling convenience, not a hot-path kernel (activations use the
+  // statically dispatched ApplyInPlace in neural/activation.h).
   Tensor Map(const std::function<double(double)>& f) const;
   void MapInPlace(const std::function<double(double)>& f);
 
   // Adds a 1xC row vector to every row (bias broadcast).
   Tensor AddRowBroadcast(const Tensor& row) const;
+  void AddRowBroadcastInPlace(const Tensor& row);
   // Column-wise sum producing a 1xC row vector (bias gradient reduce).
   Tensor SumRows() const;
+  // out += column-wise sums, accumulating rows in ascending order (the bias-
+  // gradient kernel; matches SumRows-then-+= bit-for-bit when out is zero).
+  void SumRowsAccumulate(Tensor& out) const;
+
+  // this[i] *= other[i] elementwise (shapes must match).
+  void HadamardInPlace(const Tensor& other);
 
   double SumAll() const;
   double MaxAll() const;

@@ -1,0 +1,224 @@
+// Naive reference implementations of the neural forward/backward/update
+// math, used as the oracle for kernel bit-parity tests
+// (tests/neural_kernels_test.cpp) and for the old-vs-new A/B in
+// bench/bench_kernels.cpp.
+//
+// These deliberately mirror the PRE-optimization code shape — textbook
+// loop nests, std::function activation maps, fresh tensors everywhere —
+// while preserving the one property that pins bit-identity: every output
+// element receives its k-products in ascending-k order starting from +0.0.
+// The production kernels (Tensor::MatMulInto and friends) restructure the
+// loops for contiguous streaming but keep that per-element accumulation
+// order, so reference and production results must match bit for bit with
+// no #ifdef switching between code paths.
+//
+// Header-only and test/bench-scoped: nothing under src/ outside this
+// directory may include it.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "neural/activation.h"
+#include "neural/network.h"
+#include "neural/tensor.h"
+#include "util/check.h"
+
+namespace jarvis::neural::testing {
+
+// Textbook i-j-k matrix multiply: ascending-k accumulation per element,
+// with no zero-operand shortcut (0 * inf and 0 * NaN must yield NaN).
+inline Tensor ReferenceMatMul(const Tensor& a, const Tensor& b) {
+  JARVIS_CHECK_EQ(a.cols(), b.rows(), "ReferenceMatMul: inner dims");
+  Tensor out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a.At(i, k) * b.At(k, j);
+      }
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+// Dynamically dispatched activation map — the historical std::function
+// formulation the production ApplyInPlace switch replaced.
+inline Tensor ReferenceApply(Activation act, const Tensor& values) {
+  std::function<double(double)> f;
+  switch (act) {
+    case Activation::kIdentity:
+      f = [](double x) { return x; };
+      break;
+    case Activation::kRelu:
+      f = [](double x) { return x > 0.0 ? x : 0.0; };
+      break;
+    case Activation::kSigmoid:
+      f = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+      break;
+    case Activation::kTanh:
+      f = [](double x) { return std::tanh(x); };
+      break;
+  }
+  return values.Map(f);
+}
+
+inline Tensor ReferenceDerivativeFromOutput(Activation act,
+                                            const Tensor& activated) {
+  std::function<double(double)> f;
+  switch (act) {
+    case Activation::kIdentity:
+      f = [](double) { return 1.0; };
+      break;
+    case Activation::kRelu:
+      f = [](double y) { return y > 0.0 ? 1.0 : 0.0; };
+      break;
+    case Activation::kSigmoid:
+      f = [](double y) { return y * (1.0 - y); };
+      break;
+    case Activation::kTanh:
+      f = [](double y) { return 1.0 - y * y; };
+      break;
+  }
+  return activated.Map(f);
+}
+
+// One dense layer of the reference model: parameters plus the forward
+// caches the backward pass reads.
+struct ReferenceLayer {
+  Tensor weights;  // in x out
+  Tensor biases;   // 1 x out
+  Activation activation = Activation::kIdentity;
+  Tensor cached_input;
+  Tensor cached_output;
+  Tensor grad_weights;
+  Tensor grad_biases;
+
+  Tensor Forward(const Tensor& input) {
+    cached_input = input;
+    cached_output =
+        ReferenceApply(activation, ReferenceMatMul(input, weights)
+                                       .AddRowBroadcast(biases));
+    return cached_output;
+  }
+
+  // Returns dLoss/dInput; overwrites the parameter gradients (the single
+  // forward/backward per step makes overwrite equal to accumulate-from-
+  // zero, which is what the production accumulate-into kernels rely on).
+  Tensor Backward(const Tensor& grad_output) {
+    const Tensor grad_pre =
+        ReferenceDerivativeFromOutput(activation, cached_output)
+            .Hadamard(grad_output);
+    grad_weights = ReferenceMatMul(cached_input.Transposed(), grad_pre);
+    grad_biases = grad_pre.SumRows();
+    return ReferenceMatMul(grad_pre, weights.Transposed());
+  }
+};
+
+// SGD reference model (optional momentum). Seed it from a production
+// Network built with neural::Sgd and the same loss, then drive both with
+// the same batches: predictions and parameter trajectories must stay
+// bit-identical.
+struct ReferenceModel {
+  std::vector<ReferenceLayer> layers;
+  Loss loss = Loss::kMeanSquaredError;
+  double learning_rate = 0.0;
+  double momentum = 0.0;
+  std::vector<Tensor> weight_velocity;
+  std::vector<Tensor> bias_velocity;
+
+  static ReferenceModel FromNetwork(const Network& network,
+                                    double learning_rate,
+                                    double momentum = 0.0) {
+    ReferenceModel model;
+    model.loss = network.loss();
+    model.learning_rate = learning_rate;
+    model.momentum = momentum;
+    for (const auto& layer : network.layers()) {
+      ReferenceLayer ref;
+      ref.weights = layer.weights();
+      ref.biases = layer.biases();
+      ref.activation = layer.activation();
+      model.layers.push_back(std::move(ref));
+    }
+    return model;
+  }
+
+  Tensor Predict(const Tensor& input) const {
+    Tensor activation = input;
+    for (const auto& layer : layers) {
+      activation = ReferenceApply(
+          layer.activation,
+          ReferenceMatMul(activation, layer.weights)
+              .AddRowBroadcast(layer.biases));
+    }
+    return activation;
+  }
+
+  // Mirrors Network::TrainBatch with the Sgd optimizer: full backward
+  // sweep first (gradients of every layer computed against the current
+  // parameters), then the update applied layer by layer.
+  double TrainBatch(const Tensor& input, const Tensor& target) {
+    Tensor prediction = input;
+    for (auto& layer : layers) prediction = layer.Forward(prediction);
+    const double batch_loss = ComputeLoss(loss, prediction, target);
+    Tensor grad = LossGradient(loss, prediction, target);
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      grad = it->Backward(grad);
+    }
+    Step();
+    return batch_loss;
+  }
+
+  double TrainBatchMasked(const Tensor& input, const Tensor& target,
+                          const Tensor& mask) {
+    JARVIS_CHECK(loss == Loss::kMeanSquaredError,
+                 "ReferenceModel::TrainBatchMasked requires MSE");
+    Tensor prediction = input;
+    for (auto& layer : layers) prediction = layer.Forward(prediction);
+    const double batch_loss = MaskedMseLoss(prediction, target, mask);
+    Tensor grad = MaskedMseGradient(prediction, target, mask);
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      grad = it->Backward(grad);
+    }
+    Step();
+    return batch_loss;
+  }
+
+ private:
+  void Step() {
+    if (momentum > 0.0 && weight_velocity.size() != layers.size()) {
+      weight_velocity.clear();
+      bias_velocity.clear();
+      for (const auto& layer : layers) {
+        weight_velocity.emplace_back(layer.weights.rows(),
+                                     layer.weights.cols());
+        bias_velocity.emplace_back(1, layer.biases.cols());
+      }
+    }
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      auto& layer = layers[i];
+      if (momentum > 0.0) {
+        // The historical tensor-expression sequence: decay, add the
+        // rounded scaled gradient, subtract the velocity.
+        weight_velocity[i] *= momentum;
+        weight_velocity[i] += layer.grad_weights * learning_rate;
+        bias_velocity[i] *= momentum;
+        bias_velocity[i] += layer.grad_biases * learning_rate;
+        layer.weights -= weight_velocity[i];
+        layer.biases -= bias_velocity[i];
+      } else {
+        // p -= g * lr with the product rounded first — the historical
+        // tensor-expression order (weights -= gradients * lr).
+        layer.weights -= layer.grad_weights * learning_rate;
+        layer.biases -= layer.grad_biases * learning_rate;
+      }
+    }
+  }
+};
+
+}  // namespace jarvis::neural::testing

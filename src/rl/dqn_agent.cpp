@@ -127,14 +127,17 @@ fsm::ActionVector DqnAgent::SelectAction(const std::vector<double>& features,
   }
   JARVIS_OBS_ONLY(
       if (actions_counter_ != nullptr) actions_counter_->Increment();)
-  if (greedy) return GreedyActionFromQ(QValues(features), mask);
+  // One allocation-free forward into agent scratch serves both the greedy
+  // decode and the exploit branches below.
+  network_.PredictOneInto(features, q_scratch_);
+  if (greedy) return GreedyActionFromQ(q_scratch_, mask);
   std::vector<std::size_t> slots;
   // Per-device exploration: each device independently explores with
   // probability epsilon while the rest follow the greedy policy. This
   // keeps the joint reward attributable — a single deviating device at a
   // time once epsilon anneals — which the factored mini-action Q-head
   // needs for credit assignment.
-  const std::vector<double> q = QValues(features);
+  const std::vector<double>& q = q_scratch_;
 
   if (last_explore_slot_.size() != codec_.device_count()) {
     last_explore_slot_.assign(codec_.device_count(),
@@ -195,7 +198,9 @@ void DqnAgent::Remember(Experience experience) {
 
 double DqnAgent::Replay() {
   if (!buffer_.CanSample(config_.batch_size)) return 0.0;
-  const auto batch = buffer_.Sample(config_.batch_size, rng_);
+  // Indices, not pointers: the buffer stays unmutated until TrainBatchMasked
+  // returns, so every index below names the experience it was drawn for.
+  buffer_.SampleInto(config_.batch_size, rng_, replay_indices_);
 
   // Target-network bookkeeping: sync the frozen copy every N replays and
   // evaluate bootstrap Q-values through it.
@@ -216,23 +221,44 @@ double DqnAgent::Replay() {
   const neural::Network& bootstrap_net =
       use_target ? *target_network_ : network_;
 
+  const std::size_t batch = replay_indices_.size();
   const std::size_t outputs = codec_.mini_action_count();
-  neural::Tensor inputs(batch.size(), batch[0]->features.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    inputs.SetRow(i, batch[i]->features);
+  const std::size_t width = buffer_.At(replay_indices_[0]).features.size();
+  replay_inputs_.Resize(batch, width);
+  replay_next_.Resize(batch, width);
+  replay_next_.Fill(0.0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Experience& exp = buffer_.At(replay_indices_[i]);
+    replay_inputs_.SetRow(i, exp.features);
+    // Done rows keep the zero fill: their bootstrap output is computed by
+    // the batched forward below but never read (future stays 0), so the
+    // row content is irrelevant — zeros keep the forward finite.
+    if (!exp.done) replay_next_.SetRow(i, exp.next_features);
   }
   // Current predictions seed the target tensor so non-taken slots carry no
   // gradient (mask) and taken slots move toward r + gamma * max Q(s', .).
-  neural::Tensor targets = [&] {
+  // One cached forward serves both the targets and the training step below
+  // (TrainCachedMasked) — the pre-overhaul code ran this forward twice.
+  // Copy-assign out of layer scratch (capacity reused: no steady-state
+  // allocation) before the targets are edited in place.
+  {
     JARVIS_OBS_ONLY(obs::ScopedTimer timer(forward_timer_);)
-    return network_.Predict(inputs);
-  }();
-  neural::Tensor mask(batch.size(), outputs, 0.0);
+    replay_targets_ = network_.ForwardForTraining(replay_inputs_);
+  }
+  // One batched forward replaces batch-size per-row PredictOne calls for
+  // the next-state bootstrap. Each row of the batched output is
+  // bit-identical to the per-row prediction (the PredictBatch row-
+  // independence invariant), so targets are unchanged. PredictScratch uses
+  // the inference ping-pong scratch, so the layer caches the training step
+  // reads are untouched even when bootstrap_net is the online network.
+  const neural::Tensor& next_q_all =
+      bootstrap_net.PredictScratch(replay_next_);
+  replay_mask_.Resize(batch, outputs);
+  replay_mask_.Fill(0.0);
 
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Experience& exp = *batch[i];
-    std::vector<double> next_q;
-    if (!exp.done) next_q = bootstrap_net.PredictOne(exp.next_features);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Experience& exp = buffer_.At(replay_indices_[i]);
+    const double* next_q = next_q_all.data().data() + i * outputs;
     for (std::size_t slot : exp.taken_slots) {
       // Each device head is its own sub-MDP: the bootstrap maximizes over
       // that device's *own* next choices, not over every device's slots —
@@ -253,14 +279,15 @@ double DqnAgent::Replay() {
         }
         if (best > -std::numeric_limits<double>::infinity()) future = best;
       }
-      targets.At(i, slot) = exp.reward + config_.gamma * future;
-      mask.At(i, slot) = 1.0;
+      replay_targets_.At(i, slot) = exp.reward + config_.gamma * future;
+      replay_mask_.At(i, slot) = 1.0;
     }
   }
 
   {
     JARVIS_OBS_ONLY(obs::ScopedTimer timer(train_timer_);)
-    last_loss_ = network_.TrainBatchMasked(inputs, targets, mask);
+    last_loss_ =
+        network_.TrainCachedMasked(replay_targets_, replay_mask_);
   }
 
   // Algorithm 2's guard: decay exploration only once the network fits its

@@ -137,6 +137,14 @@ class DqnAgent {
   // Last exploratory slot per device (sticky exploration); empty until the
   // first SelectAction.
   std::vector<std::size_t> last_explore_slot_;
+  // Hot-loop scratch, reused across calls so steady-state SelectAction and
+  // Replay perform zero allocations (DESIGN.md §12).
+  std::vector<double> q_scratch_;
+  std::vector<std::size_t> replay_indices_;
+  neural::Tensor replay_inputs_;   // batch x features
+  neural::Tensor replay_next_;     // batch x features (zeros on done rows)
+  neural::Tensor replay_targets_;  // batch x slots
+  neural::Tensor replay_mask_;     // batch x slots
   obs::Counter* actions_counter_ = nullptr;
   obs::Counter* replays_counter_ = nullptr;
   obs::Gauge* replay_size_gauge_ = nullptr;

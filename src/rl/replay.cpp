@@ -36,17 +36,29 @@ void ReplayBuffer::Add(Experience experience) {
   next_ = (next_ + 1) % capacity_;
 }
 
-std::vector<const Experience*> ReplayBuffer::Sample(std::size_t batch,
-                                                    util::Rng& rng) const {
+std::vector<std::size_t> ReplayBuffer::Sample(std::size_t batch,
+                                              util::Rng& rng) const {
+  std::vector<std::size_t> sample;
+  SampleInto(batch, rng, sample);
+  return sample;
+}
+
+void ReplayBuffer::SampleInto(std::size_t batch, util::Rng& rng,
+                              std::vector<std::size_t>& out) const {
   JARVIS_CHECK(CanSample(batch),
                "ReplayBuffer::Sample: not enough experiences (", buffer_.size(),
                " < ", batch, ")");
-  std::vector<const Experience*> sample;
-  sample.reserve(batch);
+  out.clear();
+  out.reserve(batch);
   for (std::size_t i = 0; i < batch; ++i) {
-    sample.push_back(&buffer_[rng.NextIndex(buffer_.size())]);
+    out.push_back(rng.NextIndex(buffer_.size()));
   }
-  return sample;
+}
+
+const Experience& ReplayBuffer::At(std::size_t index) const {
+  JARVIS_CHECK_LT(index, buffer_.size(),
+                  "ReplayBuffer::At: stale or out-of-range index");
+  return buffer_[index];
 }
 
 std::size_t ReplayBuffer::PurgePoisoned() {

@@ -34,10 +34,25 @@ class ReplayBuffer {
   std::size_t capacity() const { return capacity_; }
   bool CanSample(std::size_t batch) const { return buffer_.size() >= batch; }
 
-  // Samples `batch` experiences uniformly with replacement (Algorithm 2's
-  // Sample(Mem, BSize)).
-  std::vector<const Experience*> Sample(std::size_t batch,
-                                        util::Rng& rng) const;
+  // Samples `batch` buffer indices uniformly with replacement (Algorithm
+  // 2's Sample(Mem, BSize)). Indices — not pointers — are returned because
+  // Add() overwrites slots once the ring is full and PurgePoisoned()
+  // compacts the buffer: a pointer taken before either call can dangle or
+  // silently alias a different experience. An index is valid (At() accepts
+  // it) until the next Add, PurgePoisoned, or Clear, and its *meaning*
+  // (which experience it names) changes under the same operations — consume
+  // samples before mutating the buffer.
+  std::vector<std::size_t> Sample(std::size_t batch, util::Rng& rng) const;
+
+  // Allocation-free variant: fills `out` (cleared first) with `batch`
+  // sampled indices. Draws from `rng` identically to Sample().
+  void SampleInto(std::size_t batch, util::Rng& rng,
+                  std::vector<std::size_t>& out) const;
+
+  // Bounds-checked access to a sampled experience (JARVIS_CHECK: throws
+  // util::CheckError on a stale index that outlived a shrink). The
+  // reference follows the same lifetime contract as the index.
+  const Experience& At(std::size_t index) const;
 
   // Divergence recovery: removes experiences with non-finite features or
   // rewards (or absurd reward magnitudes) so a restored network does not

@@ -24,11 +24,11 @@ void InferenceBatcher::Flush() {
   while (offset < pending_.size()) {
     const std::size_t rows =
         std::min(max_batch_rows_, pending_.size() - offset);
-    neural::Tensor batch(rows, network_.input_features());
+    batch_scratch_.Resize(rows, network_.input_features());
     for (std::size_t r = 0; r < rows; ++r) {
-      batch.SetRow(r, pending_[offset + r]);
+      batch_scratch_.SetRow(r, pending_[offset + r]);
     }
-    const neural::Tensor out = network_.PredictBatch(batch);
+    const neural::Tensor& out = network_.PredictBatchScratch(batch_scratch_);
     for (std::size_t r = 0; r < rows; ++r) {
       results_.push_back(out.RowVector(r));
     }

@@ -18,9 +18,11 @@
 // (Fleet::SuggestMinutes).
 //
 // Thread safety: thread-compatible, not thread-safe — Enqueue/Flush mutate
-// the pending buffer. Use one batcher per thread or synchronize
-// externally; the underlying Network::PredictBatch is const and safe to
-// share across batchers.
+// the pending buffer, and the underlying Network routes const inference
+// through mutable network-owned scratch (DESIGN.md §12), so a Network must
+// not be shared across threads either. One batcher per network per thread;
+// fleet tenants each own their network, so this composes with the fleet's
+// one-tenant-per-worker execution model.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +63,9 @@ class InferenceBatcher {
  private:
   const neural::Network& network_;
   std::size_t max_batch_rows_;
+  // Flush gather scratch, reused across flushes (capacity is bounded by
+  // max_batch_rows_ x feature width).
+  neural::Tensor batch_scratch_;
   std::vector<std::vector<double>> pending_;
   std::vector<std::vector<double>> results_;  // indexed by ticket
   std::size_t flush_batches_ = 0;

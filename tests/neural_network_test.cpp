@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "neural/serialize.h"
+#include "util/check.h"
 
 namespace jarvis::neural {
 namespace {
@@ -96,15 +97,29 @@ TEST(Network, MaskedTrainingRequiresMse) {
 }
 
 TEST(Network, ConstructionValidation) {
+  // Validation is enforced via JARVIS_CHECK: util::CheckError, which is a
+  // std::logic_error so pre-existing generic handlers still catch it.
   EXPECT_THROW(Network(2, {}, Loss::kMeanSquaredError,
                        std::make_unique<Sgd>(0.1), util::Rng(1)),
-               std::invalid_argument);
+               util::CheckError);
   EXPECT_THROW(Network(2, {{1, Activation::kIdentity}},
                        Loss::kMeanSquaredError, nullptr, util::Rng(1)),
-               std::invalid_argument);
-  EXPECT_THROW(Sgd(-0.1), std::invalid_argument);
-  EXPECT_THROW(Sgd(0.1, 1.5), std::invalid_argument);
-  EXPECT_THROW(Adam(0.0), std::invalid_argument);
+               util::CheckError);
+  EXPECT_THROW(Sgd(-0.1), util::CheckError);
+  EXPECT_THROW(Sgd(0.1, 1.5), util::CheckError);
+  EXPECT_THROW(Adam(0.0), util::CheckError);
+}
+
+TEST(Network, TrainEpochValidation) {
+  Network network(2, {{1, Activation::kIdentity}}, Loss::kMeanSquaredError,
+                  std::make_unique<Sgd>(0.1), util::Rng(29));
+  const Tensor inputs{{0.1, 0.2}, {0.3, 0.4}};
+  EXPECT_THROW(network.TrainEpoch(inputs, Tensor(1, 1), 1), util::CheckError);
+  EXPECT_THROW(network.TrainEpoch(inputs, Tensor(2, 1), 0), util::CheckError);
+  EXPECT_THROW(network.ImportParameters({}), util::CheckError);
+  Network narrower(1, {{1, Activation::kIdentity}}, Loss::kMeanSquaredError,
+                   std::make_unique<Sgd>(0.1), util::Rng(31));
+  EXPECT_THROW(network.CopyParametersFrom(narrower), util::CheckError);
 }
 
 TEST(Network, ParameterCount) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/check.h"
 
 namespace jarvis::neural {
@@ -67,6 +70,31 @@ TEST(Tensor, MatMul) {
   EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
   EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
   EXPECT_THROW(a.MatMul(a), util::CheckError);
+}
+
+// Regression for the zero-operand shortcut MatMul used to take: skipping
+// the multiply when lhs == 0.0 is NOT an identity under IEEE 754 —
+// 0 * inf and 0 * NaN are NaN, so a zero weight silently swallowed a
+// non-finite activation instead of propagating it. Divergence detection
+// (ReplayBuffer::PurgePoisoned, DqnAgent::diverged) depends on non-finite
+// values surfacing, not being masked by sparsity.
+TEST(Tensor, MatMulPropagatesNanAndInfThroughZeroOperands) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Tensor zeros{{0.0, 0.0}};  // 1x2, all-zero lhs row
+  const Tensor rhs_inf{{inf}, {1.0}};
+  const Tensor rhs_nan{{nan}, {1.0}};
+  // 0*inf + 0*1 = NaN + 0 = NaN; the old skip produced 0.0.
+  EXPECT_TRUE(std::isnan(zeros.MatMul(rhs_inf)(0, 0)));
+  EXPECT_TRUE(std::isnan(zeros.MatMul(rhs_nan)(0, 0)));
+  // Zero on the right operand likewise: inf * 0 = NaN.
+  const Tensor lhs_inf{{inf, 1.0}};
+  const Tensor rhs_zero{{0.0}, {0.0}};
+  EXPECT_TRUE(std::isnan(lhs_inf.MatMul(rhs_zero)(0, 0)));
+  // Finite inputs are untouched by the fix: plain sparse product.
+  const Tensor finite{{0.0, 2.0}};
+  const Tensor dense{{5.0}, {7.0}};
+  EXPECT_DOUBLE_EQ(finite.MatMul(dense)(0, 0), 14.0);
 }
 
 TEST(Tensor, MatMulIdentity) {

@@ -35,8 +35,8 @@ TEST(ReplayBuffer, FillsThenWrapsAsRing) {
   util::Rng rng(1);
   std::set<double> rewards;
   for (int i = 0; i < 200; ++i) {
-    for (const Experience* exp : buffer.Sample(3, rng)) {
-      rewards.insert(exp->reward);
+    for (std::size_t index : buffer.Sample(3, rng)) {
+      rewards.insert(buffer.At(index).reward);
     }
   }
   EXPECT_EQ(rewards.count(0.0), 0u) << "evicted entry sampled";
@@ -63,8 +63,8 @@ TEST(ReplayBuffer, SampleIsUniformish) {
   std::vector<int> counts(4, 0);
   const int draws = 40000;
   for (int i = 0; i < draws / 4; ++i) {
-    for (const Experience* exp : buffer.Sample(4, rng)) {
-      ++counts[static_cast<int>(exp->reward)];
+    for (std::size_t index : buffer.Sample(4, rng)) {
+      ++counts[static_cast<int>(buffer.At(index).reward)];
     }
   }
   for (int count : counts) EXPECT_NEAR(count, draws / 4, draws / 4 * 0.1);
@@ -92,12 +92,12 @@ TEST(ReplayBuffer, StoresFullExperienceFields) {
   experience.done = true;
   buffer.Add(experience);
   util::Rng rng(4);
-  const Experience* stored = buffer.Sample(1, rng)[0];
-  EXPECT_EQ(stored->features, experience.features);
-  EXPECT_EQ(stored->taken_slots, experience.taken_slots);
-  EXPECT_DOUBLE_EQ(stored->reward, 0.7);
-  EXPECT_EQ(stored->next_mask, experience.next_mask);
-  EXPECT_TRUE(stored->done);
+  const Experience& stored = buffer.At(buffer.Sample(1, rng)[0]);
+  EXPECT_EQ(stored.features, experience.features);
+  EXPECT_EQ(stored.taken_slots, experience.taken_slots);
+  EXPECT_DOUBLE_EQ(stored.reward, 0.7);
+  EXPECT_EQ(stored.next_mask, experience.next_mask);
+  EXPECT_TRUE(stored.done);
 }
 
 TEST(ReplayBuffer, PurgePoisonedDropsNonFiniteExperiences) {
@@ -113,13 +113,54 @@ TEST(ReplayBuffer, PurgePoisonedDropsNonFiniteExperiences) {
   EXPECT_EQ(buffer.PurgePoisoned(), 3u);
   EXPECT_EQ(buffer.size(), 2u);
   util::Rng rng(5);
-  for (const Experience* exp : buffer.Sample(2, rng)) {
-    EXPECT_TRUE(exp->reward == 1.0 || exp->reward == 2.0);
+  for (std::size_t index : buffer.Sample(2, rng)) {
+    const double reward = buffer.At(index).reward;
+    EXPECT_TRUE(reward == 1.0 || reward == 2.0);
   }
   // The ring stays consistent: refilling past capacity still works.
   for (int i = 0; i < 12; ++i) buffer.Add(MakeExperience(i));
   EXPECT_EQ(buffer.size(), 10u);
   EXPECT_EQ(buffer.PurgePoisoned(), 0u);
+}
+
+// The bug the index API fixes: the old Sample() returned raw
+// `const Experience*` into the ring storage, which PurgePoisoned()'s
+// erase/compact and Add()'s slot overwrite invalidated — a use-after-shrink
+// that ASan flags and release builds silently misread. Indices make the
+// staleness *detectable*: At() bounds-checks every access, so an index that
+// outlived a shrink throws instead of dereferencing freed or reused memory.
+// (Run under the asan preset this is also a direct use-after-free probe of
+// the underlying storage.)
+TEST(ReplayBuffer, SampledIndicesOutliveMutationsDetectably) {
+  ReplayBuffer buffer(8);
+  buffer.Add(MakeExperience(1.0));
+  buffer.Add(MakeExperience(std::numeric_limits<double>::quiet_NaN()));
+  util::Rng rng(6);
+  const std::vector<std::size_t> sampled = buffer.Sample(2, rng);
+  // Purge compacts the buffer down to one element: any sampled index >= 1
+  // is now stale and must throw rather than alias freed storage.
+  ASSERT_EQ(buffer.PurgePoisoned(), 1u);
+  ASSERT_EQ(buffer.size(), 1u);
+  for (std::size_t index : sampled) {
+    if (index >= buffer.size()) {
+      EXPECT_THROW(buffer.At(index), util::CheckError);
+    } else {
+      // An in-range index stays accessible, though it may now name a
+      // different (compacted) experience — the documented contract.
+      EXPECT_NO_THROW(buffer.At(index));
+    }
+  }
+  EXPECT_THROW(buffer.At(buffer.size()), util::CheckError);
+
+  // SampleInto reuses the caller's vector and draws identically to
+  // Sample(): same rng seed, same indices.
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  std::vector<std::size_t> via_into;
+  via_into.assign(5, 999);  // stale content must be cleared
+  buffer.Add(MakeExperience(2.0));
+  buffer.SampleInto(2, rng_a, via_into);
+  EXPECT_EQ(via_into, buffer.Sample(2, rng_b));
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "fsm/device_library.h"
 #include "rl/dqn_agent.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace jarvis::runtime {
@@ -63,7 +64,7 @@ TEST(PredictBatch, RowsExactlyEqualPredictOne) {
 TEST(PredictBatch, RejectsWidthMismatchAndHandlesEmpty) {
   const neural::Network network = MakeNetwork(5, 3, 1);
   EXPECT_THROW(network.PredictBatch(neural::Tensor(2, 4)),
-               std::invalid_argument);
+               jarvis::util::CheckError);
   const neural::Tensor empty = network.PredictBatch(neural::Tensor(0, 5));
   EXPECT_EQ(empty.rows(), 0u);
   EXPECT_EQ(empty.cols(), 3u);

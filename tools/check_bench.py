@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for BENCH_kernels.json (bench/bench_kernels).
+
+Reads a freshly produced BENCH_kernels.json (file argument or stdin) and
+compares it against the committed baseline
+(bench/baselines/BENCH_kernels.json by default):
+
+  1. Schema: `bench` == "kernels", every case carries name / unit /
+     old_per_sec / new_per_sec / speedup, throughputs are positive, and
+     the recorded speedup matches new_per_sec / old_per_sec.
+  2. Gate (FAILS the build): each baseline case must be present, and its
+     fresh speedup must be at least GATE_FRACTION (0.75) of the baseline
+     speedup. The speedup column is an old-vs-new A/B measured in the same
+     process within interleaved windows, so it transfers across machines —
+     a drop means the optimized kernels regressed relative to the naive
+     reference, not that the runner is slow.
+  3. Advisory (warns only): absolute new-path throughput below half the
+     baseline. CI runners differ wildly in clock speed and contention, so
+     absolute rows/sec never fails the gate.
+
+Exit status 0 when the gate passes; 1 with a readable report otherwise.
+Wired into CI right after the `bench_kernels --smoke` run.
+"""
+
+import json
+import sys
+
+GATE_FRACTION = 0.75
+ABSOLUTE_WARN_FRACTION = 0.5
+
+CASE_FIELDS = {
+    "name": str,
+    "unit": str,
+    "old_per_sec": (int, float),
+    "new_per_sec": (int, float),
+    "speedup": (int, float),
+}
+
+
+def fail(errors):
+    for error in errors:
+        print(f"check_bench: FAIL: {error}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def validate_schema(doc, label, errors):
+    if doc.get("bench") != "kernels":
+        errors.append(f"{label}: bench != 'kernels'")
+        return {}
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append(f"{label}: missing or empty 'cases'")
+        return {}
+    by_name = {}
+    for case in cases:
+        for field, types in CASE_FIELDS.items():
+            if not isinstance(case.get(field), types):
+                errors.append(f"{label}: case {case.get('name')!r}: bad "
+                              f"field {field!r}: {case.get(field)!r}")
+                break
+        else:
+            name = case["name"]
+            if name in by_name:
+                errors.append(f"{label}: duplicate case {name!r}")
+                continue
+            if case["old_per_sec"] <= 0 or case["new_per_sec"] <= 0:
+                errors.append(f"{label}: case {name!r}: non-positive "
+                              "throughput")
+                continue
+            implied = case["new_per_sec"] / case["old_per_sec"]
+            if abs(implied - case["speedup"]) > 1e-6 * max(implied, 1.0):
+                errors.append(f"{label}: case {name!r}: speedup "
+                              f"{case['speedup']:.4f} != new/old "
+                              f"{implied:.4f}")
+                continue
+            by_name[name] = case
+    return by_name
+
+
+def main(argv):
+    fresh_path = "-"
+    baseline_path = "bench/baselines/BENCH_kernels.json"
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--baseline":
+            if not args:
+                return fail(["--baseline needs a path"])
+            baseline_path = args.pop(0)
+        else:
+            fresh_path = arg
+
+    errors = []
+    try:
+        fresh_doc = load(fresh_path)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail([f"cannot read fresh results {fresh_path!r}: {err}"])
+    try:
+        baseline_doc = load(baseline_path)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail([f"cannot read baseline {baseline_path!r}: {err}"])
+
+    fresh = validate_schema(fresh_doc, "fresh", errors)
+    baseline = validate_schema(baseline_doc, "baseline", errors)
+    if errors:
+        return fail(errors)
+
+    for name, base_case in sorted(baseline.items()):
+        fresh_case = fresh.get(name)
+        if fresh_case is None:
+            errors.append(f"case {name!r} present in baseline but missing "
+                          "from fresh results")
+            continue
+        floor = base_case["speedup"] * GATE_FRACTION
+        status = "ok" if fresh_case["speedup"] >= floor else "REGRESSED"
+        print(f"check_bench: {name}: speedup {fresh_case['speedup']:.2f}x "
+              f"(baseline {base_case['speedup']:.2f}x, floor {floor:.2f}x) "
+              f"{status}")
+        if fresh_case["speedup"] < floor:
+            errors.append(
+                f"case {name!r}: speedup {fresh_case['speedup']:.2f}x fell "
+                f"below {GATE_FRACTION:.0%} of baseline "
+                f"{base_case['speedup']:.2f}x")
+        if (fresh_case["new_per_sec"]
+                < ABSOLUTE_WARN_FRACTION * base_case["new_per_sec"]):
+            print(f"check_bench: WARN: {name}: absolute throughput "
+                  f"{fresh_case['new_per_sec']:.0f}/sec is below half the "
+                  f"baseline {base_case['new_per_sec']:.0f}/sec "
+                  "(advisory only: runners differ)", file=sys.stderr)
+
+    if errors:
+        return fail(errors)
+    print(f"check_bench: OK ({len(baseline)} cases gated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
