@@ -1,12 +1,16 @@
 #include "events/bus.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/check.h"
 
 namespace jarvis::events {
 
 SubscriptionId EventBus::Subscribe(const std::string& device_label,
                                    const std::string& capability,
                                    EventCallback callback) {
+  util::MutexLock lock(mutex_);
   const SubscriptionId id = next_id_++;
   subscriptions_.push_back(
       {id, device_label, capability, std::move(callback), true});
@@ -14,6 +18,7 @@ SubscriptionId EventBus::Subscribe(const std::string& device_label,
 }
 
 void EventBus::Unsubscribe(SubscriptionId id) {
+  util::MutexLock lock(mutex_);
   for (auto& sub : subscriptions_) {
     if (sub.id == id) {
       sub.active = false;
@@ -22,34 +27,79 @@ void EventBus::Unsubscribe(SubscriptionId id) {
   }
 }
 
+bool EventBus::MatchesLocked(std::size_t index, const Event& event) const {
+  const Subscription& sub = subscriptions_[index];
+  if (!sub.active) return false;
+  if (!sub.device_label.empty() && sub.device_label != event.device_label) {
+    return false;
+  }
+  if (!sub.capability.empty() && sub.capability != event.capability) {
+    return false;
+  }
+  return true;
+}
+
 void EventBus::Publish(const Event& event) {
-  ++published_count_;
-  // Index-based loop: callbacks may add subscriptions while we iterate;
-  // those only take effect for later publications of this same event set.
-  // A callback that calls Subscribe() can also reallocate subscriptions_,
-  // so no reference into the vector may be held across the invocation:
-  // fields are matched through indexed access and the callback is invoked
-  // through a copy that survives reallocation.
-  const std::size_t live_at_publish = subscriptions_.size();
+  // RAII membership in delivering_threads_, so a throwing callback cannot
+  // leave this thread permanently marked as "delivering".
+  class DeliveryScope {
+   public:
+    explicit DeliveryScope(EventBus& bus) : bus_(bus) {}
+    ~DeliveryScope() {
+      util::MutexLock lock(bus_.mutex_);
+      auto& threads = bus_.delivering_threads_;
+      const auto it =
+          std::find(threads.begin(), threads.end(), std::this_thread::get_id());
+      if (it != threads.end()) threads.erase(it);
+    }
+
+   private:
+    EventBus& bus_;
+  };
+
+  std::size_t live_at_publish = 0;
+  {
+    util::MutexLock lock(mutex_);
+    const auto self = std::this_thread::get_id();
+    JARVIS_CHECK(std::find(delivering_threads_.begin(),
+                           delivering_threads_.end(),
+                           self) == delivering_threads_.end(),
+                 "EventBus::Publish: re-entrant publish from a callback "
+                 "(banned by the JARVIS_EXCLUDES contract; queue the event "
+                 "and publish after delivery returns)");
+    delivering_threads_.push_back(self);
+    ++published_count_;
+    // Subscriptions added during delivery get indices >= this bound and
+    // only see later publications.
+    live_at_publish = subscriptions_.size();
+  }
+  DeliveryScope scope(*this);
+
   for (std::size_t i = 0; i < live_at_publish; ++i) {
-    if (!subscriptions_[i].active) continue;
-    if (!subscriptions_[i].device_label.empty() &&
-        subscriptions_[i].device_label != event.device_label) {
-      continue;
+    // Re-check liveness under the lock before each invocation so an
+    // Unsubscribe during delivery still suppresses the rest of this
+    // publication, then invoke through a copy outside the lock — a slow
+    // or re-subscribing callback never holds the bus mutex.
+    EventCallback callback;
+    {
+      util::MutexLock lock(mutex_);
+      if (!MatchesLocked(i, event)) continue;
+      callback = subscriptions_[i].callback;
     }
-    if (!subscriptions_[i].capability.empty() &&
-        subscriptions_[i].capability != event.capability) {
-      continue;
-    }
-    const EventCallback callback = subscriptions_[i].callback;
     callback(event);
   }
 }
 
 std::size_t EventBus::subscription_count() const {
+  util::MutexLock lock(mutex_);
   return static_cast<std::size_t>(
       std::count_if(subscriptions_.begin(), subscriptions_.end(),
                     [](const Subscription& s) { return s.active; }));
+}
+
+std::size_t EventBus::published_count() const {
+  util::MutexLock lock(mutex_);
+  return published_count_;
 }
 
 }  // namespace jarvis::events

@@ -2,20 +2,35 @@
 // capabilities; every publication of a matching event is delivered to all
 // subscribers in subscription order.
 //
-// Thread safety: an EventBus is a per-home (per-tenant) object and is NOT
-// thread-safe — Publish/Subscribe mutate the subscription list and
-// counters without locking. The fleet runtime gives every tenant shard its
-// own bus; nothing here is shared across shards (no statics, no global
-// registries — the shared-state audit for DESIGN.md §10 and the
-// tools/lint.py mutable-static ban keep it that way). Publish is
-// re-entrant on one thread: a callback may Subscribe during delivery.
+// Thread safety (DESIGN.md §13): the bus is thread-safe — Subscribe,
+// Unsubscribe, and Publish may race from any threads. One util::Mutex
+// guards the subscription list and counters; delivery happens OUTSIDE the
+// lock (the matching callbacks are snapshotted under the lock, then each
+// is re-checked for liveness and invoked unlocked), so a slow subscriber
+// never blocks the bus and a callback may freely Subscribe/Unsubscribe.
+// Callbacks themselves run on the publishing thread; an app that keeps
+// state (LoggerApp) is only thread-safe if its own state is.
+//
+// Re-entrancy contract (tightened from PR 2, now annotated): a callback
+// MAY Subscribe or Unsubscribe during delivery — new subscriptions only
+// see later publications, an unsubscribed callback stops within the same
+// publication. A callback MUST NOT Publish on the same bus (re-entrant
+// Publish): the JARVIS_EXCLUDES(mutex_) annotation makes that a compile
+// error wherever the analysis can see the call chain, and a guarded
+// delivering-threads set makes it a deterministic util::CheckError (not
+// reordered deliveries) when it hides behind a std::function boundary.
+// Distinct threads publishing concurrently remain fine — the ban is
+// per-thread nesting, not cross-thread parallelism.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "events/event.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace jarvis::events {
 
@@ -29,15 +44,16 @@ class EventBus {
   // how the logger app subscribes to all capabilities, Section V-A-1).
   SubscriptionId Subscribe(const std::string& device_label,
                            const std::string& capability,
-                           EventCallback callback);
+                           EventCallback callback) JARVIS_EXCLUDES(mutex_);
 
-  void Unsubscribe(SubscriptionId id);
+  void Unsubscribe(SubscriptionId id) JARVIS_EXCLUDES(mutex_);
 
   // Delivers the event to every matching live subscription, in order.
-  void Publish(const Event& event);
+  // Must not be called re-entrantly from a callback (see header comment).
+  void Publish(const Event& event) JARVIS_EXCLUDES(mutex_);
 
-  std::size_t subscription_count() const;
-  std::size_t published_count() const { return published_count_; }
+  std::size_t subscription_count() const JARVIS_EXCLUDES(mutex_);
+  std::size_t published_count() const JARVIS_EXCLUDES(mutex_);
 
  private:
   struct Subscription {
@@ -48,9 +64,19 @@ class EventBus {
     bool active = true;
   };
 
-  std::vector<Subscription> subscriptions_;
-  SubscriptionId next_id_ = 0;
-  std::size_t published_count_ = 0;
+  // True when `subscriptions_[index]` matches (event, active) — callers
+  // hold the lock.
+  bool MatchesLocked(std::size_t index, const Event& event) const
+      JARVIS_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  std::vector<Subscription> subscriptions_ JARVIS_GUARDED_BY(mutex_);
+  SubscriptionId next_id_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::size_t published_count_ JARVIS_GUARDED_BY(mutex_) = 0;
+  // Threads currently delivering (size == number of concurrent Publish
+  // calls, so it stays tiny); membership check is the runtime re-entrancy
+  // backstop for the JARVIS_EXCLUDES contract.
+  std::vector<std::thread::id> delivering_threads_ JARVIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace jarvis::events

@@ -20,8 +20,10 @@
 #include "events/event.h"
 #include "faults/schedule.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/retry.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace jarvis::faults {
 
@@ -63,6 +65,15 @@ class FaultInjector {
 // and delivered (with their original timestamps, i.e. as stragglers) once
 // Flush() advances past their due time; Publish() flushes implicitly up to
 // the published event's timestamp.
+//
+// Thread safety (DESIGN.md §13): thread-safe. One util::Mutex guards the
+// RNG, counters, pending queue, and flap/stuck memory; fault decisions and
+// state mutation happen under the lock, but the resulting deliveries go to
+// inner_.Publish OUTSIDE the lock (the bus runs subscriber callbacks, and
+// holding the injector lock across arbitrary callbacks invites deadlock).
+// Deliveries from a single Publish/Flush call stay in schedule order; the
+// interleaving between racing callers is whatever the race resolves to,
+// exactly like racing Publish calls on the bare bus.
 class FaultyBus {
  public:
   FaultyBus(events::EventBus& inner, FaultSchedule schedule);
@@ -70,15 +81,17 @@ class FaultyBus {
   // Applies the schedule to one live publication. Returns false only when
   // a kPublishFail fault ate the event — the caller may retry (see
   // ReliablePublisher); every other fault consumes the event silently.
-  bool Publish(const events::Event& event);
+  bool Publish(const events::Event& event) JARVIS_EXCLUDES(mutex_);
 
   // Delivers held-back events whose due time is <= now.
-  void Flush(util::SimTime now);
+  void Flush(util::SimTime now) JARVIS_EXCLUDES(mutex_);
   // Delivers everything still pending (end of stream).
-  void FlushAll();
+  void FlushAll() JARVIS_EXCLUDES(mutex_);
 
-  std::size_t pending_delayed() const { return pending_.size(); }
-  const FaultCounters& counters() const { return counters_; }
+  std::size_t pending_delayed() const JARVIS_EXCLUDES(mutex_);
+  // Snapshot by value: a reference into guarded state would dangle the
+  // moment another thread publishes.
+  FaultCounters counters() const JARVIS_EXCLUDES(mutex_);
   events::EventBus& inner() { return inner_; }
 
  private:
@@ -87,14 +100,22 @@ class FaultyBus {
     events::Event event;
   };
 
-  events::EventBus& inner_;
-  FaultSchedule schedule_;
-  util::Rng rng_;
-  FaultCounters counters_;
-  std::vector<Pending> pending_;
+  // Moves every pending event with due <= now (in due order) into `out`;
+  // the caller delivers them after releasing the lock.
+  void CollectDueLocked(util::SimTime now, std::vector<events::Event>& out)
+      JARVIS_REQUIRES(mutex_);
+
+  events::EventBus& inner_;       // unguarded: thread-safe bus, const ref
+  const FaultSchedule schedule_;  // unguarded: fixed at construction
+  mutable util::Mutex mutex_;
+  util::Rng rng_ JARVIS_GUARDED_BY(mutex_);
+  FaultCounters counters_ JARVIS_GUARDED_BY(mutex_);
+  std::vector<Pending> pending_ JARVIS_GUARDED_BY(mutex_);
   // Per-spec stuck values and per-device last sensor value (flap memory).
-  std::vector<std::unordered_map<std::string, std::string>> stuck_;
-  std::unordered_map<std::string, std::string> last_value_;
+  std::vector<std::unordered_map<std::string, std::string>> stuck_
+      JARVIS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::string> last_value_
+      JARVIS_GUARDED_BY(mutex_);
 };
 
 // Fault-recovery path: publishes through a FaultyBus, retrying failed

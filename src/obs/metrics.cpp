@@ -72,7 +72,7 @@ const std::vector<double>& DefaultLatencyBoundsUs() {
 
 Counter* Registry::GetCounter(const std::string& name,
                               Determinism determinism) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
@@ -86,7 +86,7 @@ Counter* Registry::GetCounter(const std::string& name,
 }
 
 Gauge* Registry::GetGauge(const std::string& name, Determinism determinism) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(determinism)))
@@ -102,7 +102,7 @@ Gauge* Registry::GetGauge(const std::string& name, Determinism determinism) {
 Histogram* Registry::GetHistogram(const std::string& name,
                                   std::vector<double> upper_bounds,
                                   Determinism determinism) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -123,7 +123,7 @@ Histogram* Registry::GetTimerUs(const std::string& name) {
 }
 
 MetricsSnapshot Registry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {

@@ -31,11 +31,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/snapshot.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #ifdef JARVIS_OBS_OFF
 #define JARVIS_OBS_ONLY(...)
@@ -138,23 +139,32 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   Counter* GetCounter(const std::string& name,
-                      Determinism determinism = Determinism::kStable);
+                      Determinism determinism = Determinism::kStable)
+      JARVIS_EXCLUDES(mutex_);
   Gauge* GetGauge(const std::string& name,
-                  Determinism determinism = Determinism::kStable);
+                  Determinism determinism = Determinism::kStable)
+      JARVIS_EXCLUDES(mutex_);
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds,
-                          Determinism determinism = Determinism::kStable);
+                          Determinism determinism = Determinism::kStable)
+      JARVIS_EXCLUDES(mutex_);
   // Microsecond latency histogram with DefaultLatencyBoundsUs(), always
   // kTiming (a wall-clock measurement is never deterministic).
-  Histogram* GetTimerUs(const std::string& name);
+  Histogram* GetTimerUs(const std::string& name) JARVIS_EXCLUDES(mutex_);
 
-  MetricsSnapshot TakeSnapshot() const;
+  MetricsSnapshot TakeSnapshot() const JARVIS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Reader/writer split: registration (Get*) is exclusive, snapshotting is
+  // shared — concurrent TakeSnapshot callers never serialize each other,
+  // and the instrument atomics themselves are read lock-free either way.
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      JARVIS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      JARVIS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      JARVIS_GUARDED_BY(mutex_);
 };
 
 // RAII wall-clock timer feeding a (nullable) histogram in microseconds.

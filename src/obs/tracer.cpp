@@ -16,7 +16,7 @@ std::uint64_t Tracer::NowNs() const {
 
 Tracer::ThreadBuf& Tracer::BufForThisThread() {
   const std::thread::id self = std::this_thread::get_id();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = buffers_.find(self);
   if (it == buffers_.end()) {
     auto buf = std::make_unique<ThreadBuf>();
@@ -29,9 +29,9 @@ Tracer::ThreadBuf& Tracer::BufForThisThread() {
 std::vector<SpanRecord> Tracer::Flush() {
   std::vector<SpanRecord> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto& [id, buf] : buffers_) {
-      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      util::MutexLock buf_lock(buf->mutex);
       out.insert(out.end(), std::make_move_iterator(buf->records.begin()),
                  std::make_move_iterator(buf->records.end()));
       buf->records.clear();
@@ -64,7 +64,7 @@ ScopedSpan::~ScopedSpan() {
   record.start_ns = start_ns_;
   record.duration_ns = end_ns - start_ns_;
   --buf_->depth;
-  std::lock_guard<std::mutex> lock(buf_->mutex);
+  util::MutexLock lock(buf_->mutex);
   buf_->records.push_back(std::move(record));
 }
 

@@ -21,12 +21,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace jarvis::obs {
 
@@ -55,27 +56,33 @@ class Tracer {
   // (start_ns, thread_index, depth). Call between phases or at shutdown —
   // concurrent recording during a flush is safe but a span completing
   // mid-flush may land in the next flush.
-  std::vector<SpanRecord> Flush();
+  std::vector<SpanRecord> Flush() JARVIS_EXCLUDES(mutex_);
 
  private:
   friend class ScopedSpan;
 
   struct ThreadBuf {
-    std::mutex mutex;
+    util::Mutex mutex;
+    // Dense index and open-span nesting: thread_index is fixed at
+    // creation; depth is touched only by the owning thread, read/written
+    // without the buffer mutex (never looked at by Flush).
     std::size_t thread_index = 0;
-    // Open-span nesting for this thread; touched only by the owning
-    // thread, read/written without the buffer mutex.
     std::size_t depth = 0;
-    std::vector<SpanRecord> records;
+    std::vector<SpanRecord> records JARVIS_GUARDED_BY(mutex);
   };
 
-  // Buffer for the calling thread, created on first use.
-  ThreadBuf& BufForThisThread();
+  // Buffer for the calling thread, created on first use. The returned
+  // reference outlives the lock: buffers are heap-allocated and never
+  // erased while the tracer lives.
+  ThreadBuf& BufForThisThread() JARVIS_EXCLUDES(mutex_);
   std::uint64_t NowNs() const;
 
-  std::chrono::steady_clock::time_point epoch_;
-  std::mutex mutex_;  // guards buffers_ map shape, not buffer contents
-  std::map<std::thread::id, std::unique_ptr<ThreadBuf>> buffers_;
+  const std::chrono::steady_clock::time_point epoch_;  // unguarded: fixed at construction
+  // Guards the buffers_ map shape, not buffer contents. Lock order when
+  // both are held (Flush only): mutex_ first, then each buffer's mutex.
+  mutable util::Mutex mutex_;
+  std::map<std::thread::id, std::unique_ptr<ThreadBuf>> buffers_
+      JARVIS_GUARDED_BY(mutex_);
 };
 
 // Opens a span on construction, records it on destruction. Null tracer →

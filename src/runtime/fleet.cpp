@@ -80,10 +80,11 @@ WorkloadFactory SimulatedWorkloadFactory(const fsm::EnvironmentFsm& home,
 }
 
 Fleet::Fleet(const fsm::EnvironmentFsm& home, FleetConfig config)
-    : home_(home), config_(config) {
+    : home_(home), config_(std::move(config)) {
   if (config_.tenants == 0) {
     throw std::invalid_argument("Fleet: at least one tenant");
   }
+  util::MutexLock lock(mutex_);
   shards_.resize(config_.tenants);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i].seed =
@@ -93,22 +94,30 @@ Fleet::Fleet(const fsm::EnvironmentFsm& home, FleetConfig config)
 
 void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
                       TenantResult& result) {
-  TenantShard& shard = shards_[index];
-  result.tenant = index;
-  result.seed = shard.seed;
-  if (shard.quarantined) {
-    result.quarantined = true;
-    result.error = "quarantined by a previous run";
-    return;
+  std::uint64_t seed = 0;
+  {
+    // Touch the shard only at job start (seed + quarantine flag) and job
+    // end (store the trained pipeline): the tenant pipeline itself runs on
+    // locals, so the fleet lock never serializes tenant work.
+    util::MutexLock lock(mutex_);
+    const TenantShard& shard = shards_[index];
+    seed = shard.seed;
+    result.tenant = index;
+    result.seed = seed;
+    if (shard.quarantined) {
+      result.quarantined = true;
+      result.error = "quarantined by a previous run";
+      return;
+    }
   }
   obs::ScopedSpan tenant_span(&tracer_, "tenant." + std::to_string(index));
   try {
     const TenantWorkload workload = [&] {
       obs::ScopedSpan span(&tracer_, "workload");
-      return factory(index, shard.seed);
+      return factory(index, seed);
     }();
     auto jarvis = std::make_unique<core::Jarvis>(
-        home_, MakeTenantConfig(config_.tenant_config, shard.seed));
+        home_, MakeTenantConfig(config_.tenant_config, seed));
     {
       obs::ScopedSpan span(&tracer_, "learn");
       result.learning_episodes =
@@ -121,26 +130,30 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
     }
     result.health = jarvis->Health();
     result.completed = true;
-    shard.jarvis = std::move(jarvis);
+    util::MutexLock lock(mutex_);
+    shards_[index].jarvis = std::move(jarvis);
   } catch (const std::exception& error) {
     // Quarantine, never tear down: the shard keeps its slot (and its
     // error) while the rest of the fleet proceeds.
-    shard.quarantined = true;
-    shard.jarvis.reset();
     result.quarantined = true;
     result.error = error.what();
+    util::MutexLock lock(mutex_);
+    TenantShard& shard = shards_[index];
+    shard.quarantined = true;
+    shard.jarvis.reset();
   }
 }
 
 void Fleet::ForEachTenant(const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = tenant_count();
   if (config_.jobs <= 1) {
     // Sequential mode: no pool, no second thread — the determinism oracle
     // parallel runs are tested against.
-    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   ThreadPool pool(config_.jobs, config_.queue_capacity, &registry_);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
+  for (std::size_t i = 0; i < count; ++i) {
     pool.Submit([&fn, i] { fn(i); });
   }
   // Drain + join: establishes the happens-before edge that makes every
@@ -151,7 +164,7 @@ void Fleet::ForEachTenant(const std::function<void(std::size_t)>& fn) {
 FleetReport Fleet::Run(const WorkloadFactory& factory) {
   if (!factory) throw std::invalid_argument("Fleet::Run: null factory");
   FleetReport report;
-  report.tenants.assign(shards_.size(), TenantResult{});
+  report.tenants.assign(tenant_count(), TenantResult{});
   // Each job writes only its own pre-allocated slot; no cross-tenant
   // synchronization beyond the pool join.
   ForEachTenant([this, &factory, &report](std::size_t i) {
@@ -174,15 +187,35 @@ FleetReport Fleet::Run(const WorkloadFactory& factory) {
       ->Increment(report.completed);
   registry_.GetCounter("runtime.fleet.tenants_quarantined")
       ->Increment(report.quarantined);
-  report_ = report;
+  {
+    util::MutexLock lock(mutex_);
+    report_ = report;
+  }
   return report;
 }
 
+FleetReport Fleet::report() const {
+  util::MutexLock lock(mutex_);
+  return report_;
+}
+
+std::size_t Fleet::tenant_count() const {
+  util::MutexLock lock(mutex_);
+  return shards_.size();
+}
+
 obs::MetricsSnapshot Fleet::TenantMetrics(std::size_t index) const {
-  if (index >= shards_.size()) {
-    throw std::out_of_range("Fleet::TenantMetrics: no such tenant");
+  // Grab the pipeline pointer under the lock, snapshot outside it: the
+  // tenant's registry is internally synchronized, and the pipeline object
+  // is stable until that tenant's next Run.
+  const core::Jarvis* jarvis = nullptr;
+  {
+    util::MutexLock lock(mutex_);
+    if (index >= shards_.size()) {
+      throw std::out_of_range("Fleet::TenantMetrics: no such tenant");
+    }
+    jarvis = shards_[index].jarvis.get();
   }
-  const core::Jarvis* jarvis = shards_[index].jarvis.get();
   if (jarvis == nullptr) {
     throw std::logic_error("Fleet::TenantMetrics: tenant has not run");
   }
@@ -190,12 +223,18 @@ obs::MetricsSnapshot Fleet::TenantMetrics(std::size_t index) const {
 }
 
 obs::MetricsSnapshot Fleet::AggregateTenantMetrics() const {
-  std::vector<obs::MetricsSnapshot> parts;
-  parts.reserve(shards_.size());
-  for (const TenantShard& shard : shards_) {
-    if (shard.jarvis != nullptr) {
-      parts.push_back(shard.jarvis->TakeMetricsSnapshot());
+  std::vector<const core::Jarvis*> tenants;
+  {
+    util::MutexLock lock(mutex_);
+    tenants.reserve(shards_.size());
+    for (const TenantShard& shard : shards_) {
+      if (shard.jarvis != nullptr) tenants.push_back(shard.jarvis.get());
     }
+  }
+  std::vector<obs::MetricsSnapshot> parts;
+  parts.reserve(tenants.size());
+  for (const core::Jarvis* jarvis : tenants) {
+    parts.push_back(jarvis->TakeMetricsSnapshot());
   }
   return obs::MetricsSnapshot::Merge(parts);
 }
@@ -203,10 +242,14 @@ obs::MetricsSnapshot Fleet::AggregateTenantMetrics() const {
 std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
     std::size_t tenant, const fsm::StateVector& state,
     const std::vector<int>& minutes) const {
-  if (tenant >= shards_.size()) {
-    throw std::out_of_range("Fleet::SuggestMinutes: no such tenant");
+  const core::Jarvis* jarvis = nullptr;
+  {
+    util::MutexLock lock(mutex_);
+    if (tenant >= shards_.size()) {
+      throw std::out_of_range("Fleet::SuggestMinutes: no such tenant");
+    }
+    jarvis = shards_[tenant].jarvis.get();
   }
-  const core::Jarvis* jarvis = shards_[tenant].jarvis.get();
   if (jarvis == nullptr) {
     throw std::logic_error("Fleet::SuggestMinutes: tenant has not run");
   }
@@ -232,11 +275,13 @@ std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
 }
 
 const core::Jarvis* Fleet::tenant(std::size_t index) const {
+  util::MutexLock lock(mutex_);
   if (index >= shards_.size()) return nullptr;
   return shards_[index].jarvis.get();
 }
 
 std::uint64_t Fleet::tenant_seed(std::size_t index) const {
+  util::MutexLock lock(mutex_);
   if (index >= shards_.size()) {
     throw std::out_of_range("Fleet::tenant_seed");
   }

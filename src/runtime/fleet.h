@@ -20,6 +20,18 @@
 // phases — and the fleet keeps serving the other tenants. A tenant failure
 // must never tear down the process (ThreadPool's exception backstop
 // guarantees that even for non-std::exception throwables).
+//
+// Thread safety (DESIGN.md §13): one fleet-level util::Mutex guards the
+// shard table and the last report; tenant jobs touch their shard only at
+// job start (read seed/quarantine flag) and job end (store the trained
+// pipeline), so the lock never serializes the pipelines themselves.
+// Accessors (report(), tenant_seed(), TenantMetrics(), SuggestMinutes())
+// are safe to call concurrently with Run — report() used to hand out a
+// reference into state Run was concurrently reassigning, a latent race the
+// annotation pass surfaced; it now snapshots by value under the lock.
+// Caveat: tenant() / SuggestMinutes() use a tenant's trained pipeline,
+// which the NEXT Run of that tenant replaces — don't hold those across a
+// re-run.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +44,8 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/thread_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace jarvis::runtime {
 
@@ -117,7 +131,7 @@ class Fleet {
   // `factory`) across the pool and aggregates. Each tenant's trained
   // pipeline is retained for SuggestMinutes / tenant(). Calling Run again
   // re-runs every non-quarantined tenant.
-  FleetReport Run(const WorkloadFactory& factory);
+  FleetReport Run(const WorkloadFactory& factory) JARVIS_EXCLUDES(mutex_);
 
   // Batched deployment-mode suggestion: greedy actions for one tenant at
   // each queried minute, computed with a single batched forward through
@@ -125,15 +139,16 @@ class Fleet {
   // per minute. Bit-identical to calling Jarvis::SuggestAction per minute.
   std::vector<fsm::ActionVector> SuggestMinutes(
       std::size_t tenant, const fsm::StateVector& state,
-      const std::vector<int>& minutes) const;
+      const std::vector<int>& minutes) const JARVIS_EXCLUDES(mutex_);
 
-  // The tenant's facade (null for out-of-range), e.g. for audits.
-  const core::Jarvis* tenant(std::size_t index) const;
-  std::size_t tenant_count() const { return shards_.size(); }
-  std::uint64_t tenant_seed(std::size_t index) const;
+  // The tenant's facade (null for out-of-range), e.g. for audits. Stable
+  // until that tenant's next Run (see the re-run caveat above).
+  const core::Jarvis* tenant(std::size_t index) const JARVIS_EXCLUDES(mutex_);
+  std::size_t tenant_count() const JARVIS_EXCLUDES(mutex_);
+  std::uint64_t tenant_seed(std::size_t index) const JARVIS_EXCLUDES(mutex_);
   const FleetConfig& config() const { return config_; }
-  // Last Run()'s report (empty before the first Run).
-  const FleetReport& report() const { return report_; }
+  // Snapshot of the last Run()'s report (empty before the first Run).
+  FleetReport report() const JARVIS_EXCLUDES(mutex_);
 
   // --- Observability ------------------------------------------------------
   //
@@ -152,10 +167,11 @@ class Fleet {
   }
   // Snapshot of tenant `index`'s own registry (throws std::logic_error for
   // a tenant that has not completed a run).
-  obs::MetricsSnapshot TenantMetrics(std::size_t index) const;
+  obs::MetricsSnapshot TenantMetrics(std::size_t index) const
+      JARVIS_EXCLUDES(mutex_);
   // Element-wise sum of every completed tenant's snapshot — the fleet-wide
   // pipeline totals (events parsed, violations filtered, DQN steps, ...).
-  obs::MetricsSnapshot AggregateTenantMetrics() const;
+  obs::MetricsSnapshot AggregateTenantMetrics() const JARVIS_EXCLUDES(mutex_);
   // Per-tenant span trees recorded during Run ("tenant.N" roots with
   // workload/learn/optimize children); draining returns them sorted.
   std::vector<obs::SpanRecord> FlushSpans() { return tracer_.Flush(); }
@@ -168,20 +184,24 @@ class Fleet {
   };
 
   void RunTenant(std::size_t index, const WorkloadFactory& factory,
-                 TenantResult& result);
+                 TenantResult& result) JARVIS_EXCLUDES(mutex_);
   // Schedules fn(i) for every tenant: inline when jobs <= 1, else across a
   // pool. Returns once all jobs finished.
-  void ForEachTenant(const std::function<void(std::size_t)>& fn);
+  void ForEachTenant(const std::function<void(std::size_t)>& fn)
+      JARVIS_EXCLUDES(mutex_);
 
-  const fsm::EnvironmentFsm& home_;
-  FleetConfig config_;
+  const fsm::EnvironmentFsm& home_;   // unguarded: shared const device model
+  const FleetConfig config_;          // unguarded: fixed at construction
   // Declared before the shards so tenants (which never reference these —
   // they own their registries) and any cached instrument pointers die
   // first on destruction.
-  obs::Registry registry_;
-  obs::Tracer tracer_;
-  std::vector<TenantShard> shards_;
-  FleetReport report_;
+  obs::Registry registry_;  // unguarded: internally synchronized
+  obs::Tracer tracer_;      // unguarded: internally synchronized
+  mutable util::Mutex mutex_;
+  // Shard table shape is fixed at construction; elements are written only
+  // by their own tenant's job (start/end, under the lock).
+  std::vector<TenantShard> shards_ JARVIS_GUARDED_BY(mutex_);
+  FleetReport report_ JARVIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace jarvis::runtime

@@ -15,11 +15,16 @@ std::size_t InferenceBatcher::Enqueue(std::vector<double> features) {
   if (features.size() != network_.input_features()) {
     throw std::invalid_argument("InferenceBatcher::Enqueue: feature width");
   }
+  util::MutexLock lock(mutex_);
   pending_.push_back(std::move(features));
   return results_.size() + pending_.size() - 1;
 }
 
 void InferenceBatcher::Flush() {
+  // The lock is held across the forwards on purpose — it is what
+  // serializes access to the network's mutable inference scratch (see the
+  // header's thread-safety note).
+  util::MutexLock lock(mutex_);
   std::size_t offset = 0;
   while (offset < pending_.size()) {
     const std::size_t rows =
@@ -39,7 +44,8 @@ void InferenceBatcher::Flush() {
   pending_.clear();
 }
 
-const std::vector<double>& InferenceBatcher::Result(std::size_t ticket) const {
+std::vector<double> InferenceBatcher::Result(std::size_t ticket) const {
+  util::MutexLock lock(mutex_);
   if (ticket >= results_.size()) {
     throw std::logic_error(
         "InferenceBatcher::Result: ticket not flushed (call Flush() first)");
@@ -48,8 +54,29 @@ const std::vector<double>& InferenceBatcher::Result(std::size_t ticket) const {
 }
 
 void InferenceBatcher::Reset() {
+  util::MutexLock lock(mutex_);
   pending_.clear();
   results_.clear();
+}
+
+std::size_t InferenceBatcher::pending() const {
+  util::MutexLock lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t InferenceBatcher::ticket_count() const {
+  util::MutexLock lock(mutex_);
+  return results_.size() + pending_.size();
+}
+
+std::size_t InferenceBatcher::flush_batches() const {
+  util::MutexLock lock(mutex_);
+  return flush_batches_;
+}
+
+std::size_t InferenceBatcher::rows_inferred() const {
+  util::MutexLock lock(mutex_);
+  return rows_inferred_;
 }
 
 }  // namespace jarvis::runtime

@@ -17,18 +17,23 @@
 // collapses a day's worth of SuggestAction calls into one pass
 // (Fleet::SuggestMinutes).
 //
-// Thread safety: thread-compatible, not thread-safe — Enqueue/Flush mutate
-// the pending buffer, and the underlying Network routes const inference
-// through mutable network-owned scratch (DESIGN.md §12), so a Network must
-// not be shared across threads either. One batcher per network per thread;
-// fleet tenants each own their network, so this composes with the fleet's
-// one-tenant-per-worker execution model.
+// Thread safety (DESIGN.md §13): thread-safe — one util::Mutex guards the
+// ticket buffers AND the batched forward itself. Holding the lock across
+// PredictBatchScratch is deliberate: the underlying Network routes const
+// inference through mutable network-owned scratch (DESIGN.md §12), so the
+// batcher's lock is what makes a shared network safe — provided ALL
+// threads reach that network through this batcher (one batcher per
+// network, the documented scope). This is the concurrency groundwork for
+// cross-tenant batched inference on a shared warm-start policy (ROADMAP);
+// today's fleet tenants each own their network and batcher.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "neural/network.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace jarvis::runtime {
 
@@ -41,35 +46,40 @@ class InferenceBatcher {
 
   // Queues one feature row (width must equal network.input_features()).
   // Returns the ticket to redeem with Result() after Flush().
-  std::size_t Enqueue(std::vector<double> features);
+  std::size_t Enqueue(std::vector<double> features) JARVIS_EXCLUDES(mutex_);
 
   // Runs every pending query through the network in batched forwards.
   // No-op when nothing is pending.
-  void Flush();
+  void Flush() JARVIS_EXCLUDES(mutex_);
 
-  // The Q-value row for a ticket; the ticket must have been flushed.
-  const std::vector<double>& Result(std::size_t ticket) const;
+  // The Q-value row for a ticket (by value: a reference into the guarded
+  // result buffer would dangle under Reset); the ticket must have been
+  // flushed.
+  std::vector<double> Result(std::size_t ticket) const
+      JARVIS_EXCLUDES(mutex_);
 
   // Discards all tickets and results (start a fresh batching window).
-  void Reset();
+  void Reset() JARVIS_EXCLUDES(mutex_);
 
-  std::size_t pending() const { return pending_.size(); }
-  std::size_t ticket_count() const { return results_.size() + pending_.size(); }
+  std::size_t pending() const JARVIS_EXCLUDES(mutex_);
+  std::size_t ticket_count() const JARVIS_EXCLUDES(mutex_);
   // Forward passes actually run — the coalescing evidence a test or an
   // operator dashboard wants (queries answered per forward).
-  std::size_t flush_batches() const { return flush_batches_; }
-  std::size_t rows_inferred() const { return rows_inferred_; }
+  std::size_t flush_batches() const JARVIS_EXCLUDES(mutex_);
+  std::size_t rows_inferred() const JARVIS_EXCLUDES(mutex_);
 
  private:
-  const neural::Network& network_;
-  std::size_t max_batch_rows_;
+  const neural::Network& network_;   // unguarded: accessed only under mutex_
+  const std::size_t max_batch_rows_;  // unguarded: fixed at construction
+  mutable util::Mutex mutex_;
   // Flush gather scratch, reused across flushes (capacity is bounded by
   // max_batch_rows_ x feature width).
-  neural::Tensor batch_scratch_;
-  std::vector<std::vector<double>> pending_;
-  std::vector<std::vector<double>> results_;  // indexed by ticket
-  std::size_t flush_batches_ = 0;
-  std::size_t rows_inferred_ = 0;
+  neural::Tensor batch_scratch_ JARVIS_GUARDED_BY(mutex_);
+  std::vector<std::vector<double>> pending_ JARVIS_GUARDED_BY(mutex_);
+  // Indexed by ticket.
+  std::vector<std::vector<double>> results_ JARVIS_GUARDED_BY(mutex_);
+  std::size_t flush_batches_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::size_t rows_inferred_ JARVIS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace jarvis::runtime

@@ -8,7 +8,8 @@ namespace jarvis::runtime {
 
 ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity,
                        obs::Registry* registry)
-    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+    : worker_count_(std::max<std::size_t>(1, workers)),
+      queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
   if (registry != nullptr) {
     executed_counter_ = registry->GetCounter("runtime.pool.tasks_executed");
     failed_counter_ = registry->GetCounter("runtime.pool.tasks_failed");
@@ -16,9 +17,11 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity,
                                             obs::Determinism::kTiming);
     task_timer_ = registry->GetTimerUs("runtime.pool.task_us");
   }
-  const std::size_t count = std::max<std::size_t>(1, workers);
-  workers_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  // Spawn under the lock: workers_ is guarded, and a worker that starts
+  // instantly blocks on the same mutex until construction finishes.
+  util::MutexLock lock(mutex_);
+  workers_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -28,17 +31,17 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 bool ThreadPool::Submit(std::function<void()> task) {
   if (!task) return false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] {
-      return shutting_down_ || queue_.size() < queue_capacity_;
-    });
+    util::MutexLock lock(mutex_);
+    while (!shutting_down_ && queue_.size() >= queue_capacity_) {
+      not_full_.Wait(mutex_);
+    }
     if (shutting_down_) return false;
     queue_.push_back(std::move(task));
     if (queue_depth_gauge_ != nullptr) {
       queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     }
   }
-  not_empty_.notify_one();
+  not_empty_.Signal();
   return true;
 }
 
@@ -46,9 +49,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock,
-                      [this] { return shutting_down_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        not_empty_.Wait(mutex_);
+      }
       // Graceful shutdown: drain the queue before exiting, so Shutdown()
       // runs everything already accepted.
       if (queue_.empty()) return;
@@ -59,7 +63,7 @@ void ThreadPool::WorkerLoop() {
         queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
       }
     }
-    not_full_.notify_one();
+    not_full_.Signal();
 
     std::exception_ptr error;
     try {
@@ -74,7 +78,7 @@ void ThreadPool::WorkerLoop() {
       if (error) failed_counter_->Increment();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       --active_;
       ++executed_;
       if (error) {
@@ -89,42 +93,60 @@ void ThreadPool::WorkerLoop() {
           }
         }
       }
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.SignalAll();
     }
   }
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) {
+    idle_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::Shutdown() {
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutting_down_ && workers_.empty()) return;
+    util::MutexLock lock(mutex_);
+    if (shutting_down_) {
+      // Another thread is (or finished) joining; wait until the workers
+      // are really gone so every Shutdown caller gets the same
+      // "all tasks completed" postcondition. Joining the same
+      // std::thread twice is UB, hence swap-and-wait instead of a
+      // shared join loop.
+      while (!joined_) {
+        shutdown_done_.Wait(mutex_);
+      }
+      return;
+    }
     shutting_down_ = true;
+    to_join.swap(workers_);
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
-  for (auto& worker : workers_) {
+  not_empty_.SignalAll();
+  not_full_.SignalAll();
+  for (auto& worker : to_join) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
+  {
+    util::MutexLock lock(mutex_);
+    joined_ = true;
+  }
+  shutdown_done_.SignalAll();
 }
 
 std::size_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return executed_;
 }
 
 std::size_t ThreadPool::tasks_failed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return failed_;
 }
 
 std::string ThreadPool::first_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return first_error_;
 }
 

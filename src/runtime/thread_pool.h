@@ -13,21 +13,31 @@
 //     per-task error detail (Fleet does) catch inside their own task body;
 //     this layer is the backstop.
 //
+// Locking model (DESIGN.md §13): one util::Mutex guards every piece of
+// mutable pool state — the annotations below make that machine-checked
+// under the `thread-safety` preset, and tools/lint.py rule 9 insists every
+// member is either guarded or explicitly justified. Shutdown is safe to
+// race from any number of threads: exactly one caller swaps the workers
+// out and joins them; the others block until the join completes, so the
+// "all tasks finished" postcondition holds for every caller (a concurrent
+// Shutdown/destructor pair used to double-join the same std::thread — a
+// latent race the annotation pass surfaced).
+//
 // The pool is deliberately minimal: no futures, no priorities, no work
 // stealing. Fleet jobs are coarse (a whole tenant pipeline), so a mutex +
 // two condition variables saturate any core count the fleet can use.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace jarvis::runtime {
 
@@ -50,45 +60,56 @@ class ThreadPool {
 
   // Enqueues a task; blocks while the queue is at capacity. Returns false
   // (and drops the task) if the pool has been shut down.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) JARVIS_EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished executing (queue empty
   // and no worker mid-task). New Submits may still follow.
-  void WaitIdle();
+  void WaitIdle() JARVIS_EXCLUDES(mutex_);
 
   // Stops accepting work, runs everything already queued to completion,
-  // and joins all workers. Idempotent.
-  void Shutdown();
+  // and joins all workers. Idempotent and safe to call concurrently:
+  // every caller returns only after the join has completed.
+  void Shutdown() JARVIS_EXCLUDES(mutex_);
 
-  std::size_t worker_count() const { return workers_.size(); }
+  // Fixed at construction (never the live thread count mid-shutdown, so
+  // it is safe to read while another thread shuts the pool down).
+  std::size_t worker_count() const { return worker_count_; }
   // Counters are stable snapshots once the producers are quiesced
   // (WaitIdle/Shutdown); they may lag mid-flight.
-  std::size_t tasks_executed() const;
+  std::size_t tasks_executed() const JARVIS_EXCLUDES(mutex_);
   // Tasks whose exception reached the pool layer (the backstop; Fleet
   // catches tenant failures before they get here).
-  std::size_t tasks_failed() const;
+  std::size_t tasks_failed() const JARVIS_EXCLUDES(mutex_);
   // Message of the first backstop-captured exception ("" when none).
-  std::string first_error() const;
+  std::string first_error() const JARVIS_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() JARVIS_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;   // workers wait for tasks
-  std::condition_variable not_full_;    // producers wait for queue room
-  std::condition_variable idle_;        // WaitIdle waits for quiescence
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t queue_capacity_;
-  std::size_t active_ = 0;              // tasks currently executing
-  std::size_t executed_ = 0;
-  std::size_t failed_ = 0;
-  std::string first_error_;
-  bool shutting_down_ = false;
-  obs::Counter* executed_counter_ = nullptr;
-  obs::Counter* failed_counter_ = nullptr;
-  obs::Gauge* queue_depth_gauge_ = nullptr;
-  obs::Histogram* task_timer_ = nullptr;
+  mutable util::Mutex mutex_;
+  util::CondVar not_empty_;      // workers wait for tasks
+  util::CondVar not_full_;       // producers wait for queue room
+  util::CondVar idle_;           // WaitIdle waits for quiescence
+  util::CondVar shutdown_done_;  // losers of the shutdown race wait here
+  std::deque<std::function<void()>> queue_ JARVIS_GUARDED_BY(mutex_);
+  // Swapped out (not just cleared) by the single joining Shutdown caller,
+  // so the std::thread objects are only ever joined once.
+  std::vector<std::thread> workers_ JARVIS_GUARDED_BY(mutex_);
+  const std::size_t worker_count_;    // unguarded: fixed at construction
+  const std::size_t queue_capacity_;  // unguarded: fixed at construction
+  std::size_t active_ JARVIS_GUARDED_BY(mutex_) = 0;  // tasks executing now
+  std::size_t executed_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::size_t failed_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::string first_error_ JARVIS_GUARDED_BY(mutex_);
+  bool shutting_down_ JARVIS_GUARDED_BY(mutex_) = false;
+  bool joined_ JARVIS_GUARDED_BY(mutex_) = false;
+  // Instrument pointers are wired once in the constructor (before any
+  // worker starts) and read-only afterwards; the instruments themselves
+  // are internally synchronized atomics.
+  obs::Counter* executed_counter_ = nullptr;   // unguarded: wired in ctor
+  obs::Counter* failed_counter_ = nullptr;     // unguarded: wired in ctor
+  obs::Gauge* queue_depth_gauge_ = nullptr;    // unguarded: wired in ctor
+  obs::Histogram* task_timer_ = nullptr;       // unguarded: wired in ctor
 };
 
 }  // namespace jarvis::runtime

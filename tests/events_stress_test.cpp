@@ -1,0 +1,204 @@
+// Concurrency stress for the event path (label `runtime`, so CI runs this
+// under TSan): EventBus publish-while-subscribe churn, the re-entrant
+// Publish backstop, and FaultyBus racing publishers. The assertions are
+// about invariants that must hold under any interleaving — exact delivery
+// interleavings are scheduler-dependent and deliberately not pinned.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "events/bus.h"
+#include "events/event.h"
+#include "faults/injector.h"
+#include "faults/schedule.h"
+#include "util/check.h"
+#include "util/timeofday.h"
+
+namespace jarvis::events {
+namespace {
+
+Event MakeEvent(util::SimTime t, const std::string& device,
+                const std::string& value) {
+  Event event;
+  event.date = t;
+  event.device_label = device;
+  event.capability = "switch";
+  event.attribute = "switch";
+  event.attribute_value = value;
+  return event;
+}
+
+TEST(EventBusStress, PublishWhileSubscribeUnsubscribeChurn) {
+  EventBus bus;
+  std::atomic<std::size_t> delivered{0};
+  std::atomic<bool> stop{false};
+
+  // One durable wildcard subscriber so every publication lands somewhere.
+  bus.Subscribe("", "", [&delivered](const Event&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr std::size_t kPublishers = 4;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    threads.emplace_back([&bus, p] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        bus.Publish(MakeEvent(util::SimTime{static_cast<std::int64_t>(i)},
+                              "lamp" + std::to_string(p), "on"));
+      }
+    });
+  }
+  // Churn thread: subscribe/unsubscribe in a tight loop while publishers
+  // run. Its callbacks may or may not see any given publication; the point
+  // is that the bus never crashes, deadlocks, or races.
+  threads.emplace_back([&bus, &stop] {
+    while (!stop.load()) {
+      const SubscriptionId id = bus.Subscribe("lamp0", "", [](const Event&) {});
+      bus.Unsubscribe(id);
+    }
+  });
+  for (std::size_t p = 0; p < kPublishers; ++p) threads[p].join();
+  stop.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(delivered.load(), kPublishers * kPerThread);
+  EXPECT_EQ(bus.published_count(), kPublishers * kPerThread);
+}
+
+TEST(EventBusStress, CallbackMaySubscribeAndUnsubscribeUnderConcurrentPublish) {
+  EventBus bus;
+  // A subscriber that itself subscribes and unsubscribes during delivery —
+  // the allowed half of the re-entrancy contract — while two publishers
+  // race against it from other threads.
+  std::atomic<std::size_t> calls{0};
+  bus.Subscribe("", "", [&bus, &calls](const Event&) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    const SubscriptionId transient =
+        bus.Subscribe("nobody", "", [](const Event&) {});
+    bus.Unsubscribe(transient);
+  });
+  std::thread publisher_a([&bus] {
+    for (int i = 0; i < 500; ++i) {
+      bus.Publish(MakeEvent(util::SimTime{0}, "a", "on"));
+    }
+  });
+  std::thread publisher_b([&bus] {
+    for (int i = 0; i < 500; ++i) {
+      bus.Publish(MakeEvent(util::SimTime{0}, "b", "on"));
+    }
+  });
+  publisher_a.join();
+  publisher_b.join();
+  EXPECT_EQ(calls.load(), 1000u);
+  EXPECT_EQ(bus.subscription_count(), 1u);  // every transient reaped
+}
+
+TEST(EventBusStress, ReentrantPublishIsADeterministicCheckError) {
+  EventBus bus;
+  bus.Subscribe("", "", [&bus](const Event& event) {
+    bus.Publish(event);  // forbidden: same-thread nested Publish
+  });
+  EXPECT_THROW(bus.Publish(MakeEvent(util::SimTime{0}, "lamp", "on")),
+               util::CheckError);
+}
+
+TEST(FaultyBusStress, RacingPublishersEveryAcceptedEventAccountedFor) {
+  EventBus inner;
+  std::atomic<std::size_t> delivered{0};
+  inner.Subscribe("", "", [&delivered](const Event&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Lossy + duplicating + delaying schedule: the interesting regime, since
+  // all three touch the shared RNG/counters/pending state.
+  faults::FaultSchedule schedule;
+  schedule.seed = 7;
+  faults::FaultSpec drop;
+  drop.kind = faults::FaultKind::kDrop;
+  drop.rate = 0.2;
+  faults::FaultSpec dup;
+  dup.kind = faults::FaultKind::kDuplicate;
+  dup.rate = 0.2;
+  faults::FaultSpec delay;
+  delay.kind = faults::FaultKind::kDelay;
+  delay.rate = 0.2;
+  delay.delay_minutes = 10;
+  schedule.specs = {drop, dup, delay};
+  faults::FaultyBus bus(inner, schedule);
+
+  constexpr std::size_t kPublishers = 4;
+  constexpr std::size_t kPerThread = 500;
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    threads.emplace_back([&bus, &accepted, p] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        if (bus.Publish(MakeEvent(util::SimTime{static_cast<std::int64_t>(i)},
+                                  "dev" + std::to_string(p), "on"))) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  bus.FlushAll();
+
+  // Conservation law, independent of interleaving: every published event
+  // was either dropped or delivered (plus the duplicate/flap extras).
+  const faults::FaultCounters counters = bus.counters();
+  const std::size_t published = kPublishers * kPerThread;
+  EXPECT_EQ(delivered.load(),
+            published - counters.dropped - counters.offline_drops -
+                counters.publish_failures + counters.duplicated +
+                counters.flap_reports);
+  EXPECT_EQ(accepted.load(), published - counters.publish_failures);
+  EXPECT_EQ(bus.pending_delayed(), 0u);
+}
+
+TEST(FaultyBusStress, ConcurrentFlushAndPublishKeepPendingConsistent) {
+  EventBus inner;
+  std::atomic<std::size_t> delivered{0};
+  inner.Subscribe("", "", [&delivered](const Event&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  faults::FaultSchedule schedule;
+  schedule.seed = 11;
+  faults::FaultSpec delay;
+  delay.kind = faults::FaultKind::kDelay;
+  delay.rate = 0.5;
+  delay.delay_minutes = 3;
+  schedule.specs = {delay};
+  faults::FaultyBus bus(inner, schedule);
+
+  std::atomic<bool> stop{false};
+  std::thread flusher([&bus, &stop] {
+    std::int64_t now = 0;
+    while (!stop.load()) {
+      bus.Flush(util::SimTime{now});
+      now += 2;
+    }
+  });
+  constexpr std::size_t kEvents = 1000;
+  std::thread publisher([&bus] {
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      bus.Publish(MakeEvent(util::SimTime{static_cast<std::int64_t>(i)},
+                            "sensor", std::to_string(i)));
+    }
+  });
+  publisher.join();
+  stop.store(true);
+  flusher.join();
+  bus.FlushAll();
+
+  EXPECT_EQ(delivered.load(), kEvents);  // delayed, never lost
+  EXPECT_EQ(bus.pending_delayed(), 0u);
+  EXPECT_EQ(bus.counters().delayed, bus.counters().total());
+}
+
+}  // namespace
+}  // namespace jarvis::events

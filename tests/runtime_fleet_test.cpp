@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
 #include <stdexcept>
+#include <thread>
 
 #include "fsm/device_library.h"
 #include "sim/resident.h"
@@ -234,6 +237,30 @@ TEST_F(FleetFixture, FleetLevelMetricsAndSpans) {
   // TenantMetrics guards: quarantined tenant never built a pipeline.
   EXPECT_THROW(fleet.TenantMetrics(1), std::logic_error);
   EXPECT_THROW(fleet.TenantMetrics(99), std::out_of_range);
+}
+
+TEST_F(FleetFixture, ReportSnapshotIsSafeWhileRunIsInFlight) {
+  // Regression: report() used to hand back a const reference into state the
+  // running fleet mutates — a racing reader saw a vector being resized
+  // under it. It now returns a by-value snapshot taken under the fleet
+  // lock, so polling mid-Run is safe (the snapshot is simply the previous
+  // Run's report until the new one lands).
+  Fleet fleet(Home(), CheapConfig(3, 2));
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  std::atomic<bool> done{false};
+  std::thread poller([&fleet, &done] {
+    while (!done.load()) {
+      const FleetReport snapshot = fleet.report();
+      EXPECT_TRUE(snapshot.tenants.empty() || snapshot.tenants.size() == 3u);
+      const std::size_t tenants = fleet.tenant_count();
+      EXPECT_EQ(tenants, 3u);
+    }
+  });
+  const FleetReport report = fleet.Run(factory);
+  done.store(true);
+  poller.join();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(fleet.report().tenants.size(), 3u);
 }
 
 TEST_F(FleetFixture, GuardsBadConfiguration) {

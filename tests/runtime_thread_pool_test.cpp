@@ -103,6 +103,26 @@ TEST(ThreadPool, ConcurrentProducers) {
   EXPECT_EQ(counter.load(), 200);
 }
 
+TEST(ThreadPool, ConcurrentShutdownJoinsEveryWorkerExactlyOnce) {
+  // Regression: a Shutdown racing the destructor (or another Shutdown)
+  // used to double-join the same std::thread. Now exactly one caller swaps
+  // the workers out and joins; the others block on shutdown_done_, so the
+  // drained-queue postcondition holds for all of them.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 4; ++t) {
+    closers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (auto& closer : closers) closer.join();
+  EXPECT_EQ(counter.load(), 100);  // every queued task ran before return
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Shutdown();  // idempotent after the race; destructor makes it 6 calls
+}
+
 TEST(ThreadPool, TasksRunOnWorkerThreads) {
   ThreadPool pool(2);
   std::mutex mutex;

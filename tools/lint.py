@@ -19,6 +19,25 @@ Enforced invariants (see DESIGN.md "Correctness tooling"):
      threads (DESIGN.md §10). `static const`/`constexpr`/`constinit`
      constants are fine; anything else needs an entry in
      MUTABLE_STATIC_ALLOWLIST with a justification.
+  8. No raw std synchronization primitives in src/ outside the annotated
+     wrapper (src/util/mutex.*): std::mutex, std::shared_mutex,
+     std::lock_guard, std::unique_lock, std::scoped_lock,
+     std::shared_lock, std::condition_variable(_any) and their headers
+     are banned — locking goes through util::Mutex so Clang
+     -Wthread-safety sees every acquisition (DESIGN.md §13).
+     RAW_SYNC_ALLOWLIST is empty on purpose. Tests may use std
+     primitives freely (they synchronize test scaffolding, not library
+     state).
+  9. Guard coverage: in any src/ header class that declares a
+     util::Mutex / util::SharedMutex member, every `_`-suffixed data
+     member must either carry JARVIS_GUARDED_BY / JARVIS_PT_GUARDED_BY
+     or justify itself with an `// unguarded: <why>` comment on its
+     declaration line. Clang's analysis only WEAKENS when an annotation
+     is deleted — this rule is what makes deleting one a test failure
+     (repo_lint) instead of a silent coverage loss.
+
+Run with --self-test to exercise the rule engine against embedded
+fixtures (wired into CI's static-analysis job).
 
 Exit status 0 when clean; 1 with a readable report otherwise.
 """
@@ -53,6 +72,19 @@ RNG_ALLOWLIST = {
 # file here only with a written justification next to the entry.
 MUTABLE_STATIC_ALLOWLIST: frozenset = frozenset()
 
+# The annotated locking layer itself — the only src/ files allowed to name
+# raw std synchronization primitives (they wrap them).
+SYNC_WRAPPER_FILES = {
+    os.path.join("src", "util", "mutex.h"),
+    os.path.join("src", "util", "mutex.cpp"),
+}
+
+# src/ files (beyond the wrapper) allowed to use raw std synchronization.
+# Empty on purpose: every lock in the library is a util::Mutex so the
+# thread-safety analysis sees it. Add a file here only with a written
+# justification next to the entry.
+RAW_SYNC_ALLOWLIST: frozenset = frozenset()
+
 PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 DIRECTIVE_RE = re.compile(r"^\s*#")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -66,6 +98,22 @@ STREAM_WRITE_RE = re.compile(r"\bstd\s*::\s*(cout|cerr)\b|(?<![\w:])f?printf\s*\
 # match ('_' is a word character).
 STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?(?:static|thread_local)\b")
 CONST_QUAL_RE = re.compile(r"\bconst(?:expr|init)?\b")
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?)\b")
+SYNC_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+# A util::Mutex / util::SharedMutex / util::CondVar data-member statement
+# (the lock vocabulary itself is exempt from guard coverage).
+SYNC_TYPE_RE = re.compile(r"\butil\s*::\s*(?:Mutex|SharedMutex|CondVar)\b")
+MUTEX_MEMBER_RE = re.compile(r"\butil\s*::\s*(?:Shared)?Mutex\s+\w+\s*$")
+GUARDED_MACRO_RE = re.compile(r"\bJARVIS_(?:PT_)?GUARDED_BY\s*\(")
+JARVIS_MACRO_CALL_RE = re.compile(r"\bJARVIS_\w+\s*\([^()]*\)")
+TRAILING_INIT_RE = re.compile(r"=[^=]*$")
+TRAILING_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+CLASS_HEAD_RE = re.compile(r"\b(?:class|struct)\b")
+ENUM_HEAD_RE = re.compile(r"\benum\b")
 
 
 def strip_comments(text: str) -> str:
@@ -97,6 +145,96 @@ def strip_comments(text: str) -> str:
     return "".join(out)
 
 
+def check_guard_coverage(rel, raw, errors):
+    """Rule 9: per-class guard coverage in src/ headers.
+
+    Single-pass brace scanner over comment-stripped text. Tracks a stack of
+    {} scopes, marking which are class/struct bodies; statements terminated
+    by ';' at a class body's top level are candidate data members. A class
+    that declares a util::Mutex/util::SharedMutex member must have every
+    `_`-suffixed data member either annotated (JARVIS_GUARDED_BY /
+    JARVIS_PT_GUARDED_BY) or tagged `// unguarded: <why>` in the raw
+    source on its declaration lines.
+    """
+    code = strip_comments(raw)
+    raw_lines = raw.splitlines()
+    line = 1
+    # Scope stack: each entry is a dict for a '{' scope; class bodies carry
+    # a member list and a mutex flag.
+    stack = []
+    pending = []          # statement text accumulated at the current level
+    pending_start = line  # first line of the pending statement
+
+    def flush_member(frame, stmt_text, start_line, end_line):
+        stmt = stmt_text.strip()
+        if not stmt:
+            return
+        # Leading blank space in the accumulated text belongs to earlier
+        # lines; the statement starts at its first content character.
+        lead = stmt_text[:len(stmt_text) - len(stmt_text.lstrip())]
+        start_line += lead.count("\n")
+        if GUARDED_MACRO_RE.search(stmt):
+            return  # annotated: fine
+        cleaned = JARVIS_MACRO_CALL_RE.sub("", stmt)
+        if MUTEX_MEMBER_RE.search(cleaned.strip()):
+            frame["has_mutex"] = True
+            return
+        if SYNC_TYPE_RE.search(cleaned):
+            return  # the lock vocabulary itself needs no guard
+        cleaned = TRAILING_INIT_RE.sub("", cleaned).strip()
+        name_match = TRAILING_NAME_RE.search(cleaned)
+        if not name_match or not name_match.group(1).endswith("_"):
+            return  # function declaration, using-alias, ... — not a member
+        tagged = any(
+            "unguarded:" in raw_lines[i - 1]
+            for i in range(start_line, min(end_line, len(raw_lines)) + 1))
+        if not tagged:
+            frame["members"].append((name_match.group(1), start_line))
+
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "\n":
+            line += 1
+            pending.append(ch)
+        elif ch == "{":
+            head = "".join(pending)
+            is_class = (CLASS_HEAD_RE.search(head) is not None
+                        and ENUM_HEAD_RE.search(head) is None)
+            stack.append({
+                "is_class": is_class,
+                "members": [],
+                "has_mutex": False,
+            })
+            pending = []
+            pending_start = line
+        elif ch == "}":
+            if stack:
+                frame = stack.pop()
+                if frame["is_class"] and frame["has_mutex"]:
+                    for name, lineno in frame["members"]:
+                        if name is None:
+                            continue
+                        errors.append(
+                            f"{rel}:{lineno}: member '{name}' of a "
+                            "mutex-holding class has no JARVIS_GUARDED_BY /"
+                            " JARVIS_PT_GUARDED_BY and no '// unguarded: "
+                            "<why>' justification (guard coverage, lint "
+                            "rule 9)")
+            pending = []
+            pending_start = line
+        elif ch == ";":
+            if stack and stack[-1]["is_class"]:
+                flush_member(stack[-1], "".join(pending), pending_start, line)
+            pending = []
+            pending_start = line
+        else:
+            if not pending and not ch.isspace():
+                pending_start = line
+            pending.append(ch)
+        i += 1
+
+
 def iter_files(root):
     for scan_dir in SCAN_DIRS:
         base = os.path.join(root, scan_dir)
@@ -118,11 +256,14 @@ def check_pragma_once(rel, lines, errors):
     errors.append(f"{rel}:1: header has no '#pragma once'")
 
 
-def check_file_text(root, rel, errors):
+def check_file_text(root, rel, errors, text=None):
     is_header = rel.endswith((".h", ".hpp"))
     in_src = rel.startswith("src" + os.sep)
-    with open(os.path.join(root, rel), encoding="utf-8") as f:
-        raw = f.read()
+    if text is None:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            raw = f.read()
+    else:
+        raw = text
     code = strip_comments(raw)
     code_lines = code.splitlines()
 
@@ -159,6 +300,17 @@ def check_file_text(root, rel, errors):
                     "in src/ — keep objects per-instance so tenants stay "
                     "thread-safe (DESIGN.md §10); constants must be "
                     "const/constexpr")
+            if (rel not in SYNC_WRAPPER_FILES
+                    and rel not in RAW_SYNC_ALLOWLIST
+                    and (RAW_SYNC_RE.search(line)
+                         or SYNC_INCLUDE_RE.match(line))):
+                errors.append(
+                    f"{rel}:{lineno}: raw std synchronization is banned in "
+                    "src/ — use util::Mutex / util::MutexLock / "
+                    "util::CondVar so Clang -Wthread-safety sees the lock "
+                    "(lint rule 8, DESIGN.md §13)")
+        if is_header:
+            check_guard_coverage(rel, raw, errors)
 
 
 def check_self_contained(root, rel, cxx, extra_flags):
@@ -183,6 +335,106 @@ def check_self_contained(root, rel, cxx, extra_flags):
     return None
 
 
+# --- Self-test fixtures ----------------------------------------------------
+#
+# Each case: (name, virtual path, file text, list of substrings that must
+# each appear in exactly one finding; [] = must be clean). Exercised by
+# --self-test (wired into CI's static-analysis job) so a regression in the
+# rule engine fails loudly instead of silently passing dirty code.
+
+_CLEAN_GUARDED_CLASS = """#pragma once
+namespace fixture {
+class Guarded {
+ public:
+  void Poke() JARVIS_EXCLUDES(mutex_);
+  std::size_t count() const { return count_; }
+
+ private:
+  mutable util::Mutex mutex_;
+  util::CondVar ready_;
+  std::size_t count_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::map<int, int> table_
+      JARVIS_GUARDED_BY(mutex_);
+  const int fixed_ = 3;  // unguarded: fixed at construction
+};
+}  // namespace fixture
+"""
+
+SELF_TEST_CASES = [
+    ("rule8 flags std::mutex member", "src/fix/a.h",
+     "#pragma once\nclass A { std::mutex m_; };\n",
+     ["raw std synchronization"]),
+    ("rule8 flags lock_guard use", "src/fix/a.cpp",
+     "void f() { std::lock_guard<std::mutex> lock(m); }\n",
+     ["raw std synchronization"]),
+    ("rule8 flags <mutex> include", "src/fix/b.cpp",
+     "#include <mutex>\n",
+     ["raw std synchronization"]),
+    ("rule8 flags condition_variable", "src/fix/c.cpp",
+     "void f(std::condition_variable& cv);\n",
+     ["raw std synchronization"]),
+    ("rule8 exempts the wrapper itself", "src/util/mutex.h",
+     "#pragma once\nclass Mutex { std::mutex mutex_; };\n",
+     []),
+    ("rule8 does not apply to tests", "tests/fix_test.cpp",
+     "#include <mutex>\nstd::mutex m;\n",
+     []),
+    ("rule9 clean annotated class", "src/fix/clean.h",
+     _CLEAN_GUARDED_CLASS, []),
+    ("rule9 flags unannotated member", "src/fix/bad.h",
+     _CLEAN_GUARDED_CLASS.replace(
+         "std::size_t count_ JARVIS_GUARDED_BY(mutex_) = 0;",
+         "std::size_t count_ = 0;"),
+     ["member 'count_'"]),
+    ("rule9 flags a deleted GUARDED_BY", "src/fix/deleted.h",
+     _CLEAN_GUARDED_CLASS.replace(
+         "std::map<int, int> table_\n      JARVIS_GUARDED_BY(mutex_);",
+         "std::map<int, int> table_;"),
+     ["member 'table_'"]),
+    ("rule9 flags a removed unguarded tag", "src/fix/untagged.h",
+     _CLEAN_GUARDED_CLASS.replace(
+         "  // unguarded: fixed at construction", ""),
+     ["member 'fixed_'"]),
+    ("rule9 ignores mutex-free classes", "src/fix/nomutex.h",
+     "#pragma once\nclass Plain { std::size_t count_ = 0; };\n",
+     []),
+    ("rule9 scopes guards per class", "src/fix/sibling.h",
+     "#pragma once\n"
+     "class Guarded { util::Mutex mutex_;\n"
+     "  int v_ JARVIS_GUARDED_BY(mutex_); };\n"
+     "class Plain { int free_ = 0; };\n",
+     []),
+]
+
+
+def run_self_test():
+    failures = []
+    for name, rel, text, expected in SELF_TEST_CASES:
+        errors = []
+        check_file_text(None, rel, errors, text=text)
+        if expected:
+            for marker in expected:
+                hits = [e for e in errors if marker in e]
+                if len(hits) != 1:
+                    failures.append(
+                        f"{name}: expected exactly one finding containing "
+                        f"{marker!r}, got {len(hits)} in {errors!r}")
+            if len(errors) != len(expected):
+                failures.append(
+                    f"{name}: expected {len(expected)} finding(s), got "
+                    f"{errors!r}")
+        elif errors:
+            failures.append(f"{name}: expected clean, got {errors!r}")
+    if failures:
+        print(f"lint.py --self-test: {len(failures)} failure(s):\n",
+              file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        return 1
+    print(f"lint.py --self-test: {len(SELF_TEST_CASES)} fixture cases pass")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=os.path.dirname(
@@ -191,7 +443,12 @@ def main():
                         help="compiler for header self-containment checks")
     parser.add_argument("--skip-self-containment", action="store_true",
                         help="text checks only (no compiler invocations)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule engine against embedded fixtures "
+                             "and exit")
     args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
     root = os.path.abspath(args.root)
 
     files = list(iter_files(root))
