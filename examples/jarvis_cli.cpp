@@ -19,6 +19,14 @@
 //       Run a small instrumented fleet and dump the observability export:
 //       fleet-level metrics, aggregated tenant metrics, and the span tree.
 //       CI validates this output with tools/check_metrics.py.
+//   jarvis_cli checkpoint --log events.log --out home.ckpt
+//       Run the learning phase and save the full learnt state (whitelist,
+//       ANN filter, optionally a trained DQN with --day) as a versioned,
+//       checksummed checkpoint.
+//   jarvis_cli restore --checkpoint home.ckpt --day 42 --minute 480
+//       Restore a checkpoint (per-section, corruption-tolerant), report
+//       what survived, then optimize a day and suggest an action — the
+//       crash-recovery workflow without re-running the learning phase.
 //
 // All subcommands run on the standard 11-device home.
 #include <cstdio>
@@ -36,7 +44,8 @@ using namespace jarvis;
 
 int Usage() {
   std::printf(
-      "usage: jarvis_cli <simulate|learn|audit|optimize|suggest> [flags]\n"
+      "usage: jarvis_cli <simulate|learn|audit|optimize|suggest|fleet|"
+      "metrics|checkpoint|restore> [flags]\n"
       "  simulate --days N --out FILE [--seed S]\n"
       "  learn    --log FILE --out FILE [--seed S]\n"
       "  audit    --log FILE --policies FILE\n"
@@ -46,7 +55,10 @@ int Usage() {
       "  fleet    [--fleet N] [--jobs N] [--days N] [--episodes N] "
       "[--seed S]\n"
       "  metrics  [--fleet N] [--jobs N] [--days N] [--episodes N] "
-      "[--seed S] [--format json|csv] [--out FILE]\n");
+      "[--seed S] [--format json|csv] [--out FILE]\n"
+      "  checkpoint --log FILE --out FILE [--day N] [--episodes N] "
+      "[--seed S]\n"
+      "  restore  --checkpoint FILE [--day N] [--minute M] [--episodes N]\n");
   return 2;
 }
 
@@ -297,6 +309,74 @@ int Metrics(const util::Flags& flags) {
   return 0;
 }
 
+int CheckpointCmd(const util::Flags& flags) {
+  const std::string log_path = flags.GetString("log", "events.log");
+  const std::string out = flags.GetString("out", "home.ckpt");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int day = flags.GetInt("day", -1);
+
+  sim::Testbed testbed = MakeTestbed(seed);
+  core::JarvisConfig config;
+  config.trainer.episodes = flags.GetInt("episodes", 24);
+  core::Jarvis jarvis(testbed.home_a(), config);
+
+  std::size_t dropped = 0;
+  const auto events = events::LoggerApp::ReadLogFile(log_path, &dropped);
+  sim::ResidentSimulator resident(testbed.home_a(), sim::ThermalConfig{},
+                                  seed);
+  const std::size_t episodes = jarvis.LearnFromEvents(
+      events, resident.OvernightState(), util::SimTime(0),
+      testbed.BuildTrainingSet());
+  if (day >= 0) {
+    // Also persist a trained policy: the restored instance can then
+    // warm-start its DQN instead of training cold.
+    jarvis.OptimizeDay(testbed.home_b_data().Day(day), rl::RewardWeights{});
+  }
+  jarvis.SaveCheckpoint(out);
+  std::printf("learned %zu episodes -> checkpoint %s (%zu sections)\n",
+              episodes, out.c_str(), jarvis.MakeCheckpoint().section_count());
+  return 0;
+}
+
+int Restore(const util::Flags& flags) {
+  const std::string path = flags.GetString("checkpoint", "home.ckpt");
+  const int day = flags.GetInt("day", 42);
+  const int minute = flags.GetInt("minute", 8 * 60);
+
+  sim::Testbed testbed = MakeTestbed(42);
+  core::JarvisConfig config;
+  config.trainer.episodes = flags.GetInt("episodes", 24);
+  config.warm_start_dqn = true;
+  core::Jarvis jarvis(testbed.home_a(), config);
+
+  const core::Jarvis::RestoreReport report = jarvis.LoadCheckpoint(path);
+  std::printf("restore %s: %s, %zu sections restored, %zu failed\n",
+              path.c_str(), report.file_found ? "found" : "missing",
+              report.sections_restored, report.sections_failed);
+  if (!report.issues.empty()) {
+    std::printf("issues:\n%s", persist::FormatIssues(report.issues).c_str());
+  }
+  if (!report.spl_restored) {
+    std::printf("policies not restored — re-run the learning phase\n");
+    return 1;
+  }
+  const auto plan =
+      jarvis.OptimizeDay(testbed.home_b_data().Day(day), rl::RewardWeights{});
+  std::printf("  jarvis : %.2f kWh  $%.2f  %.0f degC-min  (%zu violations)"
+              "%s\n",
+              plan.optimized_metrics.energy_kwh, plan.optimized_metrics.cost_usd,
+              plan.optimized_metrics.comfort_error_c_min, plan.violations,
+              report.dqn_staged ? "  [warm-started]" : "");
+  sim::ResidentSimulator resident(testbed.home_a(), sim::ThermalConfig{}, 1);
+  const auto action = jarvis.SuggestAction(resident.OvernightState(), minute);
+  std::printf("suggested action at %02d:%02d: %s\n", minute / 60, minute % 60,
+              testbed.home_a()
+                  .codec()
+                  .ActionToString(testbed.home_a().devices(), action)
+                  .c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,6 +391,8 @@ int main(int argc, char** argv) {
     if (command == "suggest") return Suggest(flags);
     if (command == "fleet") return FleetRun(flags);
     if (command == "metrics") return Metrics(flags);
+    if (command == "checkpoint") return CheckpointCmd(flags);
+    if (command == "restore") return Restore(flags);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -84,6 +84,17 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
                                       static_cast<std::uint64_t>(restart));
     auto agent = std::make_unique<rl::DqnAgent>(last_env_->feature_width(),
                                                 fsm_.codec(), dqn);
+    // Warm start (restart 0 only): seed the network from the checkpoint's
+    // staged DQN doc. Validation happens here, where the agent's widths are
+    // known; a rejected doc falls back to the cold network just built —
+    // LoadJson commits nothing on failure — and counts as a failed section.
+    if (restart == 0 && config_.warm_start_dqn && warm_dqn_doc_ != nullptr) {
+      try {
+        agent->LoadJson(*warm_dqn_doc_);
+      } catch (const std::exception&) {
+        ++health_.checkpoint_sections_failed;
+      }
+    }
     obs::ScopedSpan restart_span(
         TracerOrNull(), "optimize.restart." + std::to_string(restart));
     rl::TrainResult result =
@@ -102,6 +113,162 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
   plan.optimized_metrics = plan.train.greedy_metrics;
   plan.violations = plan.train.greedy_violations;
   return plan;
+}
+
+namespace {
+
+// Section names of the checkpoint container. "meta" gates everything; the
+// rest restore independently.
+constexpr char kMetaSection[] = "meta";
+constexpr char kSplSection[] = "spl";
+constexpr char kDqnSection[] = "dqn";
+constexpr char kMonitorSection[] = "monitor";
+constexpr std::int64_t kCheckpointMetaVersion = 1;
+
+}  // namespace
+
+persist::Checkpoint Jarvis::MakeCheckpoint(const OnlineMonitor* monitor,
+                                           bool include_replay) const {
+  persist::Checkpoint checkpoint;
+  util::JsonObject meta;
+  meta["format_version"] = util::JsonValue(kCheckpointMetaVersion);
+  meta["devices"] =
+      util::JsonValue(static_cast<std::int64_t>(fsm_.device_count()));
+  meta["mini_actions"] = util::JsonValue(
+      static_cast<std::int64_t>(fsm_.codec().mini_action_count()));
+  checkpoint.AddSection(kMetaSection, util::JsonValue(std::move(meta)).Dump());
+  if (learner_.learned()) {
+    checkpoint.AddSection(kSplSection, learner_.ToJsonString());
+  }
+  if (agent_ != nullptr) {
+    rl::AgentSerializeOptions options;
+    options.include_replay = include_replay;
+    checkpoint.AddSection(kDqnSection, agent_->ToJson(options).Dump());
+  }
+  if (monitor != nullptr) {
+    checkpoint.AddSection(kMonitorSection, monitor->ToJson().Dump());
+  }
+  return checkpoint;
+}
+
+void Jarvis::SaveCheckpoint(const std::string& path,
+                            const OnlineMonitor* monitor,
+                            util::io::WriteInterceptor* interceptor) const {
+  MakeCheckpoint(monitor).WriteFile(path, interceptor);
+}
+
+Jarvis::RestoreReport Jarvis::RestoreFrom(const persist::Checkpoint& checkpoint,
+                                          OnlineMonitor* monitor) {
+  RestoreReport report;
+  report.file_found = true;
+
+  // Meta gate: a checkpoint for a differently-shaped home (or a future
+  // format) must not be trusted at all — a whitelist keyed on a different
+  // device set would admit arbitrary transitions here.
+  const std::string* meta_text = checkpoint.FindSection(kMetaSection);
+  if (meta_text == nullptr) {
+    report.issues.push_back({kMetaSection, "section missing; nothing trusted"});
+  } else {
+    try {
+      const util::JsonValue meta = util::JsonValue::Parse(*meta_text);
+      const std::int64_t version = meta.At("format_version").AsInt();
+      if (version != kCheckpointMetaVersion) {
+        throw util::JsonError("meta format version " +
+                              std::to_string(version) + " unsupported");
+      }
+      if (meta.At("devices").AsInt() !=
+              static_cast<std::int64_t>(fsm_.device_count()) ||
+          meta.At("mini_actions").AsInt() !=
+              static_cast<std::int64_t>(fsm_.codec().mini_action_count())) {
+        throw util::JsonError("checkpoint is for a different home");
+      }
+      report.meta_valid = true;
+    } catch (const std::exception& error) {
+      report.issues.push_back({kMetaSection, error.what()});
+    }
+  }
+  if (!report.meta_valid) {
+    // Count every data section present as lost: valid payloads under an
+    // untrusted meta are still untrusted.
+    for (const char* name : {kSplSection, kDqnSection, kMonitorSection}) {
+      if (checkpoint.HasSection(name)) ++report.sections_failed;
+    }
+    health_.checkpoint_sections_failed += report.sections_failed;
+    return report;
+  }
+
+  const auto restore_section = [&](const char* name,
+                                   const std::function<void(
+                                       const std::string&)>& apply) -> bool {
+    const std::string* text = checkpoint.FindSection(name);
+    if (text == nullptr) return false;
+    try {
+      apply(*text);
+      ++report.sections_restored;
+      return true;
+    } catch (const std::exception& error) {
+      report.issues.push_back({name, error.what()});
+      ++report.sections_failed;
+      return false;
+    }
+  };
+
+  // Per-section salvage. Each failure leaves that component cold-started:
+  // a rejected SPL leaves the learner unlearned (its LoadJson is fail-safe
+  // ordered), a rejected DQN doc simply isn't staged, a rejected monitor
+  // doc leaves the live tracked state alone.
+  report.spl_restored = restore_section(
+      kSplSection, [&](const std::string& text) {
+        learner_.LoadJsonString(text);
+        health_.learn = learner_.learn_report();
+      });
+  report.dqn_staged = restore_section(
+      kDqnSection, [&](const std::string& text) {
+        // Parse + structural sanity now; full width/shape validation runs
+        // at warm-start time in DqnAgent::LoadJson, once the agent exists.
+        auto doc = std::make_unique<util::JsonValue>(
+            util::JsonValue::Parse(text));
+        doc->At("network");  // throws JsonError when absent
+        warm_dqn_doc_ = std::move(doc);
+      });
+  if (monitor != nullptr) {
+    report.monitor_restored = restore_section(
+        kMonitorSection, [&](const std::string& text) {
+          monitor->LoadJson(util::JsonValue::Parse(text));
+          // Deny-unsafe until re-established: events may have occurred
+          // between the checkpoint and the crash, so the restored tracked
+          // state is not assumed current.
+          monitor->MarkAllStatesUnknown();
+        });
+  }
+
+  health_.checkpoint_sections_restored += report.sections_restored;
+  health_.checkpoint_sections_failed += report.sections_failed;
+  return report;
+}
+
+Jarvis::RestoreReport Jarvis::LoadCheckpoint(const std::string& path,
+                                             OnlineMonitor* monitor) {
+  std::vector<persist::CheckpointIssue> issues;
+  persist::Checkpoint checkpoint;
+  try {
+    checkpoint = persist::Checkpoint::ReadFile(path, &issues);
+  } catch (const util::io::IoError& error) {
+    // Missing/unreadable file: a cold start, reported but never thrown —
+    // recovery proceeds with nothing restored.
+    RestoreReport report;
+    report.issues.push_back({"", error.what()});
+    return report;
+  }
+  RestoreReport report = RestoreFrom(checkpoint, monitor);
+  // Prepend container-level diagnostics (bad magic, version skew,
+  // truncation, CRC drops) so the report carries the full story.
+  report.issues.insert(report.issues.begin(), issues.begin(), issues.end());
+  if (!issues.empty()) {
+    health_.checkpoint_sections_failed += issues.size();
+    report.sections_failed += issues.size();
+  }
+  return report;
 }
 
 fsm::ActionVector Jarvis::SuggestAction(const fsm::StateVector& state,

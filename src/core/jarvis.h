@@ -38,9 +38,11 @@
 #include "events/parser.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "persist/checkpoint.h"
 #include "rl/trainer.h"
 #include "sim/resident.h"
 #include "spl/learner.h"
+#include "util/io.h"
 
 namespace jarvis::core {
 
@@ -67,6 +69,12 @@ struct JarvisConfig {
   // results are bit-identical either way (the fleet parity test pins
   // this); disable to get the exact uninstrumented code path.
   bool metrics_enabled = true;
+  // When a restored checkpoint carried a trained DQN, seed OptimizeDay's
+  // restart 0 from it instead of a cold network. Off by default: warm
+  // starts change the training trajectory, and the fleet's deterministic
+  // parity contract (restored run == uninterrupted jobs=1 oracle) holds
+  // only on the cold path.
+  bool warm_start_dqn = false;
   std::uint64_t seed = 1;
 };
 
@@ -139,6 +147,50 @@ class Jarvis {
   // Audits any episode against the learnt policies (detection pipeline).
   spl::AuditResult Audit(const fsm::Episode& episode) const;
 
+  // --- Checkpoint lifecycle -----------------------------------------------
+
+  // Per-section outcome of a checkpoint restore. Recovery is per-section:
+  // a corrupt or rejected section is dropped (the component keeps its
+  // cold-start, fail-safe state) while valid sections are still restored.
+  struct RestoreReport {
+    bool file_found = false;        // false: cold start, nothing to restore
+    bool meta_valid = false;        // false: nothing was trusted
+    bool spl_restored = false;      // P_safe + ANN filter reloaded
+    bool dqn_staged = false;        // warm-start DQN doc staged (see below)
+    bool monitor_restored = false;  // tracked state + counters reloaded
+    std::size_t sections_restored = 0;
+    std::size_t sections_failed = 0;
+    // File- and section-level diagnostics from the container parser plus
+    // validation rejections; persist::FormatIssues renders them.
+    std::vector<persist::CheckpointIssue> issues;
+  };
+
+  // Captures the instance's learnt state as a versioned, checksummed
+  // checkpoint: "meta" (home-compatibility guard), "spl" (whitelist + ANN,
+  // when learned), "dqn" (trained agent + optimizer state, when present),
+  // and "monitor" (tracked FSM state, when a monitor is passed).
+  persist::Checkpoint MakeCheckpoint(const OnlineMonitor* monitor = nullptr,
+                                     bool include_replay = false) const;
+  // MakeCheckpoint + atomic durable write (util::io::AtomicWriteFile; the
+  // interceptor seam is for storage-fault injection in chaos tests).
+  void SaveCheckpoint(const std::string& path,
+                      const OnlineMonitor* monitor = nullptr,
+                      util::io::WriteInterceptor* interceptor = nullptr) const;
+
+  // Restores per-section with fail-safe fallback; never throws on corrupt
+  // or hostile content (missing/unreadable files and checksum-failed or
+  // malformed sections are reported in the result and counted in
+  // Health()). The "meta" section must validate against this home or
+  // nothing is trusted. A restored "dqn" section is staged, not applied:
+  // OptimizeDay's restart 0 warm-starts from it when
+  // config.warm_start_dqn is set. A restored monitor is put in deny-unsafe
+  // mode (MarkAllStatesUnknown) until every device reports again — events
+  // may have occurred between the checkpoint and the crash.
+  RestoreReport RestoreFrom(const persist::Checkpoint& checkpoint,
+                            OnlineMonitor* monitor = nullptr);
+  RestoreReport LoadCheckpoint(const std::string& path,
+                               OnlineMonitor* monitor = nullptr);
+
   // --- Degradation telemetry ----------------------------------------------
 
   // Aggregated counters from every stage run so far on this instance:
@@ -203,6 +255,9 @@ class Jarvis {
   // so reverse destruction tears the env down first.
   std::unique_ptr<sim::DayTrace> last_day_;
   std::unique_ptr<rl::IoTEnv> last_env_;  // featurizer for SuggestAction
+  // Staged warm-start DQN document from the last successful checkpoint
+  // restore; consumed by OptimizeDay restart 0 when config_.warm_start_dqn.
+  std::unique_ptr<util::JsonValue> warm_dqn_doc_;
   // Facade-level counters, cached at construction (null when metrics are
   // disabled). suggest_counter_ is bumped from const SuggestAction —
   // Counter::Increment is a relaxed atomic, safe under the concurrent

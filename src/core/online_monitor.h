@@ -65,6 +65,21 @@ class OnlineMonitor {
   // commands until a decodable report arrives.
   void MarkStateUnknown(std::size_t device_index);
 
+  // Restore-gap fail-safe: distrust every device at once. Used after a
+  // checkpoint restore — events may have occurred between the checkpoint
+  // and the crash, so the restored tracked state cannot be assumed current;
+  // deny-unsafe applies until each device reports again.
+  void MarkAllStatesUnknown();
+
+  // Persistence of the monitor's FSM tracking (tracked state, per-device
+  // trust, counters) for checkpointing. LoadJson validates the document
+  // against this monitor's home (device count, state ranges) and throws
+  // util::JsonError / util::CheckError on mismatch or hostile input,
+  // leaving the monitor untouched. The alert callback and metrics wiring
+  // are not serialized.
+  util::JsonValue ToJson() const;
+  void LoadJson(const util::JsonValue& doc);
+
   // Subscribes the monitor to everything on a bus; alerts (benign
   // anomalies and violations) flow to the callback. Returns the
   // subscription id (the caller owns unsubscription).

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/io.h"
+
 namespace jarvis::events {
 
 LoggerApp::LoggerApp(EventBus& bus) : bus_(bus) {
@@ -23,9 +25,9 @@ std::string LoggerApp::DumpLog() const {
 }
 
 void LoggerApp::WriteLogFile(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) throw std::runtime_error("LoggerApp: cannot open " + path);
-  file << DumpLog();
+  // Durable writes go through the atomic path (lint rule 10): a crash
+  // mid-dump must leave the previous log file intact, not a torn one.
+  util::io::AtomicWriteFile(path, DumpLog());
 }
 
 std::vector<Event> LoggerApp::ParseLog(const std::string& text,

@@ -1,0 +1,86 @@
+// Storage fault family: deterministic corruption of the durable write
+// path, mirroring the event-path fault model (faults::FaultSchedule) for
+// files. A StorageFaultInjector plugs into util::io::AtomicWriteFile as
+// its WriteInterceptor, so the chaos suite can hand a fleet's checkpoint
+// writes a seeded schedule of torn writes, truncations, bit flips, and
+// failed renames — and then assert that persist::Checkpoint::Parse detects
+// every one of them (checksums/lengths) and the pipeline degrades
+// per-section to fail-safe instead of serving garbage.
+//
+// Determinism: decisions come from one Rng seeded at construction (or
+// Reseed), consumed in write order. The same injector seed over the same
+// sequence of writes corrupts the same bytes the same way, so every chaos
+// run is replayable. Counters are the ground truth recovery accounting is
+// checked against, exactly like FaultCounters on the event path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace jarvis::faults {
+
+enum class StorageFaultKind {
+  kTornWrite,   // only a prefix of the payload lands; the tail reads as
+                // zeros (length preserved — a tear inside the file)
+  kTruncation,  // the file is cut short at a fraction of its length
+  kBitFlip,     // random bit(s) flipped inside the payload
+  kRenameFail,  // the commit rename fails: old file survives, write throws
+};
+
+std::string StorageFaultKindName(StorageFaultKind kind);
+
+struct StorageFaultSpec {
+  StorageFaultKind kind = StorageFaultKind::kBitFlip;
+  // Per-write Bernoulli probability in [0, 1]; 1.0 faults every matching
+  // write deterministically.
+  double rate = 0.0;
+  // Path scope: the fault applies only to paths containing this substring
+  // ("" matches every write).
+  std::string path_substring;
+  // kTornWrite / kTruncation: fraction of the payload that survives.
+  double keep_fraction = 0.5;
+  // kBitFlip: bits flipped per faulted write.
+  int bit_flips = 1;
+};
+
+struct StorageFaultCounters {
+  std::size_t torn_writes = 0;
+  std::size_t truncations = 0;
+  std::size_t bit_flips = 0;       // faulted writes, not individual bits
+  std::size_t rename_failures = 0;
+
+  std::size_t total() const {
+    return torn_writes + truncations + bit_flips + rename_failures;
+  }
+  StorageFaultCounters& operator+=(const StorageFaultCounters& other);
+  bool operator==(const StorageFaultCounters&) const = default;
+};
+
+// Thread-compatible, like the batch FaultInjector: chaos tests drive one
+// injector from one thread (the fleet's checkpoint writes are issued by
+// the coordinating thread, not tenant jobs).
+class StorageFaultInjector final : public util::io::WriteInterceptor {
+ public:
+  StorageFaultInjector(std::vector<StorageFaultSpec> specs,
+                       std::uint64_t seed);
+
+  // util::io::WriteInterceptor: applies every matching spec in order.
+  void OnWrite(const std::string& path, std::string& payload) override;
+  bool OnRename(const std::string& path) override;
+
+  const StorageFaultCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = {}; }
+  // Restarts the decision stream (a fresh deterministic replay).
+  void Reseed(std::uint64_t seed);
+
+ private:
+  std::vector<StorageFaultSpec> specs_;
+  util::Rng rng_;
+  StorageFaultCounters counters_;
+};
+
+}  // namespace jarvis::faults

@@ -97,6 +97,11 @@ class Network {
   const std::vector<DenseLayer>& layers() const { return layers_; }
   std::vector<DenseLayer>& mutable_layers() { return layers_; }
 
+  // The owned optimizer; checkpoint state export/import goes through
+  // neural/serialize.h's include_optimizer flag.
+  const Optimizer& optimizer() const { return *optimizer_; }
+  Optimizer& optimizer() { return *optimizer_; }
+
   // Copies weights/biases from another network with identical topology
   // (used for DQN target-network style ablations).
   void CopyParametersFrom(const Network& other);

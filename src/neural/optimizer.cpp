@@ -2,11 +2,49 @@
 
 #include <cmath>
 
+#include "neural/serialize.h"
 #include "util/check.h"
 
 namespace jarvis::neural {
 
 namespace {
+
+util::JsonValue TensorsToJson(const std::vector<Tensor>& tensors) {
+  util::JsonArray arr;
+  arr.reserve(tensors.size());
+  for (const Tensor& t : tensors) arr.push_back(TensorToJson(t));
+  return util::JsonValue(std::move(arr));
+}
+
+std::vector<Tensor> TensorsFromJson(const util::JsonValue& doc) {
+  std::vector<Tensor> tensors;
+  const auto& arr = doc.AsArray();
+  tensors.reserve(arr.size());
+  for (const auto& entry : arr) tensors.push_back(TensorFromJson(entry));
+  return tensors;
+}
+
+// Restored moment/velocity tensors must mirror the layer parameter shapes
+// exactly; Step indexes them by the parameter sizes, so a mismatch
+// admitted here would read out of bounds there.
+void CheckStateShapes(const std::string& what,
+                      const std::vector<DenseLayer>& layers,
+                      const std::vector<Tensor>& weight_like,
+                      const std::vector<Tensor>& bias_like) {
+  if (weight_like.size() != layers.size() ||
+      bias_like.size() != layers.size()) {
+    throw util::JsonError(what + ": optimizer state layer count mismatch");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (weight_like[i].rows() != layers[i].weights().rows() ||
+        weight_like[i].cols() != layers[i].weights().cols() ||
+        bias_like[i].rows() != 1 ||
+        bias_like[i].cols() != layers[i].biases().cols()) {
+      throw util::JsonError(what + ": optimizer state shape mismatch at layer " +
+                            std::to_string(i));
+    }
+  }
+}
 
 // In-place p[i] -= g[i] * lr. The product is rounded into a named temporary
 // before the subtraction, so the result is bit-identical to the historical
@@ -72,12 +110,69 @@ void Sgd::Step(std::vector<DenseLayer>& layers) {
   }
 }
 
+util::JsonValue Sgd::StateToJson() const {
+  util::JsonObject obj;
+  obj["velocity_weights"] = TensorsToJson(weight_velocity_);
+  obj["velocity_biases"] = TensorsToJson(bias_velocity_);
+  return util::JsonValue(std::move(obj));
+}
+
+void Sgd::StateFromJson(const util::JsonValue& doc,
+                        const std::vector<DenseLayer>& layers) {
+  auto weights = TensorsFromJson(doc.At("velocity_weights"));
+  auto biases = TensorsFromJson(doc.At("velocity_biases"));
+  // Empty state (saved before the first Step) is valid and restores the
+  // lazy-init condition; anything else must match the layers exactly.
+  if (!weights.empty() || !biases.empty()) {
+    CheckStateShapes("Sgd::StateFromJson", layers, weights, biases);
+  }
+  weight_velocity_ = std::move(weights);
+  bias_velocity_ = std::move(biases);
+}
+
 Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
     : learning_rate_(learning_rate),
       beta1_(beta1),
       beta2_(beta2),
       epsilon_(epsilon) {
   JARVIS_CHECK_GT(learning_rate, 0.0, "Adam: lr <= 0");
+}
+
+util::JsonValue Adam::StateToJson() const {
+  util::JsonObject obj;
+  obj["step_count"] = util::JsonValue(static_cast<std::int64_t>(step_count_));
+  obj["m_weights"] = TensorsToJson(m_weights_);
+  obj["v_weights"] = TensorsToJson(v_weights_);
+  obj["m_biases"] = TensorsToJson(m_biases_);
+  obj["v_biases"] = TensorsToJson(v_biases_);
+  return util::JsonValue(std::move(obj));
+}
+
+void Adam::StateFromJson(const util::JsonValue& doc,
+                         const std::vector<DenseLayer>& layers) {
+  const std::int64_t steps = doc.At("step_count").AsInt();
+  if (steps < 0) {
+    throw util::JsonError("Adam::StateFromJson: negative step count");
+  }
+  auto mw = TensorsFromJson(doc.At("m_weights"));
+  auto vw = TensorsFromJson(doc.At("v_weights"));
+  auto mb = TensorsFromJson(doc.At("m_biases"));
+  auto vb = TensorsFromJson(doc.At("v_biases"));
+  const bool empty = mw.empty() && vw.empty() && mb.empty() && vb.empty();
+  if (!empty) {
+    CheckStateShapes("Adam::StateFromJson", layers, mw, mb);
+    CheckStateShapes("Adam::StateFromJson", layers, vw, vb);
+  } else if (steps != 0) {
+    // step_count without moments would skew the bias correction of every
+    // future step; reject the inconsistent state.
+    throw util::JsonError(
+        "Adam::StateFromJson: step count without moment tensors");
+  }
+  step_count_ = static_cast<long>(steps);
+  m_weights_ = std::move(mw);
+  v_weights_ = std::move(vw);
+  m_biases_ = std::move(mb);
+  v_biases_ = std::move(vb);
 }
 
 void Adam::Step(std::vector<DenseLayer>& layers) {

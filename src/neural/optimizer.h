@@ -5,9 +5,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "neural/layer.h"
+#include "util/json.h"
 
 namespace jarvis::neural {
 
@@ -19,6 +21,17 @@ class Optimizer {
   virtual void Step(std::vector<DenseLayer>& layers) = 0;
 
   virtual double learning_rate() const = 0;
+
+  // Checkpoint support (neural/serialize.h's include_optimizer flag).
+  // name() keys the state on restore — state never imports across
+  // optimizer kinds. StateFromJson validates every tensor against the
+  // layer shapes before committing (throws util::JsonError on malformed
+  // or mismatched state), so a restored optimizer can never feed Step
+  // moment tensors of the wrong size.
+  virtual std::string name() const = 0;
+  virtual util::JsonValue StateToJson() const = 0;
+  virtual void StateFromJson(const util::JsonValue& doc,
+                             const std::vector<DenseLayer>& layers) = 0;
 };
 
 class Sgd final : public Optimizer {
@@ -26,6 +39,10 @@ class Sgd final : public Optimizer {
   explicit Sgd(double learning_rate, double momentum = 0.0);
   void Step(std::vector<DenseLayer>& layers) override;
   double learning_rate() const override { return learning_rate_; }
+  std::string name() const override { return "sgd"; }
+  util::JsonValue StateToJson() const override;
+  void StateFromJson(const util::JsonValue& doc,
+                     const std::vector<DenseLayer>& layers) override;
 
  private:
   double learning_rate_;
@@ -41,6 +58,10 @@ class Adam final : public Optimizer {
                 double beta2 = 0.999, double epsilon = 1e-8);
   void Step(std::vector<DenseLayer>& layers) override;
   double learning_rate() const override { return learning_rate_; }
+  std::string name() const override { return "adam"; }
+  util::JsonValue StateToJson() const override;
+  void StateFromJson(const util::JsonValue& doc,
+                     const std::vector<DenseLayer>& layers) override;
 
  private:
   double learning_rate_;

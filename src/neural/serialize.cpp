@@ -1,5 +1,9 @@
 #include "neural/serialize.h"
 
+#include <cmath>
+
+#include "util/check.h"
+
 namespace jarvis::neural {
 
 using jarvis::util::JsonArray;
@@ -8,35 +12,53 @@ using jarvis::util::JsonValue;
 
 namespace {
 
+// v1: topology + parameters. v2: + optional optimizer state. The writer
+// stamps v2; the reader accepts both and rejects anything newer.
+constexpr std::int64_t kFormatVersion = 2;
+
+}  // namespace
+
 JsonValue TensorToJson(const Tensor& t) {
   JsonObject obj;
   obj["rows"] = JsonValue(static_cast<std::int64_t>(t.rows()));
   obj["cols"] = JsonValue(static_cast<std::int64_t>(t.cols()));
   JsonArray data;
   data.reserve(t.size());
-  for (double v : t.data()) data.emplace_back(v);
+  for (double v : t.data()) {
+    JARVIS_CHECK(std::isfinite(v),
+                 "TensorToJson: refusing to serialize non-finite value "
+                 "(diverged parameters must not be persisted)");
+    data.emplace_back(v);
+  }
   obj["data"] = JsonValue(std::move(data));
   return JsonValue(std::move(obj));
 }
 
 Tensor TensorFromJson(const JsonValue& doc) {
-  const auto rows = static_cast<std::size_t>(doc.At("rows").AsInt());
-  const auto cols = static_cast<std::size_t>(doc.At("cols").AsInt());
+  const std::int64_t rows = doc.At("rows").AsInt();
+  const std::int64_t cols = doc.At("cols").AsInt();
+  if (rows < 0 || cols < 0) {
+    throw jarvis::util::JsonError("tensor shape negative");
+  }
   const auto& data = doc.At("data").AsArray();
-  if (data.size() != rows * cols) {
+  if (data.size() != static_cast<std::size_t>(rows) *
+                         static_cast<std::size_t>(cols)) {
     throw jarvis::util::JsonError("tensor data size mismatch");
   }
-  Tensor t(rows, cols);
+  Tensor t(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
   for (std::size_t i = 0; i < data.size(); ++i) {
-    t.mutable_data()[i] = data[i].AsNumber();
+    const double v = data[i].AsNumber();
+    if (!std::isfinite(v)) {
+      throw jarvis::util::JsonError("tensor data non-finite");
+    }
+    t.mutable_data()[i] = v;
   }
   return t;
 }
 
-}  // namespace
-
-JsonValue ToJson(const Network& network) {
+JsonValue ToJson(const Network& network, const SerializeOptions& options) {
   JsonObject obj;
+  obj["format_version"] = JsonValue(kFormatVersion);
   obj["input_features"] =
       JsonValue(static_cast<std::int64_t>(network.input_features()));
   JsonArray layers;
@@ -48,15 +70,31 @@ JsonValue ToJson(const Network& network) {
     layers.push_back(JsonValue(std::move(layer_obj)));
   }
   obj["layers"] = JsonValue(std::move(layers));
+  if (options.include_optimizer) {
+    JsonObject opt;
+    opt["name"] = JsonValue(network.optimizer().name());
+    opt["state"] = network.optimizer().StateToJson();
+    obj["optimizer"] = JsonValue(std::move(opt));
+  }
   return JsonValue(std::move(obj));
 }
 
-std::string ToJsonString(const Network& network) {
-  return ToJson(network).Dump();
+std::string ToJsonString(const Network& network,
+                         const SerializeOptions& options) {
+  return ToJson(network, options).Dump();
 }
 
 Network FromJson(const JsonValue& doc, Loss loss,
                  std::unique_ptr<Optimizer> optimizer, jarvis::util::Rng rng) {
+  if (doc.AsObject().count("format_version") != 0) {
+    const std::int64_t version = doc.At("format_version").AsInt();
+    if (version < 1 || version > kFormatVersion) {
+      throw jarvis::util::JsonError(
+          "network document format version " + std::to_string(version) +
+          " unsupported (library writes v" + std::to_string(kFormatVersion) +
+          ")");
+    }
+  }
   const auto input_features =
       static_cast<std::size_t>(doc.At("input_features").AsInt());
   const auto& layer_docs = doc.At("layers").AsArray();
@@ -73,6 +111,16 @@ Network FromJson(const JsonValue& doc, Loss loss,
         TensorFromJson(layer_docs[i].At("weights"));
     network.mutable_layers()[i].biases() =
         TensorFromJson(layer_docs[i].At("biases"));
+  }
+  if (doc.AsObject().count("optimizer") != 0) {
+    const JsonValue& opt_doc = doc.At("optimizer");
+    const std::string& recorded = opt_doc.At("name").AsString();
+    if (recorded != network.optimizer().name()) {
+      throw jarvis::util::JsonError(
+          "optimizer state is '" + recorded + "' but the network was given '" +
+          network.optimizer().name() + "' — state never imports across kinds");
+    }
+    network.optimizer().StateFromJson(opt_doc.At("state"), network.layers());
   }
   return network;
 }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "neural/serialize.h"
+
 namespace jarvis::rl {
 
 namespace {
@@ -32,6 +34,7 @@ DqnAgent::DqnAgent(std::size_t feature_width, const fsm::StateCodec& codec,
       initial_epsilon_(config.epsilon) {}
 
 void DqnAgent::SetMetrics(obs::Registry* registry) {
+  metrics_registry_ = registry;
   network_.SetMetrics(registry);
   if (registry == nullptr) {
     actions_counter_ = nullptr;
@@ -305,6 +308,84 @@ double DqnAgent::Replay() {
     epsilon_histogram_->Observe(config_.epsilon);
   })
   return last_loss_;
+}
+
+util::JsonValue DqnAgent::ToJson(const AgentSerializeOptions& options) const {
+  util::JsonObject obj;
+  obj["format_version"] = util::JsonValue(std::int64_t{1});
+  obj["feature_width"] =
+      util::JsonValue(static_cast<std::int64_t>(network_.input_features()));
+  obj["mini_actions"] =
+      util::JsonValue(static_cast<std::int64_t>(codec_.mini_action_count()));
+  obj["epsilon"] = util::JsonValue(config_.epsilon);
+  obj["last_loss"] = util::JsonValue(last_loss_);
+  obj["network"] = neural::ToJson(
+      network_, neural::SerializeOptions{options.include_optimizer});
+  if (options.include_replay) obj["replay"] = buffer_.ToJson();
+  return util::JsonValue(std::move(obj));
+}
+
+void DqnAgent::LoadJson(const util::JsonValue& doc) {
+  if (doc.AsObject().count("format_version") != 0) {
+    const std::int64_t version = doc.At("format_version").AsInt();
+    if (version != 1) {
+      throw util::JsonError("DqnAgent::LoadJson: unsupported format version " +
+                            std::to_string(version));
+    }
+  }
+  // Width guard: a checkpoint from a differently-shaped home must be
+  // rejected before any network rebuild — the codec decode below would
+  // otherwise index a Q-row of the wrong width.
+  const std::int64_t feature_width = doc.At("feature_width").AsInt();
+  const std::int64_t mini_actions = doc.At("mini_actions").AsInt();
+  if (feature_width < 0 ||
+      static_cast<std::size_t>(feature_width) != network_.input_features() ||
+      mini_actions < 0 ||
+      static_cast<std::size_t>(mini_actions) != codec_.mini_action_count()) {
+    throw util::JsonError(
+        "DqnAgent::LoadJson: checkpoint widths do not match this agent");
+  }
+  const double epsilon = doc.At("epsilon").AsNumber();
+  if (!std::isfinite(epsilon) || epsilon < 0.0 || epsilon > 1.0) {
+    throw util::JsonError("DqnAgent::LoadJson: epsilon out of [0,1]");
+  }
+  const double last_loss = doc.At("last_loss").AsNumber();
+  if (!std::isfinite(last_loss)) {
+    // A diverged agent must never have been persisted; a non-finite loss
+    // here means the document is corrupt or hostile.
+    throw util::JsonError("DqnAgent::LoadJson: last_loss non-finite");
+  }
+  // Rebuild through the same constructor path as BuildNetwork, so the
+  // restored network carries the same loss/optimizer kind; FromJson
+  // validates parameters (finiteness, shapes) and optimizer state before
+  // returning.
+  neural::Network restored = neural::FromJson(
+      doc.At("network"), neural::Loss::kMeanSquaredError,
+      std::make_unique<neural::Adam>(config_.learning_rate),
+      util::Rng(config_.seed ^ 0x5eedULL));
+  if (restored.input_features() != network_.input_features() ||
+      restored.output_features() != codec_.mini_action_count()) {
+    throw util::JsonError(
+        "DqnAgent::LoadJson: network document shape does not match this "
+        "agent");
+  }
+  if (doc.AsObject().count("replay") != 0) {
+    buffer_.LoadJson(doc.At("replay"), network_.input_features(),
+                     codec_.mini_action_count());
+  } else {
+    buffer_.Clear();
+  }
+  // Commit point: everything validated.
+  network_ = std::move(restored);
+  network_.SetMetrics(metrics_registry_);
+  config_.epsilon = epsilon;
+  last_loss_ = last_loss;
+  // Transients reset: the frozen target resyncs from the restored online
+  // network on the next Replay; sticky exploration restarts.
+  target_network_.reset();
+  replays_since_sync_ = 0;
+  last_explore_slot_.clear();
+  snapshot_.clear();
 }
 
 }  // namespace jarvis::rl

@@ -18,6 +18,7 @@
 #include "neural/network.h"
 #include "obs/metrics.h"
 #include "rl/replay.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace jarvis::rl {
@@ -48,6 +49,16 @@ struct DqnConfig {
   // updated — the standard DQN stabilizer (ablated in bench_ablation_rl).
   int target_sync_interval = 0;
   std::uint64_t seed = 99;
+};
+
+// What DqnAgent::ToJson carries beyond the Q-network parameters.
+struct AgentSerializeOptions {
+  // Adam moments + step count, so a restored agent resumes mid-anneal
+  // instead of re-warming the optimizer.
+  bool include_optimizer = true;
+  // The replay memory. Off by default: it dominates checkpoint size and a
+  // warm-started tenant regenerates experience quickly.
+  bool include_replay = false;
 };
 
 class DqnAgent {
@@ -109,6 +120,18 @@ class DqnAgent {
   // JARVIS_OBS_ONLY so a -DJARVIS_OBS_OFF build compiles them out.
   void SetMetrics(obs::Registry* registry);
 
+  // Checkpoint persistence. ToJson captures the learnt state (Q-network,
+  // optionally optimizer moments and replay memory) plus the exploration
+  // point (epsilon, last loss). LoadJson restores into an agent built with
+  // the same widths — feature width and mini-action count are recorded and
+  // verified, and every numeric field is validated (util::JsonError on
+  // hostile documents) before any state is replaced. The target network and
+  // sticky-exploration memory are transient and reset on load; metrics
+  // wiring survives (SetMetrics state is re-applied to the restored
+  // network).
+  util::JsonValue ToJson(const AgentSerializeOptions& options = {}) const;
+  void LoadJson(const util::JsonValue& doc);
+
   double epsilon() const { return config_.epsilon; }
   double last_loss() const { return last_loss_; }
   const DqnConfig& config() const { return config_; }
@@ -137,6 +160,9 @@ class DqnAgent {
   // Last exploratory slot per device (sticky exploration); empty until the
   // first SelectAction.
   std::vector<std::size_t> last_explore_slot_;
+  // Last registry handed to SetMetrics, so LoadJson can re-wire the
+  // restored network's instruments.
+  obs::Registry* metrics_registry_ = nullptr;
   // Hot-loop scratch, reused across calls so steady-state SelectAction and
   // Replay perform zero allocations (DESIGN.md §12).
   std::vector<double> q_scratch_;

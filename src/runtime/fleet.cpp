@@ -23,6 +23,7 @@ enum TenantStream : std::uint64_t {
   kResidentStream = 3,
   kScenarioStream = 4,
   kAnomalyStream = 5,
+  kCheckpointStream = 6,  // jitter for checkpoint-write retries
 };
 
 core::JarvisConfig MakeTenantConfig(const core::JarvisConfig& base,
@@ -95,20 +96,27 @@ Fleet::Fleet(const fsm::EnvironmentFsm& home, FleetConfig config)
 void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
                       TenantResult& result) {
   std::uint64_t seed = 0;
+  std::unique_ptr<core::Jarvis> warm;
   {
-    // Touch the shard only at job start (seed + quarantine flag) and job
-    // end (store the trained pipeline): the tenant pipeline itself runs on
-    // locals, so the fleet lock never serializes tenant work.
+    // Touch the shard only at job start (seed + quarantine flag + staged
+    // warm-start pipeline) and job end (store the trained pipeline): the
+    // tenant pipeline itself runs on locals, so the fleet lock never
+    // serializes tenant work.
     util::MutexLock lock(mutex_);
-    const TenantShard& shard = shards_[index];
+    TenantShard& shard = shards_[index];
     seed = shard.seed;
     result.tenant = index;
     result.seed = seed;
+    if (shard.removed) {
+      result.removed = true;
+      return;
+    }
     if (shard.quarantined) {
       result.quarantined = true;
       result.error = "quarantined by a previous run";
       return;
     }
+    warm = std::move(shard.warm_start);
   }
   obs::ScopedSpan tenant_span(&tracer_, "tenant." + std::to_string(index));
   try {
@@ -116,9 +124,19 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
       obs::ScopedSpan span(&tracer_, "workload");
       return factory(index, seed);
     }();
-    auto jarvis = std::make_unique<core::Jarvis>(
-        home_, MakeTenantConfig(config_.tenant_config, seed));
-    {
+    // A staged pipeline (checkpoint restore / warm-start template) replaces
+    // the cold construction. If its policies restored, the learning phase
+    // is skipped entirely — the warm-start payoff; if the restore failed
+    // per-section, the pipeline cold-start learns below while its health
+    // still carries the failed-section accounting.
+    auto jarvis = warm != nullptr
+                      ? std::move(warm)
+                      : std::make_unique<core::Jarvis>(
+                            home_, MakeTenantConfig(config_.tenant_config,
+                                                    seed));
+    if (jarvis->learned()) {
+      result.warm_started = true;
+    } else {
       obs::ScopedSpan span(&tracer_, "learn");
       result.learning_episodes =
           jarvis->LearnFromEvents(workload.events, workload.initial_state,
@@ -172,9 +190,11 @@ FleetReport Fleet::Run(const WorkloadFactory& factory) {
   });
 
   for (const TenantResult& tenant : report.tenants) {
+    if (tenant.removed) ++report.removed;
     if (tenant.quarantined) ++report.quarantined;
     if (!tenant.completed) continue;
     ++report.completed;
+    if (tenant.warm_started) ++report.warm_started;
     if (tenant.health.degraded()) ++report.degraded;
     report.total_energy_kwh += tenant.plan.optimized_metrics.energy_kwh;
     report.total_cost_usd += tenant.plan.optimized_metrics.cost_usd;
@@ -286,6 +306,140 @@ std::uint64_t Fleet::tenant_seed(std::size_t index) const {
     throw std::out_of_range("Fleet::tenant_seed");
   }
   return shards_[index].seed;
+}
+
+std::size_t Fleet::AddTenant() {
+  util::MutexLock lock(mutex_);
+  TenantShard shard;
+  // Same derivation as construction: tenant i's seed is a pure function of
+  // (fleet_seed, i) whether it joined at construction or dynamically.
+  shard.seed = util::DeriveSeed(config_.fleet_seed,
+                                static_cast<std::uint64_t>(shards_.size()));
+  shards_.push_back(std::move(shard));
+  return shards_.size() - 1;
+}
+
+std::size_t Fleet::AddTenant(const persist::Checkpoint& warm_start_template) {
+  const std::size_t index = AddTenant();
+  std::uint64_t seed = 0;
+  {
+    util::MutexLock lock(mutex_);
+    seed = shards_[index].seed;
+  }
+  // Seed the new tenant's pipeline from the template home's learnt
+  // policies. RestoreFrom never throws on corrupt/foreign content: a
+  // rejected template degrades to a cold start whose health records the
+  // failed sections, surfaced at the tenant's first Run.
+  auto jarvis = std::make_unique<core::Jarvis>(
+      home_, MakeTenantConfig(config_.tenant_config, seed));
+  jarvis->RestoreFrom(warm_start_template);
+  util::MutexLock lock(mutex_);
+  shards_[index].warm_start = std::move(jarvis);
+  return index;
+}
+
+void Fleet::RemoveTenant(std::size_t index) {
+  util::MutexLock lock(mutex_);
+  if (index >= shards_.size()) {
+    throw std::out_of_range("Fleet::RemoveTenant: no such tenant");
+  }
+  TenantShard& shard = shards_[index];
+  shard.removed = true;
+  shard.jarvis.reset();
+  shard.warm_start.reset();
+}
+
+std::string Fleet::TenantCheckpointPath(const std::string& dir,
+                                        std::size_t tenant) {
+  return dir + "/tenant-" + std::to_string(tenant) + ".ckpt";
+}
+
+FleetCheckpointReport Fleet::SaveCheckpoints(
+    const std::string& dir, util::io::WriteInterceptor* interceptor) {
+  util::io::CreateDirectories(dir);
+  FleetCheckpointReport report;
+  report.tenants.assign(tenant_count(), TenantCheckpointResult{});
+  for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+    TenantCheckpointResult& result = report.tenants[i];
+    result.tenant = i;
+    const core::Jarvis* jarvis = nullptr;
+    std::uint64_t seed = 0;
+    bool removed = false;
+    {
+      util::MutexLock lock(mutex_);
+      const TenantShard& shard = shards_[i];
+      jarvis = shard.jarvis.get();
+      seed = shard.seed;
+      removed = shard.removed;
+    }
+    if (removed || jarvis == nullptr) {
+      ++report.skipped;
+      continue;
+    }
+    result.attempted = true;
+    // Per-tenant jitter stream: decorrelates the fleet's retries against a
+    // shared failing store while keeping each tenant's backoff sequence a
+    // pure function of the fleet seed.
+    util::RetryPolicy policy = config_.checkpoint_retry;
+    policy.jitter_seed = util::DeriveSeed(seed, kCheckpointStream);
+    std::string error;
+    const util::RetryResult retry = util::Retry(policy, [&] {
+      try {
+        jarvis->SaveCheckpoint(TenantCheckpointPath(dir, i), nullptr,
+                               interceptor);
+        return true;
+      } catch (const util::io::IoError& io_error) {
+        error = io_error.what();
+        return false;
+      }
+    });
+    result.write_attempts = retry.attempts;
+    if (retry.succeeded) {
+      result.succeeded = true;
+      ++report.succeeded;
+    } else {
+      result.error = error;
+      ++report.failed;
+    }
+  }
+  return report;
+}
+
+FleetCheckpointReport Fleet::RestoreCheckpoints(const std::string& dir) {
+  FleetCheckpointReport report;
+  report.tenants.assign(tenant_count(), TenantCheckpointResult{});
+  for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+    TenantCheckpointResult& result = report.tenants[i];
+    result.tenant = i;
+    std::uint64_t seed = 0;
+    bool removed = false;
+    {
+      util::MutexLock lock(mutex_);
+      seed = shards_[i].seed;
+      removed = shards_[i].removed;
+    }
+    if (removed || !util::io::FileExists(TenantCheckpointPath(dir, i))) {
+      ++report.skipped;
+      continue;
+    }
+    result.attempted = true;
+    auto jarvis = std::make_unique<core::Jarvis>(
+        home_, MakeTenantConfig(config_.tenant_config, seed));
+    result.restore = jarvis->LoadCheckpoint(TenantCheckpointPath(dir, i));
+    if (result.restore.spl_restored) {
+      result.succeeded = true;
+      ++report.succeeded;
+    } else {
+      result.error = persist::FormatIssues(result.restore.issues);
+      ++report.failed;
+    }
+    // Stage even on failure: the pipeline carries the failed-restore
+    // health accounting, and its next Run cold-start learns.
+    util::MutexLock lock(mutex_);
+    shards_[i].warm_start = std::move(jarvis);
+    shards_[i].quarantined = false;
+  }
+  return report;
 }
 
 }  // namespace jarvis::runtime

@@ -43,8 +43,11 @@
 #include "core/jarvis.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "persist/checkpoint.h"
 #include "runtime/thread_pool.h"
+#include "util/io.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/thread_annotations.h"
 
 namespace jarvis::runtime {
@@ -63,6 +66,12 @@ struct FleetConfig {
   core::JarvisConfig tenant_config;
   // Backpressure bound on the scheduler queue.
   std::size_t queue_capacity = 256;
+  // Retry policy for per-tenant checkpoint writes (SaveCheckpoints):
+  // storage faults are often transient, and the jitter fields decorrelate
+  // many tenants retrying against one failing store. Each tenant's jitter
+  // stream is seeded from its tenant seed, so retry timing stays a pure
+  // function of the fleet seed.
+  util::RetryPolicy checkpoint_retry{};
 };
 
 // Everything one tenant's learn+optimize job consumes. Produced per tenant
@@ -105,6 +114,10 @@ struct TenantResult {
   std::uint64_t seed = 0;
   bool completed = false;
   bool quarantined = false;
+  bool removed = false;  // tombstoned by RemoveTenant; skipped, not failed
+  // This run reused restored policies (checkpoint restore or warm-start
+  // template) instead of re-running the learning phase.
+  bool warm_started = false;
   std::string error;  // what quarantined it
   std::size_t learning_episodes = 0;
   core::DayPlan plan;
@@ -115,11 +128,30 @@ struct FleetReport {
   std::vector<TenantResult> tenants;
   std::size_t completed = 0;
   std::size_t quarantined = 0;
+  std::size_t removed = 0;
+  std::size_t warm_started = 0;
   std::size_t degraded = 0;  // completed tenants whose health degraded()
   // Aggregates over completed tenants (optimized day).
   double total_energy_kwh = 0.0;
   double total_cost_usd = 0.0;
   std::size_t total_violations = 0;
+};
+
+// Outcome of one tenant's checkpoint save or restore.
+struct TenantCheckpointResult {
+  std::size_t tenant = 0;
+  bool attempted = false;  // false: no pipeline to save / no file / removed
+  bool succeeded = false;
+  int write_attempts = 0;  // save: tries the retry loop spent (0 if skipped)
+  std::string error;
+  core::Jarvis::RestoreReport restore;  // restore only
+};
+
+struct FleetCheckpointReport {
+  std::vector<TenantCheckpointResult> tenants;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;   // attempted but not succeeded
+  std::size_t skipped = 0;  // nothing to do for this tenant
 };
 
 class Fleet {
@@ -130,8 +162,52 @@ class Fleet {
   // Runs LearnFromEvents + OptimizeDay for every tenant (workloads from
   // `factory`) across the pool and aggregates. Each tenant's trained
   // pipeline is retained for SuggestMinutes / tenant(). Calling Run again
-  // re-runs every non-quarantined tenant.
+  // re-runs every non-quarantined tenant. A tenant holding restored (or
+  // warm-start template) policies skips LearnFromEvents and goes straight
+  // to OptimizeDay (TenantResult::warm_started).
   FleetReport Run(const WorkloadFactory& factory) JARVIS_EXCLUDES(mutex_);
+
+  // --- Tenant lifecycle ---------------------------------------------------
+
+  // Adds a tenant (index-stable: existing tenants keep their indices and
+  // seeds; the new tenant's pipeline seeds derive from
+  // DeriveSeed(fleet_seed, new_index) like any other). Returns the new
+  // index. The warm-start overload seeds the tenant from a serialized
+  // "template home" checkpoint — e.g. one saved by an established tenant
+  // of the same home model — so its first Run skips the learning phase;
+  // a checkpoint that fails validation degrades to a cold start (the
+  // restore report is folded into the tenant's health at its next Run).
+  std::size_t AddTenant() JARVIS_EXCLUDES(mutex_);
+  std::size_t AddTenant(const persist::Checkpoint& warm_start_template)
+      JARVIS_EXCLUDES(mutex_);
+
+  // Tombstones a tenant: it is skipped by Run and checkpointing, its
+  // accessors behave as never-run, and its index is never reused (throws
+  // std::out_of_range for an unknown index). Idempotent.
+  void RemoveTenant(std::size_t index) JARVIS_EXCLUDES(mutex_);
+
+  // --- Checkpoint lifecycle -----------------------------------------------
+
+  // Writes one checkpoint per completed tenant into `dir`
+  // (tenant-<i>.ckpt), each through the atomic write path under the
+  // config's retry policy (per-tenant seeded jitter). The interceptor seam
+  // injects storage faults in chaos tests. Tenants without a run pipeline
+  // are skipped.
+  FleetCheckpointReport SaveCheckpoints(
+      const std::string& dir,
+      util::io::WriteInterceptor* interceptor = nullptr)
+      JARVIS_EXCLUDES(mutex_);
+
+  // Restores per-tenant state from `dir`: each tenant with a readable,
+  // valid checkpoint gets a freshly constructed pipeline loaded from it
+  // and marked for warm start at its next Run. Corrupt/missing files are
+  // reported per tenant (never thrown) and leave that tenant cold.
+  FleetCheckpointReport RestoreCheckpoints(const std::string& dir)
+      JARVIS_EXCLUDES(mutex_);
+
+  // tenant-<i>.ckpt under `dir`.
+  static std::string TenantCheckpointPath(const std::string& dir,
+                                          std::size_t tenant);
 
   // Batched deployment-mode suggestion: greedy actions for one tenant at
   // each queried minute, computed with a single batched forward through
@@ -180,7 +256,12 @@ class Fleet {
   struct TenantShard {
     std::uint64_t seed = 0;
     std::unique_ptr<core::Jarvis> jarvis;
+    // Pipeline holding restored/template policies, staged by
+    // RestoreCheckpoints or AddTenant(warm_start_template); consumed
+    // (moved out) by the tenant's next Run.
+    std::unique_ptr<core::Jarvis> warm_start;
     bool quarantined = false;
+    bool removed = false;  // tombstone: skipped everywhere, index preserved
   };
 
   void RunTenant(std::size_t index, const WorkloadFactory& factory,

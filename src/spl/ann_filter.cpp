@@ -116,6 +116,11 @@ void AnnFilter::LoadJson(const util::JsonValue& doc) {
   if (restored.input_features() != encoder_.feature_width()) {
     throw std::invalid_argument("AnnFilter::LoadJson: feature width mismatch");
   }
+  if (restored.output_features() != 1) {
+    // A benign-score network is a single-sigmoid head; any other width is
+    // a corrupt or foreign document.
+    throw std::invalid_argument("AnnFilter::LoadJson: output width mismatch");
+  }
   network_ = std::move(restored);
   trained_ = doc.At("trained").AsBool();
 }

@@ -147,17 +147,59 @@ Verdict SafetyPolicyLearner::Classify(const fsm::StateVector& state,
   return worst;
 }
 
+namespace {
+
+// Learn-report counters are sizes: non-negative integers. Anything else in
+// a restored document is corrupt or hostile.
+std::size_t ReadCount(const util::JsonValue& stats, const char* key) {
+  const std::int64_t value = stats.At(key).AsInt();
+  if (value < 0) {
+    throw util::JsonError(std::string("SafetyPolicyLearner::LoadJson: "
+                                      "negative stat '") +
+                          key + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
 util::JsonValue SafetyPolicyLearner::ToJson() const {
   util::JsonObject obj;
   obj["learned"] = util::JsonValue(learned_);
   obj["table"] = table_.ToJson();
   obj["filter"] = filter_.ToJson();
+  util::JsonObject stats;
+  stats["episodes_offered"] = util::JsonValue(
+      static_cast<std::int64_t>(learn_report_.episodes_offered));
+  stats["episodes_used"] =
+      util::JsonValue(static_cast<std::int64_t>(learn_report_.episodes_used));
+  stats["episodes_skipped"] = util::JsonValue(
+      static_cast<std::int64_t>(learn_report_.episodes_skipped));
+  stats["observations"] =
+      util::JsonValue(static_cast<std::int64_t>(learn_report_.observations));
+  stats["filtered_benign"] = util::JsonValue(
+      static_cast<std::int64_t>(learn_report_.filtered_benign));
+  obj["stats"] = util::JsonValue(std::move(stats));
   return util::JsonValue(std::move(obj));
 }
 
 void SafetyPolicyLearner::LoadJson(const util::JsonValue& doc) {
+  // Fail-safe restore ordering: mark unlearned first so that an exception
+  // mid-restore (hostile table/filter document) leaves the learner refusing
+  // to classify — the deny path — rather than serving a half-replaced
+  // whitelist.
+  learned_ = false;
   table_.LoadJson(doc.At("table"));
   filter_.LoadJson(doc.At("filter"));
+  learn_report_ = {};
+  if (doc.AsObject().count("stats") != 0) {  // absent in legacy documents
+    const util::JsonValue& stats = doc.At("stats");
+    learn_report_.episodes_offered = ReadCount(stats, "episodes_offered");
+    learn_report_.episodes_used = ReadCount(stats, "episodes_used");
+    learn_report_.episodes_skipped = ReadCount(stats, "episodes_skipped");
+    learn_report_.observations = ReadCount(stats, "observations");
+    learn_report_.filtered_benign = ReadCount(stats, "filtered_benign");
+  }
   learned_ = doc.At("learned").AsBool();
 }
 

@@ -1,10 +1,44 @@
 #include "spl/safe_table.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
 #include "util/check.h"
 
 namespace jarvis::spl {
 
 namespace {
+
+// Strict decimal-u64 parse for serialized table keys. std::stoull would
+// silently accept trailing garbage ("123abc" -> 123) and wrap negative
+// input ("-1" -> 2^64-1) — exactly the hostile-JSON UB LoadJson must
+// reject instead.
+std::uint64_t ParseKey(const std::string& text) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  JARVIS_CHECK(!text.empty() && ec == std::errc() && ptr == end,
+               "SafeTransitionTable::LoadJson: malformed key string: ", text);
+  return value;
+}
+
+// A serialized observation count must be a non-negative integer that fits
+// int; anything else (negative, fractional, absurd) is hostile input.
+int ParseCount(const util::JsonValue& value) {
+  const double count = value.AsNumber();
+  JARVIS_CHECK(count >= 0.0 &&
+                   count <= static_cast<double>(
+                                std::numeric_limits<int>::max()) &&
+                   count == std::floor(count),
+               "SafeTransitionTable::LoadJson: count must be a non-negative "
+               "integer, got ", count);
+  return static_cast<int>(count);
+}
 
 std::uint64_t Mix(std::uint64_t h, std::uint64_t value) {
   h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -119,8 +153,15 @@ util::JsonValue SafeTransitionTable::ToJson() const {
                                     ? std::string("exact")
                                     : std::string("factored"));
   obj["threshold"] = util::JsonValue(threshold_);
+  // Canonical (sorted) key order: two tables holding the same admissions
+  // must serialize to identical bytes, regardless of hash-map iteration or
+  // observation order — checkpoint payloads feed content checksums and
+  // byte-compare in recovery tests.
+  std::vector<std::pair<std::uint64_t, int>> sorted_counts(counts_.begin(),
+                                                           counts_.end());
+  std::sort(sorted_counts.begin(), sorted_counts.end());
   util::JsonArray counts;
-  for (const auto& [key, count] : counts_) {
+  for (const auto& [key, count] : sorted_counts) {
     util::JsonArray entry;
     // uint64 keys exceed double precision; store as decimal strings.
     entry.emplace_back(std::to_string(key));
@@ -128,8 +169,10 @@ util::JsonValue SafeTransitionTable::ToJson() const {
     counts.push_back(util::JsonValue(std::move(entry)));
   }
   obj["counts"] = util::JsonValue(std::move(counts));
+  std::vector<std::uint64_t> sorted_forced(forced_.begin(), forced_.end());
+  std::sort(sorted_forced.begin(), sorted_forced.end());
   util::JsonArray forced;
-  for (const std::uint64_t key : forced_) {
+  for (const std::uint64_t key : sorted_forced) {
     forced.emplace_back(std::to_string(key));
   }
   obj["forced"] = util::JsonValue(std::move(forced));
@@ -138,20 +181,38 @@ util::JsonValue SafeTransitionTable::ToJson() const {
 
 void SafeTransitionTable::LoadJson(const util::JsonValue& doc) {
   const std::string mode = doc.At("mode").AsString();
+  JARVIS_CHECK(mode == "exact" || mode == "factored",
+               "SafeTransitionTable::LoadJson: unknown mode: ", mode);
   JARVIS_CHECK((mode == "exact") == (mode_ == KeyMode::kExactState),
                "SafeTransitionTable::LoadJson: mode mismatch: ", mode);
   JARVIS_CHECK_EQ(doc.At("threshold").AsInt(), threshold_,
                   "SafeTransitionTable::LoadJson: threshold mismatch");
-  counts_.clear();
-  forced_.clear();
+  // Hostile-input hardening: parse and validate into locals, commit only
+  // once the whole document checks out. A rejected load must leave the
+  // table's previous (fail-safe) state untouched — never half-replaced.
+  std::unordered_map<std::uint64_t, int> counts;
+  std::vector<std::uint64_t> forced;
+  std::unordered_set<std::uint64_t> forced_seen;
   for (const auto& entry : doc.At("counts").AsArray()) {
     const auto& pair = entry.AsArray();
-    counts_[std::stoull(pair.at(0).AsString())] =
-        static_cast<int>(pair.at(1).AsInt());
+    JARVIS_CHECK_EQ(pair.size(), std::size_t{2},
+                    "SafeTransitionTable::LoadJson: counts entry is not a "
+                    "[key, count] pair");
+    const std::uint64_t key = ParseKey(pair[0].AsString());
+    const int count = ParseCount(pair[1]);
+    // Duplicate keys would make the admitted set depend on which entry
+    // "wins" — an attacker-steerable ambiguity. Reject.
+    JARVIS_CHECK(counts.emplace(key, count).second,
+                 "SafeTransitionTable::LoadJson: duplicate count key: ", key);
   }
-  for (const auto& key : doc.At("forced").AsArray()) {
-    forced_.push_back(std::stoull(key.AsString()));
+  for (const auto& key_doc : doc.At("forced").AsArray()) {
+    const std::uint64_t key = ParseKey(key_doc.AsString());
+    JARVIS_CHECK(forced_seen.insert(key).second,
+                 "SafeTransitionTable::LoadJson: duplicate forced key: ", key);
+    forced.push_back(key);
   }
+  counts_ = std::move(counts);
+  forced_ = std::move(forced);
   Finalize();
 }
 

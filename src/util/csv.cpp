@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/io.h"
+
 namespace jarvis::util {
 
 namespace {
@@ -65,9 +67,9 @@ std::string CsvWriter::ToString() const {
 }
 
 void CsvWriter::WriteFile(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) throw std::runtime_error("CsvWriter: cannot open " + path);
-  file << ToString();
+  // Durable writes go through the atomic path (lint rule 10): a crashed
+  // report writer must never leave a half-written CSV behind.
+  io::AtomicWriteFile(path, ToString());
 }
 
 std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {

@@ -13,4 +13,17 @@ int BackoffMs(const RetryPolicy& policy, int attempt) {
   return static_cast<int>(delay);
 }
 
+int BackoffMsJittered(const RetryPolicy& policy, int attempt, Rng& rng) {
+  const int base = BackoffMs(policy, attempt);
+  if (base <= 0) return 0;
+  double fraction = policy.jitter_fraction;
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  if (fraction == 0.0) return base;
+  // One draw per nonzero delay keeps the stream aligned with the attempt
+  // sequence regardless of the cap.
+  const double scale = 1.0 - fraction * rng.NextDouble();
+  return static_cast<int>(static_cast<double>(base) * scale);
+}
+
 }  // namespace jarvis::util

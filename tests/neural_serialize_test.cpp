@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace jarvis::neural {
@@ -92,6 +95,118 @@ TEST(NeuralSerialize, SecondSerializationIsStable) {
       FromJsonString(first, Loss::kMeanSquaredError,
                      std::make_unique<Adam>(0.005), jarvis::util::Rng(0));
   EXPECT_EQ(ToJsonString(restored), first);
+}
+
+// Deterministic resumption: one fixed sample, batch size 1. TrainEpoch
+// shuffles mini-batches with the network's *internal* RNG, which is
+// deliberately not serialized — with a single sample the shuffle is a
+// no-op and the continued trajectory is a pure function of parameters plus
+// optimizer state, which is exactly what the round trip must preserve.
+void ResumeTraining(Network& network, int steps) {
+  int k = 0;
+  const Tensor input = Tensor::Generate(
+      1, network.input_features(), [&k] { return 0.1 * ++k; });
+  const Tensor target = Tensor::Generate(
+      1, network.output_features(), [&k] { return 0.05 * ++k; });
+  for (int step = 0; step < steps; ++step) {
+    network.TrainEpoch(input, target, 1);
+  }
+}
+
+TEST(NeuralSerialize, OptimizerStateRoundTripResumesTrainingExactly) {
+  // The strong form of optimizer-state fidelity: after a round trip WITH
+  // optimizer state, continued training must follow the original run
+  // step-for-step — Adam's moments, velocities, and step count all have to
+  // be bit-exact for the bias-corrected updates to match.
+  Network original = MakeNetwork(5);
+  TrainALittle(original, 17);
+  const SerializeOptions with_optimizer{.include_optimizer = true};
+  Network restored =
+      FromJsonString(ToJsonString(original, with_optimizer),
+                     Loss::kMeanSquaredError, std::make_unique<Adam>(0.005),
+                     jarvis::util::Rng(999));
+  ResumeTraining(original, 5);
+  ResumeTraining(restored, 5);
+  for (std::size_t i = 0; i < original.layers().size(); ++i) {
+    EXPECT_EQ(restored.layers()[i].weights().data(),
+              original.layers()[i].weights().data())
+        << "layer " << i << " diverged after resumed training";
+  }
+}
+
+TEST(NeuralSerialize, ColdOptimizerRestoreDivergesFromWarm) {
+  // Control for the test above: WITHOUT optimizer state the restored
+  // network resumes with cold moments (Adam restarts its bias-correction
+  // step count), so the same continued training takes a different
+  // trajectory. Guards against include_optimizer silently doing nothing.
+  Network original = MakeNetwork(5);
+  TrainALittle(original, 17);
+  Network cold =
+      FromJsonString(ToJsonString(original), Loss::kMeanSquaredError,
+                     std::make_unique<Adam>(0.005), jarvis::util::Rng(999));
+  ResumeTraining(original, 5);
+  ResumeTraining(cold, 5);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < original.layers().size(); ++i) {
+    if (cold.layers()[i].weights().data() !=
+        original.layers()[i].weights().data()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(NeuralSerialize, DocumentWithoutOptimizerOmitsTheSection) {
+  Network original = MakeNetwork(3);
+  TrainALittle(original, 9);
+  const auto bare = ToJson(original);
+  EXPECT_EQ(bare.AsObject().count("optimizer"), 0u);
+  const auto with_state = ToJson(original, {.include_optimizer = true});
+  EXPECT_EQ(with_state.AsObject().count("optimizer"), 1u);
+}
+
+TEST(NeuralSerialize, CrossKindOptimizerImportIsRejected) {
+  // Adam state imported into an SGD optimizer (or vice versa) would be
+  // silently misinterpreted; the kind is recorded and enforced.
+  Network original = MakeNetwork(5);
+  TrainALittle(original, 17);
+  const std::string text =
+      ToJsonString(original, {.include_optimizer = true});
+  EXPECT_THROW(FromJsonString(text, Loss::kMeanSquaredError,
+                              std::make_unique<Sgd>(0.005),
+                              jarvis::util::Rng(0)),
+               jarvis::util::JsonError);
+}
+
+TEST(NeuralSerialize, NonFiniteParameterRejectedAtSave) {
+  // A diverged network must fail loudly at the boundary, not persist a
+  // poisoned policy ("%.17g" would emit unparseable tokens anyway).
+  Network network = MakeNetwork(5);
+  network.mutable_layers()[1].weights().At(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ToJsonString(network), jarvis::util::CheckError);
+
+  Network infinite = MakeNetwork(6);
+  infinite.mutable_layers()[0].biases().At(0, 1) =
+      std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ToJsonString(infinite), jarvis::util::CheckError);
+}
+
+TEST(NeuralSerialize, NonFiniteParameterRejectedAtLoad) {
+  // Same policy on the read side: a checkpoint poisoned at rest (or by a
+  // hostile writer) is rejected as malformed input, not loaded.
+  Network network = MakeNetwork(5);
+  jarvis::util::JsonValue doc = ToJson(network);
+  doc.MutableObject()["layers"]
+      .MutableArray()[0]
+      .MutableObject()["weights"]
+      .MutableObject()["data"]
+      .MutableArray()[0] =
+      jarvis::util::JsonValue(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(FromJson(doc, Loss::kMeanSquaredError,
+                        std::make_unique<Adam>(0.005),
+                        jarvis::util::Rng(0)),
+               jarvis::util::JsonError);
 }
 
 TEST(NeuralSerialize, RejectsCorruptDocuments) {

@@ -1,0 +1,164 @@
+// Container-format coverage for persist::Checkpoint: round trip, and the
+// per-section salvage semantics the recovery layer depends on — magic and
+// version skew reject the whole file, truncation salvages the intact
+// prefix, a CRC mismatch drops exactly the corrupt section, and corrupt
+// headers stop cleanly. Corruption is data, not an exception: Parse never
+// throws.
+#include "persist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/io.h"
+
+namespace jarvis::persist {
+namespace {
+
+Checkpoint MakeCheckpoint() {
+  Checkpoint checkpoint;
+  checkpoint.AddSection("meta", "{\"v\":1}");
+  checkpoint.AddSection("spl", std::string(512, 'a'));
+  checkpoint.AddSection("dqn", std::string("binary\0bytes\xff ok", 16));
+  return checkpoint;
+}
+
+TEST(Checkpoint, RoundTripPreservesSectionsAndOrder) {
+  const std::string bytes = MakeCheckpoint().Serialize();
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::Parse(bytes, &issues);
+  EXPECT_TRUE(issues.empty()) << FormatIssues(issues);
+  ASSERT_EQ(parsed.section_count(), 3u);
+  EXPECT_EQ(parsed.SectionNames(),
+            (std::vector<std::string>{"meta", "spl", "dqn"}));
+  ASSERT_NE(parsed.FindSection("dqn"), nullptr);
+  EXPECT_EQ(*parsed.FindSection("dqn"), std::string("binary\0bytes\xff ok", 16));
+  EXPECT_EQ(*parsed.FindSection("meta"), "{\"v\":1}");
+}
+
+TEST(Checkpoint, AddSectionReplacesExistingPayload) {
+  Checkpoint checkpoint;
+  checkpoint.AddSection("spl", "old");
+  checkpoint.AddSection("meta", "m");
+  checkpoint.AddSection("spl", "new");
+  EXPECT_EQ(checkpoint.section_count(), 2u);
+  EXPECT_EQ(*checkpoint.FindSection("spl"), "new");
+  // Replacement keeps the original position.
+  EXPECT_EQ(checkpoint.SectionNames(),
+            (std::vector<std::string>{"spl", "meta"}));
+}
+
+TEST(Checkpoint, BadMagicRecoversNothing) {
+  std::string bytes = MakeCheckpoint().Serialize();
+  bytes[0] = 'X';
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::Parse(bytes, &issues);
+  EXPECT_EQ(parsed.section_count(), 0u);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_TRUE(issues[0].section.empty());  // file-level issue
+}
+
+TEST(Checkpoint, VersionSkewRecoversNothing) {
+  std::string bytes = MakeCheckpoint().Serialize();
+  bytes[4] = static_cast<char>(kFormatVersion + 1);  // little-endian u32
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::Parse(bytes, &issues);
+  EXPECT_EQ(parsed.section_count(), 0u);
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Checkpoint, TruncationSalvagesIntactPrefix) {
+  const std::string bytes = MakeCheckpoint().Serialize();
+  // Cut into the middle of the last section's payload: the first two
+  // sections must survive, the torn one must be reported and dropped.
+  const std::string torn = bytes.substr(0, bytes.size() - 8);
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::Parse(torn, &issues);
+  EXPECT_EQ(parsed.section_count(), 2u);
+  EXPECT_TRUE(parsed.HasSection("meta"));
+  EXPECT_TRUE(parsed.HasSection("spl"));
+  EXPECT_FALSE(parsed.HasSection("dqn"));
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Checkpoint, BitFlipDropsOnlyTheCorruptSection) {
+  const std::string bytes = MakeCheckpoint().Serialize();
+  // Flip one bit inside the large middle section's payload; CRC catches
+  // it, the sections around it still restore.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] = static_cast<char>(flipped[bytes.size() / 2] ^ 0x10);
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::Parse(flipped, &issues);
+  EXPECT_TRUE(parsed.HasSection("meta"));
+  EXPECT_FALSE(parsed.HasSection("spl"));
+  EXPECT_TRUE(parsed.HasSection("dqn"));
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].section, "spl");
+}
+
+TEST(Checkpoint, EmptyAndGarbageInputsNeverThrow) {
+  std::vector<CheckpointIssue> issues;
+  EXPECT_EQ(Checkpoint::Parse("", &issues).section_count(), 0u);
+  EXPECT_EQ(Checkpoint::Parse("JV", &issues).section_count(), 0u);
+  EXPECT_EQ(Checkpoint::Parse(std::string(64, '\xff'), &issues)
+                .section_count(),
+            0u);
+  // A null issues sink is also fine.
+  EXPECT_EQ(Checkpoint::Parse("garbage", nullptr).section_count(), 0u);
+}
+
+TEST(Checkpoint, TrailingBytesAreReportedAndIgnored) {
+  std::string bytes = MakeCheckpoint().Serialize();
+  bytes += "junk";
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::Parse(bytes, &issues);
+  EXPECT_EQ(parsed.section_count(), 3u);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(Checkpoint, WriteAndReadFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/ckpt_roundtrip.ckpt";
+  MakeCheckpoint().WriteFile(path);
+  std::vector<CheckpointIssue> issues;
+  const Checkpoint parsed = Checkpoint::ReadFile(path, &issues);
+  EXPECT_TRUE(issues.empty()) << FormatIssues(issues);
+  EXPECT_EQ(parsed.section_count(), 3u);
+  util::io::RemoveFile(path);
+}
+
+TEST(Checkpoint, MissingFileThrowsIoError) {
+  EXPECT_THROW(Checkpoint::ReadFile(testing::TempDir() + "/no_such.ckpt",
+                                    nullptr),
+               util::io::IoError);
+}
+
+// Crash-before-commit: a failed rename must leave the previous checkpoint
+// untouched — the atomic-write contract the whole recovery story rests on.
+class RenameFailInterceptor : public util::io::WriteInterceptor {
+ public:
+  void OnWrite(const std::string&, std::string&) override {}
+  bool OnRename(const std::string&) override { return false; }
+};
+
+TEST(Checkpoint, FailedRenameLeavesOldCheckpointIntact) {
+  const std::string path = testing::TempDir() + "/ckpt_atomic.ckpt";
+  Checkpoint old_checkpoint;
+  old_checkpoint.AddSection("meta", "old");
+  old_checkpoint.WriteFile(path);
+
+  Checkpoint new_checkpoint;
+  new_checkpoint.AddSection("meta", "new");
+  RenameFailInterceptor interceptor;
+  EXPECT_THROW(new_checkpoint.WriteFile(path, &interceptor),
+               util::io::IoError);
+
+  const Checkpoint survivor = Checkpoint::ReadFile(path, nullptr);
+  ASSERT_NE(survivor.FindSection("meta"), nullptr);
+  EXPECT_EQ(*survivor.FindSection("meta"), "old");
+  EXPECT_FALSE(util::io::FileExists(path + ".tmp"));  // temp cleaned up
+  util::io::RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace jarvis::persist

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "fsm/device_library.h"
 #include "rl/dqn_agent.h"
 #include "rl/tabular_agent.h"
 #include "rl/trainer.h"
 #include "sim/testbed.h"
+#include "util/json.h"
 
 namespace jarvis::rl {
 namespace {
@@ -146,6 +150,124 @@ TEST_F(AgentFixture, SnapshotRestoreRoundTrip) {
   EXPECT_NE(agent.QValues(features)[0], before[0]);
   agent.RestoreSnapshot();
   EXPECT_DOUBLE_EQ(agent.QValues(features)[0], before[0]);
+}
+
+// Trains just enough that the agent's state (weights, optimizer moments,
+// epsilon, last loss, replay memory) is all non-trivial before a round trip.
+void NudgeAgent(DqnAgent& agent, const fsm::StateCodec& codec) {
+  const std::size_t slot = codec.MiniActionSlot({2, 1});
+  for (int i = 0; i < 40; ++i) {
+    Experience experience;
+    experience.features = {0.1 * i, 1.0 - 0.01 * i, 0.5, -0.3};
+    experience.taken_slots = {slot};
+    experience.reward = (i % 2 == 0) ? 1.0 : -1.0;
+    // Full-width successor observation: the replay serializer validates
+    // every entry against the agent's widths, so experiences destined for
+    // a checkpoint must carry a complete next state even when done.
+    experience.next_features = {0.1 * i, 0.9, 0.4, -0.2};
+    experience.next_mask =
+        std::vector<bool>(codec.mini_action_count(), true);
+    experience.done = true;
+    agent.Remember(std::move(experience));
+  }
+  for (int i = 0; i < 30; ++i) agent.Replay();
+}
+
+TEST_F(AgentFixture, AgentJsonRoundTripRestoresThePolicyExactly) {
+  DqnConfig config;
+  config.batch_size = 8;
+  config.seed = 31;
+  DqnAgent original(4, codec_, config);
+  NudgeAgent(original, codec_);
+
+  DqnAgent restored(4, codec_, config);
+  restored.LoadJson(original.ToJson());
+
+  EXPECT_DOUBLE_EQ(restored.epsilon(), original.epsilon());
+  EXPECT_DOUBLE_EQ(restored.last_loss(), original.last_loss());
+  // Replay memory is not carried by default; a warm-started tenant
+  // regenerates experience.
+  EXPECT_EQ(restored.replay_size(), 0u);
+
+  const auto mask = AllOn();
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> features = {0.05 * trial, -0.1 * trial, 0.2,
+                                          0.9};
+    EXPECT_EQ(restored.QValues(features), original.QValues(features));
+    EXPECT_EQ(restored.SelectAction(features, mask, true),
+              original.SelectAction(features, mask, true));
+    EXPECT_EQ(restored.GreedyActionFromQ(original.QValues(features), mask),
+              original.GreedyActionFromQ(original.QValues(features), mask));
+  }
+}
+
+TEST_F(AgentFixture, AgentRoundTripCanCarryReplayMemory) {
+  DqnConfig config;
+  config.batch_size = 8;
+  DqnAgent original(4, codec_, config);
+  NudgeAgent(original, codec_);
+  ASSERT_GT(original.replay_size(), 0u);
+
+  const AgentSerializeOptions with_replay{.include_optimizer = true,
+                                          .include_replay = true};
+  DqnAgent restored(4, codec_, config);
+  restored.LoadJson(original.ToJson(with_replay));
+  EXPECT_EQ(restored.replay_size(), original.replay_size());
+
+  // Loading a replay-free document clears any memory the agent carried, so
+  // a restore never mixes old experience with the checkpointed policy.
+  restored.LoadJson(original.ToJson());
+  EXPECT_EQ(restored.replay_size(), 0u);
+}
+
+TEST_F(AgentFixture, AgentLoadRejectsHostileDocumentsUnchanged) {
+  DqnConfig config;
+  config.batch_size = 8;
+  config.seed = 47;
+  DqnAgent agent(4, codec_, config);
+  NudgeAgent(agent, codec_);
+  const std::vector<double> probe = {0.2, 0.4, 0.6, 0.8};
+  const std::vector<double> before_q = agent.QValues(probe);
+  const double before_epsilon = agent.epsilon();
+  const util::JsonValue good = agent.ToJson();
+
+  util::JsonValue future = good;
+  future.MutableObject()["format_version"] =
+      util::JsonValue(std::int64_t{2});
+  EXPECT_THROW(agent.LoadJson(future), util::JsonError);
+
+  util::JsonValue wrong_width = good;
+  wrong_width.MutableObject()["feature_width"] =
+      util::JsonValue(std::int64_t{9});
+  EXPECT_THROW(agent.LoadJson(wrong_width), util::JsonError);
+
+  util::JsonValue epsilon_high = good;
+  epsilon_high.MutableObject()["epsilon"] = util::JsonValue(1.5);
+  EXPECT_THROW(agent.LoadJson(epsilon_high), util::JsonError);
+
+  util::JsonValue epsilon_nan = good;
+  epsilon_nan.MutableObject()["epsilon"] =
+      util::JsonValue(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(agent.LoadJson(epsilon_nan), util::JsonError);
+
+  util::JsonValue loss_nan = good;
+  loss_nan.MutableObject()["last_loss"] =
+      util::JsonValue(std::numeric_limits<double>::infinity());
+  EXPECT_THROW(agent.LoadJson(loss_nan), util::JsonError);
+
+  // A checkpoint from a differently-shaped home must be rejected before any
+  // state is replaced.
+  DqnAgent narrow(3, codec_, config);
+  EXPECT_THROW(narrow.LoadJson(good), util::JsonError);
+
+  // Every rejection above happened before the commit point: the live
+  // policy and exploration schedule are untouched.
+  EXPECT_EQ(agent.QValues(probe), before_q);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), before_epsilon);
+
+  // And the good document still loads after all those rejections.
+  EXPECT_NO_THROW(agent.LoadJson(good));
+  EXPECT_EQ(agent.QValues(probe), before_q);
 }
 
 TEST_F(AgentFixture, TabularAgentLearnsContextualBandits) {

@@ -3,6 +3,7 @@
 #include "util/check.h"
 
 #include "fsm/device_library.h"
+#include "neural/serialize.h"
 #include "sim/testbed.h"
 #include "spl/ann_filter.h"
 #include "spl/features.h"
@@ -386,6 +387,180 @@ TEST_F(SplIntegration, AnnDisabledModeTreatsAnomaliesAsViolations) {
   }
   // Without the ANN, off-whitelist benign anomalies are all flagged.
   EXPECT_GT(violations, 40);
+}
+
+// --- Serialized-state restore hardening ---------------------------------
+//
+// Checkpoint payloads are untrusted input (DESIGN.md §14): a whitelist
+// document corrupted at rest — or crafted — must be REJECTED whole, never
+// partially applied, and a rejected load must leave the previous
+// (fail-safe) state untouched.
+
+class SafeTableRestoreFixture : public SafeTableFixture {
+ protected:
+  // A small finalized table and its serialized form.
+  util::JsonValue LearnedDoc() {
+    SafeTransitionTable table(home_, KeyMode::kFactoredContext, 0);
+    table.Observe(state_, LightOn(), 400);
+    table.Finalize();
+    return table.ToJson();
+  }
+
+  SafeTransitionTable FreshTable() {
+    return SafeTransitionTable(home_, KeyMode::kFactoredContext, 0);
+  }
+};
+
+TEST_F(SafeTableRestoreFixture, JsonRoundTripPreservesAdmissions) {
+  SafeTransitionTable restored = FreshTable();
+  restored.LoadJson(LearnedDoc());
+  EXPECT_TRUE(restored.IsSafe(state_, LightOn(), 400));
+  EXPECT_FALSE(restored.IsSafe(state_, LightOn(), 3 * 60));
+  // Second-generation serialization is stable.
+  EXPECT_EQ(restored.ToJson().Dump(), LearnedDoc().Dump());
+}
+
+TEST_F(SafeTableRestoreFixture, RejectsMalformedKeyStrings) {
+  for (const char* hostile : {"123abc", "-1", "", " 42", "0x10",
+                              "99999999999999999999999999"}) {
+    util::JsonValue doc = LearnedDoc();
+    doc.MutableObject()["counts"].MutableArray()[0].MutableArray()[0] =
+        util::JsonValue(hostile);
+    SafeTransitionTable table = FreshTable();
+    EXPECT_THROW(table.LoadJson(doc), util::CheckError) << hostile;
+    // The rejected load left the table unfinalized: deny everything.
+    EXPECT_FALSE(table.IsSafe(state_, LightOn(), 400)) << hostile;
+  }
+}
+
+TEST_F(SafeTableRestoreFixture, RejectsHostileCounts) {
+  const util::JsonValue hostile_counts[] = {
+      util::JsonValue(-3),            // negative
+      util::JsonValue(1.5),           // fractional
+      util::JsonValue(4.0e9),         // exceeds int
+      util::JsonValue("12"),          // wrong type
+  };
+  for (const util::JsonValue& count : hostile_counts) {
+    util::JsonValue doc = LearnedDoc();
+    doc.MutableObject()["counts"].MutableArray()[0].MutableArray()[1] = count;
+    SafeTransitionTable table = FreshTable();
+    EXPECT_ANY_THROW(table.LoadJson(doc)) << count.Dump();
+    EXPECT_FALSE(table.IsSafe(state_, LightOn(), 400));
+  }
+}
+
+TEST_F(SafeTableRestoreFixture, RejectsDuplicateKeys) {
+  // Duplicate count keys would make the admitted set depend on which entry
+  // "wins" — attacker-steerable ambiguity.
+  util::JsonValue doc = LearnedDoc();
+  auto& counts = doc.MutableObject()["counts"].MutableArray();
+  counts.push_back(counts[0]);
+  EXPECT_THROW(FreshTable().LoadJson(doc), util::CheckError);
+
+  SafeTransitionTable forced(home_, KeyMode::kFactoredContext, 0);
+  forced.ForceAdmit(state_, {2, 1}, 400);
+  util::JsonValue forced_doc = forced.ToJson();
+  auto& keys = forced_doc.MutableObject()["forced"].MutableArray();
+  ASSERT_FALSE(keys.empty());
+  keys.push_back(keys[0]);
+  EXPECT_THROW(FreshTable().LoadJson(forced_doc), util::CheckError);
+}
+
+TEST_F(SafeTableRestoreFixture, RejectsConfigMismatches) {
+  // A document for another key mode or threshold describes a different
+  // safety contract; silently adopting it would mislabel every key.
+  SafeTransitionTable exact(home_, KeyMode::kExactState, 0);
+  exact.Observe(state_, LightOn(), 400);
+  exact.Finalize();
+  EXPECT_THROW(FreshTable().LoadJson(exact.ToJson()), util::CheckError);
+
+  SafeTransitionTable strict(home_, KeyMode::kFactoredContext, 2);
+  EXPECT_THROW(strict.LoadJson(LearnedDoc()), util::CheckError);
+
+  util::JsonValue doc = LearnedDoc();
+  doc.MutableObject()["mode"] = util::JsonValue("quantum");
+  EXPECT_THROW(FreshTable().LoadJson(doc), util::CheckError);
+}
+
+TEST_F(SafeTableRestoreFixture, RejectsStructurallyBrokenEntries) {
+  util::JsonValue triple = LearnedDoc();
+  triple.MutableObject()["counts"].MutableArray()[0].MutableArray().push_back(
+      util::JsonValue(1));
+  EXPECT_THROW(FreshTable().LoadJson(triple), util::CheckError);
+
+  util::JsonValue missing = LearnedDoc();
+  missing.MutableObject().erase("counts");
+  EXPECT_THROW(FreshTable().LoadJson(missing), util::JsonError);
+}
+
+TEST_F(SafeTableRestoreFixture, RejectedLoadLeavesPreviousStateIntact) {
+  // Load a valid document, then a hostile one: the table must keep serving
+  // the earlier whitelist (staged-commit contract), not end up half-wiped.
+  SafeTransitionTable table = FreshTable();
+  table.LoadJson(LearnedDoc());
+  ASSERT_TRUE(table.IsSafe(state_, LightOn(), 400));
+
+  util::JsonValue hostile = LearnedDoc();
+  hostile.MutableObject()["counts"].MutableArray()[0].MutableArray()[0] =
+      util::JsonValue("not-a-key");
+  EXPECT_THROW(table.LoadJson(hostile), util::CheckError);
+  EXPECT_TRUE(table.IsSafe(state_, LightOn(), 400))
+      << "rejected load clobbered the previous whitelist";
+}
+
+TEST_F(SplIntegration, LearnerJsonRoundTripClassifiesIdentically) {
+  SafetyPolicyLearner restored(testbed_->home_a(), SplConfig{});
+  restored.LoadJsonString(learner_->ToJsonString());
+  ASSERT_TRUE(restored.learned());
+  EXPECT_EQ(restored.learn_report().episodes_used,
+            learner_->learn_report().episodes_used);
+  EXPECT_EQ(restored.learn_report().observations,
+            learner_->learn_report().observations);
+  // Same verdict on every probe — whitelist AND ANN survived bit-for-bit.
+  sim::AnomalyGenerator generator(testbed_->home_a(), 2718);
+  fsm::StateVector state(testbed_->home_a().device_count(), 0);
+  for (int i = 0; i < 50; ++i) {
+    const auto instance = generator.Generate(state);
+    EXPECT_EQ(restored.Classify(state, instance.action, instance.minute),
+              learner_->Classify(state, instance.action, instance.minute));
+  }
+}
+
+TEST_F(SplIntegration, RejectedRestoreLeavesLearnerDenying) {
+  // Fail-safe ordering: learned_ drops before anything is touched, so a
+  // document that passes the table/filter stages but fails later leaves
+  // the learner refusing to classify — the deny path — rather than serving
+  // a half-restored policy.
+  SafetyPolicyLearner victim(testbed_->home_a(), SplConfig{});
+  victim.LoadJsonString(learner_->ToJsonString());
+  ASSERT_TRUE(victim.learned());
+
+  util::JsonValue hostile = learner_->ToJson();
+  hostile.MutableObject()["stats"].MutableObject()["observations"] =
+      util::JsonValue(-3);
+  EXPECT_THROW(victim.LoadJson(hostile), util::JsonError);
+  EXPECT_FALSE(victim.learned());
+  fsm::StateVector state(testbed_->home_a().device_count(), 0);
+  EXPECT_THROW(victim.ClassifyMini(state, {0, 0}, 0), std::logic_error);
+}
+
+TEST_F(SplIntegration, RestoreRejectsForeignAnnTopology) {
+  // A filter document whose output head is not the single benign-score
+  // sigmoid is structurally foreign (e.g. a Q-network pasted into an SPL
+  // checkpoint): right input width, wrong output width — rejected, and the
+  // learner stays in the deny path.
+  const FeatureEncoder encoder(testbed_->home_a());
+  neural::Network foreign(
+      encoder.feature_width(),
+      {{4, neural::Activation::kRelu}, {2, neural::Activation::kSigmoid}},
+      neural::Loss::kBinaryCrossEntropy,
+      std::make_unique<neural::Sgd>(0.01), util::Rng(1));
+  util::JsonValue doc = learner_->ToJson();
+  doc.MutableObject()["filter"].MutableObject()["network"] =
+      neural::ToJson(foreign);
+  SafetyPolicyLearner victim(testbed_->home_a(), SplConfig{});
+  EXPECT_THROW(victim.LoadJson(doc), std::invalid_argument);
+  EXPECT_FALSE(victim.learned());
 }
 
 TEST(Verdicts, Names) {

@@ -80,5 +80,70 @@ TEST(Retry, NullSleepSkipsSleepingButStillCountsBackoff) {
   EXPECT_EQ(result.total_backoff_ms, 10 + 20);
 }
 
+TEST(BackoffMsJittered, StaysWithinJitterBand) {
+  RetryPolicy policy{.max_attempts = 10,
+                     .base_backoff_ms = 100,
+                     .backoff_factor = 2.0,
+                     .max_backoff_ms = 100000};
+  policy.jitter_fraction = 0.5;
+  Rng rng(42);
+  for (int attempt = 2; attempt <= 10; ++attempt) {
+    const int exact = BackoffMs(policy, attempt);
+    const int jittered = BackoffMsJittered(policy, attempt, rng);
+    // A draw from [1 - fraction, 1] scales the exact delay down, never up.
+    EXPECT_GE(jittered, static_cast<int>(exact * 0.5) - 1) << attempt;
+    EXPECT_LE(jittered, exact) << attempt;
+  }
+}
+
+TEST(BackoffMsJittered, SameSeedSameSequence) {
+  RetryPolicy policy{};
+  policy.max_attempts = 8;
+  policy.jitter_fraction = 0.3;
+
+  const auto sequence = [&policy](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int> delays;
+    for (int attempt = 2; attempt <= 8; ++attempt) {
+      delays.push_back(BackoffMsJittered(policy, attempt, rng));
+    }
+    return delays;
+  };
+  EXPECT_EQ(sequence(7), sequence(7));  // bit-replayable
+  EXPECT_NE(sequence(7), sequence(8));  // decorrelated across seeds
+}
+
+TEST(BackoffMsJittered, ZeroFractionPreservesExactSchedule) {
+  const RetryPolicy policy{.max_attempts = 6,
+                           .base_backoff_ms = 10,
+                           .backoff_factor = 2.0,
+                           .max_backoff_ms = 10000};
+  Rng rng(5);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(BackoffMsJittered(policy, attempt, rng),
+              BackoffMs(policy, attempt));
+  }
+}
+
+TEST(Retry, JitteredRunIsAPureFunctionOfTheSeed) {
+  RetryPolicy policy{.max_attempts = 5};
+  policy.jitter_fraction = 0.4;
+  policy.jitter_seed = 1234;
+
+  const auto run = [&policy] {
+    std::vector<int> delays;
+    Retry(
+        policy, [] { return false; },
+        [&](int delay_ms) { delays.push_back(delay_ms); });
+    return delays;
+  };
+  const std::vector<int> first = run();
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(first, run());  // the jitter stream reseeds per Retry call
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_LE(first[i], BackoffMs(policy, static_cast<int>(i) + 2));
+  }
+}
+
 }  // namespace
 }  // namespace jarvis::util

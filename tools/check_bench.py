@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for BENCH_kernels.json (bench/bench_kernels).
+"""Regression gate for the machine-readable bench JSONs.
 
-Reads a freshly produced BENCH_kernels.json (file argument or stdin) and
-compares it against the committed baseline
-(bench/baselines/BENCH_kernels.json by default):
+Reads a freshly produced bench JSON (file argument or stdin), dispatches
+on its `bench` field, and compares it against the committed baseline in
+bench/baselines/ (overridable with --baseline):
 
-  1. Schema: `bench` == "kernels", every case carries name / unit /
-     old_per_sec / new_per_sec / speedup, throughputs are positive, and
-     the recorded speedup matches new_per_sec / old_per_sec.
+`bench` == "kernels" (bench/bench_kernels):
+  1. Schema: every case carries name / unit / old_per_sec / new_per_sec /
+     speedup, throughputs are positive, and the recorded speedup matches
+     new_per_sec / old_per_sec.
   2. Gate (FAILS the build): each baseline case must be present, and its
      fresh speedup must be at least GATE_FRACTION (0.75) of the baseline
      speedup. The speedup column is an old-vs-new A/B measured in the same
@@ -18,8 +19,21 @@ compares it against the committed baseline
      baseline. CI runners differ wildly in clock speed and contention, so
      absolute rows/sec never fails the gate.
 
+`bench` == "lifecycle" (bench/bench_lifecycle):
+  1. Schema: every case carries name plus a `deterministic` object (int
+     outcomes — episodes skipped by warm start, violations, checkpoint
+     save/restore counts, result parity) and an `advisory` object
+     (wall-clock milliseconds, checkpoint bytes).
+  2. Gate (FAILS the build): each baseline case must be present and its
+     `deterministic` object must match the baseline EXACTLY, key for key.
+     These outcomes are a pure function of the fleet seed; any drift means
+     recovery semantics changed, not that the runner is slow.
+  3. Advisory (warns only): any `advisory` value more than double its
+     baseline. Latency never fails the gate.
+
 Exit status 0 when the gate passes; 1 with a readable report otherwise.
-Wired into CI right after the `bench_kernels --smoke` run.
+Wired into CI right after the `bench_kernels --smoke` and
+`bench_lifecycle --smoke` runs.
 """
 
 import json
@@ -27,6 +41,12 @@ import sys
 
 GATE_FRACTION = 0.75
 ABSOLUTE_WARN_FRACTION = 0.5
+ADVISORY_WARN_FACTOR = 2.0
+
+DEFAULT_BASELINES = {
+    "kernels": "bench/baselines/BENCH_kernels.json",
+    "lifecycle": "bench/baselines/BENCH_lifecycle.json",
+}
 
 CASE_FIELDS = {
     "name": str,
@@ -50,9 +70,9 @@ def load(path):
         return json.load(handle)
 
 
-def validate_schema(doc, label, errors):
-    if doc.get("bench") != "kernels":
-        errors.append(f"{label}: bench != 'kernels'")
+def validate_schema(doc, label, errors, kind="kernels"):
+    if doc.get("bench") != kind:
+        errors.append(f"{label}: bench != {kind!r}")
         return {}
     cases = doc.get("cases")
     if not isinstance(cases, list) or not cases:
@@ -84,34 +104,78 @@ def validate_schema(doc, label, errors):
     return by_name
 
 
-def main(argv):
-    fresh_path = "-"
-    baseline_path = "bench/baselines/BENCH_kernels.json"
-    args = argv[1:]
-    while args:
-        arg = args.pop(0)
-        if arg == "--baseline":
-            if not args:
-                return fail(["--baseline needs a path"])
-            baseline_path = args.pop(0)
-        else:
-            fresh_path = arg
+def validate_lifecycle_schema(doc, label, errors):
+    if doc.get("bench") != "lifecycle":
+        errors.append(f"{label}: bench != 'lifecycle'")
+        return {}
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append(f"{label}: missing or empty 'cases'")
+        return {}
+    by_name = {}
+    for case in cases:
+        name = case.get("name")
+        if not isinstance(name, str):
+            errors.append(f"{label}: case without a string name: {case!r}")
+            continue
+        if name in by_name:
+            errors.append(f"{label}: duplicate case {name!r}")
+            continue
+        deterministic = case.get("deterministic")
+        advisory = case.get("advisory")
+        if not isinstance(deterministic, dict) or not deterministic:
+            errors.append(f"{label}: case {name!r}: missing 'deterministic'")
+            continue
+        if not all(isinstance(v, int) and not isinstance(v, bool)
+                   for v in deterministic.values()):
+            errors.append(f"{label}: case {name!r}: non-integer "
+                          "deterministic value")
+            continue
+        if not isinstance(advisory, dict):
+            errors.append(f"{label}: case {name!r}: missing 'advisory'")
+            continue
+        if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in advisory.values()):
+            errors.append(f"{label}: case {name!r}: non-numeric advisory "
+                          "value")
+            continue
+        by_name[name] = case
+    return by_name
 
-    errors = []
-    try:
-        fresh_doc = load(fresh_path)
-    except (OSError, json.JSONDecodeError) as err:
-        return fail([f"cannot read fresh results {fresh_path!r}: {err}"])
-    try:
-        baseline_doc = load(baseline_path)
-    except (OSError, json.JSONDecodeError) as err:
-        return fail([f"cannot read baseline {baseline_path!r}: {err}"])
 
-    fresh = validate_schema(fresh_doc, "fresh", errors)
-    baseline = validate_schema(baseline_doc, "baseline", errors)
-    if errors:
-        return fail(errors)
+def gate_lifecycle(fresh, baseline, errors):
+    for name, base_case in sorted(baseline.items()):
+        fresh_case = fresh.get(name)
+        if fresh_case is None:
+            errors.append(f"case {name!r} present in baseline but missing "
+                          "from fresh results")
+            continue
+        base_det = base_case["deterministic"]
+        fresh_det = fresh_case["deterministic"]
+        drift = sorted(set(base_det) | set(fresh_det))
+        clean = True
+        for key in drift:
+            if base_det.get(key) != fresh_det.get(key):
+                clean = False
+                errors.append(
+                    f"case {name!r}: deterministic field {key!r} drifted: "
+                    f"baseline {base_det.get(key)!r} != fresh "
+                    f"{fresh_det.get(key)!r} (recovery semantics are a pure "
+                    "function of the seed — this is a behavior change)")
+        print(f"check_bench: {name}: {len(base_det)} deterministic fields "
+              f"{'match baseline exactly' if clean else 'DRIFTED'}")
+        for key, base_value in sorted(base_case["advisory"].items()):
+            fresh_value = fresh_case["advisory"].get(key)
+            if (isinstance(fresh_value, (int, float)) and base_value > 0
+                    and fresh_value > ADVISORY_WARN_FACTOR * base_value):
+                print(f"check_bench: WARN: {name}: advisory {key} = "
+                      f"{fresh_value:.1f} is more than "
+                      f"{ADVISORY_WARN_FACTOR:.0f}x the baseline "
+                      f"{base_value:.1f} (advisory only: runners differ)",
+                      file=sys.stderr)
 
+
+def gate_kernels(fresh, baseline, errors):
     for name, base_case in sorted(baseline.items()):
         fresh_case = fresh.get(name)
         if fresh_case is None:
@@ -135,9 +199,53 @@ def main(argv):
                   f"baseline {base_case['new_per_sec']:.0f}/sec "
                   "(advisory only: runners differ)", file=sys.stderr)
 
+
+def main(argv):
+    fresh_path = "-"
+    baseline_path = None
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--baseline":
+            if not args:
+                return fail(["--baseline needs a path"])
+            baseline_path = args.pop(0)
+        else:
+            fresh_path = arg
+
+    errors = []
+    try:
+        fresh_doc = load(fresh_path)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail([f"cannot read fresh results {fresh_path!r}: {err}"])
+    kind = fresh_doc.get("bench")
+    if kind not in DEFAULT_BASELINES:
+        return fail([f"fresh: unknown bench kind {kind!r} (expected one of "
+                     f"{sorted(DEFAULT_BASELINES)})"])
+    if baseline_path is None:
+        baseline_path = DEFAULT_BASELINES[kind]
+    try:
+        baseline_doc = load(baseline_path)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail([f"cannot read baseline {baseline_path!r}: {err}"])
+
+    if kind == "lifecycle":
+        fresh = validate_lifecycle_schema(fresh_doc, "fresh", errors)
+        baseline = validate_lifecycle_schema(baseline_doc, "baseline", errors)
+    else:
+        fresh = validate_schema(fresh_doc, "fresh", errors)
+        baseline = validate_schema(baseline_doc, "baseline", errors)
     if errors:
         return fail(errors)
-    print(f"check_bench: OK ({len(baseline)} cases gated)")
+
+    if kind == "lifecycle":
+        gate_lifecycle(fresh, baseline, errors)
+    else:
+        gate_kernels(fresh, baseline, errors)
+
+    if errors:
+        return fail(errors)
+    print(f"check_bench: OK ({len(baseline)} {kind} cases gated)")
     return 0
 
 

@@ -35,6 +35,13 @@ Enforced invariants (see DESIGN.md "Correctness tooling"):
      declaration line. Clang's analysis only WEAKENS when an annotation
      is deleted — this rule is what makes deleting one a test failure
      (repo_lint) instead of a silent coverage loss.
+ 10. No raw file-write handles in src/ outside src/util/io.*:
+     std::ofstream, std::fstream, fopen, freopen are banned — durable
+     writes go through util::io's atomic temp-fsync-rename path so a
+     crash can never leave a half-written checkpoint or report behind
+     (DESIGN.md §14). Reads (std::ifstream) are unaffected; tests and
+     examples/ may open files however they like. RAW_IO_ALLOWLIST is
+     empty on purpose.
 
 Run with --self-test to exercise the rule engine against embedded
 fixtures (wired into CI's static-analysis job).
@@ -56,8 +63,8 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 # src/ subdirectory must be registered here (and in DESIGN.md §3) so its
 # headers inherit the hygiene/RNG/iostream rules on purpose, not by luck.
 SRC_MODULES = frozenset({
-    "core", "events", "faults", "fsm", "neural", "obs", "rl", "runtime",
-    "sim", "spl", "util",
+    "core", "events", "faults", "fsm", "neural", "obs", "persist", "rl",
+    "runtime", "sim", "spl", "util",
 })
 
 # Files allowed to use raw OS randomness.
@@ -85,6 +92,19 @@ SYNC_WRAPPER_FILES = {
 # justification next to the entry.
 RAW_SYNC_ALLOWLIST: frozenset = frozenset()
 
+# The atomic-write layer itself — the only src/ files allowed to hold raw
+# file-write handles (they implement the temp-fsync-rename commit).
+IO_WRAPPER_FILES = {
+    os.path.join("src", "util", "io.h"),
+    os.path.join("src", "util", "io.cpp"),
+}
+
+# src/ files (beyond the io wrapper) allowed to write files directly.
+# Empty on purpose: every durable write rides the atomic path, which is
+# what makes checkpoint recovery trustworthy. Add a file here only with a
+# written justification next to the entry.
+RAW_IO_ALLOWLIST: frozenset = frozenset()
+
 PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 DIRECTIVE_RE = re.compile(r"^\s*#")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -104,6 +124,11 @@ RAW_SYNC_RE = re.compile(
     r"condition_variable(?:_any)?)\b")
 SYNC_INCLUDE_RE = re.compile(
     r"^\s*#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+# Write-capable file handles (rule 10). std::ifstream is deliberately NOT
+# matched: reads cannot tear a durable artifact.
+RAW_IO_WRITE_RE = re.compile(
+    r"\bstd\s*::\s*(?:basic_)?(?:ofstream|fstream)\b"
+    r"|(?<![\w:])f(?:re)?open\s*\(")
 # A util::Mutex / util::SharedMutex / util::CondVar data-member statement
 # (the lock vocabulary itself is exempt from guard coverage).
 SYNC_TYPE_RE = re.compile(r"\butil\s*::\s*(?:Mutex|SharedMutex|CondVar)\b")
@@ -309,6 +334,13 @@ def check_file_text(root, rel, errors, text=None):
                     "src/ — use util::Mutex / util::MutexLock / "
                     "util::CondVar so Clang -Wthread-safety sees the lock "
                     "(lint rule 8, DESIGN.md §13)")
+            if (rel not in IO_WRAPPER_FILES
+                    and rel not in RAW_IO_ALLOWLIST
+                    and RAW_IO_WRITE_RE.search(line)):
+                errors.append(
+                    f"{rel}:{lineno}: raw file-write handles are banned in "
+                    "src/ — route durable writes through util::io's atomic "
+                    "temp-fsync-rename path (lint rule 10, DESIGN.md §14)")
         if is_header:
             check_guard_coverage(rel, raw, errors)
 
@@ -403,6 +435,27 @@ SELF_TEST_CASES = [
      "class Guarded { util::Mutex mutex_;\n"
      "  int v_ JARVIS_GUARDED_BY(mutex_); };\n"
      "class Plain { int free_ = 0; };\n",
+     []),
+    ("rule10 flags std::ofstream member", "src/fix/w.h",
+     "#pragma once\nclass W { std::ofstream out_; };\n",
+     ["raw file-write handles"]),
+    ("rule10 flags std::fstream use", "src/fix/w.cpp",
+     "void f() { std::fstream io(path); }\n",
+     ["raw file-write handles"]),
+    ("rule10 flags fopen call", "src/fix/x.cpp",
+     'void f() { FILE* fp = fopen("x", "w"); }\n',
+     ["raw file-write handles"]),
+    ("rule10 flags freopen call", "src/fix/y.cpp",
+     'void f() { freopen("x", "w", fp); }\n',
+     ["raw file-write handles"]),
+    ("rule10 allows ifstream reads", "src/fix/r.cpp",
+     "void f() { std::ifstream in(path); }\n",
+     []),
+    ("rule10 exempts the io layer itself", "src/util/io.cpp",
+     "void f() { std::ofstream out(path); }\n",
+     []),
+    ("rule10 does not apply to tests", "tests/fix_io_test.cpp",
+     "void f() { std::ofstream out(path); }\n",
      []),
 ]
 
