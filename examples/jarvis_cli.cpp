@@ -27,6 +27,10 @@
 //       Restore a checkpoint (per-section, corruption-tolerant), report
 //       what survived, then optimize a day and suggest an action — the
 //       crash-recovery workflow without re-running the learning phase.
+//   jarvis_cli client <ping|health|metrics|suggest|minutes|ingest|checkpoint|shutdown>
+//       Thin client for a running jarvis_serve daemon: frames one request
+//       over the wire protocol (DESIGN.md §15), prints the JSON response,
+//       and exits 0 iff the response is ok.
 //
 // All subcommands run on the standard 11-device home.
 #include <cstdio>
@@ -35,6 +39,8 @@
 
 #include "core/jarvis.h"
 #include "runtime/fleet.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
 #include "sim/testbed.h"
 #include "util/flags.h"
 
@@ -58,7 +64,11 @@ int Usage() {
       "[--seed S] [--format json|csv] [--out FILE]\n"
       "  checkpoint --log FILE --out FILE [--day N] [--episodes N] "
       "[--seed S]\n"
-      "  restore  --checkpoint FILE [--day N] [--minute M] [--episodes N]\n");
+      "  restore  --checkpoint FILE [--day N] [--minute M] [--episodes N]\n"
+      "  client   <ping|health|metrics|suggest|minutes|ingest|checkpoint|"
+      "shutdown>\n"
+      "           [--port P | --port-file FILE] [--host H] [--tenant N]\n"
+      "           [--minute M] [--minutes A,B,..] [--log FILE] [--dir D]\n");
   return 2;
 }
 
@@ -379,6 +389,79 @@ int Restore(const util::Flags& flags) {
 
 }  // namespace
 
+// Thin daemon client: one request, one framed round trip, the raw JSON
+// response on stdout. The serve smoke job in CI scripts this end to end.
+int Client(const util::Flags& flags) {
+  if (flags.positional().size() < 2) return Usage();
+  const std::string action = flags.positional()[1];
+
+  util::JsonObject request;
+  request["id"] = 1;
+  if (action == "ping" || action == "health" || action == "metrics" ||
+      action == "shutdown") {
+    request["type"] = action;
+  } else if (action == "checkpoint") {
+    request["type"] = "checkpoint";
+    if (flags.Has("dir")) request["dir"] = flags.GetString("dir", "");
+  } else if (action == "suggest") {
+    request["type"] = "suggest_action";
+    request["tenant"] = flags.GetInt("tenant", 0);
+    request["minute"] = flags.GetInt("minute", 480);
+  } else if (action == "minutes") {
+    request["type"] = "suggest_minutes";
+    request["tenant"] = flags.GetInt("tenant", 0);
+    util::JsonArray minutes;
+    std::stringstream list(flags.GetString("minutes", "480"));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (!item.empty()) minutes.emplace_back(std::stoi(item));
+    }
+    request["minutes"] = util::JsonValue(std::move(minutes));
+  } else if (action == "ingest") {
+    request["type"] = "ingest";
+    request["tenant"] = flags.GetInt("tenant", 0);
+    util::JsonArray lines;
+    std::stringstream log(ReadFile(flags.GetString("log", "events.log")));
+    std::string line;
+    while (std::getline(log, line)) {
+      if (!line.empty()) lines.emplace_back(line);
+    }
+    request["lines"] = util::JsonValue(std::move(lines));
+  } else {
+    return Usage();
+  }
+
+  int port = flags.GetInt("port", 0);
+  const std::string port_file = flags.GetString("port-file", "");
+  if (port == 0 && !port_file.empty()) {
+    port = std::stoi(ReadFile(port_file));
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "client: need --port or --port-file\n");
+    return 2;
+  }
+  std::string error;
+  auto transport = serve::ConnectTcp(flags.GetString("host", "127.0.0.1"),
+                                     static_cast<std::uint16_t>(port),
+                                     &error);
+  if (transport == nullptr) {
+    std::fprintf(stderr, "client: connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (!transport->WritePayload(util::JsonValue(std::move(request)).Dump())) {
+    std::fprintf(stderr, "client: write failed\n");
+    return 1;
+  }
+  std::string payload;
+  if (transport->ReadPayload(&payload) !=
+      serve::FramedTransport::ReadResult::kPayload) {
+    std::fprintf(stderr, "client: no response (%s)\n", payload.c_str());
+    return 1;
+  }
+  std::printf("%s\n", payload.c_str());
+  return serve::ResponseOk(util::JsonValue::Parse(payload)) ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   try {
     const util::Flags flags(argc, argv);
@@ -393,6 +476,7 @@ int main(int argc, char** argv) {
     if (command == "metrics") return Metrics(flags);
     if (command == "checkpoint") return CheckpointCmd(flags);
     if (command == "restore") return Restore(flags);
+    if (command == "client") return Client(flags);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -45,6 +45,20 @@ bool ThreadPool::Submit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (!task) return false;
+  {
+    util::MutexLock lock(mutex_);
+    if (shutting_down_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  not_empty_.Signal();
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -62,6 +62,13 @@ class ThreadPool {
   // (and drops the task) if the pool has been shut down.
   bool Submit(std::function<void()> task) JARVIS_EXCLUDES(mutex_);
 
+  // Non-blocking admission control: enqueues only if the queue has room
+  // RIGHT NOW; false at capacity or after shutdown, without ever waiting.
+  // This is what lets a serving layer reject with an explicit overload
+  // response instead of stacking blocked producers behind a full queue
+  // (serve::Server; DESIGN.md §15).
+  bool TrySubmit(std::function<void()> task) JARVIS_EXCLUDES(mutex_);
+
   // Blocks until every submitted task has finished executing (queue empty
   // and no worker mid-task). New Submits may still follow.
   void WaitIdle() JARVIS_EXCLUDES(mutex_);

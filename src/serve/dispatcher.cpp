@@ -1,0 +1,437 @@
+#include "serve/dispatcher.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace jarvis::serve {
+
+namespace {
+
+// Internal control flow only: a handler that cannot satisfy a request
+// throws RequestError with a stable wire code; Dispatch converts it to the
+// one error response. It never escapes Dispatch.
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(const char* code, const std::string& detail)
+      : std::runtime_error(detail), code_(code) {}
+  const char* code() const { return code_; }
+
+ private:
+  const char* code_;
+};
+
+const util::JsonValue* FindField(const util::JsonValue& body,
+                                 const char* key) {
+  const auto& object = body.AsObject();
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::int64_t RequireInt(const util::JsonValue& body, const char* key) {
+  const util::JsonValue* field = FindField(body, key);
+  if (field == nullptr || !field->is_number()) {
+    throw RequestError(kErrBadRequest,
+                       std::string("missing numeric '") + key + "'");
+  }
+  return field->AsInt();
+}
+
+util::JsonArray ActionToJson(const fsm::ActionVector& action) {
+  util::JsonArray out;
+  out.reserve(action.size());
+  for (int slot : action) out.emplace_back(slot);
+  return out;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(runtime::Fleet& fleet, DispatcherOptions options,
+                       obs::Registry* registry)
+    : fleet_(fleet), options_(std::move(options)) {
+  const std::size_t tenants = fleet_.tenant_count();
+  tenant_locks_.reserve(tenants);
+  for (std::size_t i = 0; i < tenants; ++i) {
+    tenant_locks_.push_back(std::make_unique<util::Mutex>());
+  }
+  ingest_.resize(tenants);
+  request_counters_.assign(kRequestTypeCount, nullptr);
+  handle_timers_.assign(kRequestTypeCount, nullptr);
+  if (registry != nullptr) {
+    for (std::size_t i = 0; i < kRequestTypeCount; ++i) {
+      const std::string name =
+          RequestTypeName(static_cast<RequestType>(i));
+      request_counters_[i] = registry->GetCounter("serve.req." + name);
+      handle_timers_[i] = registry->GetTimerUs("serve.handle_us." + name);
+    }
+    responses_ok_ = registry->GetCounter("serve.responses_ok");
+    responses_error_ = registry->GetCounter("serve.responses_error");
+    bad_requests_ = registry->GetCounter("serve.bad_request");
+  }
+}
+
+std::string Dispatcher::HandlePayload(const std::string& payload) {
+  std::string parse_error;
+  const auto request = ParseRequest(payload, &parse_error);
+  if (!request.has_value()) {
+    if (bad_requests_ != nullptr) bad_requests_->Increment();
+    if (responses_error_ != nullptr) responses_error_->Increment();
+    return MakeErrorResponse(SalvageRequestId(payload), kErrBadRequest,
+                             parse_error);
+  }
+  return Dispatch(*request);
+}
+
+std::string Dispatcher::Dispatch(const Request& request) {
+  const auto type_index = static_cast<std::size_t>(request.type);
+  if (request_counters_[type_index] != nullptr) {
+    request_counters_[type_index]->Increment();
+  }
+  obs::ScopedTimer timer(handle_timers_[type_index]);
+  try {
+    util::JsonObject fields;
+    switch (request.type) {
+      case RequestType::kPing:
+        fields = HandlePing();
+        break;
+      case RequestType::kIngest:
+        fields = HandleIngest(request.body);
+        break;
+      case RequestType::kSuggestAction:
+        fields = HandleSuggestAction(request.body);
+        break;
+      case RequestType::kSuggestMinutes:
+        fields = HandleSuggestMinutes(request.body);
+        break;
+      case RequestType::kMetrics:
+        fields = HandleMetrics();
+        break;
+      case RequestType::kCheckpoint:
+        fields = HandleCheckpoint(request.body);
+        break;
+      case RequestType::kHealth:
+        fields = HandleHealth();
+        break;
+      case RequestType::kShutdown:
+        fields = HandleShutdown();
+        break;
+      case RequestType::kStall:
+        fields = HandleStall();
+        break;
+    }
+    if (responses_ok_ != nullptr) responses_ok_->Increment();
+    return MakeOkResponse(request.id, std::move(fields));
+  } catch (const RequestError& e) {
+    if (responses_error_ != nullptr) responses_error_->Increment();
+    return MakeErrorResponse(request.id, e.code(), e.what());
+  } catch (const std::exception& e) {
+    // A handler tripping a Fleet contract (CheckError and friends) is a
+    // serving failure for THIS request, never for the daemon.
+    if (responses_error_ != nullptr) responses_error_->Increment();
+    return MakeErrorResponse(request.id, kErrHandlerFailed, e.what());
+  } catch (...) {
+    if (responses_error_ != nullptr) responses_error_->Increment();
+    return MakeErrorResponse(request.id, kErrHandlerFailed,
+                             "non-standard exception");
+  }
+}
+
+void Dispatcher::SetShutdownCallback(std::function<void()> callback) {
+  util::MutexLock lock(mutex_);
+  shutdown_callback_ = std::move(callback);
+}
+
+// --- Handlers ----------------------------------------------------------------
+
+util::JsonObject Dispatcher::HandlePing() {
+  util::JsonObject fields;
+  fields["protocol"] = kProtocolVersion;
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleHealth() {
+  const runtime::FleetReport report = fleet_.report();
+  std::size_t buffered = 0;
+  {
+    util::MutexLock lock(mutex_);
+    for (const auto& buffer : ingest_) buffered += buffer.size();
+  }
+  util::JsonObject fields;
+  fields["protocol"] = kProtocolVersion;
+  fields["tenants"] = static_cast<std::int64_t>(fleet_.tenant_count());
+  fields["completed"] = static_cast<std::int64_t>(report.completed);
+  fields["quarantined"] = static_cast<std::int64_t>(report.quarantined);
+  fields["buffered_events"] = static_cast<std::int64_t>(buffered);
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleIngest(const util::JsonValue& body) {
+  const std::size_t tenant = ParseTenant(body);
+  const util::JsonValue* lines = FindField(body, "lines");
+  if (lines == nullptr || !lines->is_array()) {
+    throw RequestError(kErrBadRequest, "missing array 'lines'");
+  }
+  std::vector<events::Event> parsed;
+  parsed.reserve(lines->AsArray().size());
+  std::size_t rejected = 0;
+  for (const util::JsonValue& line : lines->AsArray()) {
+    if (!line.is_string()) {
+      ++rejected;
+      continue;
+    }
+    // One bad log line poisons that line only: the hostile-input rule
+    // applied per event, so a corrupted shard of a device log still
+    // delivers its intact records.
+    try {
+      parsed.push_back(events::Event::FromLogLine(line.AsString()));
+    } catch (const std::exception&) {
+      ++rejected;
+    }
+  }
+  std::size_t accepted = 0;
+  std::size_t buffered = 0;
+  {
+    util::MutexLock lock(mutex_);
+    auto& buffer = ingest_[tenant];
+    for (auto& event : parsed) {
+      if (buffer.size() >= options_.max_ingest_events) {
+        ++rejected;  // bounded memory: past the cap is refused, not queued
+        continue;
+      }
+      buffer.push_back(std::move(event));
+      ++accepted;
+    }
+    buffered = buffer.size();
+  }
+  util::JsonObject fields;
+  fields["accepted"] = static_cast<std::int64_t>(accepted);
+  fields["rejected"] = static_cast<std::int64_t>(rejected);
+  fields["buffered"] = static_cast<std::int64_t>(buffered);
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleSuggestAction(const util::JsonValue& body) {
+  const std::size_t tenant = ParseTenant(body);
+  const int minute = static_cast<int>(RequireInt(body, "minute"));
+  const fsm::StateVector state = ParseState(body);
+  std::vector<fsm::ActionVector> actions;
+  try {
+    // Serialize per tenant: SuggestMinutes builds an InferenceBatcher over
+    // the tenant's network (one batcher per network is the documented safe
+    // scope), so two in-flight suggestions for one tenant must not overlap.
+    util::MutexLock tenant_lock(*tenant_locks_[tenant]);
+    actions = fleet_.SuggestMinutes(tenant, state, {minute});
+  } catch (const util::CheckError& e) {
+    throw RequestError(kErrBadRequest, e.what());
+  } catch (const std::logic_error& e) {
+    throw RequestError(kErrNoPolicy, e.what());
+  }
+  util::JsonObject fields;
+  fields["tenant"] = static_cast<std::int64_t>(tenant);
+  fields["minute"] = minute;
+  fields["action"] = util::JsonValue(ActionToJson(actions.at(0)));
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleSuggestMinutes(
+    const util::JsonValue& body) {
+  const std::size_t tenant = ParseTenant(body);
+  const util::JsonValue* minutes_field = FindField(body, "minutes");
+  if (minutes_field == nullptr || !minutes_field->is_array()) {
+    throw RequestError(kErrBadRequest, "missing array 'minutes'");
+  }
+  std::vector<int> minutes;
+  minutes.reserve(minutes_field->AsArray().size());
+  for (const util::JsonValue& minute : minutes_field->AsArray()) {
+    if (!minute.is_number()) {
+      throw RequestError(kErrBadRequest, "'minutes' entries must be numbers");
+    }
+    minutes.push_back(static_cast<int>(minute.AsInt()));
+  }
+  const fsm::StateVector state = ParseState(body);
+  std::vector<fsm::ActionVector> actions;
+  try {
+    util::MutexLock tenant_lock(*tenant_locks_[tenant]);  // see SuggestAction
+    actions = fleet_.SuggestMinutes(tenant, state, minutes);
+  } catch (const util::CheckError& e) {
+    throw RequestError(kErrBadRequest, e.what());
+  } catch (const std::logic_error& e) {
+    throw RequestError(kErrNoPolicy, e.what());
+  }
+  util::JsonArray encoded;
+  encoded.reserve(actions.size());
+  for (const fsm::ActionVector& action : actions) {
+    encoded.emplace_back(ActionToJson(action));
+  }
+  util::JsonObject fields;
+  fields["tenant"] = static_cast<std::int64_t>(tenant);
+  fields["actions"] = util::JsonValue(std::move(encoded));
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleMetrics() {
+  util::JsonObject fields;
+  fields["fleet"] = fleet_.TakeMetricsSnapshot().ToJson();
+  fields["tenants"] = fleet_.AggregateTenantMetrics().ToJson();
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleCheckpoint(const util::JsonValue& body) {
+  std::string dir = options_.checkpoint_dir;
+  const util::JsonValue* dir_field = FindField(body, "dir");
+  if (dir_field != nullptr) {
+    if (!dir_field->is_string()) {
+      throw RequestError(kErrBadRequest, "'dir' must be a string");
+    }
+    dir = dir_field->AsString();
+  }
+  if (dir.empty()) {
+    throw RequestError(kErrBadRequest,
+                       "no 'dir' and the daemon has no checkpoint dir");
+  }
+  const runtime::FleetCheckpointReport report = fleet_.SaveCheckpoints(dir);
+  util::JsonObject fields;
+  fields["dir"] = dir;
+  fields["saved"] = static_cast<std::int64_t>(report.succeeded);
+  fields["failed"] = static_cast<std::int64_t>(report.failed);
+  fields["skipped"] = static_cast<std::int64_t>(report.skipped);
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleShutdown() {
+  std::function<void()> callback;
+  {
+    util::MutexLock lock(mutex_);
+    if (!shutdown_fired_) {
+      shutdown_fired_ = true;
+      callback = shutdown_callback_;
+    }
+  }
+  if (callback) callback();  // outside the lock: it flips the Server's flag
+  util::JsonObject fields;
+  fields["draining"] = true;
+  return fields;
+}
+
+util::JsonObject Dispatcher::HandleStall() {
+  if (!options_.allow_stall) {
+    throw RequestError(kErrBadRequest, "stall is not enabled");
+  }
+  {
+    util::MutexLock lock(mutex_);
+    ++stalled_;
+    while (!stalls_released_) {
+      stall_gate_.Wait(mutex_);
+    }
+    --stalled_;
+  }
+  util::JsonObject fields;
+  fields["stalled"] = true;
+  return fields;
+}
+
+void Dispatcher::ReleaseStalls() {
+  {
+    util::MutexLock lock(mutex_);
+    stalls_released_ = true;
+  }
+  stall_gate_.SignalAll();
+}
+
+std::size_t Dispatcher::stalled_now() const {
+  util::MutexLock lock(mutex_);
+  return stalled_;
+}
+
+std::size_t Dispatcher::ingested_events(std::size_t tenant) const {
+  util::MutexLock lock(mutex_);
+  return tenant < ingest_.size() ? ingest_[tenant].size() : 0;
+}
+
+// --- Drain flush -------------------------------------------------------------
+
+DrainFlushReport Dispatcher::FlushForDrain() {
+  DrainFlushReport report;
+  if (options_.checkpoint_dir.empty()) return report;
+  try {
+    util::io::CreateDirectories(options_.checkpoint_dir);
+  } catch (const util::io::IoError&) {
+    // An uncreatable destination degrades every write below individually.
+  }
+
+  // Buffered ingest first: grab the buffers under the lock, write outside
+  // it (AtomicWriteFile can retry-sleep; holding mutex_ across that would
+  // stall any late stall/ingest bookkeeping for no reason).
+  std::vector<std::vector<events::Event>> drained;
+  {
+    util::MutexLock lock(mutex_);
+    drained.swap(ingest_);
+    ingest_.resize(drained.size());
+  }
+  for (std::size_t tenant = 0; tenant < drained.size(); ++tenant) {
+    if (drained[tenant].empty()) continue;
+    std::string payload;
+    for (const events::Event& event : drained[tenant]) {
+      payload += event.ToLogLine();
+      payload += '\n';
+    }
+    try {
+      util::io::AtomicWriteFile(options_.checkpoint_dir + "/ingest-tenant-" +
+                                    std::to_string(tenant) + ".log",
+                                payload);
+      ++report.ingest_files_written;
+      report.ingest_events_flushed += drained[tenant].size();
+    } catch (const util::io::IoError&) {
+      // Drain must finish even on a sick disk; the checkpoint report below
+      // carries the durable-state verdict.
+    }
+  }
+
+  const runtime::FleetCheckpointReport checkpoints =
+      fleet_.SaveCheckpoints(options_.checkpoint_dir);
+  report.checkpoints_saved = checkpoints.succeeded;
+  report.checkpoints_failed = checkpoints.failed;
+  return report;
+}
+
+// --- Field parsing helpers ---------------------------------------------------
+
+std::size_t Dispatcher::ParseTenant(const util::JsonValue& body) const {
+  const std::int64_t tenant = RequireInt(body, "tenant");
+  if (tenant < 0 ||
+      static_cast<std::size_t>(tenant) >= tenant_locks_.size()) {
+    throw RequestError(kErrUnknownTenant,
+                       "tenant " + std::to_string(tenant) +
+                           " outside the serving catalog of " +
+                           std::to_string(tenant_locks_.size()));
+  }
+  return static_cast<std::size_t>(tenant);
+}
+
+fsm::StateVector Dispatcher::ParseState(const util::JsonValue& body) const {
+  const util::JsonValue* state_field = FindField(body, "state");
+  if (state_field == nullptr) {
+    if (options_.default_state.empty()) {
+      throw RequestError(kErrBadRequest,
+                         "no 'state' and the daemon has no default state");
+    }
+    return options_.default_state;
+  }
+  if (!state_field->is_array()) {
+    throw RequestError(kErrBadRequest, "'state' must be an array");
+  }
+  fsm::StateVector state;
+  state.reserve(state_field->AsArray().size());
+  for (const util::JsonValue& entry : state_field->AsArray()) {
+    if (!entry.is_number()) {
+      throw RequestError(kErrBadRequest, "'state' entries must be numbers");
+    }
+    state.push_back(static_cast<int>(entry.AsInt()));
+  }
+  return state;
+}
+
+}  // namespace jarvis::serve

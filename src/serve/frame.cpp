@@ -1,0 +1,130 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace jarvis::serve {
+
+namespace {
+
+void AppendU32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t ReadU32(const char* data) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(data[i]);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  JARVIS_CHECK(payload.size() <= kMaxFramePayloadBytes,
+               "EncodeFrame: payload of ", payload.size(),
+               " bytes exceeds the ", kMaxFramePayloadBytes, "-byte cap");
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendU32(frame, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(frame, util::io::Crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::Feed(const char* data, std::size_t size) {
+  // Compact the consumed prefix before growing: the buffer never holds
+  // more than one partial frame plus whatever was just fed.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+  Decode();
+}
+
+bool FrameDecoder::Next(FrameEvent* event) {
+  if (events_.empty()) return false;
+  *event = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+void FrameDecoder::EmitMalformed(const std::string& detail) {
+  ++malformed_frames_;
+  events_.push_back({FrameEvent::Type::kMalformed, detail});
+}
+
+void FrameDecoder::Decode() {
+  for (;;) {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (scanning_) {
+      // Lost sync: silently look for the next magic (the episode that got
+      // us here was already counted). Keep sizeof(magic)-1 tail bytes in
+      // case the magic straddles a feed boundary.
+      const char* base = buffer_.data() + consumed_;
+      const void* hit = available > 0
+                            ? std::memchr(base, kFrameMagic[0], available)
+                            : nullptr;
+      std::size_t offset = available;  // default: nothing promising yet
+      while (hit != nullptr) {
+        offset = static_cast<std::size_t>(static_cast<const char*>(hit) -
+                                          base);
+        if (available - offset < sizeof(kFrameMagic)) break;  // partial tail
+        if (std::memcmp(base + offset, kFrameMagic, sizeof(kFrameMagic)) ==
+            0) {
+          scanning_ = false;
+          break;
+        }
+        hit = std::memchr(base + offset + 1, kFrameMagic[0],
+                          available - offset - 1);
+        if (hit == nullptr) offset = available;
+      }
+      if (scanning_) {
+        // Drop everything before the candidate (or all scanned bytes).
+        consumed_ += hit == nullptr ? available : offset;
+        return;  // need more bytes
+      }
+      consumed_ += offset;
+      continue;
+    }
+
+    if (available < kFrameHeaderBytes) return;  // partial header: wait
+    const char* header = buffer_.data() + consumed_;
+    if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+      EmitMalformed("bad frame magic");
+      scanning_ = true;
+      ++consumed_;  // step past the bad byte before rescanning
+      continue;
+    }
+    const std::uint32_t length = ReadU32(header + 4);
+    if (length > kMaxFramePayloadBytes) {
+      EmitMalformed("oversized length prefix (" + std::to_string(length) +
+                    " bytes)");
+      scanning_ = true;
+      ++consumed_;
+      continue;
+    }
+    if (available < kFrameHeaderBytes + length) return;  // partial: wait
+    const std::uint32_t expected_crc = ReadU32(header + 8);
+    const char* payload = header + kFrameHeaderBytes;
+    if (util::io::Crc32(payload, length) != expected_crc) {
+      // The header framed the payload, so skip the frame whole: one
+      // corrupt payload is one error, and the next frame decodes cleanly.
+      EmitMalformed("payload CRC mismatch");
+      consumed_ += kFrameHeaderBytes + length;
+      continue;
+    }
+    events_.push_back(
+        {FrameEvent::Type::kPayload, std::string(payload, length)});
+    consumed_ += kFrameHeaderBytes + length;
+  }
+}
+
+}  // namespace jarvis::serve

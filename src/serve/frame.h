@@ -1,0 +1,97 @@
+// Length-prefixed wire framing for the serving daemon (DESIGN.md §15).
+//
+// Layout of one frame (all integers little-endian):
+//
+//   magic   "JVSF"                     4 bytes
+//   u32     payload length             capped at kMaxFramePayloadBytes
+//   u32     CRC-32 of the payload      util::io::Crc32
+//   payload bytes                      (a JSON request/response document)
+//
+// The framing layer follows the persist::Checkpoint discipline: hostile
+// bytes are DATA, not a programming error. FrameDecoder never throws and
+// never loses sync permanently —
+//
+//   * bad magic / garbage run        -> ONE malformed event, then a silent
+//                                       scan to the next magic (a kilobyte
+//                                       of noise is one error, not a
+//                                       thousand);
+//   * oversized length prefix        -> the header is untrusted; one
+//                                       malformed event + resync scan;
+//   * CRC mismatch (payload bit rot) -> one malformed event; the frame is
+//                                       skipped whole (its header framed it);
+//   * truncated frame / partial read -> not an error: the decoder waits for
+//                                       more bytes. A partial frame still
+//                                       pending when the stream closes is
+//                                       the "truncated tail" the transport
+//                                       reports.
+//
+// Events come out of Next() in stream order, so a server can answer every
+// malformed episode with exactly one error response in the right place
+// between the well-formed ones (the hostile-input suite pins counter ==
+// ground truth).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace jarvis::serve {
+
+inline constexpr char kFrameMagic[4] = {'J', 'V', 'S', 'F'};
+inline constexpr std::size_t kFrameHeaderBytes = 12;  // magic + len + crc
+// Upper bound a decoder will believe from a length prefix. Anything larger
+// is treated as a corrupt header, not an allocation request — the cap is
+// what makes a hostile 0xFFFFFFFF prefix harmless.
+inline constexpr std::size_t kMaxFramePayloadBytes = 1u << 20;
+
+// Wraps `payload` in a frame. Throws util::CheckError (programming
+// contract) when the payload exceeds kMaxFramePayloadBytes — outbound
+// frames are produced by our own encoder, so an oversized one is a bug,
+// unlike inbound hostility.
+std::string EncodeFrame(const std::string& payload);
+
+// One decoded item from the byte stream, in order.
+struct FrameEvent {
+  enum class Type {
+    kPayload,    // `data` is a CRC-verified payload
+    kMalformed,  // `data` is a human-readable description of the damage
+  };
+  Type type = Type::kPayload;
+  std::string data;
+};
+
+// Incremental, resyncing decoder over an arbitrary chunking of the byte
+// stream (feed it single bytes or megabytes; the cut points never change
+// the event sequence). Single-threaded by design: each transport
+// connection owns one decoder behind its own lock.
+class FrameDecoder {
+ public:
+  // Appends raw bytes from the stream.
+  void Feed(const char* data, std::size_t size);
+  void Feed(const std::string& bytes) { Feed(bytes.data(), bytes.size()); }
+
+  // Pops the next event (payload or malformed episode). False when
+  // everything fed so far has been consumed or is an incomplete tail.
+  bool Next(FrameEvent* event);
+
+  // Total malformed episodes detected so far.
+  std::size_t malformed_frames() const { return malformed_frames_; }
+  // Bytes of an incomplete frame (or unscanned garbage) still buffered —
+  // nonzero at stream close means a truncated tail.
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  void Decode();  // advances the state machine, emitting into events_
+  void EmitMalformed(const std::string& detail);
+
+  std::string buffer_;        // undecoded stream bytes
+  std::size_t consumed_ = 0;  // prefix of buffer_ already decoded
+  // When true, we lost sync and are scanning for the next magic without
+  // emitting further malformed events (the episode was already counted).
+  bool scanning_ = false;
+  std::deque<FrameEvent> events_;
+  std::size_t malformed_frames_ = 0;
+};
+
+}  // namespace jarvis::serve

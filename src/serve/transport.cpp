@@ -1,0 +1,242 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/io.h"
+
+namespace jarvis::serve {
+
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+[[noreturn]] void ThrowIo(const char* what) {
+  throw util::io::IoError(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+// --- FramedTransport (framing over the raw byte layer) ----------------------
+
+FramedTransport::ReadResult FramedTransport::ReadPayload(
+    std::string* payload_or_detail) {
+  for (;;) {
+    FrameEvent event;
+    if (decoder_.Next(&event)) {
+      *payload_or_detail = std::move(event.data);
+      return event.type == FrameEvent::Type::kPayload ? ReadResult::kPayload
+                                                      : ReadResult::kMalformed;
+    }
+    if (closed_) return ReadResult::kClosed;
+    char chunk[kReadChunkBytes];
+    const std::ptrdiff_t n = ReadRaw(chunk, sizeof(chunk));
+    if (n <= 0) {
+      // EOF and read error close alike: either way no further payload can
+      // arrive, and whatever half-frame is pending is the truncated tail.
+      closed_ = true;
+      continue;  // drain events the final bytes may have completed
+    }
+    decoder_.Feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool FramedTransport::WritePayload(const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  util::MutexLock lock(write_mutex_);
+  return WriteRaw(frame.data(), frame.size());
+}
+
+// --- FdTransport -------------------------------------------------------------
+
+FdTransport::FdTransport(int read_fd, int write_fd, bool owns_fds)
+    : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+
+FdTransport::~FdTransport() {
+  if (owns_fds_) {
+    ::close(read_fd_);
+    if (write_fd_ != read_fd_) ::close(write_fd_);
+  }
+}
+
+std::ptrdiff_t FdTransport::ReadRaw(char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ::ssize_t n = ::read(read_fd_, buffer, capacity);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool FdTransport::WriteRaw(const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    // MSG_NOSIGNAL would only cover sockets; the daemon ignores SIGPIPE
+    // instead so pipes (stdio mode) behave the same, and a failed write
+    // reports false rather than raising a signal.
+    const ::ssize_t n = ::write(write_fd_, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// --- LoopbackTransport -------------------------------------------------------
+
+struct LoopbackTransport::Direction {
+  util::Mutex mutex;
+  util::CondVar readable;
+  std::string bytes JARVIS_GUARDED_BY(mutex);
+  bool closed JARVIS_GUARDED_BY(mutex) = false;
+};
+
+LoopbackPair MakeLoopbackPair() {
+  auto client_to_server = std::make_shared<LoopbackTransport::Direction>();
+  auto server_to_client = std::make_shared<LoopbackTransport::Direction>();
+  LoopbackPair pair;
+  pair.client.reset(
+      new LoopbackTransport(server_to_client, client_to_server));
+  pair.server.reset(
+      new LoopbackTransport(client_to_server, server_to_client));
+  return pair;
+}
+
+LoopbackTransport::~LoopbackTransport() { CloseWrite(); }
+
+void LoopbackTransport::CloseWrite() {
+  {
+    util::MutexLock lock(out_->mutex);
+    out_->closed = true;
+  }
+  out_->readable.SignalAll();
+}
+
+void LoopbackTransport::WriteRawBytes(const std::string& bytes) {
+  {
+    util::MutexLock lock(out_->mutex);
+    out_->bytes.append(bytes);
+  }
+  out_->readable.Signal();
+}
+
+std::ptrdiff_t LoopbackTransport::ReadRaw(char* buffer, std::size_t capacity) {
+  util::MutexLock lock(in_->mutex);
+  while (in_->bytes.empty() && !in_->closed) {
+    in_->readable.Wait(in_->mutex);
+  }
+  if (in_->bytes.empty()) return 0;  // closed and drained: EOF
+  const std::size_t n = std::min(capacity, in_->bytes.size());
+  std::memcpy(buffer, in_->bytes.data(), n);
+  in_->bytes.erase(0, n);
+  return static_cast<std::ptrdiff_t>(n);
+}
+
+bool LoopbackTransport::WriteRaw(const char* data, std::size_t size) {
+  {
+    util::MutexLock lock(out_->mutex);
+    if (out_->closed) return false;
+    out_->bytes.append(data, size);
+  }
+  out_->readable.Signal();
+  return true;
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowIo("socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<::sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ThrowIo("bind");
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ThrowIo("listen");
+  }
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<::sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ThrowIo("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::unique_ptr<FramedTransport> TcpListener::Accept(int timeout_ms) {
+  ::pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return nullptr;  // timeout: caller polls its drain flag
+    if (ready < 0) {
+      if (errno == EINTR) return nullptr;  // let the caller re-check flags
+      ThrowIo("poll");
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      ThrowIo("accept");
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    return std::make_unique<FdTransport>(fd, fd, /*owns_fds=*/true);
+  }
+}
+
+std::unique_ptr<FramedTransport> ConnectTcp(const std::string& host,
+                                            std::uint16_t port,
+                                            std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return nullptr;
+  }
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    if (error != nullptr) *error = "invalid IPv4 address '" + host + "'";
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return std::make_unique<FdTransport>(fd, fd, /*owns_fds=*/true);
+}
+
+}  // namespace jarvis::serve

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <future>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -22,6 +23,40 @@ TEST(ThreadPool, ExecutesEverySubmittedTask) {
   EXPECT_EQ(counter.load(), 200);
   EXPECT_EQ(pool.tasks_executed(), 200u);
   EXPECT_EQ(pool.tasks_failed(), 0u);
+}
+
+TEST(ThreadPool, TrySubmitRejectsAtCapacityWithoutBlocking) {
+  // One worker parked on a gate + a one-slot queue: admission state is
+  // fully deterministic, so TrySubmit's accept/reject answers are exact.
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.Submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();  // the worker has DEQUEUED the parked task
+
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));   // fills the only slot
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ++ran; }));  // at capacity: reject
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ++ran; }));  // still full, still no wait
+
+  release.set_value();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1);  // only the admitted task ever ran
+  // With the queue empty again, admission resumes.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, TrySubmitRefusesNullAndShutDown) {
+  ThreadPool pool(1, 4);
+  EXPECT_FALSE(pool.TrySubmit(std::function<void()>()));
+  pool.Shutdown();
+  EXPECT_FALSE(pool.TrySubmit([] {}));
 }
 
 TEST(ThreadPool, BoundedQueueBackpressureStillRunsEverything) {

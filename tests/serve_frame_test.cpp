@@ -1,0 +1,176 @@
+// Framing layer under hostile input: the decoder must deliver every
+// CRC-verified payload, report each desync as exactly ONE malformed
+// episode, and recover to the next well-formed frame — no matter how the
+// bytes are cut up or corrupted.
+#include "serve/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace jarvis::serve {
+namespace {
+
+// Drains the decoder into (payloads, malformed-episode count).
+struct Drained {
+  std::vector<std::string> payloads;
+  std::size_t malformed = 0;
+};
+
+Drained DrainAll(FrameDecoder& decoder) {
+  Drained out;
+  FrameEvent event;
+  while (decoder.Next(&event)) {
+    if (event.type == FrameEvent::Type::kPayload) {
+      out.payloads.push_back(event.data);
+    } else {
+      ++out.malformed;
+    }
+  }
+  return out;
+}
+
+TEST(Frame, RoundTripsPayloads) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame("hello") + EncodeFrame("") +
+               EncodeFrame(std::string(5000, 'x')));
+  const Drained out = DrainAll(decoder);
+  ASSERT_EQ(out.payloads.size(), 3u);
+  EXPECT_EQ(out.payloads[0], "hello");
+  EXPECT_EQ(out.payloads[1], "");
+  EXPECT_EQ(out.payloads[2], std::string(5000, 'x'));
+  EXPECT_EQ(out.malformed, 0u);
+  EXPECT_EQ(decoder.malformed_frames(), 0u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Frame, PayloadMayContainMagicAndBinary) {
+  // A payload that embeds the frame magic and every byte value must not
+  // confuse the decoder: the length prefix frames it, not a delimiter.
+  std::string payload = "JVSF";
+  for (int b = 0; b < 256; ++b) payload.push_back(static_cast<char>(b));
+  payload += "JVSFJVSF";
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(payload) + EncodeFrame("after"));
+  const Drained out = DrainAll(decoder);
+  ASSERT_EQ(out.payloads.size(), 2u);
+  EXPECT_EQ(out.payloads[0], payload);
+  EXPECT_EQ(out.payloads[1], "after");
+  EXPECT_EQ(out.malformed, 0u);
+}
+
+TEST(Frame, ByteAtATimeFeedStillDecodes) {
+  const std::string wire = EncodeFrame("one") + EncodeFrame("two");
+  FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  std::size_t malformed = 0;
+  for (char byte : wire) {
+    decoder.Feed(&byte, 1);
+    FrameEvent event;
+    while (decoder.Next(&event)) {
+      if (event.type == FrameEvent::Type::kPayload) {
+        payloads.push_back(event.data);
+      } else {
+        ++malformed;
+      }
+    }
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "one");
+  EXPECT_EQ(payloads[1], "two");
+  EXPECT_EQ(malformed, 0u);
+}
+
+TEST(Frame, TruncatedFrameStaysPendingNeverEmits) {
+  const std::string wire = EncodeFrame("truncated tail");
+  FrameDecoder decoder;
+  decoder.Feed(wire.substr(0, wire.size() - 3));
+  const Drained out = DrainAll(decoder);
+  EXPECT_TRUE(out.payloads.empty());
+  EXPECT_EQ(out.malformed, 0u);
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+  // The missing bytes arriving later complete the frame.
+  decoder.Feed(wire.substr(wire.size() - 3));
+  const Drained rest = DrainAll(decoder);
+  ASSERT_EQ(rest.payloads.size(), 1u);
+  EXPECT_EQ(rest.payloads[0], "truncated tail");
+}
+
+TEST(Frame, GarbageRunIsOneEpisodeThenRecovers) {
+  // 4 KiB of garbage (including stray 'J's that almost look like magic)
+  // must cost exactly one malformed episode, and the genuine frame after
+  // it must decode.
+  std::string garbage;
+  for (int i = 0; i < 4096; ++i) {
+    garbage.push_back(i % 7 == 0 ? 'J' : static_cast<char>(i * 31 + 5));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(garbage + EncodeFrame("recovered"));
+  const Drained out = DrainAll(decoder);
+  EXPECT_EQ(out.malformed, 1u);
+  ASSERT_EQ(out.payloads.size(), 1u);
+  EXPECT_EQ(out.payloads[0], "recovered");
+  EXPECT_EQ(decoder.malformed_frames(), 1u);
+}
+
+TEST(Frame, MagicSplitAcrossFeedsDuringResync) {
+  // While resyncing after garbage, a real frame whose magic straddles two
+  // Feed calls must not be skipped.
+  const std::string frame = EncodeFrame("split magic");
+  FrameDecoder decoder;
+  decoder.Feed("!!!garbage!!!" + frame.substr(0, 2));  // "JV"
+  EXPECT_EQ(DrainAll(decoder).malformed, 1u);
+  decoder.Feed(frame.substr(2));
+  const Drained out = DrainAll(decoder);
+  ASSERT_EQ(out.payloads.size(), 1u);
+  EXPECT_EQ(out.payloads[0], "split magic");
+  EXPECT_EQ(decoder.malformed_frames(), 1u);
+}
+
+TEST(Frame, OversizedLengthPrefixIsMalformedNotAllocated) {
+  // Magic + a 1 GiB length claim: rejected as one episode, never trusted
+  // (a hostile peer must not make the daemon reserve a giant buffer).
+  std::string wire(kFrameMagic, sizeof(kFrameMagic));
+  wire += std::string("\xff\xff\xff\x3f", 4);  // length = ~1 GiB, LE
+  wire += std::string("\0\0\0\0", 4);          // crc (never reached)
+  FrameDecoder decoder;
+  decoder.Feed(wire + EncodeFrame("still alive"));
+  const Drained out = DrainAll(decoder);
+  EXPECT_EQ(out.malformed, 1u);
+  ASSERT_EQ(out.payloads.size(), 1u);
+  EXPECT_EQ(out.payloads[0], "still alive");
+}
+
+TEST(Frame, CrcMismatchDropsFrameAsOneEpisode) {
+  std::string corrupt = EncodeFrame("corrupt me");
+  corrupt[corrupt.size() - 3] ^= 0x5a;  // flip a payload byte
+  FrameDecoder decoder;
+  decoder.Feed(corrupt + EncodeFrame("clean"));
+  const Drained out = DrainAll(decoder);
+  EXPECT_EQ(out.malformed, 1u);
+  ASSERT_EQ(out.payloads.size(), 1u);
+  EXPECT_EQ(out.payloads[0], "clean");
+}
+
+TEST(Frame, EachGarbageBurstIsItsOwnEpisode) {
+  FrameDecoder decoder;
+  decoder.Feed("garbage-one" + EncodeFrame("a") + std::string("garbage-two") +
+               EncodeFrame("b"));
+  const Drained out = DrainAll(decoder);
+  EXPECT_EQ(out.malformed, 2u);
+  ASSERT_EQ(out.payloads.size(), 2u);
+  EXPECT_EQ(out.payloads[0], "a");
+  EXPECT_EQ(out.payloads[1], "b");
+}
+
+TEST(Frame, EncodeRejectsOversizedPayload) {
+  EXPECT_THROW(EncodeFrame(std::string(kMaxFramePayloadBytes + 1, 'x')),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace jarvis::serve

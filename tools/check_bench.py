@@ -19,21 +19,24 @@ bench/baselines/ (overridable with --baseline):
      baseline. CI runners differ wildly in clock speed and contention, so
      absolute rows/sec never fails the gate.
 
-`bench` == "lifecycle" (bench/bench_lifecycle):
+`bench` == "lifecycle" (bench/bench_lifecycle) and
+`bench` == "serve" (bench/bench_serve) share one deterministic shape:
   1. Schema: every case carries name plus a `deterministic` object (int
-     outcomes — episodes skipped by warm start, violations, checkpoint
-     save/restore counts, result parity) and an `advisory` object
-     (wall-clock milliseconds, checkpoint bytes).
+     outcomes — lifecycle: episodes skipped by warm start, violations,
+     checkpoint save/restore counts, result parity; serve: request /
+     response / rejection / malformed-frame counts) and an `advisory`
+     object (wall-clock milliseconds, latency percentiles, bytes).
   2. Gate (FAILS the build): each baseline case must be present and its
      `deterministic` object must match the baseline EXACTLY, key for key.
-     These outcomes are a pure function of the fleet seed; any drift means
-     recovery semantics changed, not that the runner is slow.
+     These outcomes are a pure function of the seed and the admission
+     arithmetic; any drift means semantics changed, not that the runner
+     is slow.
   3. Advisory (warns only): any `advisory` value more than double its
      baseline. Latency never fails the gate.
 
 Exit status 0 when the gate passes; 1 with a readable report otherwise.
-Wired into CI right after the `bench_kernels --smoke` and
-`bench_lifecycle --smoke` runs.
+Wired into CI right after the `bench_kernels --smoke`,
+`bench_lifecycle --smoke`, and `bench_serve --smoke` runs.
 """
 
 import json
@@ -46,7 +49,12 @@ ADVISORY_WARN_FACTOR = 2.0
 DEFAULT_BASELINES = {
     "kernels": "bench/baselines/BENCH_kernels.json",
     "lifecycle": "bench/baselines/BENCH_lifecycle.json",
+    "serve": "bench/baselines/BENCH_serve.json",
 }
+
+# Bench kinds gated on exact deterministic outcomes (vs the kernels
+# speedup-ratio gate). All share the deterministic/advisory case shape.
+DETERMINISTIC_KINDS = frozenset({"lifecycle", "serve"})
 
 CASE_FIELDS = {
     "name": str,
@@ -104,9 +112,9 @@ def validate_schema(doc, label, errors, kind="kernels"):
     return by_name
 
 
-def validate_lifecycle_schema(doc, label, errors):
-    if doc.get("bench") != "lifecycle":
-        errors.append(f"{label}: bench != 'lifecycle'")
+def validate_deterministic_schema(doc, label, errors, kind):
+    if doc.get("bench") != kind:
+        errors.append(f"{label}: bench != {kind!r}")
         return {}
     cases = doc.get("cases")
     if not isinstance(cases, list) or not cases:
@@ -143,7 +151,7 @@ def validate_lifecycle_schema(doc, label, errors):
     return by_name
 
 
-def gate_lifecycle(fresh, baseline, errors):
+def gate_deterministic(fresh, baseline, errors):
     for name, base_case in sorted(baseline.items()):
         fresh_case = fresh.get(name)
         if fresh_case is None:
@@ -160,7 +168,7 @@ def gate_lifecycle(fresh, baseline, errors):
                 errors.append(
                     f"case {name!r}: deterministic field {key!r} drifted: "
                     f"baseline {base_det.get(key)!r} != fresh "
-                    f"{fresh_det.get(key)!r} (recovery semantics are a pure "
+                    f"{fresh_det.get(key)!r} (these outcomes are a pure "
                     "function of the seed — this is a behavior change)")
         print(f"check_bench: {name}: {len(base_det)} deterministic fields "
               f"{'match baseline exactly' if clean else 'DRIFTED'}")
@@ -229,17 +237,19 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as err:
         return fail([f"cannot read baseline {baseline_path!r}: {err}"])
 
-    if kind == "lifecycle":
-        fresh = validate_lifecycle_schema(fresh_doc, "fresh", errors)
-        baseline = validate_lifecycle_schema(baseline_doc, "baseline", errors)
+    if kind in DETERMINISTIC_KINDS:
+        fresh = validate_deterministic_schema(fresh_doc, "fresh", errors,
+                                              kind)
+        baseline = validate_deterministic_schema(baseline_doc, "baseline",
+                                                 errors, kind)
     else:
         fresh = validate_schema(fresh_doc, "fresh", errors)
         baseline = validate_schema(baseline_doc, "baseline", errors)
     if errors:
         return fail(errors)
 
-    if kind == "lifecycle":
-        gate_lifecycle(fresh, baseline, errors)
+    if kind in DETERMINISTIC_KINDS:
+        gate_deterministic(fresh, baseline, errors)
     else:
         gate_kernels(fresh, baseline, errors)
 

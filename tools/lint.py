@@ -42,6 +42,15 @@ Enforced invariants (see DESIGN.md "Correctness tooling"):
      (DESIGN.md §14). Reads (std::ifstream) are unaffected; tests and
      examples/ may open files however they like. RAW_IO_ALLOWLIST is
      empty on purpose.
+ 11. No raw socket/fd I/O in src/ outside the transport layer
+     (src/serve/transport.*) and the io layer (src/util/io.*): socket
+     headers, socket/poll syscalls, and global-scope fd calls
+     (::read/::write/::open/::close/...) are banned everywhere else —
+     every byte stream rides serve::FramedTransport and every durable
+     write rides util::io, so framing recovery and crash atomicity are
+     enforced in exactly one place each (DESIGN.md §15).
+     RAW_SOCKET_ALLOWLIST is empty on purpose. Tests and examples/ may
+     use OS I/O freely.
 
 Run with --self-test to exercise the rule engine against embedded
 fixtures (wired into CI's static-analysis job).
@@ -64,7 +73,7 @@ SCAN_DIRS = ("src", "tests", "bench", "examples")
 # headers inherit the hygiene/RNG/iostream rules on purpose, not by luck.
 SRC_MODULES = frozenset({
     "core", "events", "faults", "fsm", "neural", "obs", "persist", "rl",
-    "runtime", "sim", "spl", "util",
+    "runtime", "serve", "sim", "spl", "util",
 })
 
 # Files allowed to use raw OS randomness.
@@ -105,6 +114,23 @@ IO_WRAPPER_FILES = {
 # written justification next to the entry.
 RAW_IO_ALLOWLIST: frozenset = frozenset()
 
+# The byte-stream boundary — the only src/ files allowed to touch sockets
+# and raw file descriptors: the serve transport (framing + connection I/O)
+# and the io layer (atomic durable writes). Everything else in src/ speaks
+# serve::FramedTransport or util::io.
+TRANSPORT_IO_FILES = {
+    os.path.join("src", "serve", "transport.h"),
+    os.path.join("src", "serve", "transport.cpp"),
+    os.path.join("src", "util", "io.h"),
+    os.path.join("src", "util", "io.cpp"),
+}
+
+# src/ files (beyond the transport/io boundary) allowed raw socket/fd I/O.
+# Empty on purpose: one transport means hostile-input recovery and framing
+# are tested in one place. Add a file here only with a written
+# justification next to the entry.
+RAW_SOCKET_ALLOWLIST: frozenset = frozenset()
+
 PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 DIRECTIVE_RE = re.compile(r"^\s*#")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -129,6 +155,21 @@ SYNC_INCLUDE_RE = re.compile(
 RAW_IO_WRITE_RE = re.compile(
     r"\bstd\s*::\s*(?:basic_)?(?:ofstream|fstream)\b"
     r"|(?<![\w:])f(?:re)?open\s*\(")
+# Rule 11: socket headers, socket/poll syscalls, and global-scope posix fd
+# calls. The bare-name socket alternatives use a lookbehind so member calls
+# (obj.accept(...)) and std:: helpers (std::bind(...)) never match; the fd
+# alternatives require an explicit global-scope `::` so names like
+# vector::close stay legal.
+SOCKET_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s*<(?:sys/socket\.h|netinet/in\.h|netinet/tcp\.h|"
+    r"arpa/inet\.h|sys/un\.h|poll\.h|sys/select\.h|sys/epoll\.h)>")
+SOCKET_CALL_RE = re.compile(
+    r"(?<![\w:.>])(?:::\s*)?(?:socket|bind|listen|accept4?|connect|"
+    r"recv|send|recvfrom|sendto|setsockopt|getsockopt|getaddrinfo|"
+    r"freeaddrinfo|poll|ppoll|epoll_(?:create1?|ctl|wait))\s*\(")
+POSIX_FD_RE = re.compile(
+    r"(?<![\w>)\]])::\s*(?:open|openat|creat|read|write|close|pipe2?|"
+    r"dup2?|fsync|fdatasync|ftruncate|lseek)\s*\(")
 # A util::Mutex / util::SharedMutex / util::CondVar data-member statement
 # (the lock vocabulary itself is exempt from guard coverage).
 SYNC_TYPE_RE = re.compile(r"\butil\s*::\s*(?:Mutex|SharedMutex|CondVar)\b")
@@ -341,6 +382,16 @@ def check_file_text(root, rel, errors, text=None):
                     f"{rel}:{lineno}: raw file-write handles are banned in "
                     "src/ — route durable writes through util::io's atomic "
                     "temp-fsync-rename path (lint rule 10, DESIGN.md §14)")
+            if (rel not in TRANSPORT_IO_FILES
+                    and rel not in RAW_SOCKET_ALLOWLIST
+                    and (SOCKET_INCLUDE_RE.match(line)
+                         or SOCKET_CALL_RE.search(line)
+                         or POSIX_FD_RE.search(line))):
+                errors.append(
+                    f"{rel}:{lineno}: raw socket/fd I/O is banned in src/ — "
+                    "byte streams go through serve::FramedTransport and "
+                    "durable writes through util::io (lint rule 11, "
+                    "DESIGN.md §15)")
         if is_header:
             check_guard_coverage(rel, raw, errors)
 
@@ -456,6 +507,33 @@ SELF_TEST_CASES = [
      []),
     ("rule10 does not apply to tests", "tests/fix_io_test.cpp",
      "void f() { std::ofstream out(path); }\n",
+     []),
+    ("rule11 flags socket() call", "src/fix/sock.cpp",
+     "void f() { int fd = socket(AF_INET, SOCK_STREAM, 0); }\n",
+     ["raw socket/fd I/O"]),
+    ("rule11 flags a socket header include", "src/fix/sock2.cpp",
+     "#include <sys/socket.h>\n",
+     ["raw socket/fd I/O"]),
+    ("rule11 flags global-scope ::write", "src/fix/sock3.cpp",
+     "void f(int fd) { ::write(fd, buf, n); }\n",
+     ["raw socket/fd I/O"]),
+    ("rule11 flags poll()", "src/fix/sock4.cpp",
+     "void f() { ::poll(&pfd, 1, 100); }\n",
+     ["raw socket/fd I/O"]),
+    ("rule11 ignores std::bind and member accept", "src/fix/sock5.cpp",
+     "void f() { auto g = std::bind(h, 1); obj.accept(v); q->connect(w); }\n",
+     []),
+    ("rule11 ignores scoped ::close lookalikes", "src/fix/sock6.cpp",
+     "void f() { file_stream::close(handle); }\n",
+     []),
+    ("rule11 exempts the transport layer", "src/serve/transport.cpp",
+     "void f() { int fd = socket(AF_INET, SOCK_STREAM, 0); }\n",
+     []),
+    ("rule11 exempts the io layer", "src/util/io.cpp",
+     "void f(int fd) { ::fsync(fd); }\n",
+     []),
+    ("rule11 does not apply to examples", "examples/fix_daemon.cpp",
+     "#include <sys/socket.h>\nvoid f(int fd) { ::close(fd); }\n",
      []),
 ]
 
