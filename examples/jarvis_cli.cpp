@@ -43,6 +43,7 @@
 #include "serve/transport.h"
 #include "sim/testbed.h"
 #include "util/flags.h"
+#include "util/timeofday.h"
 
 namespace {
 
@@ -60,6 +61,8 @@ int Usage() {
       "  suggest  --policies FILE [--day N] [--minute M]\n"
       "  fleet    [--fleet N] [--jobs N] [--days N] [--episodes N] "
       "[--seed S]\n"
+      "           [--aggregate true] [--agg-max-batch N] "
+      "[--agg-deadline-us N]\n"
       "  metrics  [--fleet N] [--jobs N] [--days N] [--episodes N] "
       "[--seed S] [--format json|csv] [--out FILE]\n"
       "  checkpoint --log FILE --out FILE [--day N] [--episodes N] "
@@ -250,6 +253,39 @@ int FleetRun(const util::Flags& flags) {
   runtime::Fleet fleet(home, config);
   const runtime::FleetReport report =
       fleet.Run(runtime::SimulatedWorkloadFactory(home, workload));
+
+  // --aggregate: after training, route a fleet-wide suggestion sweep
+  // through the cross-tenant inference funnel (DESIGN.md §16) and print
+  // the coalescing evidence. Answers are bit-identical to the direct
+  // route, so this changes throughput, never output.
+  if (flags.GetBool("aggregate", false)) {
+    runtime::AggregationConfig agg;
+    agg.max_batch =
+        static_cast<std::size_t>(flags.GetInt("agg-max-batch", 256));
+    agg.deadline_us = flags.GetInt("agg-deadline-us", 200);
+    fleet.EnableAggregation(agg);
+
+    sim::ResidentSimulator resident(home, sim::ThermalConfig{},
+                                    config.fleet_seed);
+    const fsm::StateVector overnight = resident.OvernightState();
+    std::vector<int> minutes;
+    for (int minute = 0; minute < util::kMinutesPerDay; minute += 15) {
+      minutes.push_back(minute);
+    }
+    for (const auto& tenant : report.tenants) {
+      if (tenant.quarantined) continue;
+      fleet.SuggestMinutes(tenant.tenant, overnight, minutes);
+    }
+    const runtime::AggregationStats agg_stats = fleet.aggregator()->stats();
+    std::printf(
+        "aggregation: %llu queries -> %llu GEMMs (%llu rows, max batch "
+        "%llu), %llu rejected\n",
+        static_cast<unsigned long long>(agg_stats.answered_queries),
+        static_cast<unsigned long long>(agg_stats.gemm_batches),
+        static_cast<unsigned long long>(agg_stats.rows_inferred),
+        static_cast<unsigned long long>(agg_stats.max_gemm_rows),
+        static_cast<unsigned long long>(agg_stats.rejected_queries));
+  }
 
   for (const auto& tenant : report.tenants) {
     if (tenant.quarantined) {

@@ -42,6 +42,10 @@ int Usage() {
       "  --days N           simulated learning days (default 2)\n"
       "  --workers N        serving worker threads (default 2)\n"
       "  --queue N          admission queue capacity (default 8)\n"
+      "  --aggregate B      cross-tenant inference aggregation (default "
+      "true)\n"
+      "  --agg-max-batch N  aggregation flush batch bound (default 256)\n"
+      "  --agg-deadline-us N  aggregation flush deadline (default 200)\n"
       "  --checkpoint-dir D drain flush destination (default none)\n"
       "  --port P           loopback TCP port, 0 = ephemeral (default 0)\n"
       "  --port-file FILE   write the bound port here once listening\n"
@@ -68,6 +72,22 @@ int Run(const util::Flags& flags) {
   std::fprintf(stderr,
                "jarvis_serve: fleet ready (%zu completed, %zu quarantined)\n",
                report.completed, report.quarantined);
+
+  // Cross-tenant inference aggregation (DESIGN.md §16): suggestion
+  // handlers coalesce into shared batched GEMMs. On by default — the
+  // answers are bit-identical either way — and `--aggregate false` keeps
+  // the per-tenant direct route for A/B runs.
+  if (flags.GetBool("aggregate", true)) {
+    runtime::AggregationConfig agg;
+    agg.max_batch =
+        static_cast<std::size_t>(flags.GetInt("agg-max-batch", 256));
+    agg.deadline_us = flags.GetInt("agg-deadline-us", 200);
+    fleet.EnableAggregation(agg);
+    std::fprintf(stderr,
+                 "jarvis_serve: aggregation on (max_batch %zu, deadline "
+                 "%lld us)\n",
+                 agg.max_batch, static_cast<long long>(agg.deadline_us));
+  }
 
   sim::ResidentSimulator resident(home, sim::ThermalConfig{},
                                   config.fleet_seed);

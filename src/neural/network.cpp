@@ -71,8 +71,7 @@ void Network::SetMetrics(obs::Registry* registry) {
     return;
   }
   batch_rows_histogram_ = registry->GetHistogram(
-      "neural.predict_batch.rows",
-      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+      "neural.predict_batch.rows", obs::DefaultBatchSizeBounds());
 }
 
 const Tensor& Network::ForwardCached(const Tensor& input) {
@@ -194,6 +193,22 @@ void Network::CopyParametersFrom(const Network& other) {
     layers_[i].weights() = other.layers_[i].weights();
     layers_[i].biases() = other.layers_[i].biases();
   }
+}
+
+std::unique_ptr<Network> Network::CloneForInference() const {
+  std::vector<LayerSpec> specs;
+  specs.reserve(layers_.size());
+  for (const DenseLayer& layer : layers_) {
+    specs.push_back({layer.out_features(), layer.activation()});
+  }
+  // The random initialization (any seed) and the optimizer choice are both
+  // dead weight here: CopyParametersFrom overwrites every parameter with an
+  // exact copy, and a clone is never trained.
+  auto clone = std::make_unique<Network>(
+      input_features_, specs, loss_,
+      std::make_unique<Sgd>(optimizer_->learning_rate()), util::Rng(0));
+  clone->CopyParametersFrom(*this);
+  return clone;
 }
 
 }  // namespace jarvis::neural

@@ -106,6 +106,17 @@ class Network {
   // (used for DQN target-network style ablations).
   void CopyParametersFrom(const Network& other);
 
+  // Inference-only snapshot: a new Network with identical topology and an
+  // exact (bit-for-bit) copy of this network's parameters, behind a dummy
+  // optimizer. Because Predict* is a pure function of (parameters, input)
+  // and the copies are exact Tensor copies, the clone's forwards are
+  // bit-identical to this network's — which is what lets a serving-side
+  // weight version (runtime::AggregationService::PublishWeights) answer
+  // queries while training keeps mutating the source network. The clone
+  // shares no state with the source, so each side's mutable inference
+  // scratch is private (thread-compatibility per network, DESIGN.md §12).
+  std::unique_ptr<Network> CloneForInference() const;
+
   // Raw parameter snapshot/restore (weights, biases) per layer — cheap
   // checkpointing for best-policy tracking during RL training.
   std::vector<std::pair<Tensor, Tensor>> ExportParameters() const;

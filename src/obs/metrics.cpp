@@ -70,6 +70,12 @@ const std::vector<double>& DefaultLatencyBoundsUs() {
   return kBounds;
 }
 
+const std::vector<double>& DefaultBatchSizeBounds() {
+  static const std::vector<double> kBounds = {1.0,  2.0,  4.0,   8.0,  16.0,
+                                              32.0, 64.0, 128.0, 256.0};
+  return kBounds;
+}
+
 Counter* Registry::GetCounter(const std::string& name,
                               Determinism determinism) {
   util::WriterMutexLock lock(mutex_);

@@ -124,6 +124,12 @@ class Histogram {
 // Default bucket bounds for microsecond latency timers: 10µs .. 1s.
 const std::vector<double>& DefaultLatencyBoundsUs();
 
+// Default bucket bounds for batch-size histograms (rows per coalesced
+// forward pass): powers of two, 1 .. 256. Shared by every batched-inference
+// instrument (neural.predict_batch.rows, runtime.agg.batch_rows) so the
+// fleet's amortization statistics are comparable across layers.
+const std::vector<double>& DefaultBatchSizeBounds();
+
 // Named-instrument registry. Get* registers on first use and returns the
 // existing instrument afterwards (the Determinism flag and bounds must
 // match on re-lookup; std::invalid_argument otherwise — two call sites

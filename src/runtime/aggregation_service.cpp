@@ -1,0 +1,312 @@
+#include "runtime/aggregation_service.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace jarvis::runtime {
+
+namespace {
+
+std::int64_t ElapsedUs(std::chrono::steady_clock::time_point since,
+                       std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - since)
+      .count();
+}
+
+}  // namespace
+
+AggregationService::AggregationService(AggregationConfig config,
+                                       obs::Registry* registry)
+    : config_(config) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("AggregationService: max_batch must be >= 1");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "AggregationService: queue_capacity must be >= 1");
+  }
+  if (config_.deadline_us < 0) {
+    throw std::invalid_argument(
+        "AggregationService: deadline_us must be >= 0");
+  }
+  if (registry != nullptr) {
+    batch_rows_hist_ =
+        registry->GetHistogram("runtime.agg.batch_rows",
+                               obs::DefaultBatchSizeBounds(),
+                               obs::Determinism::kTiming);
+    queue_wait_us_ = registry->GetTimerUs("runtime.agg.queue_wait_us");
+    flush_reason_counters_[static_cast<int>(FlushReason::kMaxBatch)] =
+        registry->GetCounter("runtime.agg.flush_max_batch",
+                             obs::Determinism::kTiming);
+    flush_reason_counters_[static_cast<int>(FlushReason::kDeadline)] =
+        registry->GetCounter("runtime.agg.flush_deadline",
+                             obs::Determinism::kTiming);
+    flush_reason_counters_[static_cast<int>(FlushReason::kShutdown)] =
+        registry->GetCounter("runtime.agg.flush_shutdown",
+                             obs::Determinism::kTiming);
+    flush_reason_counters_[static_cast<int>(FlushReason::kManual)] =
+        registry->GetCounter("runtime.agg.flush_manual",
+                             obs::Determinism::kTiming);
+    rejected_counter_ =
+        registry->GetCounter("runtime.agg.rejected", obs::Determinism::kTiming);
+  }
+  if (!config_.manual) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+AggregationService::~AggregationService() { Shutdown(); }
+
+std::uint64_t AggregationService::PublishWeights(
+    std::size_t tenant, const neural::Network& network) {
+  // Clone on the caller's thread (the tenant's trainer owns the source
+  // network), then swap the pointer under the lock. In-flight queries keep
+  // their pinned version alive through the shared_ptr.
+  auto snapshot = std::make_shared<WeightVersion>();
+  snapshot->network = network.CloneForInference();
+  util::MutexLock lock(mutex_);
+  const std::uint64_t version = ++next_version_;
+  snapshot->version = version;
+  versions_[tenant] = std::move(snapshot);
+  return version;
+}
+
+std::uint64_t AggregationService::weight_version(std::size_t tenant) const {
+  util::MutexLock lock(mutex_);
+  auto it = versions_.find(tenant);
+  return it == versions_.end() ? 0 : it->second->version;
+}
+
+std::optional<std::uint64_t> AggregationService::Submit(
+    std::size_t tenant, std::vector<std::vector<double>> rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("AggregationService::Submit: no rows");
+  }
+  std::uint64_t ticket = 0;
+  bool drain_inline = false;
+  {
+    util::MutexLock lock(mutex_);
+    ++stats_.submitted_queries;
+    if (shutdown_) {
+      ++stats_.rejected_queries;
+      if (rejected_counter_ != nullptr) rejected_counter_->Increment();
+      return std::nullopt;
+    }
+    auto it = versions_.find(tenant);
+    if (it == versions_.end()) {
+      ++stats_.rejected_queries;
+      if (rejected_counter_ != nullptr) rejected_counter_->Increment();
+      return std::nullopt;
+    }
+    const std::size_t width = it->second->network->input_features();
+    for (const std::vector<double>& row : rows) {
+      if (row.size() != width) {
+        // Contract violation, not traffic — undo the attempt count so the
+        // conservation law stays exact.
+        --stats_.submitted_queries;
+        throw std::invalid_argument(
+            "AggregationService::Submit: feature width mismatch");
+      }
+    }
+    if (queue_rows_ + rows.size() > config_.queue_capacity) {
+      ++stats_.rejected_queries;
+      if (rejected_counter_ != nullptr) rejected_counter_->Increment();
+      return std::nullopt;
+    }
+    ticket = next_ticket_++;
+    PendingQuery query;
+    query.ticket = ticket;
+    query.version = it->second;
+    query.rows = std::move(rows);
+    query.enqueued = std::chrono::steady_clock::now();
+    queue_rows_ += query.rows.size();
+    stats_.submitted_rows += query.rows.size();
+    queue_.push_back(std::move(query));
+    outstanding_.insert(ticket);
+    // Opportunistic inline drain: the submitter that completes a max_batch
+    // cohort runs the drain itself instead of waking the flusher — two
+    // context switches saved per cohort, which is most of the funnel's
+    // overhead under load. The flusher still covers deadline/straggler
+    // flushes (drains are idempotent, so racing one is harmless).
+    drain_inline = !config_.manual && queue_rows_ >= config_.max_batch;
+    if (!drain_inline) queue_cv_.Signal();
+  }
+  if (drain_inline) DrainPending(FlushReason::kMaxBatch);
+  return ticket;
+}
+
+AggregatedResult AggregationService::Wait(std::uint64_t ticket) {
+  util::MutexLock lock(mutex_);
+  if (results_.find(ticket) == results_.end() &&
+      outstanding_.find(ticket) == outstanding_.end()) {
+    throw std::logic_error(
+        "AggregationService::Wait: unknown or already-consumed ticket");
+  }
+  result_cv_.Wait(mutex_,
+                  [&] { return results_.find(ticket) != results_.end(); });
+  auto node = results_.extract(ticket);
+  return std::move(node.mapped());
+}
+
+std::optional<AggregatedResult> AggregationService::Infer(
+    std::size_t tenant, std::vector<std::vector<double>> rows) {
+  const std::optional<std::uint64_t> ticket = Submit(tenant, std::move(rows));
+  if (!ticket.has_value()) return std::nullopt;
+  return Wait(*ticket);
+}
+
+void AggregationService::FlushNow() { DrainPending(FlushReason::kManual); }
+
+void AggregationService::Shutdown() {
+  {
+    util::MutexLock lock(mutex_);
+    shutdown_ = true;
+    queue_cv_.SignalAll();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  // Manual mode (or a Shutdown racing the flusher's exit): drain whatever
+  // is still queued so every accepted query gets its answer.
+  DrainPending(FlushReason::kShutdown);
+}
+
+AggregationStats AggregationService::stats() const {
+  util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::int64_t AggregationService::OldestAgeUsLocked() const {
+  return ElapsedUs(queue_.front().enqueued, std::chrono::steady_clock::now());
+}
+
+void AggregationService::FlusherLoop() {
+  for (;;) {
+    FlushReason reason = FlushReason::kDeadline;
+    bool exit_after_drain = false;
+    {
+      util::MutexLock lock(mutex_);
+      for (;;) {
+        if (shutdown_) {
+          reason = FlushReason::kShutdown;
+          exit_after_drain = true;
+          break;
+        }
+        if (queue_rows_ >= config_.max_batch) {
+          reason = FlushReason::kMaxBatch;
+          break;
+        }
+        if (!queue_.empty()) {
+          const std::int64_t age = OldestAgeUsLocked();
+          if (age >= config_.deadline_us) {
+            reason = FlushReason::kDeadline;
+            break;
+          }
+          queue_cv_.WaitFor(mutex_, config_.deadline_us - age);
+        } else {
+          queue_cv_.Wait(mutex_);
+        }
+      }
+    }
+    DrainPending(reason);
+    if (exit_after_drain) return;
+  }
+}
+
+void AggregationService::DrainPending(FlushReason reason) {
+  // Lock order: flush_mutex_ first, mutex_ second (and never mutex_ held
+  // across a forward — producers keep submitting during the GEMMs).
+  util::MutexLock flush_lock(flush_mutex_);
+  std::vector<PendingQuery> taken;
+  {
+    util::MutexLock lock(mutex_);
+    if (queue_.empty()) return;
+    taken.swap(queue_);
+    queue_rows_ = 0;
+  }
+
+  // Group rows by pinned weight version, preserving submission order.
+  // (query index, row index) pairs flatten each group for chunking.
+  struct Group {
+    const neural::Network* network = nullptr;
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+  };
+  std::map<std::uint64_t, Group> groups;
+  std::vector<AggregatedResult> answers(taken.size());
+  for (std::size_t q = 0; q < taken.size(); ++q) {
+    const PendingQuery& query = taken[q];
+    Group& group = groups[query.version->version];
+    group.network = query.version->network.get();
+    for (std::size_t r = 0; r < query.rows.size(); ++r) {
+      group.cells.emplace_back(q, r);
+    }
+    answers[q].version = query.version->version;
+    answers[q].rows.resize(query.rows.size());
+  }
+
+  std::uint64_t gemm_batches = 0;
+  std::uint64_t rows_inferred = 0;
+  std::uint64_t max_gemm_rows = 0;
+  for (auto& [version, group] : groups) {
+    const std::size_t width = group.network->input_features();
+    std::size_t offset = 0;
+    while (offset < group.cells.size()) {
+      const std::size_t rows =
+          std::min(config_.max_batch, group.cells.size() - offset);
+      gather_.Resize(rows, width);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto& [q, qr] = group.cells[offset + r];
+        gather_.SetRow(r, taken[q].rows[qr]);
+      }
+      const neural::Tensor& out = group.network->PredictBatchScratch(gather_);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto& [q, qr] = group.cells[offset + r];
+        answers[q].rows[qr] = out.RowVector(r);
+      }
+      ++gemm_batches;
+      rows_inferred += rows;
+      max_gemm_rows = std::max<std::uint64_t>(max_gemm_rows, rows);
+      if (batch_rows_hist_ != nullptr) {
+        batch_rows_hist_->Observe(static_cast<double>(rows));
+      }
+      offset += rows;
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  {
+    util::MutexLock lock(mutex_);
+    for (std::size_t q = 0; q < taken.size(); ++q) {
+      if (queue_wait_us_ != nullptr) {
+        queue_wait_us_->Observe(
+            static_cast<double>(ElapsedUs(taken[q].enqueued, now)));
+      }
+      outstanding_.erase(taken[q].ticket);
+      results_.emplace(taken[q].ticket, std::move(answers[q]));
+    }
+    stats_.answered_queries += taken.size();
+    stats_.gemm_batches += gemm_batches;
+    stats_.rows_inferred += rows_inferred;
+    stats_.max_gemm_rows = std::max(stats_.max_gemm_rows, max_gemm_rows);
+    switch (reason) {
+      case FlushReason::kMaxBatch:
+        ++stats_.flushes_max_batch;
+        break;
+      case FlushReason::kDeadline:
+        ++stats_.flushes_deadline;
+        break;
+      case FlushReason::kShutdown:
+        ++stats_.flushes_shutdown;
+        break;
+      case FlushReason::kManual:
+        ++stats_.flushes_manual;
+        break;
+    }
+  }
+  if (flush_reason_counters_[static_cast<int>(reason)] != nullptr) {
+    flush_reason_counters_[static_cast<int>(reason)]->Increment();
+  }
+  result_cv_.SignalAll();
+}
+
+}  // namespace jarvis::runtime

@@ -1,0 +1,229 @@
+// Cross-tenant inference aggregation: the fleet-level serving funnel that
+// coalesces Q-value queries from MANY tenants into large PredictBatch GEMMs
+// (ROADMAP item 1; the "millions of users on shared hardware" lever).
+// BENCH_kernels shows forward throughput nearly doubling from batch 1 to
+// batch 8+, but each tenant's own InferenceBatcher only ever sees that
+// tenant's tiny batches — this service is where those batches merge.
+//
+// Architecture (DESIGN.md §16):
+//   * MPSC submission queue. Producers call Submit() with one or more
+//     feature rows and get back a ticket; Wait(ticket) blocks until a flush
+//     answers it (Infer() is the synchronous pair). Submit rejects —
+//     never blocks, never drops silently — when the queue is at capacity
+//     or the service is shut down, so `submitted == answered + rejected`
+//     holds as an exact conservation law.
+//   * Double-buffered per-tenant weight versions. Training publishes a
+//     snapshot via PublishWeights(), which clones the network's parameters
+//     (Network::CloneForInference — bit-exact) into an immutable,
+//     reference-counted version. Publishing swaps the tenant's current
+//     pointer; queries pin the version AT SUBMIT TIME, so a query never
+//     sees mixed versions even if training publishes mid-flight, and
+//     training mutates only its own live network, never a serving snapshot.
+//   * Deadline-based flush. The queue drains when pending rows reach
+//     `max_batch` or the oldest query's age reaches `deadline_us`,
+//     whichever first (deadline 0 = drain whenever rows are pending:
+//     adaptive batching under load). The submitter that completes a
+//     max_batch cohort drains inline — the combining optimization that
+//     saves the flusher-thread roundtrip per cohort; the dedicated
+//     flusher thread covers deadline and straggler flushes. Shutdown
+//     drains everything queued, answering every accepted query exactly
+//     once.
+//   * Row→tenant scatter. A drain groups rows by weight version, runs one
+//     PredictBatchScratch per ≤ max_batch chunk, and scatters result rows
+//     back to their tickets.
+//
+// Exactness argument: PredictBatch rows are row-independent (same op order
+// per row for any batch size — the runtime_batcher_test pin), and a
+// published version holds exact parameter copies, so an aggregated answer
+// is bit-identical to PredictOne on the source network at publish time.
+// Aggregation is a pure throughput optimization, invisible to the jobs=1
+// sequential oracle (runtime_aggregator_test pins this end to end).
+//
+// Thread safety (DESIGN.md §13): fully thread-safe. `mutex_` guards the
+// queue, ticket results, version table, and counters; it is NEVER held
+// across a forward pass. `flush_mutex_` serializes the drain section
+// (gather scratch + the published networks' inference scratch) between the
+// flusher thread and FlushNow() callers; producers never touch it. Lock
+// order: flush_mutex_ before mutex_.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "neural/network.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace jarvis::runtime {
+
+struct AggregationConfig {
+  // Flush as soon as this many rows are pending (also the per-GEMM chunk
+  // bound, like InferenceBatcher's max_batch_rows).
+  std::size_t max_batch = 256;
+  // Flush when the oldest pending query has waited this long. 0 = drain
+  // whenever rows are pending (adaptive batching: the batch is whatever
+  // accumulated during the previous drain).
+  std::int64_t deadline_us = 200;
+  // Row capacity of the submission queue; Submit() rejects past it.
+  std::size_t queue_capacity = 4096;
+  // Test mode: no flusher thread; drains happen only via FlushNow(). Lets
+  // tests pin flush arithmetic and version cutover without timing races.
+  bool manual = false;
+};
+
+// Why a drain ran (each drain increments exactly one reason counter).
+enum class FlushReason { kMaxBatch, kDeadline, kShutdown, kManual };
+
+// The answer to one submitted query: one Q-row per submitted feature row,
+// plus the weight version that produced them (a query is answered entirely
+// by the version pinned at submit time — never a mix).
+struct AggregatedResult {
+  std::uint64_t version = 0;
+  std::vector<std::vector<double>> rows;
+};
+
+// Monotonic counters, snapshotted atomically. Conservation law (pinned
+// under TSan): after Shutdown, submitted_queries == answered_queries +
+// rejected_queries.
+struct AggregationStats {
+  std::uint64_t submitted_queries = 0;
+  std::uint64_t submitted_rows = 0;
+  std::uint64_t answered_queries = 0;
+  std::uint64_t rejected_queries = 0;
+  std::uint64_t flushes_max_batch = 0;
+  std::uint64_t flushes_deadline = 0;
+  std::uint64_t flushes_shutdown = 0;
+  std::uint64_t flushes_manual = 0;
+  // GEMMs actually run and their row counts — the coalescing evidence
+  // (max_gemm_rows > 1 means cross-query batching happened).
+  std::uint64_t gemm_batches = 0;
+  std::uint64_t rows_inferred = 0;
+  std::uint64_t max_gemm_rows = 0;
+};
+
+class AggregationService {
+ public:
+  // A non-null `registry` wires runtime.agg.* instruments (batch-size
+  // histogram, flush-reason counters, queue-wait timer) — all kTiming:
+  // batch composition is scheduling-shaped.
+  explicit AggregationService(AggregationConfig config,
+                              obs::Registry* registry = nullptr);
+  // Joins the flusher after draining; equivalent to Shutdown().
+  ~AggregationService();
+  AggregationService(const AggregationService&) = delete;
+  AggregationService& operator=(const AggregationService&) = delete;
+
+  // Publishes an immutable, bit-exact parameter snapshot of `network` as
+  // tenant's new current version; returns the assigned (globally
+  // monotonic) version number. Queries already submitted keep the version
+  // they pinned; only later submissions see the new one. Callable while
+  // the service answers queries (the snapshot is cloned from `network` on
+  // the calling thread — the caller must own `network`, i.e. be the
+  // tenant's training thread or hold its pipeline quiescent).
+  std::uint64_t PublishWeights(std::size_t tenant,
+                               const neural::Network& network)
+      JARVIS_EXCLUDES(mutex_);
+
+  // Current version number for a tenant (0 = nothing published).
+  std::uint64_t weight_version(std::size_t tenant) const
+      JARVIS_EXCLUDES(mutex_);
+
+  // Queues one query of one or more feature rows (width must match the
+  // tenant's published network). Returns the ticket to redeem with Wait(),
+  // or nullopt — counted rejected — when the tenant has no published
+  // version, the queue is full, or the service is shut down. Never blocks
+  // on capacity. Throws std::invalid_argument on empty/misshapen rows
+  // (contract violation, not traffic: neither answered nor rejected).
+  std::optional<std::uint64_t> Submit(std::size_t tenant,
+                                      std::vector<std::vector<double>> rows)
+      JARVIS_EXCLUDES(mutex_);
+
+  // Blocks until the ticket's flush completes and consumes the answer
+  // (one-shot: a second Wait on the same ticket throws std::logic_error,
+  // as does a ticket Submit never returned). In manual mode nothing
+  // flushes until FlushNow(), so order Wait after it.
+  AggregatedResult Wait(std::uint64_t ticket) JARVIS_EXCLUDES(mutex_);
+
+  // Submit + Wait. nullopt when the submission was rejected.
+  std::optional<AggregatedResult> Infer(std::size_t tenant,
+                                        std::vector<std::vector<double>> rows)
+      JARVIS_EXCLUDES(mutex_);
+
+  // Synchronously drains everything pending (reason kManual). The manual-
+  // mode driver; harmless concurrently with the flusher thread.
+  void FlushNow() JARVIS_EXCLUDES(mutex_);
+
+  // Drains every queued query (each answered exactly once), then rejects
+  // new submissions. Idempotent; answered tickets stay redeemable.
+  void Shutdown() JARVIS_EXCLUDES(mutex_);
+
+  AggregationStats stats() const JARVIS_EXCLUDES(mutex_);
+  const AggregationConfig& config() const { return config_; }
+
+ private:
+  // One published snapshot. Immutable after construction except for the
+  // network's inference scratch, which only the drain section touches
+  // (serialized by flush_mutex_).
+  struct WeightVersion {
+    std::uint64_t version = 0;
+    std::unique_ptr<const neural::Network> network;
+  };
+
+  struct PendingQuery {
+    std::uint64_t ticket = 0;
+    std::shared_ptr<const WeightVersion> version;  // pinned at submit
+    std::vector<std::vector<double>> rows;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void FlusherLoop() JARVIS_EXCLUDES(mutex_);
+  // Takes everything pending, runs the grouped/chunked forwards, deposits
+  // answers, signals waiters. No-op (no counter bump) when nothing pends.
+  void DrainPending(FlushReason reason) JARVIS_EXCLUDES(mutex_);
+  // Age of the oldest pending query, in microseconds.
+  std::int64_t OldestAgeUsLocked() const JARVIS_REQUIRES(mutex_);
+
+  const AggregationConfig config_;  // unguarded: fixed at construction
+
+  mutable util::Mutex mutex_;
+  util::CondVar queue_cv_;   // flusher wakeups (submissions, shutdown)
+  util::CondVar result_cv_;  // ticket completion
+  std::vector<PendingQuery> queue_ JARVIS_GUARDED_BY(mutex_);
+  std::size_t queue_rows_ JARVIS_GUARDED_BY(mutex_) = 0;
+  // Tickets accepted but not yet answered (queued or mid-drain); lets Wait
+  // distinguish "in flight" from "never issued / already consumed".
+  std::unordered_set<std::uint64_t> outstanding_ JARVIS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, AggregatedResult> results_
+      JARVIS_GUARDED_BY(mutex_);
+  std::unordered_map<std::size_t, std::shared_ptr<const WeightVersion>>
+      versions_ JARVIS_GUARDED_BY(mutex_);
+  std::uint64_t next_ticket_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_version_ JARVIS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ JARVIS_GUARDED_BY(mutex_) = false;
+  AggregationStats stats_ JARVIS_GUARDED_BY(mutex_);
+
+  // Serializes the drain section (gather scratch + published networks'
+  // inference scratch) between the flusher and FlushNow callers.
+  util::Mutex flush_mutex_;
+  neural::Tensor gather_ JARVIS_GUARDED_BY(flush_mutex_);
+
+  // Instrument pointers wired once in the constructor; the instruments are
+  // internally synchronized atomics. Null when no registry.
+  obs::Histogram* batch_rows_hist_ = nullptr;  // unguarded: wired in ctor
+  obs::Histogram* queue_wait_us_ = nullptr;    // unguarded: wired in ctor
+  obs::Counter* flush_reason_counters_[4] = {};  // unguarded: wired in ctor
+  obs::Counter* rejected_counter_ = nullptr;     // unguarded: wired in ctor
+
+  // Started last (after every field it reads), joined by Shutdown.
+  std::thread flusher_;  // unguarded: started in ctor, joined in Shutdown
+};
+
+}  // namespace jarvis::runtime

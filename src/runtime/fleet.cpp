@@ -90,6 +90,7 @@ Fleet::Fleet(const fsm::EnvironmentFsm& home, FleetConfig config)
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i].seed =
         util::DeriveSeed(config_.fleet_seed, static_cast<std::uint64_t>(i));
+    shards_[i].suggest_mutex = std::make_unique<util::Mutex>();
   }
 }
 
@@ -148,8 +149,22 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
     }
     result.health = jarvis->Health();
     result.completed = true;
-    util::MutexLock lock(mutex_);
-    shards_[index].jarvis = std::move(jarvis);
+    std::shared_ptr<AggregationService> aggregator;
+    const core::Jarvis* stored = nullptr;
+    {
+      util::MutexLock lock(mutex_);
+      stored = jarvis.get();
+      shards_[index].jarvis = std::move(jarvis);
+      aggregator = aggregator_;
+    }
+    // Publish this tenant's freshly trained weights to the serving funnel
+    // (outside the fleet lock — the clone walks every parameter). This job
+    // is the only writer of the tenant's pipeline, so the source network is
+    // quiescent here. Deterministically a no-op for tenant results: the
+    // snapshot is an exact parameter copy and draws no RNG.
+    if (aggregator != nullptr && stored->agent() != nullptr) {
+      aggregator->PublishWeights(index, stored->agent()->network());
+    }
   } catch (const std::exception& error) {
     // Quarantine, never tear down: the shard keeps its slot (and its
     // error) while the rest of the fleet proceeds.
@@ -263,12 +278,16 @@ std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
     std::size_t tenant, const fsm::StateVector& state,
     const std::vector<int>& minutes) const {
   const core::Jarvis* jarvis = nullptr;
+  util::Mutex* suggest_mutex = nullptr;
+  std::shared_ptr<AggregationService> aggregator;
   {
     util::MutexLock lock(mutex_);
     if (tenant >= shards_.size()) {
       throw std::out_of_range("Fleet::SuggestMinutes: no such tenant");
     }
     jarvis = shards_[tenant].jarvis.get();
+    suggest_mutex = shards_[tenant].suggest_mutex.get();
+    aggregator = aggregator_;
   }
   if (jarvis == nullptr) {
     throw std::logic_error("Fleet::SuggestMinutes: tenant has not run");
@@ -278,20 +297,76 @@ std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
   if (agent == nullptr || env == nullptr) {
     throw std::logic_error("Fleet::SuggestMinutes: tenant has no policy");
   }
-  InferenceBatcher batcher(agent->network());
+  std::vector<std::vector<double>> features;
   std::vector<std::vector<bool>> masks;
+  features.reserve(minutes.size());
   masks.reserve(minutes.size());
   for (int minute : minutes) {
-    batcher.Enqueue(env->FeaturesFor(state, minute));
+    features.push_back(env->FeaturesFor(state, minute));
     masks.push_back(env->SafeSlotMaskFor(state, minute));
   }
-  batcher.Flush();
+  if (minutes.empty()) return {};
+
   std::vector<fsm::ActionVector> actions;
   actions.reserve(minutes.size());
+
+  // Aggregated route: Q-rows from the cross-tenant funnel, computed on the
+  // tenant's published weight version — an exact parameter copy, and
+  // PredictBatch rows are row-independent, so the decoded actions are
+  // bit-identical to the direct route below. A rejection (queue full,
+  // shutdown, nothing published yet) falls through to the direct route.
+  if (aggregator != nullptr && aggregator->weight_version(tenant) != 0) {
+    std::optional<AggregatedResult> result =
+        aggregator->Infer(tenant, features);
+    if (result.has_value()) {
+      for (std::size_t i = 0; i < minutes.size(); ++i) {
+        actions.push_back(
+            agent->GreedyActionFromQ(result->rows[i], masks[i]));
+      }
+      return actions;
+    }
+  }
+
+  // Direct route: one batched forward through the tenant's live network,
+  // serialized per tenant (one batcher per network is the documented safe
+  // scope — concurrent callers for one tenant must not overlap here).
+  util::MutexLock suggest_lock(*suggest_mutex);
+  InferenceBatcher batcher(agent->network());
+  for (std::vector<double>& row : features) {
+    batcher.Enqueue(std::move(row));
+  }
+  batcher.Flush();
   for (std::size_t i = 0; i < minutes.size(); ++i) {
     actions.push_back(agent->GreedyActionFromQ(batcher.Result(i), masks[i]));
   }
   return actions;
+}
+
+void Fleet::EnableAggregation(AggregationConfig config) {
+  auto service = std::make_shared<AggregationService>(config, &registry_);
+  // Publish every tenant that already has a trained pipeline, so serving
+  // can route through the aggregator without waiting for the next Run.
+  std::vector<std::pair<std::size_t, const core::Jarvis*>> trained;
+  {
+    util::MutexLock lock(mutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].jarvis != nullptr && !shards_[i].removed) {
+        trained.emplace_back(i, shards_[i].jarvis.get());
+      }
+    }
+  }
+  for (const auto& [index, jarvis] : trained) {
+    if (jarvis->agent() != nullptr) {
+      service->PublishWeights(index, jarvis->agent()->network());
+    }
+  }
+  util::MutexLock lock(mutex_);
+  aggregator_ = std::move(service);
+}
+
+AggregationService* Fleet::aggregator() const {
+  util::MutexLock lock(mutex_);
+  return aggregator_.get();
 }
 
 const core::Jarvis* Fleet::tenant(std::size_t index) const {
@@ -315,6 +390,7 @@ std::size_t Fleet::AddTenant() {
   // (fleet_seed, i) whether it joined at construction or dynamically.
   shard.seed = util::DeriveSeed(config_.fleet_seed,
                                 static_cast<std::uint64_t>(shards_.size()));
+  shard.suggest_mutex = std::make_unique<util::Mutex>();
   shards_.push_back(std::move(shard));
   return shards_.size() - 1;
 }

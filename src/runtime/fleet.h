@@ -44,6 +44,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "persist/checkpoint.h"
+#include "runtime/aggregation_service.h"
 #include "runtime/thread_pool.h"
 #include "util/io.h"
 #include "util/mutex.h"
@@ -210,12 +211,37 @@ class Fleet {
                                           std::size_t tenant);
 
   // Batched deployment-mode suggestion: greedy actions for one tenant at
-  // each queried minute, computed with a single batched forward through
-  // the tenant's policy network (InferenceBatcher) instead of one forward
-  // per minute. Bit-identical to calling Jarvis::SuggestAction per minute.
+  // each queried minute. Bit-identical to calling Jarvis::SuggestAction
+  // per minute, by either route:
+  //   * Aggregated (EnableAggregation called and the tenant has a
+  //     published weight version): the Q-rows come from the cross-tenant
+  //     AggregationService, so concurrent callers — same tenant or not —
+  //     coalesce into shared GEMMs. If the service rejects (queue full,
+  //     shut down), the call falls back to the direct route below, so
+  //     serving never fails on backpressure.
+  //   * Direct: a single batched forward through the tenant's own network
+  //     (InferenceBatcher), serialized per tenant by the shard's suggest
+  //     mutex — the lock that makes concurrent SuggestMinutes calls safe
+  //     (one batcher per network is the documented safe scope).
+  // Thread-safe either way; callers need no external locking.
   std::vector<fsm::ActionVector> SuggestMinutes(
       std::size_t tenant, const fsm::StateVector& state,
       const std::vector<int>& minutes) const JARVIS_EXCLUDES(mutex_);
+
+  // --- Cross-tenant inference aggregation ---------------------------------
+
+  // Attaches (or replaces) the fleet-level AggregationService and
+  // publishes a weight version for every tenant that has a trained
+  // pipeline; tenants publish automatically at the end of each later Run.
+  // From this point SuggestMinutes routes through the aggregator. Call it
+  // between runs or before serving starts — an in-flight SuggestMinutes
+  // keeps the service it started with alive (shared_ptr), but a replace
+  // mid-traffic loses the old service's stats.
+  void EnableAggregation(AggregationConfig config) JARVIS_EXCLUDES(mutex_);
+
+  // The attached service (null before EnableAggregation) — for stats and
+  // tests. Stable until the next EnableAggregation / fleet destruction.
+  AggregationService* aggregator() const JARVIS_EXCLUDES(mutex_);
 
   // The tenant's facade (null for out-of-range), e.g. for audits. Stable
   // until that tenant's next Run (see the re-run caveat above).
@@ -260,6 +286,11 @@ class Fleet {
     // RestoreCheckpoints or AddTenant(warm_start_template); consumed
     // (moved out) by the tenant's next Run.
     std::unique_ptr<core::Jarvis> warm_start;
+    // Serializes this tenant's direct (non-aggregated) SuggestMinutes
+    // inference — the per-tenant lock that used to live in the serve
+    // Dispatcher, now owned where the batcher is built. Heap-allocated so
+    // the shard stays movable (AddTenant grows the table).
+    std::unique_ptr<util::Mutex> suggest_mutex;
     bool quarantined = false;
     bool removed = false;  // tombstone: skipped everywhere, index preserved
   };
@@ -283,6 +314,9 @@ class Fleet {
   // by their own tenant's job (start/end, under the lock).
   std::vector<TenantShard> shards_ JARVIS_GUARDED_BY(mutex_);
   FleetReport report_ JARVIS_GUARDED_BY(mutex_);
+  // Cross-tenant inference funnel (null until EnableAggregation). Shared
+  // so an in-flight SuggestMinutes outlives a concurrent replace.
+  std::shared_ptr<AggregationService> aggregator_ JARVIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace jarvis::runtime

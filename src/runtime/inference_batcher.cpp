@@ -17,36 +17,62 @@ std::size_t InferenceBatcher::Enqueue(std::vector<double> features) {
   }
   util::MutexLock lock(mutex_);
   pending_.push_back(std::move(features));
+  // results_ already counts any in-flight flush's reserved slots, so this
+  // stays a dense 0-based ticket sequence even mid-flush.
   return results_.size() + pending_.size() - 1;
 }
 
 void InferenceBatcher::Flush() {
-  // The lock is held across the forwards on purpose — it is what
-  // serializes access to the network's mutable inference scratch (see the
-  // header's thread-safety note).
-  util::MutexLock lock(mutex_);
+  // flush_mutex_ serializes the forwards (gather scratch + the network's
+  // inference scratch); mutex_ is scoped to the two handoffs so Enqueue
+  // and Result never block behind a GEMM.
+  util::MutexLock flush_lock(flush_mutex_);
+  std::vector<std::vector<double>> rows;
+  std::size_t base = 0;
+  std::uint64_t generation = 0;
+  std::function<void()> hook;
+  {
+    util::MutexLock lock(mutex_);
+    if (pending_.empty()) return;
+    rows.swap(pending_);
+    base = results_.size();
+    results_.resize(base + rows.size());
+    completed_.resize(base + rows.size(), 0);
+    generation = generation_;
+    hook = flush_hook_;
+  }
+  if (hook) hook();
+
+  std::vector<std::vector<double>> outputs(rows.size());
+  std::size_t batches = 0;
   std::size_t offset = 0;
-  while (offset < pending_.size()) {
-    const std::size_t rows =
-        std::min(max_batch_rows_, pending_.size() - offset);
-    batch_scratch_.Resize(rows, network_.input_features());
-    for (std::size_t r = 0; r < rows; ++r) {
-      batch_scratch_.SetRow(r, pending_[offset + r]);
+  while (offset < rows.size()) {
+    const std::size_t count = std::min(max_batch_rows_, rows.size() - offset);
+    batch_scratch_.Resize(count, network_.input_features());
+    for (std::size_t r = 0; r < count; ++r) {
+      batch_scratch_.SetRow(r, rows[offset + r]);
     }
     const neural::Tensor& out = network_.PredictBatchScratch(batch_scratch_);
-    for (std::size_t r = 0; r < rows; ++r) {
-      results_.push_back(out.RowVector(r));
+    for (std::size_t r = 0; r < count; ++r) {
+      outputs[offset + r] = out.RowVector(r);
     }
-    ++flush_batches_;
-    rows_inferred_ += rows;
-    offset += rows;
+    ++batches;
+    offset += count;
   }
-  pending_.clear();
+
+  util::MutexLock lock(mutex_);
+  if (generation != generation_) return;  // Reset discarded this window
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    results_[base + i] = std::move(outputs[i]);
+    completed_[base + i] = 1;
+  }
+  flush_batches_ += batches;
+  rows_inferred_ += rows.size();
 }
 
 std::vector<double> InferenceBatcher::Result(std::size_t ticket) const {
   util::MutexLock lock(mutex_);
-  if (ticket >= results_.size()) {
+  if (ticket >= results_.size() || completed_[ticket] == 0) {
     throw std::logic_error(
         "InferenceBatcher::Result: ticket not flushed (call Flush() first)");
   }
@@ -55,8 +81,15 @@ std::vector<double> InferenceBatcher::Result(std::size_t ticket) const {
 
 void InferenceBatcher::Reset() {
   util::MutexLock lock(mutex_);
+  ++generation_;
   pending_.clear();
   results_.clear();
+  completed_.clear();
+}
+
+void InferenceBatcher::SetFlushHook(std::function<void()> hook) {
+  util::MutexLock lock(mutex_);
+  flush_hook_ = std::move(hook);
 }
 
 std::size_t InferenceBatcher::pending() const {

@@ -10,25 +10,29 @@
 // perturbing any tenant's decisions — batching is a pure throughput
 // optimization, invisible to determinism contracts.
 //
-// Scope: one batcher serves one network (one parameter set). Queries from
-// different fleet tenants can share a forward only when the tenants share
-// policy parameters (e.g. a fleet-wide warm-start policy); tenants with
-// individually trained networks each get their own batch, which still
-// collapses a day's worth of SuggestAction calls into one pass
-// (Fleet::SuggestMinutes).
+// Scope: one batcher serves one network (one parameter set). Cross-tenant
+// coalescing — queries from tenants with DIFFERENT parameters sharing a
+// GEMM budget — is the AggregationService's job (it groups by weight
+// version and runs one batcher-shaped drain per version); this class stays
+// the single-network building block Fleet::SuggestMinutes uses per call.
 //
-// Thread safety (DESIGN.md §13): thread-safe — one util::Mutex guards the
-// ticket buffers AND the batched forward itself. Holding the lock across
-// PredictBatchScratch is deliberate: the underlying Network routes const
-// inference through mutable network-owned scratch (DESIGN.md §12), so the
-// batcher's lock is what makes a shared network safe — provided ALL
-// threads reach that network through this batcher (one batcher per
-// network, the documented scope). This is the concurrency groundwork for
-// cross-tenant batched inference on a shared warm-start policy (ROADMAP);
-// today's fleet tenants each own their network and batcher.
+// Thread safety (DESIGN.md §13): thread-safe, with the lock scoped to the
+// ticket-buffer handoff. Two locks with distinct jobs:
+//   * `mutex_` guards the pending/result buffers and counters. It is held
+//     only for queue/scatter bookkeeping — never across a forward — so
+//     Enqueue and Result on one batcher stay wait-free relative to an
+//     in-flight Flush, and two batchers (two tenants) overlap fully.
+//   * `flush_mutex_` serializes the flush section: the gather scratch and
+//     the network's mutable inference scratch (DESIGN.md §12). Only Flush
+//     acquires it; it is what makes a shared network safe — provided ALL
+//     threads reach that network through this batcher (one batcher per
+//     network, the documented scope).
+// Lock order: flush_mutex_ before mutex_.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "neural/network.h"
@@ -45,21 +49,30 @@ class InferenceBatcher {
                             std::size_t max_batch_rows = 256);
 
   // Queues one feature row (width must equal network.input_features()).
-  // Returns the ticket to redeem with Result() after Flush().
+  // Returns the ticket to redeem with Result() after Flush(). Never blocks
+  // on an in-flight Flush.
   std::size_t Enqueue(std::vector<double> features) JARVIS_EXCLUDES(mutex_);
 
   // Runs every pending query through the network in batched forwards.
-  // No-op when nothing is pending.
+  // No-op when nothing is pending. Rows enqueued while a Flush is in
+  // flight belong to the NEXT flush window.
   void Flush() JARVIS_EXCLUDES(mutex_);
 
   // The Q-value row for a ticket (by value: a reference into the guarded
   // result buffer would dangle under Reset); the ticket must have been
-  // flushed.
+  // flushed (std::logic_error otherwise, including mid-flight tickets).
   std::vector<double> Result(std::size_t ticket) const
       JARVIS_EXCLUDES(mutex_);
 
-  // Discards all tickets and results (start a fresh batching window).
+  // Discards all tickets and results (start a fresh batching window). An
+  // in-flight Flush's results are discarded too — its window is gone.
   void Reset() JARVIS_EXCLUDES(mutex_);
+
+  // Test-only seam: invoked by Flush after the handoff (pending rows
+  // taken, locks released) and before the forwards. Lets a test park a
+  // flush mid-section deterministically to prove Enqueue/Result — and
+  // other batchers — are not serialized behind the GEMMs.
+  void SetFlushHook(std::function<void()> hook) JARVIS_EXCLUDES(mutex_);
 
   std::size_t pending() const JARVIS_EXCLUDES(mutex_);
   std::size_t ticket_count() const JARVIS_EXCLUDES(mutex_);
@@ -69,17 +82,28 @@ class InferenceBatcher {
   std::size_t rows_inferred() const JARVIS_EXCLUDES(mutex_);
 
  private:
-  const neural::Network& network_;   // unguarded: accessed only under mutex_
+  const neural::Network& network_;   // unguarded: const topology/params API;
+                                     // inference scratch under flush_mutex_
   const std::size_t max_batch_rows_;  // unguarded: fixed at construction
+
   mutable util::Mutex mutex_;
-  // Flush gather scratch, reused across flushes (capacity is bounded by
-  // max_batch_rows_ x feature width).
-  neural::Tensor batch_scratch_ JARVIS_GUARDED_BY(mutex_);
   std::vector<std::vector<double>> pending_ JARVIS_GUARDED_BY(mutex_);
-  // Indexed by ticket.
+  // Indexed by ticket. A flush pre-reserves its slots at handoff (so
+  // concurrent Enqueues keep minting correct tickets) and fills them at
+  // deposit; completed_ marks which slots are redeemable.
   std::vector<std::vector<double>> results_ JARVIS_GUARDED_BY(mutex_);
+  std::vector<char> completed_ JARVIS_GUARDED_BY(mutex_);
+  // Bumped by Reset so an in-flight flush knows its window was discarded
+  // and must not deposit into the new one.
+  std::uint64_t generation_ JARVIS_GUARDED_BY(mutex_) = 0;
+  std::function<void()> flush_hook_ JARVIS_GUARDED_BY(mutex_);
   std::size_t flush_batches_ JARVIS_GUARDED_BY(mutex_) = 0;
   std::size_t rows_inferred_ JARVIS_GUARDED_BY(mutex_) = 0;
+
+  // Serializes the flush section (gather scratch + network inference
+  // scratch). See the header comment; lock order: before mutex_.
+  mutable util::Mutex flush_mutex_;
+  neural::Tensor batch_scratch_ JARVIS_GUARDED_BY(flush_mutex_);
 };
 
 }  // namespace jarvis::runtime

@@ -51,13 +51,10 @@ util::JsonArray ActionToJson(const fsm::ActionVector& action) {
 
 Dispatcher::Dispatcher(runtime::Fleet& fleet, DispatcherOptions options,
                        obs::Registry* registry)
-    : fleet_(fleet), options_(std::move(options)) {
-  const std::size_t tenants = fleet_.tenant_count();
-  tenant_locks_.reserve(tenants);
-  for (std::size_t i = 0; i < tenants; ++i) {
-    tenant_locks_.push_back(std::make_unique<util::Mutex>());
-  }
-  ingest_.resize(tenants);
+    : fleet_(fleet),
+      options_(std::move(options)),
+      tenant_count_(fleet.tenant_count()) {
+  ingest_.resize(tenant_count_);
   request_counters_.assign(kRequestTypeCount, nullptr);
   handle_timers_.assign(kRequestTypeCount, nullptr);
   if (registry != nullptr) {
@@ -219,10 +216,9 @@ util::JsonObject Dispatcher::HandleSuggestAction(const util::JsonValue& body) {
   const fsm::StateVector state = ParseState(body);
   std::vector<fsm::ActionVector> actions;
   try {
-    // Serialize per tenant: SuggestMinutes builds an InferenceBatcher over
-    // the tenant's network (one batcher per network is the documented safe
-    // scope), so two in-flight suggestions for one tenant must not overlap.
-    util::MutexLock tenant_lock(*tenant_locks_[tenant]);
+    // Fleet::SuggestMinutes is thread-safe: it serializes per tenant on the
+    // direct route and coalesces concurrent callers through the
+    // AggregationService when the fleet has one attached.
     actions = fleet_.SuggestMinutes(tenant, state, {minute});
   } catch (const util::CheckError& e) {
     throw RequestError(kErrBadRequest, e.what());
@@ -254,8 +250,7 @@ util::JsonObject Dispatcher::HandleSuggestMinutes(
   const fsm::StateVector state = ParseState(body);
   std::vector<fsm::ActionVector> actions;
   try {
-    util::MutexLock tenant_lock(*tenant_locks_[tenant]);  // see SuggestAction
-    actions = fleet_.SuggestMinutes(tenant, state, minutes);
+    actions = fleet_.SuggestMinutes(tenant, state, minutes);  // thread-safe
   } catch (const util::CheckError& e) {
     throw RequestError(kErrBadRequest, e.what());
   } catch (const std::logic_error& e) {
@@ -401,12 +396,11 @@ DrainFlushReport Dispatcher::FlushForDrain() {
 
 std::size_t Dispatcher::ParseTenant(const util::JsonValue& body) const {
   const std::int64_t tenant = RequireInt(body, "tenant");
-  if (tenant < 0 ||
-      static_cast<std::size_t>(tenant) >= tenant_locks_.size()) {
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= tenant_count_) {
     throw RequestError(kErrUnknownTenant,
                        "tenant " + std::to_string(tenant) +
                            " outside the serving catalog of " +
-                           std::to_string(tenant_locks_.size()));
+                           std::to_string(tenant_count_));
   }
   return static_cast<std::size_t>(tenant);
 }

@@ -14,11 +14,12 @@
 // Fleet contract check) is caught and reported as handler_failed.
 //
 // Concurrency: Dispatch runs on ThreadPool workers, many at once.
-//   * Suggestion handlers serialize PER TENANT (tenant_locks_):
-//     Fleet::SuggestMinutes builds an InferenceBatcher over the tenant's
-//     network, whose documented safe scope is one batcher per network —
-//     two concurrent suggestions for one tenant would race the network's
-//     inference scratch. Distinct tenants run fully in parallel.
+//   * Suggestion handlers call Fleet::SuggestMinutes concurrently — it is
+//     thread-safe on its own: the fleet serializes per tenant on the
+//     direct inference route and, with an AggregationService attached
+//     (Fleet::EnableAggregation), coalesces concurrent suggestions —
+//     across tenants — into shared batched GEMMs, which is what makes
+//     many-tenant daemon traffic amortize (DESIGN.md §16).
 //   * Ingest buffers and stall bookkeeping sit under mutex_.
 //   * Metrics/health/checkpoint ride the Fleet's own thread-safe API.
 #pragma once
@@ -112,18 +113,17 @@ class Dispatcher {
   util::JsonObject HandleStall() JARVIS_EXCLUDES(mutex_);
 
   // Throws std::invalid_argument (→ bad_request) on shape errors; the
-  // tenant must be < tenant_locks_.size() (→ unknown_tenant via a tagged
-  // throw in the helper).
+  // tenant must be < tenant_count_ (→ unknown_tenant via a tagged throw in
+  // the helper).
   std::size_t ParseTenant(const util::JsonValue& body) const;
   fsm::StateVector ParseState(const util::JsonValue& body) const;
 
   runtime::Fleet& fleet_;          // unguarded: internally synchronized
   const DispatcherOptions options_;  // unguarded: fixed at construction
+  // The serving catalog covers the tenants present when the daemon
+  // started.
+  const std::size_t tenant_count_;  // unguarded: fixed at construction
   mutable util::Mutex mutex_;
-  // One lock per tenant serializing that tenant's inference (see header
-  // comment). Shape fixed at construction: the serving catalog covers the
-  // tenants present when the daemon started.
-  std::vector<std::unique_ptr<util::Mutex>> tenant_locks_;  // unguarded: shape fixed at construction; elements are locks
   std::vector<std::vector<events::Event>> ingest_ JARVIS_GUARDED_BY(mutex_);
   std::function<void()> shutdown_callback_ JARVIS_GUARDED_BY(mutex_);
   bool shutdown_fired_ JARVIS_GUARDED_BY(mutex_) = false;

@@ -24,10 +24,13 @@ struct Inflight {
     ++pending;
   }
   void Remove() JARVIS_EXCLUDES(mutex) {
-    {
-      util::MutexLock lock(mutex);
-      --pending;
-    }
+    // Signal WHILE holding the mutex: this object lives on Serve's stack,
+    // and AwaitZero's waiter destroys it as soon as it re-acquires and
+    // sees pending == 0. Signaling after the unlock leaves a window where
+    // the notify touches a destroyed condvar; under the lock, the notify
+    // completes before the waiter can get past its re-acquire.
+    util::MutexLock lock(mutex);
+    --pending;
     zero.Signal();
   }
   void AwaitZero() JARVIS_EXCLUDES(mutex) {

@@ -110,6 +110,14 @@ void CondVar::Wait(Mutex& mutex) {
   cv_.wait(mutex);
 }
 
+bool CondVar::WaitFor(Mutex& mutex, std::int64_t timeout_us) {
+  if (timeout_us <= 0) return false;
+  // Same BasicLockable routing as Wait, so the owner bookkeeping survives
+  // the timed sleep too.
+  return cv_.wait_for(mutex, std::chrono::microseconds(timeout_us)) ==
+         std::cv_status::no_timeout;
+}
+
 void CondVar::Signal() { cv_.notify_one(); }
 
 void CondVar::SignalAll() { cv_.notify_all(); }

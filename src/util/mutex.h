@@ -30,7 +30,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
@@ -162,6 +164,13 @@ class CondVar {
       Wait(mutex);
     }
   }
+
+  // Timed wait: blocks until notified or `timeout_us` elapsed. Returns
+  // false on timeout, true when woken by a signal (spurious wakeups
+  // included — re-check the condition either way). A non-positive timeout
+  // returns false immediately without sleeping. This is what deadline-based
+  // policies (AggregationService's flush loop) build on.
+  bool WaitFor(Mutex& mutex, std::int64_t timeout_us) JARVIS_REQUIRES(mutex);
 
   void Signal();     // wake one waiter
   void SignalAll();  // wake every waiter

@@ -1,0 +1,452 @@
+// The cross-tenant aggregation battery (DESIGN.md §16): bit-exactness of
+// aggregated answers against the jobs=1 sequential oracle, exact flush
+// arithmetic for the deadline/max_batch policy, weight-version cutover
+// (no query ever sees mixed versions), shutdown answering every queued
+// query exactly once, and the MPSC conservation law under producer +
+// publisher contention. Labeled `runtime`, so the whole battery runs under
+// TSan in CI.
+#include "runtime/aggregation_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fsm/device_library.h"
+#include "runtime/fleet.h"
+#include "sim/resident.h"
+#include "util/rng.h"
+#include "util/timeofday.h"
+
+namespace jarvis::runtime {
+namespace {
+
+std::unique_ptr<neural::Network> MakeNetwork(std::size_t inputs,
+                                             std::size_t outputs,
+                                             std::uint64_t seed) {
+  return std::make_unique<neural::Network>(
+      inputs,
+      std::vector<neural::LayerSpec>{{16, neural::Activation::kRelu},
+                                     {12, neural::Activation::kTanh},
+                                     {outputs, neural::Activation::kIdentity}},
+      neural::Loss::kMeanSquaredError, std::make_unique<neural::Adam>(0.01),
+      util::Rng(seed));
+}
+
+std::vector<std::vector<double>> MakeRows(std::size_t count,
+                                          std::size_t width,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> rows(count);
+  for (auto& row : rows) {
+    row.resize(width);
+    for (double& x : row) x = rng.NextGaussian();
+  }
+  return rows;
+}
+
+AggregationConfig ManualConfig(std::size_t max_batch = 8,
+                               std::size_t capacity = 4096) {
+  AggregationConfig config;
+  config.manual = true;
+  config.max_batch = max_batch;
+  config.queue_capacity = capacity;
+  return config;
+}
+
+// Clones answer bit-for-bit what the source network answers, and the
+// aggregated path returns exactly those doubles.
+TEST(AggregationService, AnswersAreBitIdenticalToSourcePredictOne) {
+  const auto network = MakeNetwork(6, 4, 11);
+  AggregationService service(ManualConfig());
+  service.PublishWeights(0, *network);
+  const auto rows = MakeRows(20, 6, 22);
+
+  const auto ticket = service.Submit(0, rows);
+  ASSERT_TRUE(ticket.has_value());
+  service.FlushNow();
+  const AggregatedResult result = service.Wait(*ticket);
+  ASSERT_EQ(result.rows.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    // Exact FP equality, not a tolerance: the aggregated row must be
+    // bit-for-bit the source network's single-row result.
+    EXPECT_EQ(result.rows[i], network->PredictOne(rows[i])) << "row " << i;
+  }
+}
+
+// Chunk arithmetic pinned exactly (manual mode removes all timing): 20
+// rows through max_batch=8 is exactly 3 GEMMs of 8+8+4.
+TEST(AggregationService, ManualFlushChunkArithmeticIsExact) {
+  const auto network = MakeNetwork(6, 4, 5);
+  AggregationService service(ManualConfig(/*max_batch=*/8));
+  service.PublishWeights(0, *network);
+  const auto ticket = service.Submit(0, MakeRows(20, 6, 3));
+  ASSERT_TRUE(ticket.has_value());
+  service.FlushNow();
+  service.Wait(*ticket);
+
+  const AggregationStats stats = service.stats();
+  EXPECT_EQ(stats.submitted_queries, 1u);
+  EXPECT_EQ(stats.submitted_rows, 20u);
+  EXPECT_EQ(stats.answered_queries, 1u);
+  EXPECT_EQ(stats.rejected_queries, 0u);
+  EXPECT_EQ(stats.flushes_manual, 1u);
+  EXPECT_EQ(stats.gemm_batches, 3u);  // 8 + 8 + 4
+  EXPECT_EQ(stats.rows_inferred, 20u);
+  EXPECT_EQ(stats.max_gemm_rows, 8u);
+}
+
+// max_batch side of the flush policy, threaded: with an unreachable
+// deadline, the flusher fires exactly once, exactly when the 8th row
+// arrives, and coalesces all 8 single-row queries into one GEMM.
+TEST(AggregationService, MaxBatchFlushFiresExactlyOnce) {
+  const auto network = MakeNetwork(6, 4, 7);
+  AggregationConfig config;
+  config.max_batch = 8;
+  config.deadline_us = 60'000'000;  // one minute: never reached
+  AggregationService service(config);
+  service.PublishWeights(0, *network);
+
+  const auto rows = MakeRows(8, 6, 9);
+  std::vector<std::uint64_t> tickets;
+  for (const auto& row : rows) {
+    const auto ticket = service.Submit(0, {row});
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const AggregatedResult result = service.Wait(tickets[i]);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0], network->PredictOne(rows[i])) << "query " << i;
+  }
+  const AggregationStats stats = service.stats();
+  EXPECT_EQ(stats.flushes_max_batch, 1u);
+  EXPECT_EQ(stats.flushes_deadline, 0u);
+  EXPECT_EQ(stats.answered_queries, 8u);
+  EXPECT_EQ(stats.max_gemm_rows, 8u);  // all 8 queries shared one GEMM
+}
+
+// Deadline side: with an unreachable max_batch, only the deadline can
+// flush — and it must, answering everything without a full batch.
+TEST(AggregationService, DeadlineFlushFiresWithoutFullBatch) {
+  const auto network = MakeNetwork(6, 4, 13);
+  AggregationConfig config;
+  config.max_batch = 1000;
+  config.deadline_us = 1000;  // 1ms
+  AggregationService service(config);
+  service.PublishWeights(0, *network);
+
+  const auto rows = MakeRows(3, 6, 17);
+  for (const auto& row : rows) {
+    const auto result = service.Infer(0, {row});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->rows[0], network->PredictOne(row));
+  }
+  const AggregationStats stats = service.stats();
+  EXPECT_EQ(stats.flushes_max_batch, 0u);
+  EXPECT_GE(stats.flushes_deadline, 1u);
+  EXPECT_EQ(stats.answered_queries, 3u);
+  EXPECT_EQ(stats.rows_inferred, 3u);
+}
+
+// Version cutover: a query is answered entirely by the version current at
+// its submit — publishes that land later never bleed in, even within a
+// multi-row query, and concurrent versions coexist in one drain.
+TEST(AggregationService, WeightVersionCutoverNeverMixesVersions) {
+  const auto network_a = MakeNetwork(6, 4, 100);
+  const auto network_b = MakeNetwork(6, 4, 200);
+  const auto network_c = MakeNetwork(6, 4, 300);
+  AggregationService service(ManualConfig());
+
+  const std::uint64_t v1 = service.PublishWeights(0, *network_a);
+  const auto rows1 = MakeRows(2, 6, 1);
+  const auto q1 = service.Submit(0, rows1);
+
+  const std::uint64_t v2 = service.PublishWeights(0, *network_b);
+  EXPECT_EQ(service.weight_version(0), v2);
+  const auto rows2 = MakeRows(4, 6, 2);
+  const auto q2 = service.Submit(0, rows2);
+
+  // A publish AFTER q2 was submitted must not affect q2's answer.
+  const std::uint64_t v3 = service.PublishWeights(0, *network_c);
+  service.FlushNow();
+
+  const AggregatedResult r1 = service.Wait(*q1);
+  EXPECT_EQ(r1.version, v1);
+  for (std::size_t i = 0; i < rows1.size(); ++i) {
+    EXPECT_EQ(r1.rows[i], network_a->PredictOne(rows1[i]));
+  }
+  const AggregatedResult r2 = service.Wait(*q2);
+  EXPECT_EQ(r2.version, v2);
+  for (std::size_t i = 0; i < rows2.size(); ++i) {
+    EXPECT_EQ(r2.rows[i], network_b->PredictOne(rows2[i]))
+        << "row " << i << " answered by a mixed/later version";
+  }
+  EXPECT_EQ(service.weight_version(0), v3);
+  // Both versions shared the drain: two GEMMs (one per version group).
+  EXPECT_EQ(service.stats().gemm_batches, 2u);
+}
+
+// Shutdown with queued queries answers every one of them exactly once,
+// then rejects new traffic; the conservation law closes exactly.
+TEST(AggregationService, ShutdownAnswersEveryQueuedQueryExactlyOnce) {
+  const auto network = MakeNetwork(6, 4, 31);
+  AggregationConfig config;
+  config.max_batch = 1000;          // unreachable
+  config.deadline_us = 60'000'000;  // unreachable
+  AggregationService service(config);
+  service.PublishWeights(0, *network);
+
+  const auto rows = MakeRows(10, 6, 37);
+  std::vector<std::uint64_t> tickets;
+  for (const auto& row : rows) {
+    const auto ticket = service.Submit(0, {row});
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.Shutdown();
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const AggregatedResult result = service.Wait(tickets[i]);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0], network->PredictOne(rows[i]));
+    // Exactly once: the ticket is consumed.
+    EXPECT_THROW(service.Wait(tickets[i]), std::logic_error);
+  }
+  EXPECT_FALSE(service.Submit(0, {rows[0]}).has_value());
+
+  const AggregationStats stats = service.stats();
+  EXPECT_EQ(stats.flushes_shutdown, 1u);
+  EXPECT_EQ(stats.answered_queries, 10u);
+  EXPECT_EQ(stats.rejected_queries, 1u);
+  EXPECT_EQ(stats.submitted_queries,
+            stats.answered_queries + stats.rejected_queries);
+}
+
+TEST(AggregationService, RejectsOnCapacityUnknownTenantAndBadRows) {
+  const auto network = MakeNetwork(6, 4, 41);
+  AggregationService service(ManualConfig(/*max_batch=*/8, /*capacity=*/4));
+  service.PublishWeights(0, *network);
+
+  // Unknown tenant: rejected, not thrown — backpressure semantics.
+  EXPECT_FALSE(service.Submit(1, MakeRows(1, 6, 1)).has_value());
+  // Contract violations throw and count as neither answered nor rejected.
+  EXPECT_THROW(service.Submit(0, {}), std::invalid_argument);
+  EXPECT_THROW(service.Submit(0, MakeRows(1, 5, 1)), std::invalid_argument);
+
+  const auto full = service.Submit(0, MakeRows(4, 6, 2));
+  ASSERT_TRUE(full.has_value());
+  // Queue at row capacity: reject, never block or drop silently.
+  EXPECT_FALSE(service.Submit(0, MakeRows(1, 6, 3)).has_value());
+  service.FlushNow();
+  service.Wait(*full);
+  // Capacity freed by the flush.
+  EXPECT_TRUE(service.Submit(0, MakeRows(1, 6, 4)).has_value());
+
+  const AggregationStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_queries, 2u);
+  EXPECT_EQ(stats.submitted_queries, 4u);
+  EXPECT_THROW(service.Wait(9999), std::logic_error);
+}
+
+// Satellite: many producers hammer the MPSC queue while a publisher keeps
+// cutting weight versions. Under TSan this is the data-race probe for the
+// whole service; the assertions pin the conservation law and that every
+// answer matches the version that answered it — exactly.
+TEST(AggregationService, ConcurrentProducersAndPublishesConserveAndStayExact) {
+  constexpr std::size_t kTenants = 4;
+  constexpr std::size_t kProducers = 6;
+  constexpr std::size_t kQueriesPerProducer = 30;
+  constexpr std::size_t kPublishes = 25;
+
+  AggregationConfig config;
+  config.max_batch = 16;
+  config.deadline_us = 100;
+  config.queue_capacity = 64;
+  AggregationService service(config);
+
+  // Every network ever published stays alive here so answers can be
+  // verified after the fact. `by_version` maps the service-assigned
+  // version to its source network (guarded: the publisher writes it while
+  // producers run — but producers only read it after the join below).
+  std::vector<std::unique_ptr<neural::Network>> networks;
+  std::map<std::uint64_t, const neural::Network*> by_version;
+  std::mutex map_mutex;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    networks.push_back(MakeNetwork(6, 4, 1000 + t));
+    const std::uint64_t version = service.PublishWeights(t, *networks.back());
+    by_version[version] = networks.back().get();
+  }
+
+  std::thread publisher([&] {
+    for (std::size_t k = 0; k < kPublishes; ++k) {
+      networks.push_back(MakeNetwork(6, 4, 2000 + k));
+      const neural::Network* network = networks.back().get();
+      const std::uint64_t version =
+          service.PublishWeights(k % kTenants, *network);
+      std::lock_guard<std::mutex> lock(map_mutex);
+      by_version[version] = network;
+    }
+  });
+
+  struct Answer {
+    std::uint64_t version;
+    std::vector<double> row;
+    std::vector<double> result;
+  };
+  std::vector<std::vector<Answer>> answers(kProducers);
+  std::vector<std::size_t> rejected(kProducers, 0);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      util::Rng rng(500 + p);
+      for (std::size_t q = 0; q < kQueriesPerProducer; ++q) {
+        const std::size_t tenant = rng.NextIndex(kTenants);
+        std::vector<double> row(6);
+        for (double& x : row) x = rng.NextGaussian();
+        const auto result = service.Infer(tenant, {row});
+        if (!result.has_value()) {
+          ++rejected[p];
+          continue;
+        }
+        ASSERT_EQ(result->rows.size(), 1u);
+        answers[p].push_back({result->version, row, result->rows[0]});
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  publisher.join();
+  service.Shutdown();
+
+  const AggregationStats stats = service.stats();
+  EXPECT_EQ(stats.submitted_queries, kProducers * kQueriesPerProducer);
+  // The conservation law: nothing lost, nothing answered twice.
+  EXPECT_EQ(stats.submitted_queries,
+            stats.answered_queries + stats.rejected_queries);
+  std::size_t rejected_total = 0;
+  for (std::size_t p = 0; p < kProducers; ++p) rejected_total += rejected[p];
+  EXPECT_EQ(stats.rejected_queries, rejected_total);
+  EXPECT_EQ(stats.answered_queries,
+            kProducers * kQueriesPerProducer - rejected_total);
+
+  // Exactness per answering version, verified single-threaded (PredictOne
+  // uses the source network's scratch).
+  for (const auto& per_producer : answers) {
+    for (const Answer& answer : per_producer) {
+      const auto it = by_version.find(answer.version);
+      ASSERT_NE(it, by_version.end());
+      EXPECT_EQ(answer.result, it->second->PredictOne(answer.row));
+    }
+  }
+}
+
+runtime::FleetConfig TinyFleetConfig(std::size_t tenants, std::size_t jobs) {
+  runtime::FleetConfig config;
+  config.tenants = tenants;
+  config.jobs = jobs;
+  config.fleet_seed = 2026;
+  config.tenant_config.restarts = 1;
+  config.tenant_config.trainer.episodes = 2;
+  config.tenant_config.trainer.demonstration_episodes = 1;
+  config.tenant_config.dqn.hidden_units = {8, 8};
+  config.tenant_config.dqn.batch_size = 16;
+  config.tenant_config.spl.ann.epochs = 2;
+  return config;
+}
+
+// The headline pin: N tenants × a day of queries through the aggregator
+// are bit-identical to the jobs=1 direct Fleet::SuggestMinutes oracle.
+// Two fleets, same seed: one sequential without aggregation (the oracle),
+// one parallel with the aggregation funnel attached.
+TEST(FleetAggregation, DayOfQueriesBitIdenticalToSequentialOracle) {
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  runtime::SimulatedWorkloadOptions workload;
+  workload.learning_days = 1;
+  workload.benign_anomaly_samples = 100;
+
+  Fleet oracle(home, TinyFleetConfig(3, /*jobs=*/1));
+  oracle.Run(SimulatedWorkloadFactory(home, workload));
+
+  Fleet aggregated(home, TinyFleetConfig(3, /*jobs=*/2));
+  AggregationConfig config;
+  config.max_batch = 64;
+  config.deadline_us = 200;
+  aggregated.EnableAggregation(config);
+  aggregated.Run(SimulatedWorkloadFactory(home, workload));
+  ASSERT_NE(aggregated.aggregator(), nullptr);
+
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, 2026);
+  const fsm::StateVector overnight = resident.OvernightState();
+  std::vector<int> minutes;
+  for (int minute = 0; minute < util::kMinutesPerDay; minute += 7) {
+    minutes.push_back(minute);
+  }
+  for (std::size_t tenant = 0; tenant < 3; ++tenant) {
+    ASSERT_NE(aggregated.aggregator()->weight_version(tenant), 0u)
+        << "Run did not publish tenant " << tenant;
+    const auto direct = oracle.SuggestMinutes(tenant, overnight, minutes);
+    const auto via_agg = aggregated.SuggestMinutes(tenant, overnight, minutes);
+    ASSERT_EQ(direct.size(), via_agg.size());
+    for (std::size_t i = 0; i < minutes.size(); ++i) {
+      EXPECT_EQ(via_agg[i], direct[i])
+          << "tenant " << tenant << " minute " << minutes[i];
+    }
+  }
+  // The queries really went through the funnel.
+  const AggregationStats stats = aggregated.aggregator()->stats();
+  EXPECT_GE(stats.rows_inferred, 3u * minutes.size());
+  EXPECT_GT(stats.max_gemm_rows, 1u);
+}
+
+// Concurrent suggest traffic for MANY tenants through one fleet funnel:
+// every answer stays bit-identical to the per-tenant sequential answer,
+// and the funnel actually coalesces across tenants.
+TEST(FleetAggregation, ConcurrentCrossTenantSuggestsStayExact) {
+  const fsm::EnvironmentFsm home = fsm::BuildFullHome();
+  runtime::SimulatedWorkloadOptions workload;
+  workload.learning_days = 1;
+  workload.benign_anomaly_samples = 100;
+
+  Fleet fleet(home, TinyFleetConfig(3, /*jobs=*/2));
+  fleet.Run(SimulatedWorkloadFactory(home, workload));
+
+  sim::ResidentSimulator resident(home, sim::ThermalConfig{}, 2026);
+  const fsm::StateVector overnight = resident.OvernightState();
+  const std::vector<int> minutes = {0, 120, 480, 481, 720, 1200, 1439};
+  // Direct per-tenant answers BEFORE attaching the aggregator.
+  std::vector<std::vector<fsm::ActionVector>> expected;
+  for (std::size_t tenant = 0; tenant < 3; ++tenant) {
+    expected.push_back(fleet.SuggestMinutes(tenant, overnight, minutes));
+  }
+
+  AggregationConfig config;
+  config.max_batch = 32;
+  config.deadline_us = 500;
+  fleet.EnableAggregation(config);
+
+  std::vector<std::thread> threads;
+  for (std::size_t tenant = 0; tenant < 3; ++tenant) {
+    threads.emplace_back([&, tenant] {
+      for (int iteration = 0; iteration < 5; ++iteration) {
+        const auto actions = fleet.SuggestMinutes(tenant, overnight, minutes);
+        ASSERT_EQ(actions.size(), minutes.size());
+        for (std::size_t i = 0; i < minutes.size(); ++i) {
+          EXPECT_EQ(actions[i], expected[tenant][i])
+              << "tenant " << tenant << " minute " << minutes[i];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GE(fleet.aggregator()->stats().rows_inferred,
+            3u * 5u * minutes.size());
+}
+
+}  // namespace
+}  // namespace jarvis::runtime

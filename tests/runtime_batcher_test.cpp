@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "fsm/device_library.h"
@@ -147,6 +150,112 @@ TEST(InferenceBatcher, GreedyDecodeMatchesSelectAction) {
     const fsm::ActionVector direct = agent.SelectAction(rows[i], mask, true);
     EXPECT_EQ(batched, direct) << "query " << i;
   }
+}
+
+// The §13 fix regression: a Flush must hold no lock across its forwards.
+// Park batcher A mid-flush via the test seam and prove that (a) a second
+// tenant's batcher completes a full cycle, (b) Enqueue on A itself
+// succeeds and lands in the NEXT window, and (c) A's in-flight tickets
+// stay unredeemable until the deposit — all while A's GEMMs are "running".
+TEST(InferenceBatcher, FlushDoesNotSerializeOtherTenantsOrEnqueue) {
+  const neural::Network network_a = MakeNetwork(6, 4, 5);
+  const neural::Network network_b = MakeNetwork(6, 4, 50);
+  InferenceBatcher a(network_a);
+  InferenceBatcher b(network_b);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool parked = false;
+  bool released = false;
+  a.SetFlushHook([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return released; });
+  });
+
+  const auto rows = MakeRows(4, 6, 21);
+  for (std::size_t i = 0; i < 3; ++i) a.Enqueue(rows[i]);
+  std::thread flusher([&] { a.Flush(); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return parked; });
+  }
+
+  // (a) Another tenant's batcher is fully live while A's flush is parked.
+  const std::size_t b_ticket = b.Enqueue(rows[0]);
+  b.Flush();
+  EXPECT_EQ(b.Result(b_ticket), network_b.PredictOne(rows[0]));
+
+  // (b) A itself accepts new work mid-flight; the row belongs to the next
+  // window, so the in-flight flush must not answer it.
+  const std::size_t late_ticket = a.Enqueue(rows[3]);
+  EXPECT_EQ(late_ticket, 3u);
+  EXPECT_EQ(a.pending(), 1u);
+
+  // (c) In-flight tickets are not redeemable before the deposit.
+  EXPECT_THROW(a.Result(0), std::logic_error);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    released = true;
+  }
+  gate_cv.notify_all();
+  flusher.join();
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.Result(i), network_a.PredictOne(rows[i]));
+  }
+  EXPECT_THROW(a.Result(late_ticket), std::logic_error);  // still pending
+  EXPECT_EQ(a.pending(), 1u);
+  a.SetFlushHook(nullptr);
+  a.Flush();
+  EXPECT_EQ(a.Result(late_ticket), network_a.PredictOne(rows[3]));
+}
+
+// Reset while a flush is in flight discards that window: the parked
+// flush's deposit must vanish instead of landing in the new window's
+// buffers (the generation guard), and the batcher stays fully usable.
+TEST(InferenceBatcher, ResetDuringInFlightFlushDiscardsItsWindow) {
+  const neural::Network network = MakeNetwork(6, 4, 5);
+  InferenceBatcher batcher(network);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool parked = false;
+  bool released = false;
+  batcher.SetFlushHook([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return released; });
+  });
+
+  const auto rows = MakeRows(4, 6, 43);
+  for (std::size_t i = 0; i < 2; ++i) batcher.Enqueue(rows[i]);
+  std::thread flusher([&] { batcher.Flush(); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return parked; });
+  }
+  batcher.Reset();
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    released = true;
+  }
+  gate_cv.notify_all();
+  flusher.join();
+
+  // The discarded window left nothing behind.
+  EXPECT_EQ(batcher.ticket_count(), 0u);
+  EXPECT_THROW(batcher.Result(0), std::logic_error);
+
+  // And the fresh window works end to end.
+  batcher.SetFlushHook(nullptr);
+  const std::size_t ticket = batcher.Enqueue(rows[2]);
+  EXPECT_EQ(ticket, 0u);
+  batcher.Flush();
+  EXPECT_EQ(batcher.Result(ticket), network.PredictOne(rows[2]));
 }
 
 }  // namespace

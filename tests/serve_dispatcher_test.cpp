@@ -201,6 +201,68 @@ TEST_F(DispatcherTest, SuggestMinutesBatchMatchesDirectCall) {
   }
 }
 
+// The PR-8 parity pin, with the cross-tenant aggregation funnel in the
+// path: a same-seed fleet with an AggregationService attached must answer
+// every wire suggestion bit-identically to the fixture's direct fleet —
+// aggregation is invisible to serving semantics (DESIGN.md §16).
+TEST_F(DispatcherTest, SuggestParityHoldsWithAggregationInPath) {
+  runtime::Fleet aggregated(*home_, TinyFleetConfig(2));
+  runtime::AggregationConfig agg;
+  agg.max_batch = 64;
+  agg.deadline_us = 200;
+  aggregated.EnableAggregation(agg);
+  aggregated.Run(runtime::SimulatedWorkloadFactory(*home_, TinyWorkload()));
+  ASSERT_NE(aggregated.aggregator(), nullptr);
+  ASSERT_NE(aggregated.aggregator()->weight_version(0), 0u);
+  Dispatcher dispatcher(aggregated, DefaultOptions(), nullptr);
+
+  std::vector<int> minutes;
+  for (int minute = 0; minute < util::kMinutesPerDay; minute += 13) {
+    minutes.push_back(minute);
+  }
+  const std::vector<fsm::ActionVector> direct =
+      fleet_->SuggestMinutes(0, *overnight_, minutes);
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    const auto response = Call(
+        dispatcher,
+        R"({"id": 1, "type": "suggest_action", "tenant": 0, "minute": )" +
+            std::to_string(minutes[i]) + "}");
+    ASSERT_TRUE(ResponseOk(response)) << "minute " << minutes[i];
+    const util::JsonArray& action = response.At("action").AsArray();
+    ASSERT_EQ(action.size(), direct[i].size());
+    for (std::size_t d = 0; d < action.size(); ++d) {
+      EXPECT_EQ(action[d].AsInt(), direct[i][d])
+          << "minute " << minutes[i] << " device " << d;
+    }
+  }
+
+  // The batch request for the other tenant rides the same funnel.
+  const std::vector<int> batch_minutes = {0, 60, 480, 481, 720, 1200, 1439};
+  std::string list;
+  for (int minute : batch_minutes) {
+    if (!list.empty()) list += ",";
+    list += std::to_string(minute);
+  }
+  const auto response = Call(
+      dispatcher, R"({"id": 2, "type": "suggest_minutes", "tenant": 1,
+                      "minutes": [)" + list + "]}");
+  ASSERT_TRUE(ResponseOk(response));
+  const std::vector<fsm::ActionVector> batch_direct =
+      fleet_->SuggestMinutes(1, *overnight_, batch_minutes);
+  const util::JsonArray& actions = response.At("actions").AsArray();
+  ASSERT_EQ(actions.size(), batch_direct.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const util::JsonArray& action = actions[i].AsArray();
+    ASSERT_EQ(action.size(), batch_direct[i].size());
+    for (std::size_t d = 0; d < action.size(); ++d) {
+      EXPECT_EQ(action[d].AsInt(), batch_direct[i][d]);
+    }
+  }
+  // The traffic really went through the aggregator, not the fallback.
+  EXPECT_GE(aggregated.aggregator()->stats().rows_inferred,
+            minutes.size() + batch_minutes.size());
+}
+
 TEST_F(DispatcherTest, IngestCountsGoodAndBadLines) {
   Dispatcher dispatcher(*fleet_, DefaultOptions(), nullptr);
   // Two real log lines (round-tripped through the event model) plus junk.

@@ -19,6 +19,7 @@
 #include "runtime/fleet.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
+#include "sim/resident.h"
 #include "util/io.h"
 #include "util/json.h"
 
@@ -188,6 +189,13 @@ TEST_F(ServerTest, OverloadRejectionsAreDeterministicAndExplicit) {
     pair.client->WritePayload(PingRequest(id));
   }
   pair.client->CloseWrite();
+  // The serve loop admits/rejects asynchronously: releasing the stall
+  // while pings are still being submitted would free the worker to drain
+  // the queue mid-burst and admit an extra one. Wait for the third
+  // explicit rejection (the live registry counter) before releasing.
+  while (registry.GetCounter("serve.rejected_overload")->Value() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   dispatcher.ReleaseStalls();
   serving.join();
   pair.server->CloseWrite();
@@ -314,6 +322,107 @@ TEST_F(ServerTest, DrainUnderLoadAnswersEveryRequestAndFlushes) {
   EXPECT_EQ(flush.checkpoints_saved, 1u);
   EXPECT_TRUE(
       util::io::FileExists(runtime::Fleet::TenantCheckpointPath(dir, 0)));
+}
+
+// The drain pin with the cross-tenant aggregation funnel in the serving
+// path: suggestion traffic under overload + drain, every accepted request
+// answered exactly once with the bit-exact action, and the aggregator's
+// conservation law closing after the pool idles (DESIGN.md §16).
+TEST_F(ServerTest, DrainUnderLoadWithAggregationAnswersExactlyOnce) {
+  // A local fleet: attaching a funnel to the shared fixture would change
+  // the route for every other test in the suite.
+  runtime::Fleet fleet(*home_, TinyFleetConfig());
+  runtime::SimulatedWorkloadOptions workload;
+  workload.learning_days = 1;
+  workload.benign_anomaly_samples = 100;
+  fleet.Run(runtime::SimulatedWorkloadFactory(*home_, workload));
+
+  sim::ResidentSimulator resident(*home_, sim::ThermalConfig{}, 2026);
+  const fsm::StateVector overnight = resident.OvernightState();
+  // Expected actions from the direct route, BEFORE the funnel attaches.
+  std::vector<int> minutes;
+  for (int minute = 0; minute < util::kMinutesPerDay; minute += 60) {
+    minutes.push_back(minute);
+  }
+  const std::vector<fsm::ActionVector> expected =
+      fleet.SuggestMinutes(0, overnight, minutes);
+
+  runtime::AggregationConfig agg;
+  agg.max_batch = 8;
+  agg.deadline_us = 500;
+  fleet.EnableAggregation(agg);
+
+  DispatcherOptions options;
+  options.allow_stall = true;
+  options.default_state = overnight;
+  Dispatcher dispatcher(fleet, options, nullptr);
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 4;
+  Server server(dispatcher, config, nullptr);
+
+  LoopbackPair pair = MakeLoopbackPair();
+  ConnectionStats stats;
+  std::thread serving([&] { stats = server.Serve(*pair.server); });
+
+  // One stalled worker + a suggestion burst past workers + queue, then a
+  // drain racing in-flight funnel queries, then late traffic.
+  pair.client->WritePayload(R"({"id": 0, "type": "stall"})");
+  while (dispatcher.stalled_now() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    pair.client->WritePayload(
+        R"({"id": )" + std::to_string(1 + i) +
+        R"(, "type": "suggest_action", "tenant": 0, "minute": )" +
+        std::to_string(minutes[i]) + "}");
+  }
+  server.RequestDrain();
+  const int kLate = 6;
+  for (int i = 0; i < kLate; ++i) {
+    pair.client->WritePayload(PingRequest(1000 + i));
+  }
+  pair.client->CloseWrite();
+  dispatcher.ReleaseStalls();
+  serving.join();
+  server.Drain();
+  pair.server->CloseWrite();
+  const auto responses = ReadAll(*pair.client);
+
+  // Every request answered exactly once; every accepted suggestion carries
+  // the bit-exact direct-route action for its minute.
+  const std::size_t total = 1 + minutes.size() + kLate;
+  ASSERT_EQ(responses.size(), total);
+  std::map<std::int64_t, std::string> outcome;
+  std::size_t ok = 0, refused = 0;
+  for (const auto& response : responses) {
+    const std::int64_t id = ResponseId(response);
+    if (ResponseOk(response)) {
+      ++ok;
+      outcome[id] = "ok";
+      if (id >= 1 && id < static_cast<std::int64_t>(1 + minutes.size())) {
+        const std::size_t i = static_cast<std::size_t>(id - 1);
+        const util::JsonArray& action = response.At("action").AsArray();
+        ASSERT_EQ(action.size(), expected[i].size()) << "minute "
+                                                     << minutes[i];
+        for (std::size_t d = 0; d < action.size(); ++d) {
+          EXPECT_EQ(action[d].AsInt(), expected[i][d])
+              << "minute " << minutes[i] << " device " << d;
+        }
+      }
+    } else {
+      ++refused;
+      outcome[id] = response.At("error").AsString();
+    }
+  }
+  EXPECT_EQ(outcome.size(), total) << "every id answered exactly once";
+  EXPECT_EQ(ok, stats.accepted);
+  EXPECT_EQ(ok + refused, total);
+
+  // The pool is idle, so the funnel's conservation law must close.
+  const runtime::AggregationStats agg_stats = fleet.aggregator()->stats();
+  EXPECT_EQ(agg_stats.submitted_queries,
+            agg_stats.answered_queries + agg_stats.rejected_queries);
 }
 
 }  // namespace

@@ -19,8 +19,11 @@ bench/baselines/ (overridable with --baseline):
      baseline. CI runners differ wildly in clock speed and contention, so
      absolute rows/sec never fails the gate.
 
-`bench` == "lifecycle" (bench/bench_lifecycle) and
-`bench` == "serve" (bench/bench_serve) share one deterministic shape:
+`bench` == "lifecycle" (bench/bench_lifecycle), `bench` == "serve"
+(bench/bench_serve), and `bench` == "fleet" (bench/bench_fleet — the
+cross-tenant aggregation sweep: query/answer conservation, exact-parity
+verdicts, and the manual-mode flush arithmetic) share one deterministic
+shape:
   1. Schema: every case carries name plus a `deterministic` object (int
      outcomes — lifecycle: episodes skipped by warm start, violations,
      checkpoint save/restore counts, result parity; serve: request /
@@ -36,7 +39,8 @@ bench/baselines/ (overridable with --baseline):
 
 Exit status 0 when the gate passes; 1 with a readable report otherwise.
 Wired into CI right after the `bench_kernels --smoke`,
-`bench_lifecycle --smoke`, and `bench_serve --smoke` runs.
+`bench_lifecycle --smoke`, `bench_serve --smoke`, and
+`bench_fleet --smoke` runs.
 """
 
 import json
@@ -50,11 +54,12 @@ DEFAULT_BASELINES = {
     "kernels": "bench/baselines/BENCH_kernels.json",
     "lifecycle": "bench/baselines/BENCH_lifecycle.json",
     "serve": "bench/baselines/BENCH_serve.json",
+    "fleet": "bench/baselines/BENCH_fleet.json",
 }
 
 # Bench kinds gated on exact deterministic outcomes (vs the kernels
 # speedup-ratio gate). All share the deterministic/advisory case shape.
-DETERMINISTIC_KINDS = frozenset({"lifecycle", "serve"})
+DETERMINISTIC_KINDS = frozenset({"lifecycle", "serve", "fleet"})
 
 CASE_FIELDS = {
     "name": str,
