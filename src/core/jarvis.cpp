@@ -97,8 +97,20 @@ DayPlan Jarvis::OptimizeDay(const sim::DayTrace& natural,
     }
     obs::ScopedSpan restart_span(
         TracerOrNull(), "optimize.restart." + std::to_string(restart));
-    rl::TrainResult result =
-        rl::Train(*last_env_, *agent, config_.trainer, MetricsOrNull());
+    // Streaming republish rides the restart loop: the wrapper stamps which
+    // restart is publishing so downstream consumers can tell a losing
+    // restart's snapshot from the eventual winner's if they care.
+    rl::RepublishHook hook;
+    if (learning_hook_) {
+      hook = [this, restart](const rl::EpisodeProgress& progress,
+                             const neural::Network& network) {
+        rl::EpisodeProgress stamped = progress;
+        stamped.restart = restart;
+        learning_hook_(stamped, network);
+      };
+    }
+    rl::TrainResult result = rl::Train(*last_env_, *agent, config_.trainer,
+                                       MetricsOrNull(), std::move(hook));
     // Health accumulates across every restart, not just the winner: a
     // divergence in a losing restart is still a divergence this instance
     // survived.

@@ -144,6 +144,23 @@ class Jarvis {
   const rl::DqnAgent* agent() const { return agent_.get(); }
   const rl::IoTEnv* policy_env() const { return last_env_.get(); }
 
+  // Streaming-republish seam: when set (and config.trainer.republish is
+  // enabled), OptimizeDay hands each restart's live network to this hook
+  // at the policy's cadence, with EpisodeProgress::restart filled in — the
+  // online-learning path that lets a serving funnel ride fresh weights
+  // mid-run (runtime::Fleet wires it to AggregationService::
+  // PublishWeights). Single-writer contract as for the mutators above:
+  // call it before OptimizeDay, never concurrently with it. The hook runs
+  // on the OptimizeDay caller's thread and must not throw; it draws no RNG,
+  // so results are bit-identical with or without it. Mid-run publishes can
+  // come from a restart that ultimately loses — that is fine for serving
+  // (fresher is the point; every snapshot is a policy the trainer was
+  // willing to act on) and the winner is what completion-time publishing
+  // ships.
+  void SetLearningHook(rl::RepublishHook hook) {
+    learning_hook_ = std::move(hook);
+  }
+
   // Audits any episode against the learnt policies (detection pipeline).
   spl::AuditResult Audit(const fsm::Episode& episode) const;
 
@@ -258,6 +275,9 @@ class Jarvis {
   // Staged warm-start DQN document from the last successful checkpoint
   // restore; consumed by OptimizeDay restart 0 when config_.warm_start_dqn.
   std::unique_ptr<util::JsonValue> warm_dqn_doc_;
+  // Streaming-republish hook (SetLearningHook); wrapped per restart by
+  // OptimizeDay to stamp EpisodeProgress::restart.
+  rl::RepublishHook learning_hook_;
   // Facade-level counters, cached at construction (null when metrics are
   // disabled). suggest_counter_ is bumped from const SuggestAction —
   // Counter::Increment is a relaxed atomic, safe under the concurrent

@@ -1,4 +1,6 @@
 #include "rl/trainer.h"
+#include <chrono>
+#include <cmath>
 #include <limits>
 
 namespace jarvis::rl {
@@ -11,6 +13,53 @@ std::vector<std::size_t> TakenSlots(const fsm::StateCodec& codec,
   // learns the value of leaving devices alone.
   return codec.ActionToSlots(action);
 }
+
+// Decides, at each completed-episode boundary, whether the republish policy
+// fires. Pure bookkeeping: reads the wall clock only when the time trigger
+// is armed, and never otherwise perturbs the run.
+class RepublishScheduler {
+ public:
+  explicit RepublishScheduler(const RepublishPolicy& policy)
+      : policy_(policy) {
+    if (policy_.every_ms > 0) {
+      last_publish_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  bool ShouldPublish(double loss) {
+    bool fire = false;
+    if (policy_.every_episodes > 0 &&
+        ++episodes_since_ >= policy_.every_episodes) {
+      fire = true;
+    }
+    if (policy_.every_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - last_publish_)
+              .count() >= policy_.every_ms) {
+        fire = true;
+      }
+    }
+    if (policy_.on_loss_improvement && std::isfinite(loss) &&
+        loss < best_loss_) {
+      best_loss_ = loss;
+      fire = true;
+    }
+    if (fire) {
+      episodes_since_ = 0;
+      if (policy_.every_ms > 0) {
+        last_publish_ = std::chrono::steady_clock::now();
+      }
+    }
+    return fire;
+  }
+
+ private:
+  const RepublishPolicy policy_;
+  int episodes_since_ = 0;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  std::chrono::steady_clock::time_point last_publish_;
+};
 
 }  // namespace
 
@@ -25,10 +74,13 @@ double RunGreedyEpisode(IoTEnv& env, DqnAgent& agent) {
 }
 
 TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config,
-                  obs::Registry* metrics) {
+                  obs::Registry* metrics, RepublishHook republish_hook) {
   TrainResult result;
   const auto& codec = env.fsm().codec();
   double best_greedy = -std::numeric_limits<double>::infinity();
+  const bool streaming =
+      republish_hook != nullptr && config.republish.enabled();
+  RepublishScheduler republish(config.republish);
 
   // Trainer-level counters are bumped per episode (from local tallies),
   // never inside the step loop; the agent's own hot-loop instruments are
@@ -37,6 +89,7 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config,
   obs::Counter* steps_counter = nullptr;
   obs::Counter* recoveries_counter = nullptr;
   obs::Counter* purged_counter = nullptr;
+  obs::Counter* republish_counter = nullptr;
   if (metrics != nullptr) {
     agent.SetMetrics(metrics);
     episodes_counter = metrics->GetCounter("rl.trainer.episodes");
@@ -44,6 +97,8 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config,
     recoveries_counter =
         metrics->GetCounter("rl.trainer.divergence_recoveries");
     purged_counter = metrics->GetCounter("rl.trainer.purged_experiences");
+    republish_counter = metrics->GetCounter("rl.trainer.republishes",
+                                            obs::Determinism::kTiming);
   }
 
   // Last-good-weights baseline: taken before any replay pass so divergence
@@ -110,8 +165,23 @@ TrainResult Train(IoTEnv& env, DqnAgent& agent, TrainerConfig config,
       steps_counter->Increment(episode_steps);
     }
     // An aborted episode's weights were just restored from the snapshot:
-    // re-evaluating them greedily would re-measure the snapshot itself.
+    // re-evaluating them greedily would re-measure the snapshot itself —
+    // and publishing them would re-serve a policy the recovery rejected.
     if (aborted) continue;
+
+    // Streaming republish: hand the live network to the hook at the
+    // policy's cadence. The trainer is blocked here, so the network is
+    // quiescent for the duration; the hook draws no RNG, so the training
+    // trajectory is bit-identical with or without it.
+    if (streaming && republish.ShouldPublish(result.final_loss)) {
+      EpisodeProgress progress;
+      progress.episode = ep;
+      progress.loss = result.final_loss;
+      progress.reward = env.cumulative_reward();
+      republish_hook(progress, agent.network());
+      ++result.republishes;
+      if (republish_counter != nullptr) republish_counter->Increment();
+    }
 
     // Track the best greedy policy seen: epsilon-greedy training is noisy
     // and the final network is not always the best one.

@@ -31,6 +31,28 @@ AggregationService::AggregationService(AggregationConfig config,
     throw std::invalid_argument(
         "AggregationService: deadline_us must be >= 0");
   }
+  if (config_.autotune) {
+    if (config_.autotune_min_batch == 0 ||
+        config_.autotune_min_batch > config_.autotune_max_batch) {
+      throw std::invalid_argument(
+          "AggregationService: need 1 <= autotune_min_batch <= "
+          "autotune_max_batch");
+    }
+    if (config_.autotune_window == 0) {
+      throw std::invalid_argument(
+          "AggregationService: autotune_window must be >= 1");
+    }
+  }
+  {
+    util::MutexLock lock(mutex_);
+    effective_max_batch_ = config_.max_batch;
+    if (config_.autotune) {
+      effective_max_batch_ =
+          std::clamp(effective_max_batch_, config_.autotune_min_batch,
+                     config_.autotune_max_batch);
+    }
+    stats_.current_max_batch = effective_max_batch_;
+  }
   if (registry != nullptr) {
     batch_rows_hist_ =
         registry->GetHistogram("runtime.agg.batch_rows",
@@ -51,6 +73,13 @@ AggregationService::AggregationService(AggregationConfig config,
                              obs::Determinism::kTiming);
     rejected_counter_ =
         registry->GetCounter("runtime.agg.rejected", obs::Determinism::kTiming);
+    publishes_counter_ = registry->GetCounter("runtime.agg.publishes",
+                                              obs::Determinism::kTiming);
+    staleness_gauge_ = registry->GetGauge("runtime.agg.staleness_us",
+                                          obs::Determinism::kTiming);
+    max_batch_gauge_ = registry->GetGauge("runtime.agg.max_batch",
+                                          obs::Determinism::kTiming);
+    max_batch_gauge_->Set(static_cast<double>(config_.max_batch));
   }
   if (!config_.manual) {
     flusher_ = std::thread([this] { FlusherLoop(); });
@@ -65,12 +94,26 @@ std::uint64_t AggregationService::PublishWeights(
   // network), then swap the pointer under the lock. In-flight queries keep
   // their pinned version alive through the shared_ptr.
   auto snapshot = std::make_shared<WeightVersion>();
+  snapshot->tenant = tenant;
   snapshot->network = network.CloneForInference();
+  snapshot->published_at = std::chrono::steady_clock::now();
+  if (publishes_counter_ != nullptr) publishes_counter_->Increment();
   util::MutexLock lock(mutex_);
   const std::uint64_t version = ++next_version_;
   snapshot->version = version;
   versions_[tenant] = std::move(snapshot);
+  ++stats_.weights_published;
   return version;
+}
+
+void AggregationService::SetTenantPriority(std::size_t tenant, int priority) {
+  util::MutexLock lock(mutex_);
+  priorities_[tenant] = priority;
+}
+
+void AggregationService::SetDrainHook(DrainHook hook) {
+  util::MutexLock lock(mutex_);
+  drain_hook_ = std::move(hook);
 }
 
 std::uint64_t AggregationService::weight_version(std::size_t tenant) const {
@@ -118,6 +161,7 @@ std::optional<std::uint64_t> AggregationService::Submit(
     ticket = next_ticket_++;
     PendingQuery query;
     query.ticket = ticket;
+    query.tenant = tenant;
     query.version = it->second;
     query.rows = std::move(rows);
     query.enqueued = std::chrono::steady_clock::now();
@@ -130,7 +174,7 @@ std::optional<std::uint64_t> AggregationService::Submit(
     // context switches saved per cohort, which is most of the funnel's
     // overhead under load. The flusher still covers deadline/straggler
     // flushes (drains are idempotent, so racing one is harmless).
-    drain_inline = !config_.manual && queue_rows_ >= config_.max_batch;
+    drain_inline = !config_.manual && queue_rows_ >= effective_max_batch_;
     if (!drain_inline) queue_cv_.Signal();
   }
   if (drain_inline) DrainPending(FlushReason::kMaxBatch);
@@ -173,7 +217,9 @@ void AggregationService::Shutdown() {
 
 AggregationStats AggregationService::stats() const {
   util::MutexLock lock(mutex_);
-  return stats_;
+  AggregationStats snapshot = stats_;
+  snapshot.current_max_batch = effective_max_batch_;
+  return snapshot;
 }
 
 std::int64_t AggregationService::OldestAgeUsLocked() const {
@@ -192,7 +238,7 @@ void AggregationService::FlusherLoop() {
           exit_after_drain = true;
           break;
         }
-        if (queue_rows_ >= config_.max_batch) {
+        if (queue_rows_ >= effective_max_batch_) {
           reason = FlushReason::kMaxBatch;
           break;
         }
@@ -218,76 +264,22 @@ void AggregationService::DrainPending(FlushReason reason) {
   // across a forward — producers keep submitting during the GEMMs).
   util::MutexLock flush_lock(flush_mutex_);
   std::vector<PendingQuery> taken;
+  std::size_t max_batch = 0;
+  DrainHook hook;
+  std::unordered_map<std::size_t, int> priorities;
   {
     util::MutexLock lock(mutex_);
     if (queue_.empty()) return;
     taken.swap(queue_);
     queue_rows_ = 0;
-  }
-
-  // Group rows by pinned weight version, preserving submission order.
-  // (query index, row index) pairs flatten each group for chunking.
-  struct Group {
-    const neural::Network* network = nullptr;
-    std::vector<std::pair<std::size_t, std::size_t>> cells;
-  };
-  std::map<std::uint64_t, Group> groups;
-  std::vector<AggregatedResult> answers(taken.size());
-  for (std::size_t q = 0; q < taken.size(); ++q) {
-    const PendingQuery& query = taken[q];
-    Group& group = groups[query.version->version];
-    group.network = query.version->network.get();
-    for (std::size_t r = 0; r < query.rows.size(); ++r) {
-      group.cells.emplace_back(q, r);
+    max_batch = effective_max_batch_;
+    hook = drain_hook_;
+    if (config_.fairness == DrainFairness::kRoundRobin) {
+      priorities = priorities_;
     }
-    answers[q].version = query.version->version;
-    answers[q].rows.resize(query.rows.size());
-  }
-
-  std::uint64_t gemm_batches = 0;
-  std::uint64_t rows_inferred = 0;
-  std::uint64_t max_gemm_rows = 0;
-  for (auto& [version, group] : groups) {
-    const std::size_t width = group.network->input_features();
-    std::size_t offset = 0;
-    while (offset < group.cells.size()) {
-      const std::size_t rows =
-          std::min(config_.max_batch, group.cells.size() - offset);
-      gather_.Resize(rows, width);
-      for (std::size_t r = 0; r < rows; ++r) {
-        const auto& [q, qr] = group.cells[offset + r];
-        gather_.SetRow(r, taken[q].rows[qr]);
-      }
-      const neural::Tensor& out = group.network->PredictBatchScratch(gather_);
-      for (std::size_t r = 0; r < rows; ++r) {
-        const auto& [q, qr] = group.cells[offset + r];
-        answers[q].rows[qr] = out.RowVector(r);
-      }
-      ++gemm_batches;
-      rows_inferred += rows;
-      max_gemm_rows = std::max<std::uint64_t>(max_gemm_rows, rows);
-      if (batch_rows_hist_ != nullptr) {
-        batch_rows_hist_->Observe(static_cast<double>(rows));
-      }
-      offset += rows;
-    }
-  }
-
-  const auto now = std::chrono::steady_clock::now();
-  {
-    util::MutexLock lock(mutex_);
-    for (std::size_t q = 0; q < taken.size(); ++q) {
-      if (queue_wait_us_ != nullptr) {
-        queue_wait_us_->Observe(
-            static_cast<double>(ElapsedUs(taken[q].enqueued, now)));
-      }
-      outstanding_.erase(taken[q].ticket);
-      results_.emplace(taken[q].ticket, std::move(answers[q]));
-    }
-    stats_.answered_queries += taken.size();
-    stats_.gemm_batches += gemm_batches;
-    stats_.rows_inferred += rows_inferred;
-    stats_.max_gemm_rows = std::max(stats_.max_gemm_rows, max_gemm_rows);
+    // Counted when the drain claims its cohort, not when it finishes:
+    // answers become visible chunk by chunk below, and a waiter that
+    // observes its answer must also observe its drain's reason tally.
     switch (reason) {
       case FlushReason::kMaxBatch:
         ++stats_.flushes_max_batch;
@@ -306,6 +298,176 @@ void AggregationService::DrainPending(FlushReason reason) {
   if (flush_reason_counters_[static_cast<int>(reason)] != nullptr) {
     flush_reason_counters_[static_cast<int>(reason)]->Increment();
   }
+
+  // Group rows by pinned weight version, preserving submission order.
+  // (query index, row index) pairs flatten each group for chunking.
+  struct Group {
+    const WeightVersion* version = nullptr;
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+  };
+  std::map<std::uint64_t, Group> groups;
+  std::vector<AggregatedResult> answers(taken.size());
+  // Rows of each query still awaiting a GEMM; a query's answer is
+  // deposited the moment this hits zero, so an early chunk's waiters
+  // unblock while later chunks still compute.
+  std::vector<std::size_t> remaining(taken.size(), 0);
+  for (std::size_t q = 0; q < taken.size(); ++q) {
+    const PendingQuery& query = taken[q];
+    Group& group = groups[query.version->version];
+    group.version = query.version.get();
+    for (std::size_t r = 0; r < query.rows.size(); ++r) {
+      group.cells.emplace_back(q, r);
+    }
+    answers[q].version = query.version->version;
+    answers[q].rows.resize(query.rows.size());
+    remaining[q] = query.rows.size();
+  }
+
+  // Policy staleness: the oldest weight version this drain answers on.
+  // Published per drain (last-write-wins gauge) — the serving-side
+  // evidence that streaming republish keeps answers fresh.
+  if (staleness_gauge_ != nullptr) {
+    const auto drain_start = std::chrono::steady_clock::now();
+    std::int64_t oldest_us = 0;
+    for (const auto& [version, group] : groups) {
+      oldest_us = std::max(
+          oldest_us, ElapsedUs(group.version->published_at, drain_start));
+    }
+    staleness_gauge_->Set(static_cast<double>(oldest_us));
+  }
+
+  // Chunk plan: each version group splits into ≤ max_batch chunks. Within
+  // a tenant, versions are monotonic and pinned at submit, so the
+  // version-ascending group walk is also that tenant's submission order.
+  struct Chunk {
+    const Group* group = nullptr;
+    std::size_t offset = 0;
+    std::size_t rows = 0;
+  };
+  std::vector<Chunk> ordered;
+  if (config_.fairness == DrainFairness::kRoundRobin) {
+    // Per-tenant chunk lists keyed by (-priority, tenant): round-robin
+    // rounds walk this map, so higher priority runs earlier in each round
+    // and ties break on tenant index. Within a tenant the list stays
+    // version-ascending (the groups walk above).
+    std::map<std::pair<long long, std::size_t>, std::vector<Chunk>>
+        per_tenant;
+    for (auto& [version, group] : groups) {
+      const std::size_t tenant = group.version->tenant;
+      long long priority = 0;
+      if (auto it = priorities.find(tenant); it != priorities.end()) {
+        priority = it->second;
+      }
+      auto& list = per_tenant[{-priority, tenant}];
+      std::size_t offset = 0;
+      while (offset < group.cells.size()) {
+        const std::size_t rows =
+            std::min(max_batch, group.cells.size() - offset);
+        list.push_back(Chunk{&group, offset, rows});
+        offset += rows;
+      }
+    }
+    for (std::size_t round = 0;; ++round) {
+      bool any = false;
+      for (auto& [key, list] : per_tenant) {
+        if (round < list.size()) {
+          ordered.push_back(list[round]);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+  } else {
+    // kFifo: version-ascending (publish order) across the whole cohort, a
+    // tenant's chunks contiguous — the pre-fairness behavior, exactly.
+    for (auto& [version, group] : groups) {
+      std::size_t offset = 0;
+      while (offset < group.cells.size()) {
+        const std::size_t rows =
+            std::min(max_batch, group.cells.size() - offset);
+        ordered.push_back(Chunk{&group, offset, rows});
+        offset += rows;
+      }
+    }
+  }
+
+  std::vector<std::size_t> completed;  // query indices finished per chunk
+  for (const Chunk& chunk : ordered) {
+    const Group& group = *chunk.group;
+    const neural::Network* network = group.version->network.get();
+    const std::size_t width = network->input_features();
+    gather_.Resize(chunk.rows, width);
+    for (std::size_t r = 0; r < chunk.rows; ++r) {
+      const auto& [q, qr] = group.cells[chunk.offset + r];
+      gather_.SetRow(r, taken[q].rows[qr]);
+    }
+    const neural::Tensor& out = network->PredictBatchScratch(gather_);
+    completed.clear();
+    for (std::size_t r = 0; r < chunk.rows; ++r) {
+      const auto& [q, qr] = group.cells[chunk.offset + r];
+      answers[q].rows[qr] = out.RowVector(r);
+      if (--remaining[q] == 0) completed.push_back(q);
+    }
+    if (batch_rows_hist_ != nullptr) {
+      batch_rows_hist_->Observe(static_cast<double>(chunk.rows));
+    }
+    ++window_chunks_;
+    if (chunk.rows >= max_batch) ++window_full_chunks_;
+    window_max_rows_ = std::max(window_max_rows_, chunk.rows);
+    if (hook) hook(group.version->tenant, chunk.rows);
+    {
+      // Deposit this chunk's completed queries and the GEMM it ran in one
+      // critical section: a waiter that sees its answer must also see the
+      // stats of every GEMM that contributed to it.
+      const auto now = std::chrono::steady_clock::now();
+      util::MutexLock lock(mutex_);
+      for (const std::size_t q : completed) {
+        if (queue_wait_us_ != nullptr) {
+          queue_wait_us_->Observe(
+              static_cast<double>(ElapsedUs(taken[q].enqueued, now)));
+        }
+        outstanding_.erase(taken[q].ticket);
+        results_.emplace(taken[q].ticket, std::move(answers[q]));
+      }
+      stats_.answered_queries += completed.size();
+      ++stats_.gemm_batches;
+      stats_.rows_inferred += chunk.rows;
+      stats_.max_gemm_rows =
+          std::max<std::uint64_t>(stats_.max_gemm_rows, chunk.rows);
+      if (!completed.empty()) result_cv_.SignalAll();
+    }
+  }
+
+  // Autotuner: decide once per window from the chunk-row distribution the
+  // loop just recorded. A saturated window (half the chunks full) doubles
+  // the threshold — the queue refills faster than it drains and bigger
+  // GEMMs amortize better; a window whose largest chunk used at most a
+  // quarter of the threshold halves it — waiting for a batch that never
+  // arrives only adds deadline latency. Clamped to the configured bounds.
+  if (config_.autotune && window_chunks_ >= config_.autotune_window) {
+    std::size_t tuned = max_batch;
+    if (window_full_chunks_ * 2 >= window_chunks_) {
+      tuned = std::min(max_batch * 2, config_.autotune_max_batch);
+    } else if (window_max_rows_ * 4 <= max_batch) {
+      tuned = std::max(max_batch / 2, config_.autotune_min_batch);
+    }
+    window_chunks_ = 0;
+    window_full_chunks_ = 0;
+    window_max_rows_ = 0;
+    if (tuned != max_batch) {
+      util::MutexLock lock(mutex_);
+      effective_max_batch_ = tuned;
+      if (tuned > max_batch) {
+        ++stats_.autotune_raises;
+      } else {
+        ++stats_.autotune_lowers;
+      }
+      if (max_batch_gauge_ != nullptr) {
+        max_batch_gauge_->Set(static_cast<double>(tuned));
+      }
+    }
+  }
+
   result_cv_.SignalAll();
 }
 

@@ -31,6 +31,22 @@
 //   * Row→tenant scatter. A drain groups rows by weight version, runs one
 //     PredictBatchScratch per ≤ max_batch chunk, and scatters result rows
 //     back to their tickets.
+//   * Fairness-aware drain order. Under kRoundRobin (the default) the
+//     chunks of one drain interleave across tenants in priority rounds and
+//     each query is answered the moment its last row computes, so a chatty
+//     tenant's backlog cannot starve other tenants' queries behind its
+//     GEMMs. Per-tenant chunking is unchanged — only cross-tenant order
+//     and answer timing move (see DrainFairness).
+//   * Batch-size autotuner (opt-in). The flush threshold follows the
+//     observed chunk-row distribution — the same numbers the
+//     runtime.agg.batch_rows histogram records: saturated windows double
+//     it, near-empty windows halve it, clamped to the configured bounds.
+//   * Streaming republish support. PublishWeights is cheap enough to call
+//     per training episode (clone + pointer swap); the service counts
+//     publishes (runtime.agg.publishes) and exports a policy-staleness
+//     gauge (runtime.agg.staleness_us: age of the oldest weight version a
+//     drain answered on), the evidence that online learning is actually
+//     reaching the serving path.
 //
 // Exactness argument: PredictBatch rows are row-independent (same op order
 // per row for any batch size — the runtime_batcher_test pin), and a
@@ -50,6 +66,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -64,9 +81,24 @@
 
 namespace jarvis::runtime {
 
+// Order of the per-GEMM chunks inside one drain cohort.
+//   * kFifo: version-ascending (publish order) — the pre-fairness
+//     behavior; a tenant with many pending rows runs all of its chunks
+//     before the next tenant's.
+//   * kRoundRobin: chunks are interleaved across tenants in rounds
+//     (priority-descending, then tenant-index order inside a round), and
+//     each query's answer is deposited as soon as its last row computes —
+//     so one chatty tenant's backlog cannot starve the other tenants'
+//     single-row queries past the deadline. Within one tenant, chunks stay
+//     version-ascending, so coalescing arithmetic (GEMM count, rows per
+//     GEMM) is identical to kFifo; only cross-tenant chunk order and
+//     answer-availability timing change.
+enum class DrainFairness { kFifo, kRoundRobin };
+
 struct AggregationConfig {
   // Flush as soon as this many rows are pending (also the per-GEMM chunk
-  // bound, like InferenceBatcher's max_batch_rows).
+  // bound, like InferenceBatcher's max_batch_rows). When the autotuner is
+  // on this is only the starting point — see autotune below.
   std::size_t max_batch = 256;
   // Flush when the oldest pending query has waited this long. 0 = drain
   // whenever rows are pending (adaptive batching: the batch is whatever
@@ -77,6 +109,21 @@ struct AggregationConfig {
   // Test mode: no flusher thread; drains happen only via FlushNow(). Lets
   // tests pin flush arithmetic and version cutover without timing races.
   bool manual = false;
+  // Cross-tenant chunk ordering inside a drain (see DrainFairness).
+  DrainFairness fairness = DrainFairness::kRoundRobin;
+  // Batch-size autotuner, driven by the same per-chunk row counts the
+  // runtime.agg.batch_rows histogram records. Every `autotune_window`
+  // chunks: if at least half the window's chunks filled the current
+  // max_batch, double it (the queue is saturating — bigger GEMMs amortize
+  // better); if even the window's largest chunk used at most a quarter of
+  // it, halve (smaller flush threshold = lower latency at no coalescing
+  // loss). Off by default: tuning moves the flush threshold, which is
+  // scheduling-visible, and the pinned-arithmetic tests want the fixed
+  // bound.
+  bool autotune = false;
+  std::size_t autotune_min_batch = 8;
+  std::size_t autotune_max_batch = 1024;
+  std::size_t autotune_window = 32;
 };
 
 // Why a drain ran (each drain increments exactly one reason counter).
@@ -107,6 +154,14 @@ struct AggregationStats {
   std::uint64_t gemm_batches = 0;
   std::uint64_t rows_inferred = 0;
   std::uint64_t max_gemm_rows = 0;
+  // PublishWeights calls accepted (completion publishes + streaming
+  // republishes alike — every call mints a version).
+  std::uint64_t weights_published = 0;
+  // Autotuner decisions and the flush threshold currently in force
+  // (== config.max_batch when the autotuner is off or undecided).
+  std::uint64_t autotune_raises = 0;
+  std::uint64_t autotune_lowers = 0;
+  std::uint64_t current_max_batch = 0;
 };
 
 class AggregationService {
@@ -168,17 +223,36 @@ class AggregationService {
   AggregationStats stats() const JARVIS_EXCLUDES(mutex_);
   const AggregationConfig& config() const { return config_; }
 
+  // Drain-order weight for kRoundRobin fairness: higher-priority tenants'
+  // chunks run earlier in each round (default 0; ties break on tenant
+  // index). Takes effect from the next drain. No-op under kFifo.
+  void SetTenantPriority(std::size_t tenant, int priority)
+      JARVIS_EXCLUDES(mutex_);
+
+  // Test seam: invoked once per GEMM chunk, in drain order, with the
+  // chunk's tenant and row count — lets tests pin the fairness interleave
+  // without depending on wall-clock timing. Runs inside the drain section
+  // (flush_mutex_ held, mutex_ not); must not call back into the service.
+  using DrainHook = std::function<void(std::size_t tenant, std::size_t rows)>;
+  void SetDrainHook(DrainHook hook) JARVIS_EXCLUDES(mutex_);
+
  private:
   // One published snapshot. Immutable after construction except for the
   // network's inference scratch, which only the drain section touches
   // (serialized by flush_mutex_).
   struct WeightVersion {
     std::uint64_t version = 0;
+    std::size_t tenant = 0;
+    // When this version was published — the minuend of the staleness
+    // gauge: a drain answering on this version is serving a policy
+    // (now - published_at) old.
+    std::chrono::steady_clock::time_point published_at;
     std::unique_ptr<const neural::Network> network;
   };
 
   struct PendingQuery {
     std::uint64_t ticket = 0;
+    std::size_t tenant = 0;
     std::shared_ptr<const WeightVersion> version;  // pinned at submit
     std::vector<std::vector<double>> rows;
     std::chrono::steady_clock::time_point enqueued;
@@ -209,11 +283,24 @@ class AggregationService {
   std::uint64_t next_version_ JARVIS_GUARDED_BY(mutex_) = 0;
   bool shutdown_ JARVIS_GUARDED_BY(mutex_) = false;
   AggregationStats stats_ JARVIS_GUARDED_BY(mutex_);
+  // Flush threshold currently in force: config_.max_batch until the
+  // autotuner moves it (always within [autotune_min_batch,
+  // autotune_max_batch]). Read by Submit's inline-drain check, the
+  // flusher's wakeup predicate, and the drain's chunking.
+  std::size_t effective_max_batch_ JARVIS_GUARDED_BY(mutex_) = 0;
+  // kRoundRobin drain-order weights (absent = 0).
+  std::unordered_map<std::size_t, int> priorities_ JARVIS_GUARDED_BY(mutex_);
+  DrainHook drain_hook_ JARVIS_GUARDED_BY(mutex_);
 
   // Serializes the drain section (gather scratch + published networks'
   // inference scratch) between the flusher and FlushNow callers.
   util::Mutex flush_mutex_;
   neural::Tensor gather_ JARVIS_GUARDED_BY(flush_mutex_);
+  // Autotuner window accumulators — per-chunk row counts since the last
+  // decision. Only the drain section (flush_mutex_) observes chunks.
+  std::size_t window_chunks_ JARVIS_GUARDED_BY(flush_mutex_) = 0;
+  std::size_t window_full_chunks_ JARVIS_GUARDED_BY(flush_mutex_) = 0;
+  std::size_t window_max_rows_ JARVIS_GUARDED_BY(flush_mutex_) = 0;
 
   // Instrument pointers wired once in the constructor; the instruments are
   // internally synchronized atomics. Null when no registry.
@@ -221,6 +308,9 @@ class AggregationService {
   obs::Histogram* queue_wait_us_ = nullptr;    // unguarded: wired in ctor
   obs::Counter* flush_reason_counters_[4] = {};  // unguarded: wired in ctor
   obs::Counter* rejected_counter_ = nullptr;     // unguarded: wired in ctor
+  obs::Counter* publishes_counter_ = nullptr;    // unguarded: wired in ctor
+  obs::Gauge* staleness_gauge_ = nullptr;        // unguarded: wired in ctor
+  obs::Gauge* max_batch_gauge_ = nullptr;        // unguarded: wired in ctor
 
   // Started last (after every field it reads), joined by Shutdown.
   std::thread flusher_;  // unguarded: started in ctor, joined in Shutdown

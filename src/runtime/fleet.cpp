@@ -98,6 +98,7 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
                       TenantResult& result) {
   std::uint64_t seed = 0;
   std::unique_ptr<core::Jarvis> warm;
+  std::shared_ptr<AggregationService> run_aggregator;
   {
     // Touch the shard only at job start (seed + quarantine flag + staged
     // warm-start pipeline) and job end (store the trained pipeline): the
@@ -118,6 +119,7 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
       return;
     }
     warm = std::move(shard.warm_start);
+    run_aggregator = aggregator_;
   }
   obs::ScopedSpan tenant_span(&tracer_, "tenant." + std::to_string(index));
   try {
@@ -130,11 +132,32 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
     // is skipped entirely — the warm-start payoff; if the restore failed
     // per-section, the pipeline cold-start learns below while its health
     // still carries the failed-section accounting.
-    auto jarvis = warm != nullptr
-                      ? std::move(warm)
-                      : std::make_unique<core::Jarvis>(
-                            home_, MakeTenantConfig(config_.tenant_config,
-                                                    seed));
+    std::shared_ptr<core::Jarvis> jarvis =
+        warm != nullptr ? std::move(warm)
+                        : std::make_unique<core::Jarvis>(
+                              home_, MakeTenantConfig(config_.tenant_config,
+                                                      seed));
+    // Streaming republish: when a policy is configured and the funnel is
+    // attached, the trainer snapshots the live network through
+    // PublishWeights mid-run — serving rides a policy at most N episodes
+    // old instead of waiting for this whole job. The hook runs on this
+    // job's thread (the network's single writer, quiescent for the call)
+    // and draws no RNG, so tenant results are identical either way. The
+    // captured service stays alive through the shared_ptr even if
+    // EnableAggregation replaces it mid-run; the replacement gets this
+    // tenant's weights at job end below.
+    if (run_aggregator != nullptr &&
+        config_.tenant_config.trainer.republish.enabled()) {
+      std::shared_ptr<AggregationService> stream = run_aggregator;
+      obs::Counter* republished = registry_.GetCounter(
+          "runtime.agg.republish.published", obs::Determinism::kTiming);
+      jarvis->SetLearningHook(
+          [index, stream, republished](const rl::EpisodeProgress&,
+                                       const neural::Network& network) {
+            stream->PublishWeights(index, network);
+            republished->Increment();
+          });
+    }
     if (jarvis->learned()) {
       result.warm_started = true;
     } else {
@@ -147,23 +170,30 @@ void Fleet::RunTenant(std::size_t index, const WorkloadFactory& factory,
       obs::ScopedSpan span(&tracer_, "optimize");
       result.plan = jarvis->OptimizeDay(workload.day, workload.weights);
     }
+    // Drop the streaming hook before storing the pipeline: it holds a
+    // reference to the service this run started with, and the stored
+    // pipeline (which never trains again — a re-Run builds a fresh one)
+    // must not pin a replaced service alive for its whole lifetime.
+    jarvis->SetLearningHook(nullptr);
     result.health = jarvis->Health();
     result.completed = true;
     std::shared_ptr<AggregationService> aggregator;
-    const core::Jarvis* stored = nullptr;
     {
       util::MutexLock lock(mutex_);
-      stored = jarvis.get();
-      shards_[index].jarvis = std::move(jarvis);
+      shards_[index].jarvis = jarvis;
       aggregator = aggregator_;
     }
     // Publish this tenant's freshly trained weights to the serving funnel
-    // (outside the fleet lock — the clone walks every parameter). This job
-    // is the only writer of the tenant's pipeline, so the source network is
-    // quiescent here. Deterministically a no-op for tenant results: the
-    // snapshot is an exact parameter copy and draws no RNG.
-    if (aggregator != nullptr && stored->agent() != nullptr) {
-      aggregator->PublishWeights(index, stored->agent()->network());
+    // (outside the fleet lock — the clone walks every parameter). The
+    // local shared_ptr keeps the pipeline alive across the publish even if
+    // a concurrent RemoveTenant resets the shard slot mid-clone (the
+    // dangling-`stored` fix); publishing for a just-removed tenant is
+    // harmless — SuggestMinutes throws before consulting the funnel. This
+    // job is the only writer of the tenant's pipeline, so the source
+    // network is quiescent here. Deterministically a no-op for tenant
+    // results: the snapshot is an exact parameter copy and draws no RNG.
+    if (aggregator != nullptr && jarvis->agent() != nullptr) {
+      aggregator->PublishWeights(index, jarvis->agent()->network());
     }
   } catch (const std::exception& error) {
     // Quarantine, never tear down: the shard keeps its slot (and its
@@ -240,16 +270,16 @@ std::size_t Fleet::tenant_count() const {
 }
 
 obs::MetricsSnapshot Fleet::TenantMetrics(std::size_t index) const {
-  // Grab the pipeline pointer under the lock, snapshot outside it: the
-  // tenant's registry is internally synchronized, and the pipeline object
-  // is stable until that tenant's next Run.
-  const core::Jarvis* jarvis = nullptr;
+  // Pin the pipeline under the lock, snapshot outside it: the tenant's
+  // registry is internally synchronized, and the shared_ptr keeps the
+  // object alive against a concurrent RemoveTenant / re-Run.
+  std::shared_ptr<core::Jarvis> jarvis;
   {
     util::MutexLock lock(mutex_);
     if (index >= shards_.size()) {
       throw std::out_of_range("Fleet::TenantMetrics: no such tenant");
     }
-    jarvis = shards_[index].jarvis.get();
+    jarvis = shards_[index].jarvis;
   }
   if (jarvis == nullptr) {
     throw std::logic_error("Fleet::TenantMetrics: tenant has not run");
@@ -258,17 +288,17 @@ obs::MetricsSnapshot Fleet::TenantMetrics(std::size_t index) const {
 }
 
 obs::MetricsSnapshot Fleet::AggregateTenantMetrics() const {
-  std::vector<const core::Jarvis*> tenants;
+  std::vector<std::shared_ptr<core::Jarvis>> tenants;
   {
     util::MutexLock lock(mutex_);
     tenants.reserve(shards_.size());
     for (const TenantShard& shard : shards_) {
-      if (shard.jarvis != nullptr) tenants.push_back(shard.jarvis.get());
+      if (shard.jarvis != nullptr) tenants.push_back(shard.jarvis);
     }
   }
   std::vector<obs::MetricsSnapshot> parts;
   parts.reserve(tenants.size());
-  for (const core::Jarvis* jarvis : tenants) {
+  for (const auto& jarvis : tenants) {
     parts.push_back(jarvis->TakeMetricsSnapshot());
   }
   return obs::MetricsSnapshot::Merge(parts);
@@ -277,7 +307,9 @@ obs::MetricsSnapshot Fleet::AggregateTenantMetrics() const {
 std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
     std::size_t tenant, const fsm::StateVector& state,
     const std::vector<int>& minutes) const {
-  const core::Jarvis* jarvis = nullptr;
+  // Pin the pipeline for the whole call: a concurrent RemoveTenant or
+  // re-Run resets the shard slot but cannot destroy the object under us.
+  std::shared_ptr<core::Jarvis> jarvis;
   util::Mutex* suggest_mutex = nullptr;
   std::shared_ptr<AggregationService> aggregator;
   {
@@ -285,7 +317,7 @@ std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
     if (tenant >= shards_.size()) {
       throw std::out_of_range("Fleet::SuggestMinutes: no such tenant");
     }
-    jarvis = shards_[tenant].jarvis.get();
+    jarvis = shards_[tenant].jarvis;
     suggest_mutex = shards_[tenant].suggest_mutex.get();
     aggregator = aggregator_;
   }
@@ -344,29 +376,40 @@ std::vector<fsm::ActionVector> Fleet::SuggestMinutes(
 
 void Fleet::EnableAggregation(AggregationConfig config) {
   auto service = std::make_shared<AggregationService>(config, &registry_);
-  // Publish every tenant that already has a trained pipeline, so serving
-  // can route through the aggregator without waiting for the next Run.
-  std::vector<std::pair<std::size_t, const core::Jarvis*>> trained;
+  // Collect the publish set and swap the service in ONE critical section.
+  // The old code collected, published, and only then swapped in a second
+  // lock hold — a tenant finishing in the gap published to the old (or
+  // null) service AND was missed by the collection, so it served stale (or
+  // no) weights until its next run. Now a tenant job observes either the
+  // old service (it is in `trained` below and gets published here) or the
+  // new one (its job-end publish lands there itself); a tenant in both
+  // sets publishes twice, which just mints two bit-identical versions.
+  std::vector<std::pair<std::size_t, std::shared_ptr<core::Jarvis>>> trained;
   {
     util::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       if (shards_[i].jarvis != nullptr && !shards_[i].removed) {
-        trained.emplace_back(i, shards_[i].jarvis.get());
+        trained.emplace_back(i, shards_[i].jarvis);
       }
     }
+    aggregator_ = service;
   }
+  // Clone outside the lock — the snapshot walks every parameter. The
+  // shared_ptr ownership tokens keep each pipeline alive across its clone
+  // (a concurrent RemoveTenant or re-Run only resets the shard slot), and
+  // stored pipelines are never mutated in place — a re-Run trains a fresh
+  // pipeline on locals and swaps it in — so the source networks are
+  // quiescent here.
   for (const auto& [index, jarvis] : trained) {
     if (jarvis->agent() != nullptr) {
       service->PublishWeights(index, jarvis->agent()->network());
     }
   }
-  util::MutexLock lock(mutex_);
-  aggregator_ = std::move(service);
 }
 
-AggregationService* Fleet::aggregator() const {
+std::shared_ptr<AggregationService> Fleet::aggregator() const {
   util::MutexLock lock(mutex_);
-  return aggregator_.get();
+  return aggregator_;
 }
 
 const core::Jarvis* Fleet::tenant(std::size_t index) const {
@@ -438,13 +481,15 @@ FleetCheckpointReport Fleet::SaveCheckpoints(
   for (std::size_t i = 0; i < report.tenants.size(); ++i) {
     TenantCheckpointResult& result = report.tenants[i];
     result.tenant = i;
-    const core::Jarvis* jarvis = nullptr;
+    // Pinned across the (retried) write: RemoveTenant mid-save only
+    // tombstones the slot, it cannot free the pipeline being serialized.
+    std::shared_ptr<const core::Jarvis> jarvis;
     std::uint64_t seed = 0;
     bool removed = false;
     {
       util::MutexLock lock(mutex_);
       const TenantShard& shard = shards_[i];
-      jarvis = shard.jarvis.get();
+      jarvis = shard.jarvis;
       seed = shard.seed;
       removed = shard.removed;
     }

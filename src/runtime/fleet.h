@@ -29,9 +29,12 @@
 // are safe to call concurrently with Run — report() used to hand out a
 // reference into state Run was concurrently reassigning, a latent race the
 // annotation pass surfaced; it now snapshots by value under the lock.
-// Caveat: tenant() / SuggestMinutes() use a tenant's trained pipeline,
-// which the NEXT Run of that tenant replaces — don't hold those across a
-// re-run.
+// Accessors that use a tenant's trained pipeline (SuggestMinutes,
+// TenantMetrics, SaveCheckpoints, the end-of-run weight publish) pin it
+// with a shared_ptr for the duration of the call, so a concurrent
+// RemoveTenant or re-Run cannot destroy it under them. Caveat: tenant()
+// still returns a raw pointer whose object the NEXT Run of that tenant
+// replaces — don't hold it across a re-run.
 #pragma once
 
 #include <cstddef>
@@ -232,16 +235,26 @@ class Fleet {
 
   // Attaches (or replaces) the fleet-level AggregationService and
   // publishes a weight version for every tenant that has a trained
-  // pipeline; tenants publish automatically at the end of each later Run.
-  // From this point SuggestMinutes routes through the aggregator. Call it
-  // between runs or before serving starts — an in-flight SuggestMinutes
-  // keeps the service it started with alive (shared_ptr), but a replace
-  // mid-traffic loses the old service's stats.
+  // pipeline; tenants publish automatically at the end of each later Run,
+  // and — when tenant_config.trainer.republish is enabled — stream
+  // mid-run snapshots through it at the policy's cadence, so calling this
+  // BEFORE Run puts serving traffic on a policy at most N episodes old
+  // while training is still in flight. From this point SuggestMinutes
+  // routes through the aggregator. Safe concurrently with Run: the swap
+  // and the publish set are decided in one critical section, so a tenant
+  // finishing during the call publishes to the new service rather than
+  // falling into a gap (a tenant may publish twice — two bit-identical
+  // versions — which is harmless). A replace mid-traffic loses the old
+  // service's stats; in-flight callers keep the old service alive.
   void EnableAggregation(AggregationConfig config) JARVIS_EXCLUDES(mutex_);
 
   // The attached service (null before EnableAggregation) — for stats and
-  // tests. Stable until the next EnableAggregation / fleet destruction.
-  AggregationService* aggregator() const JARVIS_EXCLUDES(mutex_);
+  // tests. Shared ownership: the returned pointer stays valid across a
+  // later EnableAggregation (which detaches the old service but cannot
+  // destroy it under a holder — the re-enable-while-serving fix; a raw
+  // pointer here was a use-after-free for any caller that cached it).
+  std::shared_ptr<AggregationService> aggregator() const
+      JARVIS_EXCLUDES(mutex_);
 
   // The tenant's facade (null for out-of-range), e.g. for audits. Stable
   // until that tenant's next Run (see the re-run caveat above).
@@ -281,7 +294,11 @@ class Fleet {
  private:
   struct TenantShard {
     std::uint64_t seed = 0;
-    std::unique_ptr<core::Jarvis> jarvis;
+    // Shared, not unique: accessors (SuggestMinutes, TenantMetrics,
+    // checkpoint saves) and the end-of-run publish pin the pipeline with
+    // their own reference, so a concurrent RemoveTenant / re-Run resets
+    // this slot without pulling the object out from under them.
+    std::shared_ptr<core::Jarvis> jarvis;
     // Pipeline holding restored/template policies, staged by
     // RestoreCheckpoints or AddTenant(warm_start_template); consumed
     // (moved out) by the tenant's next Run.

@@ -162,6 +162,29 @@ util::JsonObject Dispatcher::HandleHealth() {
   fields["completed"] = static_cast<std::int64_t>(report.completed);
   fields["quarantined"] = static_cast<std::int64_t>(report.quarantined);
   fields["buffered_events"] = static_cast<std::int64_t>(buffered);
+  // Aggregation funnel evidence, when attached. The shared_ptr pins the
+  // service for the duration of the snapshot — a concurrent
+  // EnableAggregation replace cannot free it under us.
+  const std::shared_ptr<runtime::AggregationService> aggregator =
+      fleet_.aggregator();
+  if (aggregator != nullptr) {
+    const runtime::AggregationStats stats = aggregator->stats();
+    util::JsonObject agg;
+    agg["submitted"] = static_cast<std::int64_t>(stats.submitted_queries);
+    agg["answered"] = static_cast<std::int64_t>(stats.answered_queries);
+    agg["rejected"] = static_cast<std::int64_t>(stats.rejected_queries);
+    agg["gemm_batches"] = static_cast<std::int64_t>(stats.gemm_batches);
+    agg["rows_inferred"] = static_cast<std::int64_t>(stats.rows_inferred);
+    agg["max_gemm_rows"] = static_cast<std::int64_t>(stats.max_gemm_rows);
+    agg["weights_published"] =
+        static_cast<std::int64_t>(stats.weights_published);
+    agg["max_batch"] = static_cast<std::int64_t>(stats.current_max_batch);
+    agg["autotune_raises"] =
+        static_cast<std::int64_t>(stats.autotune_raises);
+    agg["autotune_lowers"] =
+        static_cast<std::int64_t>(stats.autotune_lowers);
+    fields["aggregation"] = std::move(agg);
+  }
   return fields;
 }
 

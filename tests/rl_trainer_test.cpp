@@ -266,5 +266,105 @@ TEST_F(TrainerFixture, DemonstrationEpisodesConfigurable) {
   EXPECT_EQ(result.episode_rewards.size(), 3u);
 }
 
+TEST_F(TrainerFixture, RepublishEveryNEpisodesFiresOnCadence) {
+  IoTEnv env = MakeEnv();
+  DqnAgent agent(env.feature_width(), testbed_->home_a().codec(),
+                 DqnConfig{});
+  TrainerConfig config;
+  config.episodes = 6;
+  config.demonstration_episodes = 1;
+  config.republish.every_episodes = 2;
+  std::vector<int> fired_episodes;
+  const TrainResult result = Train(
+      env, agent, config, nullptr,
+      [&](const EpisodeProgress& progress, const neural::Network&) {
+        fired_episodes.push_back(progress.episode);
+      });
+  EXPECT_EQ(result.republishes, fired_episodes.size());
+  // Every 2 completed (non-aborted) episodes fires once; aborted episodes
+  // never count toward the cadence (their weights were just rolled back).
+  const std::size_t completed =
+      static_cast<std::size_t>(config.episodes) -
+      result.divergence_recoveries;
+  EXPECT_EQ(result.republishes, completed / 2);
+  for (std::size_t i = 1; i < fired_episodes.size(); ++i) {
+    EXPECT_LT(fired_episodes[i - 1], fired_episodes[i]);
+  }
+}
+
+TEST_F(TrainerFixture, RepublishDisabledPolicyNeverFires) {
+  IoTEnv env = MakeEnv();
+  DqnAgent agent(env.feature_width(), testbed_->home_a().codec(),
+                 DqnConfig{});
+  TrainerConfig config;
+  config.episodes = 3;
+  ASSERT_FALSE(config.republish.enabled());
+  std::size_t hook_calls = 0;
+  const TrainResult result =
+      Train(env, agent, config, nullptr,
+            [&](const EpisodeProgress&, const neural::Network&) {
+              ++hook_calls;
+            });
+  EXPECT_EQ(hook_calls, 0u);
+  EXPECT_EQ(result.republishes, 0u);
+}
+
+TEST_F(TrainerFixture, RepublishTrajectoryBitIdenticalWithHook) {
+  // The hook draws no RNG and the trainer takes no decision from it, so
+  // streaming must not perturb training: rewards, greedy evaluation, and
+  // the learnt Q-function are bit-identical with and without a hook.
+  TrainerConfig config;
+  config.episodes = 4;
+  config.demonstration_episodes = 1;
+
+  IoTEnv plain_env = MakeEnv();
+  DqnAgent plain(plain_env.feature_width(), testbed_->home_a().codec(),
+                 DqnConfig{});
+  const TrainResult plain_result = Train(plain_env, plain, config);
+
+  config.republish.every_episodes = 1;
+  IoTEnv streamed_env = MakeEnv();
+  DqnAgent streamed(streamed_env.feature_width(),
+                    testbed_->home_a().codec(), DqnConfig{});
+  std::size_t publishes = 0;
+  const TrainResult streamed_result =
+      Train(streamed_env, streamed, config, nullptr,
+            [&](const EpisodeProgress&, const neural::Network& network) {
+              ++publishes;
+              // The live network is readable during the hook.
+              (void)network;
+            });
+
+  EXPECT_GE(publishes, 1u);
+  EXPECT_EQ(plain_result.episode_rewards, streamed_result.episode_rewards);
+  EXPECT_DOUBLE_EQ(plain_result.final_loss, streamed_result.final_loss);
+  EXPECT_DOUBLE_EQ(plain_result.greedy_reward,
+                   streamed_result.greedy_reward);
+  const std::vector<double> probe(plain_env.feature_width(), 0.25);
+  EXPECT_EQ(plain.QValues(probe), streamed.QValues(probe));
+}
+
+TEST_F(TrainerFixture, RepublishOnLossImprovementIsMonotone) {
+  IoTEnv env = MakeEnv();
+  DqnAgent agent(env.feature_width(), testbed_->home_a().codec(),
+                 DqnConfig{});
+  TrainerConfig config;
+  config.episodes = 8;
+  config.demonstration_episodes = 1;
+  config.republish.on_loss_improvement = true;
+  std::vector<double> losses;
+  const TrainResult result =
+      Train(env, agent, config, nullptr,
+            [&](const EpisodeProgress& progress, const neural::Network&) {
+              losses.push_back(progress.loss);
+            });
+  EXPECT_EQ(result.republishes, losses.size());
+  EXPECT_GE(losses.size(), 1u);  // the first finite loss beats +infinity
+  for (const double loss : losses) EXPECT_TRUE(std::isfinite(loss));
+  for (std::size_t i = 1; i < losses.size(); ++i) {
+    EXPECT_LT(losses[i], losses[i - 1]);
+  }
+}
+
 }  // namespace
 }  // namespace jarvis::rl

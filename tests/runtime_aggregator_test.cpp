@@ -296,6 +296,7 @@ TEST(AggregationService, ConcurrentProducersAndPublishesConserveAndStayExact) {
   });
 
   struct Answer {
+    std::size_t tenant;
     std::uint64_t version;
     std::vector<double> row;
     std::vector<double> result;
@@ -316,7 +317,7 @@ TEST(AggregationService, ConcurrentProducersAndPublishesConserveAndStayExact) {
           continue;
         }
         ASSERT_EQ(result->rows.size(), 1u);
-        answers[p].push_back({result->version, row, result->rows[0]});
+        answers[p].push_back({tenant, result->version, row, result->rows[0]});
       }
     });
   }
@@ -344,6 +345,207 @@ TEST(AggregationService, ConcurrentProducersAndPublishesConserveAndStayExact) {
       EXPECT_EQ(answer.result, it->second->PredictOne(answer.row));
     }
   }
+
+  // Version monotonicity: versions are pinned AT SUBMIT and publishes only
+  // move a tenant's current version forward, so the versions one producer
+  // observes for one tenant never go backwards — a racing publish can skip
+  // it ahead, never behind.
+  for (const auto& per_producer : answers) {
+    std::map<std::size_t, std::uint64_t> last_seen;
+    for (const Answer& answer : per_producer) {
+      const auto it = last_seen.find(answer.tenant);
+      if (it != last_seen.end()) {
+        EXPECT_GE(answer.version, it->second)
+            << "tenant " << answer.tenant << " answered with an older "
+            << "version than an earlier query from the same producer";
+      }
+      last_seen[answer.tenant] = answer.version;
+    }
+  }
+}
+
+// Fairness-aware drain (round-robin, the default): in one flush cohort
+// the per-tenant GEMM chunks are interleaved in rounds, so a tenant with
+// one row is answered after ONE chunk of the 12-row tenant instead of
+// waiting behind all three. The drain hook observes the exact chunk
+// order; answers stay bit-exact either way.
+TEST(AggregationService, FairnessRoundRobinInterleavesTenantChunks) {
+  const auto heavy = MakeNetwork(6, 4, 31);
+  const auto light = MakeNetwork(6, 4, 32);
+  AggregationConfig config = ManualConfig(/*max_batch=*/4);
+  config.fairness = DrainFairness::kRoundRobin;
+  AggregationService service(config);
+  service.PublishWeights(0, *heavy);
+  service.PublishWeights(1, *light);
+
+  std::vector<std::pair<std::size_t, std::size_t>> chunk_order;
+  service.SetDrainHook([&](std::size_t tenant, std::size_t rows) {
+    chunk_order.push_back({tenant, rows});
+  });
+
+  const auto heavy_rows = MakeRows(12, 6, 33);
+  const auto light_rows = MakeRows(1, 6, 34);
+  const auto heavy_ticket = service.Submit(0, heavy_rows);
+  const auto light_ticket = service.Submit(1, light_rows);
+  ASSERT_TRUE(heavy_ticket.has_value());
+  ASSERT_TRUE(light_ticket.has_value());
+  service.FlushNow();
+
+  // Round 1 takes one chunk from each tenant; the heavy tenant's leftover
+  // chunks fill later rounds. Within tenant 0 the order is untouched.
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 4}, {1, 1}, {0, 4}, {0, 4}};
+  EXPECT_EQ(chunk_order, expected);
+
+  const AggregatedResult heavy_result = service.Wait(*heavy_ticket);
+  const AggregatedResult light_result = service.Wait(*light_ticket);
+  for (std::size_t i = 0; i < heavy_rows.size(); ++i) {
+    EXPECT_EQ(heavy_result.rows[i], heavy->PredictOne(heavy_rows[i]));
+  }
+  EXPECT_EQ(light_result.rows[0], light->PredictOne(light_rows[0]));
+  EXPECT_EQ(service.stats().gemm_batches, 4u);  // same GEMMs as FIFO
+}
+
+// The FIFO baseline for the same workload: chunks stay in version order,
+// so the light tenant drains last. (This is the pre-fairness behavior,
+// kept selectable for strict-arrival-order consumers.)
+TEST(AggregationService, FairnessFifoKeepsArrivalOrder) {
+  const auto heavy = MakeNetwork(6, 4, 31);
+  const auto light = MakeNetwork(6, 4, 32);
+  AggregationConfig config = ManualConfig(/*max_batch=*/4);
+  config.fairness = DrainFairness::kFifo;
+  AggregationService service(config);
+  service.PublishWeights(0, *heavy);
+  service.PublishWeights(1, *light);
+
+  std::vector<std::pair<std::size_t, std::size_t>> chunk_order;
+  service.SetDrainHook([&](std::size_t tenant, std::size_t rows) {
+    chunk_order.push_back({tenant, rows});
+  });
+
+  const auto heavy_ticket = service.Submit(0, MakeRows(12, 6, 33));
+  const auto light_ticket = service.Submit(1, MakeRows(1, 6, 34));
+  ASSERT_TRUE(heavy_ticket.has_value());
+  ASSERT_TRUE(light_ticket.has_value());
+  service.FlushNow();
+
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 4}, {0, 4}, {0, 4}, {1, 1}};
+  EXPECT_EQ(chunk_order, expected);
+  service.Wait(*heavy_ticket);
+  service.Wait(*light_ticket);
+  EXPECT_EQ(service.stats().gemm_batches, 4u);
+}
+
+// Priority beats tenant id in the round-robin round order: a
+// higher-priority tenant's chunk leads every round it participates in.
+TEST(AggregationService, FairnessPriorityOrdersRounds) {
+  const auto heavy = MakeNetwork(6, 4, 31);
+  const auto light = MakeNetwork(6, 4, 32);
+  AggregationConfig config = ManualConfig(/*max_batch=*/4);
+  config.fairness = DrainFairness::kRoundRobin;
+  AggregationService service(config);
+  service.PublishWeights(0, *heavy);
+  service.PublishWeights(1, *light);
+  service.SetTenantPriority(1, 10);
+
+  std::vector<std::pair<std::size_t, std::size_t>> chunk_order;
+  service.SetDrainHook([&](std::size_t tenant, std::size_t rows) {
+    chunk_order.push_back({tenant, rows});
+  });
+
+  const auto heavy_ticket = service.Submit(0, MakeRows(12, 6, 33));
+  const auto light_ticket = service.Submit(1, MakeRows(1, 6, 34));
+  ASSERT_TRUE(heavy_ticket.has_value());
+  ASSERT_TRUE(light_ticket.has_value());
+  service.FlushNow();
+
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {1, 1}, {0, 4}, {0, 4}, {0, 4}};
+  EXPECT_EQ(chunk_order, expected);
+  service.Wait(*heavy_ticket);
+  service.Wait(*light_ticket);
+}
+
+// The batch-size autotuner: a window of all-full chunks doubles the
+// effective max_batch (capped); a window of tiny chunks halves it
+// (floored). All transitions are exact arithmetic on the chunk history.
+TEST(AggregationService, AutotunerRaisesAndLowersEffectiveMaxBatch) {
+  const auto network = MakeNetwork(6, 4, 41);
+  AggregationConfig config = ManualConfig(/*max_batch=*/4);
+  config.autotune = true;
+  config.autotune_min_batch = 2;
+  config.autotune_max_batch = 16;
+  config.autotune_window = 2;
+  AggregationService service(config);
+  service.PublishWeights(0, *network);
+
+  EXPECT_EQ(service.stats().current_max_batch, 4u);
+
+  // 8 rows at effective=4: two full chunks -> the window is 100% full ->
+  // double to 8.
+  const auto big = service.Submit(0, MakeRows(8, 6, 42));
+  ASSERT_TRUE(big.has_value());
+  service.FlushNow();
+  service.Wait(*big);
+  EXPECT_EQ(service.stats().current_max_batch, 8u);
+  EXPECT_EQ(service.stats().autotune_raises, 1u);
+  EXPECT_EQ(service.stats().autotune_lowers, 0u);
+
+  // Four 1-row flushes: two windows whose max row count (1) is at most a
+  // quarter of the bound -> halve twice, 8 -> 4 -> 2.
+  for (int i = 0; i < 4; ++i) {
+    const auto small = service.Submit(0, MakeRows(1, 6, 50 + i));
+    ASSERT_TRUE(small.has_value());
+    service.FlushNow();
+    service.Wait(*small);
+  }
+  EXPECT_EQ(service.stats().current_max_batch, 2u);
+  EXPECT_EQ(service.stats().autotune_lowers, 2u);
+
+  // At the floor, further tiny windows hold: 1 * 4 > 2 is false but
+  // halving below autotune_min_batch is clamped.
+  for (int i = 0; i < 2; ++i) {
+    const auto small = service.Submit(0, MakeRows(1, 6, 60 + i));
+    ASSERT_TRUE(small.has_value());
+    service.FlushNow();
+    service.Wait(*small);
+  }
+  EXPECT_EQ(service.stats().current_max_batch, 2u);
+}
+
+// The streaming-republish exactness pin: republishes land BETWEEN submits
+// of the same flush cohort, and every query is answered by the exact
+// network that was current at ITS submit — never the newer one, never a
+// mix. This is the invariant that lets a trainer publish mid-run while
+// suggest traffic is in flight.
+TEST(AggregationService, RepublishWhileInflightPinsSubmitVersion) {
+  AggregationService service(ManualConfig(/*max_batch=*/8));
+  std::vector<std::unique_ptr<neural::Network>> generations;
+  std::vector<std::uint64_t> tickets;
+  std::vector<std::vector<double>> rows;
+  // Five "training episodes": each publishes a new generation, then a
+  // query arrives while older queries are still queued.
+  for (std::size_t episode = 0; episode < 5; ++episode) {
+    generations.push_back(MakeNetwork(6, 4, 70 + episode));
+    service.PublishWeights(0, *generations.back());
+    rows.push_back(MakeRows(1, 6, 80 + episode)[0]);
+    const auto ticket = service.Submit(0, {rows.back()});
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.FlushNow();
+  for (std::size_t episode = 0; episode < 5; ++episode) {
+    const AggregatedResult result = service.Wait(tickets[episode]);
+    ASSERT_EQ(result.rows.size(), 1u);
+    // Bit-exact against the generation pinned at submit time.
+    EXPECT_EQ(result.rows[0], generations[episode]->PredictOne(rows[episode]))
+        << "episode " << episode;
+  }
+  const AggregationStats stats = service.stats();
+  // One GEMM per generation: rows for different versions never mix.
+  EXPECT_EQ(stats.gemm_batches, 5u);
+  EXPECT_EQ(stats.weights_published, 5u);
 }
 
 runtime::FleetConfig TinyFleetConfig(std::size_t tenants, std::size_t jobs) {

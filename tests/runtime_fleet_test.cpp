@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "fsm/device_library.h"
 #include "sim/resident.h"
@@ -261,6 +263,163 @@ TEST_F(FleetFixture, ReportSnapshotIsSafeWhileRunIsInFlight) {
   poller.join();
   EXPECT_EQ(report.completed, 3u);
   EXPECT_EQ(fleet.report().tenants.size(), 3u);
+}
+
+// Regression (dangling `stored` fix): the end-of-run publish used to read
+// a raw pointer into the shard slot after dropping the fleet lock, so a
+// concurrent RemoveTenant — which resets the slot — left the publish
+// cloning a destroyed network. The job now keeps its own shared_ptr
+// ownership token across the publish. Run under TSan/ASan (label
+// `runtime`), where the old bug is a hard failure.
+TEST_F(FleetFixture, RemoveTenantWhilePublishInFlightIsSafe) {
+  FleetConfig config = CheapConfig(6, 3);
+  // Stream every episode: maximizes publish traffic racing the removals.
+  config.tenant_config.trainer.republish.every_episodes = 1;
+  Fleet fleet(Home(), config);
+  fleet.EnableAggregation(AggregationConfig{});
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+
+  std::atomic<bool> done{false};
+  std::thread remover([&fleet, &done] {
+    // Hammer removals of the first three tenants (idempotent) until the
+    // run finishes, so some land mid-training, some mid-publish.
+    while (!done.load()) {
+      for (std::size_t index = 0; index < 3; ++index) {
+        fleet.RemoveTenant(index);
+      }
+    }
+  });
+  const FleetReport report = fleet.Run(factory);
+  done.store(true);
+  remover.join();
+
+  EXPECT_EQ(report.tenants.size(), 6u);
+  // The untouched half of the fleet trained and serves normally.
+  sim::ResidentSimulator resident(Home(), sim::ThermalConfig{}, 1);
+  const fsm::StateVector state = resident.OvernightState();
+  for (std::size_t index = 3; index < 6; ++index) {
+    const auto actions = fleet.SuggestMinutes(index, state, {480, 720});
+    EXPECT_EQ(actions.size(), 2u);
+  }
+  // The funnel survived the racing publishes with its conservation law
+  // intact.
+  const auto aggregator = fleet.aggregator();
+  ASSERT_NE(aggregator, nullptr);
+  const AggregationStats stats = aggregator->stats();
+  EXPECT_EQ(stats.submitted_queries,
+            stats.answered_queries + stats.rejected_queries);
+}
+
+// Regression (aggregator() use-after-free fix): aggregator() used to
+// return a raw pointer that a second EnableAggregation invalidated. It now
+// returns shared ownership, so a cached handle — and in-flight
+// SuggestMinutes traffic — survives any number of re-enables, and serving
+// answers stay bit-identical to the direct route throughout.
+TEST_F(FleetFixture, ReEnableAggregationWhileServingKeepsOldHandleValid) {
+  Fleet fleet(Home(), CheapConfig(2, 1));
+  fleet.Run(SimulatedWorkloadFactory(Home(), CheapWorkload()));
+
+  sim::ResidentSimulator resident(Home(), sim::ThermalConfig{}, 1);
+  const fsm::StateVector state = resident.OvernightState();
+  const std::vector<int> minutes = {0, 240, 480, 720, 960, 1200};
+  // Direct-route oracle, computed before any aggregation exists.
+  const auto expected_t0 = fleet.SuggestMinutes(0, state, minutes);
+  const auto expected_t1 = fleet.SuggestMinutes(1, state, minutes);
+
+  fleet.EnableAggregation(AggregationConfig{});
+  const std::shared_ptr<AggregationService> first = fleet.aggregator();
+  ASSERT_NE(first, nullptr);
+
+  std::atomic<bool> done{false};
+  std::thread suggester([&] {
+    while (!done.load()) {
+      EXPECT_EQ(fleet.SuggestMinutes(0, state, minutes), expected_t0);
+      EXPECT_EQ(fleet.SuggestMinutes(1, state, minutes), expected_t1);
+    }
+  });
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    fleet.EnableAggregation(AggregationConfig{});
+  }
+  done.store(true);
+  suggester.join();
+
+  // The pre-replace handle still answers stats queries — with the raw
+  // pointer this dereference was the use-after-free.
+  const AggregationStats old_stats = first->stats();
+  EXPECT_EQ(old_stats.submitted_queries,
+            old_stats.answered_queries + old_stats.rejected_queries);
+  const std::shared_ptr<AggregationService> current = fleet.aggregator();
+  ASSERT_NE(current, nullptr);
+  EXPECT_NE(current.get(), first.get());
+  EXPECT_GE(current->stats().weights_published, 2u);
+}
+
+// Regression (EnableAggregation quiescence fix): attaching the funnel
+// while Run is in flight must leave no tenant behind — the swap and the
+// publish set are decided in one critical section, so every tenant that
+// completes either publishes at its own job end (it saw the new service)
+// or was published by EnableAggregation (it had already finished). After
+// the run every suggest rides the funnel: zero rejects, zero fallbacks.
+TEST_F(FleetFixture, EnableAggregationMidRunCoversEveryCompletedTenant) {
+  Fleet fleet(Home(), CheapConfig(4, 2));
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+
+  FleetReport report;
+  std::thread runner([&] { report = fleet.Run(factory); });
+  fleet.EnableAggregation(AggregationConfig{});
+  runner.join();
+
+  ASSERT_EQ(report.completed, 4u);
+  const auto aggregator = fleet.aggregator();
+  ASSERT_NE(aggregator, nullptr);
+  EXPECT_GE(aggregator->stats().weights_published, 4u);
+
+  sim::ResidentSimulator resident(Home(), sim::ThermalConfig{}, 1);
+  const fsm::StateVector state = resident.OvernightState();
+  const AggregationStats before = aggregator->stats();
+  for (std::size_t index = 0; index < 4; ++index) {
+    fleet.SuggestMinutes(index, state, {480});
+  }
+  const AggregationStats after = aggregator->stats();
+  // All four went through the funnel (a tenant without a published
+  // version would have been rejected into the direct-route fallback).
+  EXPECT_EQ(after.answered_queries, before.answered_queries + 4);
+  EXPECT_EQ(after.rejected_queries, before.rejected_queries);
+}
+
+// The streaming tentpole end to end: with a republish cadence configured
+// and the funnel attached BEFORE Run, training tenants stream weight
+// versions mid-run (strictly more versions than publish-on-completion
+// would produce), and — because the hook draws no RNG — both the tenant
+// results and the served suggestions are bit-identical to a fleet that
+// never streamed.
+TEST_F(FleetFixture, StreamingRepublishAddsVersionsWithoutPerturbingResults) {
+  FleetConfig streaming_config = CheapConfig(2, 2);
+  streaming_config.tenant_config.trainer.republish.every_episodes = 1;
+  Fleet streaming(Home(), streaming_config);
+  streaming.EnableAggregation(AggregationConfig{});
+  const auto factory = SimulatedWorkloadFactory(Home(), CheapWorkload());
+  const FleetReport streamed_report = streaming.Run(factory);
+
+  Fleet plain(Home(), CheapConfig(2, 1));  // jobs=1: the sequential oracle
+  const FleetReport plain_report = plain.Run(factory);
+
+  ExpectTenantResultsIdentical(plain_report, streamed_report);
+
+  const auto aggregator = streaming.aggregator();
+  ASSERT_NE(aggregator, nullptr);
+  // Publish-on-completion alone would publish exactly one version per
+  // completed tenant; streaming every episode must beat that.
+  EXPECT_GT(aggregator->stats().weights_published, streamed_report.completed);
+
+  sim::ResidentSimulator resident(Home(), sim::ThermalConfig{}, 1);
+  const fsm::StateVector state = resident.OvernightState();
+  const std::vector<int> minutes = {0, 360, 720, 1080};
+  for (std::size_t index = 0; index < 2; ++index) {
+    EXPECT_EQ(streaming.SuggestMinutes(index, state, minutes),
+              plain.SuggestMinutes(index, state, minutes))
+        << "tenant " << index;
+  }
 }
 
 TEST_F(FleetFixture, GuardsBadConfiguration) {

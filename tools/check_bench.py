@@ -61,6 +61,14 @@ DEFAULT_BASELINES = {
 # speedup-ratio gate). All share the deterministic/advisory case shape.
 DETERMINISTIC_KINDS = frozenset({"lifecycle", "serve", "fleet"})
 
+# Cases that must exist in BOTH the fresh results and the baseline. The
+# exact-match gate only covers cases the baseline already names, so a
+# case silently dropped from both files would pass unnoticed; pinning the
+# load-bearing ones here makes that a hard failure.
+REQUIRED_CASES = {
+    "fleet": frozenset({"republish_staleness"}),
+}
+
 CASE_FIELDS = {
     "name": str,
     "unit": str,
@@ -250,6 +258,11 @@ def main(argv):
     else:
         fresh = validate_schema(fresh_doc, "fresh", errors)
         baseline = validate_schema(baseline_doc, "baseline", errors)
+    for required in sorted(REQUIRED_CASES.get(kind, ())):
+        for label, cases in (("fresh", fresh), ("baseline", baseline)):
+            if required not in cases:
+                errors.append(f"{label}: required {kind} case {required!r} "
+                              "is missing")
     if errors:
         return fail(errors)
 
